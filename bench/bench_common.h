@@ -1,0 +1,73 @@
+#ifndef EHNA_BENCH_BENCH_COMMON_H_
+#define EHNA_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/ehna_config.h"
+#include "graph/generators/generators.h"
+#include "graph/split.h"
+#include "graph/temporal_graph.h"
+#include "nn/tensor.h"
+
+namespace ehna::bench {
+
+/// All embedding methods the paper compares (§V.B) plus the ablation
+/// variants of Table VII.
+enum class Method {
+  kEhna,
+  kEhnaNoAttention,
+  kEhnaStaticWalk,
+  kEhnaSingleLayer,
+  kHtne,
+  kCtdne,
+  kNode2Vec,
+  kLine,
+};
+
+const char* MethodName(Method m);
+
+/// The five methods of Figure 4 and Tables III-VI, in the paper's column
+/// order (LINE, Node2Vec, CTDNE, HTNE, EHNA).
+std::vector<Method> PaperMethods();
+
+/// The four variants of Table VII.
+std::vector<Method> AblationMethods();
+
+/// Benchmark scale factor: EHNA_BENCH_SCALE env var (default 0.15). The
+/// generators are scale-parameterized; see DESIGN.md §4 on why shapes are
+/// scale-stable.
+double BenchScale();
+
+/// Shared benchmark hyperparameters, sized for single-core runs: dim 16,
+/// k=4 walks of length 5, Q=2 negatives, 3 epochs. Paper-default values
+/// (dim 128, k=l=10, Q=5) are available through EhnaConfig directly.
+EhnaConfig BenchEhnaConfig(uint64_t seed);
+
+/// Dataset-tuned variant, mirroring the paper's per-dataset grid search
+/// (§V.C): the Digg-like graph needs population BatchNorm and a boosted
+/// embedding rate to break the cold-pair symmetry (see DESIGN.md §2).
+EhnaConfig BenchEhnaConfigFor(PaperDataset dataset, uint64_t seed);
+
+/// Trains `method` on `graph` and returns its [N, dim] embeddings. All
+/// methods use the same dimensionality so the comparison mirrors §V.C's
+/// "embedding size fixed to 128 for all methods" (scaled).
+Tensor TrainMethod(Method method, const TemporalGraph& graph, uint64_t seed,
+                   const EhnaConfig* ehna_config = nullptr);
+
+/// Like TrainMethod but also reports mean seconds per training epoch
+/// (Table VIII's measurement).
+Tensor TrainMethodTimed(Method method, const TemporalGraph& graph,
+                        uint64_t seed, int num_threads,
+                        double* seconds_per_epoch,
+                        const EhnaConfig* ehna_config = nullptr);
+
+/// Builds the benchmark-scale substitute for one of the paper's datasets.
+TemporalGraph BuildDataset(PaperDataset dataset, uint64_t seed = 1);
+
+/// Applies the paper's link-prediction split (20% most recent held out).
+TemporalSplit SplitDataset(const TemporalGraph& graph, uint64_t seed = 2);
+
+}  // namespace ehna::bench
+
+#endif  // EHNA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,113 @@
+// Reproduces Figure 5 of the paper: parameter-sensitivity analysis of EHNA
+// on the Yelp substitute (average link-prediction F1, Weighted-L2):
+//   (a) safety margin m in {1..5}        — rises then converges near m=5
+//   (b) walk length l in {1..25}         — rises sharply to ~10, then flat
+//                                           or slightly decaying
+//   (c) log2 p in {-2..2}                — mild peak at small |log2 p|
+//   (d) log2 q in {-2..2}                — mild peak at positive log2 q
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/model.h"
+#include "eval/link_prediction.h"
+#include "util/table_writer.h"
+
+namespace {
+
+using ehna::EdgeOperator;
+using ehna::EhnaConfig;
+using ehna::EhnaModel;
+using ehna::PaperDataset;
+using ehna::TableWriter;
+using ehna::bench::BenchEhnaConfig;
+using ehna::bench::BuildDataset;
+using ehna::bench::SplitDataset;
+
+double TrainAndScore(const ehna::TemporalSplit& split, const EhnaConfig& cfg) {
+  EhnaModel model(&split.train, cfg);
+  model.Train();
+  const ehna::Tensor emb = model.FinalizeEmbeddings();
+  ehna::LinkPredictionOptions opt;
+  opt.repeats = 2;
+  auto metrics = ehna::EvaluateLinkPrediction(
+      split, emb, EdgeOperator::kWeightedL2, opt);
+  EHNA_CHECK(metrics.ok()) << metrics.status().ToString();
+  return metrics.value().f1;
+}
+
+void RunSweep(benchmark::State& state, const std::string& title,
+              const std::string& param,
+              const std::vector<double>& values,
+              const std::function<void(EhnaConfig*, double)>& apply,
+              const char* counter_prefix) {
+  const ehna::TemporalGraph graph = BuildDataset(PaperDataset::kYelp);
+  const ehna::TemporalSplit split = SplitDataset(graph);
+
+  TableWriter table(title, {param, "Avg F1 (Weighted-L2)"});
+  double best = 0.0, best_value = values.front();
+  for (double v : values) {
+    EhnaConfig cfg = BenchEhnaConfig(/*seed=*/5);
+    apply(&cfg, v);
+    const double f1 = TrainAndScore(split, cfg);
+    table.AddRow({TableWriter::FormatDouble(v, 2),
+                  TableWriter::FormatDouble(f1)});
+    if (f1 > best) {
+      best = f1;
+      best_value = v;
+    }
+  }
+  table.Print(std::cout);
+  state.counters[std::string(counter_prefix) + "_best_f1"] = best;
+  state.counters[std::string(counter_prefix) + "_best_at"] = best_value;
+}
+
+void BM_Fig5a_Margin(benchmark::State& state) {
+  for (auto _ : state) {
+    RunSweep(state, "Figure 5a — varying the safety margin m (Yelp)",
+             "margin", {1, 2, 3, 4, 5},
+             [](EhnaConfig* cfg, double v) {
+               cfg->margin = static_cast<float>(v);
+             },
+             "margin");
+  }
+}
+BENCHMARK(BM_Fig5a_Margin)->Iterations(1)->Unit(benchmark::kSecond);
+
+void BM_Fig5b_WalkLength(benchmark::State& state) {
+  for (auto _ : state) {
+    RunSweep(state, "Figure 5b — varying the walk length l (Yelp)",
+             "walk_length", {1, 3, 5, 10, 15, 25},
+             [](EhnaConfig* cfg, double v) {
+               cfg->walk_length = static_cast<int>(v);
+             },
+             "walk_length");
+  }
+}
+BENCHMARK(BM_Fig5b_WalkLength)->Iterations(1)->Unit(benchmark::kSecond);
+
+void BM_Fig5c_P(benchmark::State& state) {
+  for (auto _ : state) {
+    RunSweep(state, "Figure 5c — varying log2 p (Yelp)", "log2_p",
+             {-2, -1, 0, 1, 2},
+             [](EhnaConfig* cfg, double v) { cfg->p = std::exp2(v); },
+             "log2p");
+  }
+}
+BENCHMARK(BM_Fig5c_P)->Iterations(1)->Unit(benchmark::kSecond);
+
+void BM_Fig5d_Q(benchmark::State& state) {
+  for (auto _ : state) {
+    RunSweep(state, "Figure 5d — varying log2 q (Yelp)", "log2_q",
+             {-2, -1, 0, 1, 2},
+             [](EhnaConfig* cfg, double v) { cfg->q = std::exp2(v); },
+             "log2q");
+  }
+}
+BENCHMARK(BM_Fig5d_Q)->Iterations(1)->Unit(benchmark::kSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Micro-benchmarks of the performance-critical substrate components: walk
+// sampling throughput, alias-table sampling, tensor matmul kernels, and
+// the per-edge cost of EHNA's autograd aggregation. These are classic
+// repeated-timing google-benchmark cases (unlike the table/figure
+// reproduction binaries, which run one full experiment per invocation).
+#include <benchmark/benchmark.h>
+
+#include "core/aggregator.h"
+#include "graph/generators/generators.h"
+#include "nn/embedding.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "util/alias_sampler.h"
+#include "walk/node2vec_walk.h"
+#include "walk/temporal_walk.h"
+
+namespace {
+
+using namespace ehna;
+
+const TemporalGraph& BenchGraph() {
+  static const TemporalGraph* graph = [] {
+    auto g = MakePaperDataset(PaperDataset::kDblp, 0.15, 1);
+    EHNA_CHECK(g.ok());
+    return new TemporalGraph(std::move(g).value());
+  }();
+  return *graph;
+}
+
+void BM_TemporalWalkSample(benchmark::State& state) {
+  const TemporalGraph& g = BenchGraph();
+  TemporalWalkConfig cfg;
+  cfg.walk_length = static_cast<int>(state.range(0));
+  TemporalWalkSampler sampler(&g, cfg);
+  Rng rng(1);
+  const Timestamp ref = g.max_time() + 1.0;
+  for (auto _ : state) {
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    benchmark::DoNotOptimize(sampler.SampleWalk(v, ref, &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TemporalWalkSample)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_Node2VecWalkSample(benchmark::State& state) {
+  const TemporalGraph& g = BenchGraph();
+  Node2VecWalkConfig cfg;
+  cfg.walk_length = static_cast<int>(state.range(0));
+  Node2VecWalkSampler sampler(&g, cfg);
+  Rng rng(2);
+  for (auto _ : state) {
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    benchmark::DoNotOptimize(sampler.SampleWalk(v, &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Node2VecWalkSample)->Arg(20)->Arg(80);
+
+void BM_AliasSample(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> weights(state.range(0));
+  for (double& w : weights) w = rng.Uniform(0.1, 10.0);
+  AliasSampler sampler(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(&rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasSample)->Arg(1000)->Arg(1000000);
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(4);
+  Tensor a(n, n), b(n, n);
+  UniformInit(&a, -1, 1, &rng);
+  UniformInit(&b, -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_AutogradBackward(benchmark::State& state) {
+  // Cost of building + differentiating a small MLP-like graph.
+  Rng rng(5);
+  Tensor w0(32, 32), x0(8, 32);
+  UniformInit(&w0, -1, 1, &rng);
+  UniformInit(&x0, -1, 1, &rng);
+  Var w = Var::Leaf(w0, true);
+  for (auto _ : state) {
+    Var x = Var::Leaf(x0);
+    Var y = ag::Tanh(ag::MatMul(ag::Tanh(ag::MatMul(x, w)), w));
+    Var loss = ag::SumSquares(y);
+    Backward(loss);
+    w.ZeroGrad();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AutogradBackward);
+
+void BM_EhnaAggregate(benchmark::State& state) {
+  const TemporalGraph& g = BenchGraph();
+  EhnaConfig cfg;
+  cfg.dim = static_cast<int64_t>(state.range(0));
+  cfg.num_walks = 4;
+  cfg.walk_length = 5;
+  Rng rng(6);
+  Embedding emb(g.num_nodes(), cfg.dim, &rng);
+  EhnaAggregator agg(&g, &emb, cfg, &rng);
+  const Timestamp ref = g.max_time() + 1.0;
+  for (auto _ : state) {
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    benchmark::DoNotOptimize(agg.Aggregate(v, ref, /*training=*/true, &rng));
+    emb.ClearGradients();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EhnaAggregate)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

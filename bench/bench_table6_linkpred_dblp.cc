@@ -1,0 +1,19 @@
+// Reproduces Table 6 of the paper: link prediction on the Dblp
+// substitute dataset (see DESIGN.md §4), all four edge operators of
+// Table II, five methods, with the paper's reported numbers side by side.
+#include <benchmark/benchmark.h>
+
+#include "bench/linkpred_table.h"
+
+namespace {
+
+void BM_Table6_LinkPred(benchmark::State& state) {
+  for (auto _ : state) {
+    ehna::bench::RunLinkPredTable(state, ehna::PaperDataset::kDblp, 6);
+  }
+}
+BENCHMARK(BM_Table6_LinkPred)->Iterations(1)->Unit(benchmark::kSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

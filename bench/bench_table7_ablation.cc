@@ -1,0 +1,98 @@
+// Reproduces Table VII of the paper: the ablation study comparing EHNA
+// against EHNA-NA (no attention), EHNA-RW (traditional random walks) and
+// EHNA-SL (single-layer LSTM, no two-level aggregation), measured as link-
+// prediction F1 under the Weighted-L2 operator on all four datasets. The
+// shape to reproduce: EHNA >= EHNA-NA >= EHNA-RW >> EHNA-SL.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "bench/paper_reference.h"
+#include "eval/link_prediction.h"
+#include "util/table_writer.h"
+
+namespace {
+
+using ehna::EdgeOperator;
+using ehna::PaperDataset;
+using ehna::TableWriter;
+using ehna::bench::AblationMethods;
+using ehna::bench::BuildDataset;
+using ehna::bench::Method;
+using ehna::bench::MethodName;
+using ehna::bench::PaperAblationTable;
+using ehna::bench::SplitDataset;
+using ehna::bench::TrainMethod;
+
+void BM_Table7_Ablation(benchmark::State& state) {
+  const std::vector<PaperDataset> datasets{
+      PaperDataset::kDigg, PaperDataset::kYelp, PaperDataset::kTmall,
+      PaperDataset::kDblp};
+  for (auto _ : state) {
+    // measured[method][dataset] = F1 under Weighted-L2.
+    std::map<Method, std::vector<double>> f1;
+    for (PaperDataset d : datasets) {
+      const ehna::TemporalGraph graph = BuildDataset(d);
+      const ehna::TemporalSplit split = SplitDataset(graph);
+      ehna::LinkPredictionOptions opt;
+      opt.repeats = 3;
+      const ehna::EhnaConfig ehna_cfg =
+          ehna::bench::BenchEhnaConfigFor(d, /*seed=*/5);
+      for (Method m : AblationMethods()) {
+        const ehna::Tensor emb = TrainMethod(m, split.train, /*seed=*/5,
+                                             &ehna_cfg);
+        auto metrics = ehna::EvaluateLinkPrediction(
+            split, emb, EdgeOperator::kWeightedL2, opt);
+        EHNA_CHECK(metrics.ok()) << metrics.status().ToString();
+        f1[m].push_back(metrics.value().f1);
+      }
+    }
+
+    TableWriter table(
+        "Table VII — ablation study, F1 under Weighted-L2 "
+        "(measured / paper)",
+        {"Variant", "Digg", "Yelp", "Tmall", "DBLP"});
+    const auto& paper = PaperAblationTable();
+    const auto methods = AblationMethods();
+    for (size_t mi = 0; mi < methods.size(); ++mi) {
+      std::vector<std::string> cells{MethodName(methods[mi])};
+      for (size_t di = 0; di < datasets.size(); ++di) {
+        cells.push_back(TableWriter::FormatDouble(f1[methods[mi]][di]) +
+                        " / " +
+                        TableWriter::FormatDouble(paper[mi].f1[di]));
+      }
+      table.AddRow(std::move(cells));
+    }
+    table.Print(std::cout);
+
+    // Shape check: full model beats each ablation on each dataset.
+    int full_wins = 0, sl_is_worst = 0;
+    for (size_t di = 0; di < datasets.size(); ++di) {
+      bool wins = true;
+      bool worst = true;
+      for (Method m : AblationMethods()) {
+        if (m == Method::kEhna) continue;
+        wins = wins && f1[Method::kEhna][di] >= f1[m][di] - 1e-9;
+        if (m != Method::kEhnaSingleLayer) {
+          worst = worst && f1[Method::kEhnaSingleLayer][di] <= f1[m][di] + 1e-9;
+        }
+      }
+      full_wins += wins;
+      sl_is_worst += worst;
+    }
+    std::cout << "Full EHNA best on " << full_wins
+              << "/4 datasets; EHNA-SL worst on " << sl_is_worst
+              << "/4 (paper: 4/4 and 4/4)\n";
+    state.counters["full_wins"] = full_wins;
+    state.counters["sl_worst"] = sl_is_worst;
+    state.counters["ehna_f1_digg"] = f1[Method::kEhna][0];
+    state.counters["ehna_f1_dblp"] = f1[Method::kEhna][3];
+  }
+}
+BENCHMARK(BM_Table7_Ablation)->Iterations(1)->Unit(benchmark::kSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Reproduces Table VIII of the paper: average training time per epoch for
+// every method on every dataset, including the multi-threaded variants of
+// the walk-based baselines ("Node2Vec 10" / "CTDNE 10" in the paper; the
+// thread count here is EHNA_BENCH_THREADS, default 4). Absolute numbers are
+// incomparable (authors' testbed vs this machine, full-scale vs substitute
+// datasets); the shape to reproduce is the *relative* cost ordering:
+// HTNE fastest, EHNA mid-pack (cheaper per epoch than single-threaded
+// Node2Vec/CTDNE at paper scale), multi-threading helping the SGNS methods.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "bench/paper_reference.h"
+#include "util/table_writer.h"
+
+namespace {
+
+using ehna::PaperDataset;
+using ehna::TableWriter;
+using ehna::bench::BuildDataset;
+using ehna::bench::Method;
+using ehna::bench::PaperTimingTable;
+using ehna::bench::TrainMethodTimed;
+
+int BenchThreads() {
+  if (const char* s = std::getenv("EHNA_BENCH_THREADS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return 4;
+}
+
+void BM_Table8_TrainingTime(benchmark::State& state) {
+  const std::vector<PaperDataset> datasets{
+      PaperDataset::kDigg, PaperDataset::kYelp, PaperDataset::kTmall,
+      PaperDataset::kDblp};
+  const int threads = BenchThreads();
+  struct RowSpec {
+    std::string label;
+    Method method;
+    int threads;
+  };
+  const std::vector<RowSpec> rows{
+      {"Node2Vec", Method::kNode2Vec, 1},
+      {"Node2Vec " + std::to_string(threads), Method::kNode2Vec, threads},
+      {"CTDNE", Method::kCtdne, 1},
+      {"CTDNE " + std::to_string(threads), Method::kCtdne, threads},
+      {"LINE", Method::kLine, 1},
+      {"HTNE", Method::kHtne, 1},
+      {"EHNA", Method::kEhna, 1},
+  };
+
+  for (auto _ : state) {
+    TableWriter table(
+        "Table VIII — avg. training seconds per epoch "
+        "(measured; paper reference in EXPERIMENTS.md)",
+        {"Method", "Digg", "Yelp", "Tmall", "DBLP"});
+    std::map<std::string, std::vector<double>> seconds;
+    for (PaperDataset d : datasets) {
+      const ehna::TemporalGraph graph = BuildDataset(d);
+      for (const RowSpec& spec : rows) {
+        double s = 0.0;
+        TrainMethodTimed(spec.method, graph, /*seed=*/5, spec.threads, &s);
+        seconds[spec.label].push_back(s);
+      }
+    }
+    for (const RowSpec& spec : rows) {
+      std::vector<std::string> cells{spec.label};
+      for (double s : seconds[spec.label]) {
+        cells.push_back(TableWriter::FormatDouble(s, 3));
+      }
+      table.AddRow(std::move(cells));
+    }
+    table.Print(std::cout);
+
+    TableWriter paper_table("Table VIII — paper-reported seconds per epoch",
+                            {"Method", "Digg", "Yelp", "Tmall", "DBLP"});
+    for (const auto& row : PaperTimingTable()) {
+      std::vector<std::string> cells{row.method};
+      for (double s : row.seconds) {
+        cells.push_back(TableWriter::FormatDouble(s, 0));
+      }
+      paper_table.AddRow(std::move(cells));
+    }
+    paper_table.Print(std::cout);
+
+    state.counters["ehna_digg_s"] = seconds["EHNA"][0];
+    state.counters["htne_digg_s"] = seconds["HTNE"][0];
+    state.counters["node2vec_digg_s"] = seconds["Node2Vec"][0];
+  }
+}
+BENCHMARK(BM_Table8_TrainingTime)->Iterations(1)->Unit(benchmark::kSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+#ifndef EHNA_BENCH_LINKPRED_TABLE_H_
+#define EHNA_BENCH_LINKPRED_TABLE_H_
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace ehna::bench {
+
+/// Reproduces one of the paper's link-prediction tables (III-VI): trains
+/// the five methods on the dataset's substitute, evaluates all four edge
+/// operators, prints measured-vs-paper rows plus the Error Reduction
+/// column, and exports benchmark counters (EHNA's AUC/F1 under
+/// Weighted-L2, and how often EHNA ranks first). `table_number` only
+/// affects labels.
+void RunLinkPredTable(benchmark::State& state, PaperDataset dataset,
+                      int table_number);
+
+}  // namespace ehna::bench
+
+#endif  // EHNA_BENCH_LINKPRED_TABLE_H_

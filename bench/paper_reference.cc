@@ -1,0 +1,128 @@
+#include "bench/paper_reference.h"
+
+#include "util/logging.h"
+
+namespace ehna::bench {
+
+namespace {
+
+// Values transcribed from the paper (Huang et al., ICDE 2020). Column
+// order: LINE, Node2Vec, CTDNE, HTNE, EHNA.
+
+const std::vector<PaperLinkPredRow> kDigg{
+    {"Mean", "AUC", {0.6536, 0.6322, 0.6308, 0.6097, 0.6404}},
+    {"Mean", "F1", {0.6020, 0.5870, 0.6149, 0.5701, 0.6634}},
+    {"Mean", "Precision", {0.6184, 0.6039, 0.6683, 0.5813, 0.6881}},
+    {"Mean", "Recall", {0.5865, 0.5711, 0.5694, 0.5593, 0.6404}},
+    {"Hadamard", "AUC", {0.6855, 0.8680, 0.9280, 0.7680, 0.9292}},
+    {"Hadamard", "F1", {0.6251, 0.7969, 0.8631, 0.6879, 0.8636}},
+    {"Hadamard", "Precision", {0.6370, 0.8131, 0.9132, 0.7770, 0.8808}},
+    {"Hadamard", "Recall", {0.6136, 0.7813, 0.8182, 0.6171, 0.8469}},
+    {"Weighted-L1", "AUC", {0.7688, 0.6788, 0.9063, 0.8237, 0.9031}},
+    {"Weighted-L1", "F1", {0.6938, 0.5843, 0.8384, 0.7481, 0.8273}},
+    {"Weighted-L1", "Precision", {0.7085, 0.6293, 0.8276, 0.7458, 0.8352}},
+    {"Weighted-L1", "Recall", {0.6798, 0.5506, 0.8495, 0.7504, 0.8196}},
+    {"Weighted-L2", "AUC", {0.7737, 0.6722, 0.9057, 0.8211, 0.9025}},
+    {"Weighted-L2", "F1", {0.6999, 0.5510, 0.8296, 0.7540, 0.8267}},
+    {"Weighted-L2", "Precision", {0.7119, 0.6497, 0.8493, 0.7341, 0.8092}},
+    {"Weighted-L2", "Recall", {0.6882, 0.4783, 0.8107, 0.7750, 0.8405}},
+};
+
+const std::vector<PaperLinkPredRow> kYelp{
+    {"Mean", "AUC", {0.7669, 0.5359, 0.7187, 0.5167, 0.7550}},
+    {"Mean", "F1", {0.6968, 0.5261, 0.6715, 0.4942, 0.7008}},
+    {"Mean", "Precision", {0.7147, 0.5275, 0.7079, 0.5018, 0.6873}},
+    {"Mean", "Recall", {0.6797, 0.5246, 0.6387, 0.4868, 0.7184}},
+    {"Hadamard", "AUC", {0.5683, 0.9359, 0.9564, 0.9497, 0.9775}},
+    {"Hadamard", "F1", {0.5500, 0.8648, 0.8944, 0.8911, 0.9296}},
+    {"Hadamard", "Precision", {0.5506, 0.8639, 0.9231, 0.9040, 0.9207}},
+    {"Hadamard", "Recall", {0.5493, 0.8657, 0.8674, 0.8785, 0.9387}},
+    {"Weighted-L1", "AUC", {0.7611, 0.8713, 0.8380, 0.9413, 0.9506}},
+    {"Weighted-L1", "F1", {0.6891, 0.8119, 0.7542, 0.8776, 0.8951}},
+    {"Weighted-L1", "Precision", {0.6980, 0.7931, 0.7744, 0.8547, 0.8739}},
+    {"Weighted-L1", "Recall", {0.6803, 0.8315, 0.7350, 0.9016, 0.9173}},
+    {"Weighted-L2", "AUC", {0.7736, 0.8723, 0.8296, 0.9394, 0.9465}},
+    {"Weighted-L2", "F1", {0.7010, 0.8180, 0.7280, 0.8752, 0.8895}},
+    {"Weighted-L2", "Precision", {0.7088, 0.7877, 0.7911, 0.8362, 0.8527}},
+    {"Weighted-L2", "Recall", {0.6933, 0.8508, 0.6742, 0.9181, 0.9296}},
+};
+
+const std::vector<PaperLinkPredRow> kTmall{
+    {"Mean", "AUC", {0.5198, 0.5643, 0.7948, 0.5277, 0.7858}},
+    {"Mean", "F1", {0.5126, 0.5542, 0.7366, 0.5182, 0.7291}},
+    {"Mean", "Precision", {0.5139, 0.5495, 0.7330, 0.5183, 0.7100}},
+    {"Mean", "Recall", {0.5113, 0.5589, 0.7403, 0.5180, 0.7492}},
+    {"Hadamard", "AUC", {0.5008, 0.8890, 0.8704, 0.8889, 0.9407}},
+    {"Hadamard", "F1", {0.4964, 0.8142, 0.7838, 0.8049, 0.8707}},
+    {"Hadamard", "Precision", {0.5000, 0.8591, 0.8415, 0.8294, 0.8420}},
+    {"Hadamard", "Recall", {0.4928, 0.7738, 0.7336, 0.7817, 0.9013}},
+    {"Weighted-L1", "AUC", {0.6078, 0.8205, 0.6882, 0.9278, 0.9378}},
+    {"Weighted-L1", "F1", {0.5719, 0.7407, 0.6249, 0.8518, 0.8640}},
+    {"Weighted-L1", "Precision", {0.5754, 0.7625, 0.6412, 0.8638, 0.8617}},
+    {"Weighted-L1", "Recall", {0.5684, 0.7201, 0.6093, 0.8402, 0.8664}},
+    {"Weighted-L2", "AUC", {0.6157, 0.8239, 0.6741, 0.9296, 0.9324}},
+    {"Weighted-L2", "F1", {0.5774, 0.7439, 0.6001, 0.8542, 0.8603}},
+    {"Weighted-L2", "Precision", {0.5798, 0.7545, 0.6563, 0.8525, 0.8617}},
+    {"Weighted-L2", "Recall", {0.5750, 0.7336, 0.5527, 0.8559, 0.8664}},
+};
+
+const std::vector<PaperLinkPredRow> kDblp{
+    {"Mean", "AUC", {0.5685, 0.5438, 0.5763, 0.5342, 0.7362}},
+    {"Mean", "F1", {0.5462, 0.5258, 0.5277, 0.4977, 0.6735}},
+    {"Mean", "Precision", {0.5483, 0.5285, 0.5447, 0.5099, 0.6024}},
+    {"Mean", "Recall", {0.5442, 0.5231, 0.5116, 0.4861, 0.7636}},
+    {"Hadamard", "AUC", {0.6726, 0.8770, 0.8723, 0.8829, 0.9113}},
+    {"Hadamard", "F1", {0.6256, 0.8311, 0.8136, 0.8239, 0.8562}},
+    {"Hadamard", "Precision", {0.6296, 0.8233, 0.8519, 0.8274, 0.8427}},
+    {"Hadamard", "Recall", {0.6218, 0.8391, 0.7785, 0.8204, 0.8701}},
+    {"Weighted-L1", "AUC", {0.7147, 0.8766, 0.7084, 0.8971, 0.9341}},
+    {"Weighted-L1", "F1", {0.6532, 0.8300, 0.6731, 0.8486, 0.8857}},
+    {"Weighted-L1", "Precision", {0.6624, 0.8384, 0.6402, 0.8466, 0.8675}},
+    {"Weighted-L1", "Recall", {0.6444, 0.8217, 0.7095, 0.8507, 0.9046}},
+    {"Weighted-L2", "AUC", {0.7144, 0.8775, 0.7011, 0.8983, 0.9265}},
+    {"Weighted-L2", "F1", {0.6544, 0.8364, 0.6786, 0.8567, 0.8774}},
+    {"Weighted-L2", "Precision", {0.6599, 0.8274, 0.6226, 0.8330, 0.8561}},
+    {"Weighted-L2", "Recall", {0.6491, 0.8456, 0.7457, 0.8817, 0.8997}},
+};
+
+}  // namespace
+
+const std::vector<PaperLinkPredRow>& PaperLinkPredTable(PaperDataset dataset) {
+  switch (dataset) {
+    case PaperDataset::kDigg:
+      return kDigg;
+    case PaperDataset::kYelp:
+      return kYelp;
+    case PaperDataset::kTmall:
+      return kTmall;
+    case PaperDataset::kDblp:
+      return kDblp;
+  }
+  EHNA_CHECK(false) << "unknown dataset";
+  return kDigg;
+}
+
+const std::vector<PaperAblationRow>& PaperAblationTable() {
+  static const std::vector<PaperAblationRow> kTable{
+      {"EHNA", {0.8267, 0.8895, 0.8603, 0.8774}},
+      {"EHNA-NA", {0.8131, 0.8714, 0.8442, 0.8685}},
+      {"EHNA-RW", {0.7837, 0.8446, 0.8233, 0.8327}},
+      {"EHNA-SL", {0.7254, 0.7784, 0.7532, 0.7231}},
+  };
+  return kTable;
+}
+
+const std::vector<PaperTimingRow>& PaperTimingTable() {
+  static const std::vector<PaperTimingRow> kTable{
+      {"Node2Vec", {4.6e3, 7.1e3, 1.0e4, 2.5e3}},
+      {"Node2Vec 10", {4.8e2, 8.8e2, 1.2e3, 3.2e2}},
+      {"CTDNE", {2.6e3, 4.2e3, 9.1e3, 1.9e3}},
+      {"CTDNE 10", {3.2e2, 5.4e2, 1.1e3, 2.2e2}},
+      {"LINE 10", {1.2e4, 1.2e4, 1.2e4, 1.2e4}},
+      {"HTNE", {3.8e1, 5.3e1, 1.1e2, 1.6e2}},
+      {"EHNA", {7.8e2, 1.8e3, 3.2e3, 1.7e3}},
+  };
+  return kTable;
+}
+
+}  // namespace ehna::bench

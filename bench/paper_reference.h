@@ -1,0 +1,41 @@
+#ifndef EHNA_BENCH_PAPER_REFERENCE_H_
+#define EHNA_BENCH_PAPER_REFERENCE_H_
+
+#include <array>
+#include <vector>
+
+#include "graph/generators/generators.h"
+
+namespace ehna::bench {
+
+/// One row of the paper's Tables III-VI: a metric under one edge operator,
+/// for the five methods in column order LINE, Node2Vec, CTDNE, HTNE, EHNA.
+struct PaperLinkPredRow {
+  const char* op;
+  const char* metric;
+  std::array<double, 5> values;  // LINE, Node2Vec, CTDNE, HTNE, EHNA.
+};
+
+/// The paper's reported link-prediction numbers for `dataset`
+/// (Table III = Digg, IV = Yelp, V = Tmall, VI = DBLP).
+const std::vector<PaperLinkPredRow>& PaperLinkPredTable(PaperDataset dataset);
+
+/// Table VII: F1 under Weighted-L2 for the four ablation variants, columns
+/// Digg, Yelp, Tmall, DBLP; rows EHNA, EHNA-NA, EHNA-RW, EHNA-SL.
+struct PaperAblationRow {
+  const char* variant;
+  std::array<double, 4> f1;
+};
+const std::vector<PaperAblationRow>& PaperAblationTable();
+
+/// Table VIII: average training seconds per epoch, columns Digg, Yelp,
+/// Tmall, DBLP.
+struct PaperTimingRow {
+  const char* method;
+  std::array<double, 4> seconds;
+};
+const std::vector<PaperTimingRow>& PaperTimingTable();
+
+}  // namespace ehna::bench
+
+#endif  // EHNA_BENCH_PAPER_REFERENCE_H_

@@ -1,0 +1,85 @@
+// A pedagogical walkthrough of the paper's motivating example (Figures 1
+// and 2): the temporal ego-network of author "1", whose collaborations
+// evolve from a Ph.D. supervisor (node 3) toward a new community reached
+// through indirect ties (nodes 4-8). The example shows what the temporal
+// random walk and the attention coefficients "see" when analyzing the
+// formation of the most recent edge (1, 7) in 2018.
+#include <cstdio>
+#include <map>
+
+#include "core/attention.h"
+#include "graph/temporal_graph.h"
+#include "walk/temporal_walk.h"
+
+int main() {
+  using namespace ehna;
+
+  // The co-author network of the paper's Figure 1. Edge years are used as
+  // raw timestamps; nodes are 1..8 (0 unused).
+  std::vector<TemporalEdge> edges{
+      {1, 2, 2011, 1.0f}, {1, 3, 2011, 1.0f}, {2, 3, 2012, 1.0f},
+      {1, 4, 2013, 1.0f}, {4, 5, 2014, 1.0f}, {1, 5, 2015, 1.0f},
+      {5, 8, 2016, 1.0f}, {1, 6, 2016, 1.0f}, {6, 7, 2017, 1.0f},
+      {8, 7, 2017, 1.0f}, {1, 7, 2018, 1.0f},
+  };
+  auto graph_or = TemporalGraph::FromEdges(edges, /*num_nodes=*/9);
+  if (!graph_or.ok()) {
+    std::fprintf(stderr, "%s\n", graph_or.status().ToString().c_str());
+    return 1;
+  }
+  const TemporalGraph graph = std::move(graph_or).value();
+
+  std::printf("Ego network of author 1 (paper Figure 1): %zu timestamped "
+              "co-authorships, 2011-2018\n\n", graph.num_edges());
+
+  // Without temporal information nodes 2,3 and 4,6,7 look alike: they are
+  // all direct neighbors of 1. The historical prefix shows the drift.
+  for (Timestamp cutoff : {2012.0, 2015.0, 2018.0}) {
+    std::printf("collaborators of author 1 up to %.0f:", cutoff);
+    for (const auto& a : graph.NeighborsBefore(1, cutoff)) {
+      std::printf("  %u(@%.0f)", a.neighbor, a.time);
+    }
+    std::printf("\n");
+  }
+
+  // Analyze the formation of edge (1, 7) at t=2018 the way EHNA does:
+  // temporal random walks from node 1 restricted to its history.
+  TemporalWalkConfig cfg;
+  cfg.walk_length = 6;
+  cfg.num_walks = 2000;
+  cfg.decay_rate = 5.0;
+  TemporalWalkSampler sampler(&graph, cfg);
+  Rng rng(1);
+
+  std::map<NodeId, int> visits;
+  Walk sample_walk;
+  for (int i = 0; i < cfg.num_walks; ++i) {
+    Walk w = sampler.SampleWalk(1, 2018.0, &rng);
+    if (i == 0) sample_walk = w;
+    for (size_t j = 1; j < w.size(); ++j) ++visits[w[j].node];
+  }
+
+  std::printf("\ntemporal-walk visit frequency from author 1 at t=2018 "
+              "(2000 walks):\n");
+  for (const auto& [node, count] : visits) {
+    std::printf("  node %u: %5.1f%%  %s\n", node,
+                100.0 * count / static_cast<double>(cfg.num_walks * 2),
+                node == 5 ? "<- indirectly relevant broker (paper's node 5)"
+                          : "");
+  }
+  std::printf("note: recent collaborators (5,6,8) dominate; the 2011 "
+              "connections (2,3) are reachable but heavily decayed.\n");
+
+  // Node-level attention coefficients (Eq. 3) for one sampled walk.
+  std::printf("\none sampled walk and its attention coefficients c_v "
+              "(smaller c_v => more attention):\n  ");
+  const auto coeffs = NodeAttentionCoefficients(sample_walk, graph.min_time(),
+                                                graph.TimeSpan());
+  for (size_t j = 0; j < sample_walk.size(); ++j) {
+    std::printf("%u(c=%.2f)%s", sample_walk[j].node, coeffs[j],
+                j + 1 < sample_walk.size() ? " -> " : "\n");
+  }
+  std::printf("walk-level coefficient a_r = %.3f (Eq. 4)\n",
+              WalkAttentionCoefficient(coeffs));
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Streaming/evolving-network workflow: interactions arrive over time, and
+// the application periodically refreshes embeddings from the accumulated
+// history using TemporalGraphBuilder snapshots. After each refresh we test
+// how well the *current* embeddings anticipate the next wave of edges —
+// i.e. rolling future-link prediction, the deployment pattern the paper's
+// introduction motivates (recommendation over evolving graphs).
+#include <cstdio>
+
+#include "core/model.h"
+#include "eval/metrics.h"
+#include "graph/generators/generators.h"
+#include "graph/graph_builder.h"
+
+int main() {
+  using namespace ehna;
+
+  // The "stream": a DBLP-like network's chronological edge list.
+  CoauthorGraphOptions gen;
+  gen.num_papers = 900;
+  gen.seed = 3;
+  auto full_or = MakeCoauthorGraph(gen);
+  if (!full_or.ok()) {
+    std::fprintf(stderr, "%s\n", full_or.status().ToString().c_str());
+    return 1;
+  }
+  const TemporalGraph full = std::move(full_or).value();
+  const auto& stream = full.edges();
+  std::printf("stream: %zu timestamped edges over %u nodes\n\n",
+              stream.size(), full.num_nodes());
+
+  TemporalGraphBuilder builder;
+  builder.ReserveNodes(full.num_nodes());
+
+  const size_t waves = 4;
+  const size_t warmup = stream.size() / 2;
+  const size_t wave_size = (stream.size() - warmup) / waves;
+
+  size_t consumed = 0;
+  auto ingest = [&](size_t count) {
+    for (size_t i = 0; i < count && consumed < stream.size(); ++i, ++consumed) {
+      const auto& e = stream[consumed];
+      if (!builder.AddEdge(e.src, e.dst, e.time, e.weight).ok()) return;
+    }
+  };
+  ingest(warmup);
+
+  for (size_t wave = 0; wave < waves; ++wave) {
+    // Refresh embeddings from everything seen so far.
+    auto snapshot_or = builder.Build();
+    if (!snapshot_or.ok()) {
+      std::fprintf(stderr, "%s\n", snapshot_or.status().ToString().c_str());
+      return 1;
+    }
+    TemporalGraph snapshot = std::move(snapshot_or).value();
+
+    EhnaConfig cfg;
+    cfg.dim = 16;
+    cfg.num_walks = 4;
+    cfg.walk_length = 5;
+    cfg.num_negatives = 2;
+    cfg.epochs = 3;
+    cfg.max_edges_per_epoch = 800;
+    cfg.seed = 10 + wave;
+    EhnaModel model(&snapshot, cfg);
+    model.Train();
+    const Tensor emb = model.FinalizeEmbeddings();
+
+    // Score the next wave before ingesting it: do upcoming edges rank above
+    // random non-edges under -||z_u - z_v||^2?
+    Rng rng(20 + wave);
+    std::vector<double> scores;
+    std::vector<int> labels;
+    const size_t wave_end = std::min(consumed + wave_size, stream.size());
+    auto pair_score = [&](NodeId u, NodeId v) {
+      double d = 0.0;
+      for (int64_t j = 0; j < emb.cols(); ++j) {
+        const double diff = emb.at(u, j) - emb.at(v, j);
+        d += diff * diff;
+      }
+      return -d;
+    };
+    for (size_t i = consumed; i < wave_end; ++i) {
+      // Only pairs whose endpoints existed in the snapshot are scorable —
+      // an embedding cannot anticipate a node it has never seen.
+      if (snapshot.Degree(stream[i].src) == 0 ||
+          snapshot.Degree(stream[i].dst) == 0) {
+        continue;
+      }
+      scores.push_back(pair_score(stream[i].src, stream[i].dst));
+      labels.push_back(1);
+      // One random non-edge per positive.
+      for (int attempt = 0; attempt < 100; ++attempt) {
+        const NodeId u = static_cast<NodeId>(rng.UniformInt(full.num_nodes()));
+        const NodeId v = static_cast<NodeId>(rng.UniformInt(full.num_nodes()));
+        if (u == v || full.HasEdge(u, v)) continue;
+        scores.push_back(pair_score(u, v));
+        labels.push_back(0);
+        break;
+      }
+    }
+    auto auc = AreaUnderRoc(scores, labels);
+    std::printf("wave %zu: trained on %zu edges, next-wave AUC %s\n",
+                wave + 1, snapshot.num_edges(),
+                auc.ok() ? std::to_string(auc.value()).c_str() : "n/a");
+    ingest(wave_size);
+  }
+  std::printf("\n(each refresh retrains on strictly more history and is "
+              "scored on edges between already-seen nodes; AUC above 0.5 "
+              "means the embeddings anticipate upcoming interactions.)\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// A small command-line trainer: load (or generate) a temporal network,
+// train any of the implemented embedding methods, and save the embedding
+// matrix — the "adopt this library without writing C++" path.
+//
+// Usage:
+//   train_embeddings --method=ehna|htne|ctdne|node2vec|line
+//                    [--input=edges.txt | --dataset=digg|yelp|tmall|dblp]
+//                    [--scale=0.1] [--dim=64] [--epochs=3]
+//                    [--output=embeddings.txt] [--binary] [--seed=1]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/ctdne.h"
+#include "baselines/htne.h"
+#include "baselines/line.h"
+#include "baselines/node2vec.h"
+#include "core/model.h"
+#include "graph/edgelist_io.h"
+#include "graph/generators/generators.h"
+#include "nn/serialize.h"
+
+namespace {
+
+struct Args {
+  std::string method = "ehna";
+  std::string input;
+  std::string dataset = "dblp";
+  std::string output = "embeddings.txt";
+  double scale = 0.1;
+  int64_t dim = 64;
+  int epochs = 3;
+  bool binary = false;
+  uint64_t seed = 1;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--method", &v)) args.method = v;
+    else if (ParseFlag(argv[i], "--input", &v)) args.input = v;
+    else if (ParseFlag(argv[i], "--dataset", &v)) args.dataset = v;
+    else if (ParseFlag(argv[i], "--output", &v)) args.output = v;
+    else if (ParseFlag(argv[i], "--scale", &v)) args.scale = std::atof(v.c_str());
+    else if (ParseFlag(argv[i], "--dim", &v)) args.dim = std::atol(v.c_str());
+    else if (ParseFlag(argv[i], "--epochs", &v)) args.epochs = std::atoi(v.c_str());
+    else if (ParseFlag(argv[i], "--seed", &v)) args.seed = std::atoll(v.c_str());
+    else if (std::strcmp(argv[i], "--binary") == 0) args.binary = true;
+    else std::fprintf(stderr, "ignoring unknown argument %s\n", argv[i]);
+  }
+  return args;
+}
+
+ehna::PaperDataset DatasetByName(const std::string& name) {
+  using ehna::PaperDataset;
+  if (name == "digg") return PaperDataset::kDigg;
+  if (name == "yelp") return PaperDataset::kYelp;
+  if (name == "tmall") return PaperDataset::kTmall;
+  return PaperDataset::kDblp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ehna;
+  const Args args = ParseArgs(argc, argv);
+
+  Result<TemporalGraph> graph_or =
+      args.input.empty()
+          ? MakePaperDataset(DatasetByName(args.dataset), args.scale,
+                             args.seed)
+          : LoadTemporalGraph(args.input);
+  if (!graph_or.ok()) {
+    std::fprintf(stderr, "failed to load graph: %s\n",
+                 graph_or.status().ToString().c_str());
+    return 1;
+  }
+  TemporalGraph graph = std::move(graph_or).value();
+  std::printf("graph: %u nodes, %zu temporal edges (span %.0f)\n",
+              graph.num_nodes(), graph.num_edges(), graph.TimeSpan());
+
+  Tensor embeddings;
+  if (args.method == "ehna") {
+    EhnaConfig cfg;
+    cfg.dim = args.dim;
+    cfg.epochs = args.epochs;
+    cfg.seed = args.seed;
+    cfg.num_walks = 4;
+    cfg.walk_length = 5;
+    cfg.num_negatives = 2;
+    EhnaModel model(&graph, cfg);
+    model.Train(0, [](int e, const EhnaModel::EpochStats& s) {
+      std::printf("epoch %d: loss %.4f (%.1fs)\n", e, s.avg_loss, s.seconds);
+    });
+    embeddings = model.FinalizeEmbeddings();
+  } else if (args.method == "htne") {
+    HtneConfig cfg;
+    cfg.dim = args.dim;
+    cfg.epochs = args.epochs;
+    cfg.seed = args.seed;
+    embeddings = HtneEmbedder(cfg).Fit(graph);
+  } else if (args.method == "ctdne") {
+    CtdneConfig cfg;
+    cfg.sgns.dim = args.dim;
+    cfg.epochs = args.epochs;
+    cfg.seed = args.seed;
+    embeddings = CtdneEmbedder(cfg).Fit(graph);
+  } else if (args.method == "node2vec") {
+    Node2VecConfig cfg;
+    cfg.sgns.dim = args.dim;
+    cfg.epochs = args.epochs;
+    cfg.seed = args.seed;
+    embeddings = Node2VecEmbedder(cfg).Fit(graph);
+  } else if (args.method == "line") {
+    LineConfig cfg;
+    cfg.dim = args.dim;
+    cfg.epochs = args.epochs;
+    cfg.seed = args.seed;
+    embeddings = LineEmbedder(cfg).Fit(graph);
+  } else {
+    std::fprintf(stderr, "unknown method '%s'\n", args.method.c_str());
+    return 1;
+  }
+
+  const Status st = args.binary
+                        ? WriteTensorBinary(args.output, embeddings)
+                        : WriteTensorText(args.output, embeddings);
+  if (!st.ok()) {
+    std::fprintf(stderr, "failed to save: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %lldx%lld embeddings (%s) to %s\n",
+              static_cast<long long>(embeddings.rows()),
+              static_cast<long long>(embeddings.cols()), args.method.c_str(),
+              args.output.c_str());
+  return 0;
+}

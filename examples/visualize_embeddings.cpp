@@ -1,0 +1,123 @@
+// Embedding visualization (one of the embedding applications the paper's
+// introduction lists): train EHNA on a community-structured social
+// network, project the embeddings to 2-D with PCA, and write a TSV
+// (x, y, community, degree) ready for any plotting tool. Also prints a
+// quantitative check: 2-D community separation vs. random embeddings.
+#include <cstdio>
+#include <fstream>
+
+#include "core/model.h"
+#include "graph/generators/generators.h"
+#include "nn/init.h"
+#include "nn/pca.h"
+
+namespace {
+
+using namespace ehna;
+
+/// Mean within-community distance divided by mean cross-community distance
+/// in the 2-D projection (lower = better separated).
+double SeparationRatio(const Tensor& xy, const std::vector<int>& community,
+                       Rng* rng) {
+  double within = 0.0, cross = 0.0;
+  int within_n = 0, cross_n = 0;
+  for (int s = 0; s < 20000; ++s) {
+    const NodeId a = static_cast<NodeId>(rng->UniformInt(xy.rows()));
+    const NodeId b = static_cast<NodeId>(rng->UniformInt(xy.rows()));
+    if (a == b) continue;
+    const double dx = xy.at(a, 0) - xy.at(b, 0);
+    const double dy = xy.at(a, 1) - xy.at(b, 1);
+    const double d = std::sqrt(dx * dx + dy * dy);
+    if (community[a] == community[b]) {
+      within += d;
+      ++within_n;
+    } else {
+      cross += d;
+      ++cross_n;
+    }
+  }
+  return (within / within_n) / (cross / cross_n);
+}
+
+}  // namespace
+
+int main() {
+  SocialGraphOptions gen;
+  gen.num_nodes = 240;
+  gen.num_edges = 1800;
+  gen.num_communities = 8;
+  gen.intra_community_prob = 0.9;
+  gen.seed = 5;
+  auto graph_or = MakeSocialGraph(gen);
+  if (!graph_or.ok()) {
+    std::fprintf(stderr, "%s\n", graph_or.status().ToString().c_str());
+    return 1;
+  }
+  TemporalGraph graph = std::move(graph_or).value();
+
+  // Recover the generator's community assignment for coloring: nodes were
+  // assigned round-robin over a shuffled order, so re-derive by majority of
+  // neighbors is unnecessary — we simply re-run the assignment logic via a
+  // majority vote over each node's neighbors after training instead. For
+  // the demo we approximate community labels by connected majority:
+  // initialize by node id buckets and refine with neighbor majority votes.
+  std::vector<int> community(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    community[v] = static_cast<int>(v) % gen.num_communities;
+  }
+  for (int round = 0; round < 10; ++round) {
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      std::vector<int> votes(gen.num_communities, 0);
+      for (const auto& a : graph.Neighbors(v)) ++votes[community[a.neighbor]];
+      int best = community[v];
+      for (int c = 0; c < gen.num_communities; ++c) {
+        if (votes[c] > votes[best]) best = c;
+      }
+      community[v] = best;
+    }
+  }
+
+  EhnaConfig cfg;
+  cfg.dim = 16;
+  cfg.num_walks = 4;
+  cfg.walk_length = 5;
+  cfg.num_negatives = 2;
+  cfg.epochs = 3;
+  cfg.population_batchnorm = true;  // community graphs need 2-hop signal.
+  cfg.embedding_lr_multiplier = 5.0f;
+  EhnaModel model(&graph, cfg);
+  model.Train();
+  const Tensor emb = model.FinalizeEmbeddings();
+
+  Rng rng(9);
+  auto pca = ComputePca(emb, 2, &rng);
+  if (!pca.ok()) {
+    std::fprintf(stderr, "%s\n", pca.status().ToString().c_str());
+    return 1;
+  }
+  const Tensor& xy = pca.value().projected;
+
+  const char* out_path = "embedding_projection.tsv";
+  {
+    std::ofstream out(out_path);
+    out << "node\tx\ty\tcommunity\tdegree\n";
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      out << v << "\t" << xy.at(v, 0) << "\t" << xy.at(v, 1) << "\t"
+          << community[v] << "\t" << graph.Degree(v) << "\n";
+    }
+  }
+
+  Tensor random(graph.num_nodes(), 2);
+  UniformInit(&random, -1.0f, 1.0f, &rng);
+  const double trained_ratio = SeparationRatio(xy, community, &rng);
+  const double random_ratio = SeparationRatio(random, community, &rng);
+
+  std::printf("wrote %u projected nodes to %s\n", graph.num_nodes(), out_path);
+  std::printf("within/cross community distance ratio: trained %.3f vs "
+              "random %.3f (lower = clearer community layout)\n",
+              trained_ratio, random_ratio);
+  std::printf("explained variance: PC1 %.4f, PC2 %.4f\n",
+              pca.value().explained_variance[0],
+              pca.value().explained_variance[1]);
+  return 0;
+}

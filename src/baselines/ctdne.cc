@@ -1,0 +1,62 @@
+#include "baselines/ctdne.h"
+
+#include <algorithm>
+
+#include "graph/noise_distribution.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace ehna {
+
+Tensor CtdneEmbedder::Fit(const TemporalGraph& graph) {
+  Rng rng(config_.seed);
+  SgnsTrainer trainer(graph.num_nodes(), config_.sgns, &rng);
+  CtdneWalkSampler sampler(&graph, config_.walk);
+  NoiseDistribution noise(graph);
+  epoch_seconds_.clear();
+
+  const size_t walks_per_epoch = config_.walks_per_epoch > 0
+                                     ? config_.walks_per_epoch
+                                     : graph.num_nodes();
+  const size_t total = walks_per_epoch * std::max(1, config_.epochs);
+  size_t done = 0;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    Timer timer;
+    auto run_walks = [&](size_t count, Rng* worker_rng, size_t base) {
+      for (size_t i = 0; i < count; ++i) {
+        const float lr =
+            config_.sgns.learning_rate *
+            std::max(0.05f, 1.0f - static_cast<float>(base + i) / total);
+        auto walk = sampler.SampleWalk(worker_rng);
+        if (static_cast<int>(walk.size()) < config_.walk.min_length) continue;
+        trainer.TrainWalk(walk, noise, worker_rng, lr);
+      }
+    };
+    if (config_.num_threads > 1) {
+      ThreadPool pool(config_.num_threads);
+      const size_t shards = static_cast<size_t>(config_.num_threads) * 4;
+      std::vector<Rng> rngs;
+      rngs.reserve(shards);
+      for (size_t s = 0; s < shards; ++s) rngs.push_back(rng.Fork());
+      const size_t per_shard = (walks_per_epoch + shards - 1) / shards;
+      for (size_t s = 0; s < shards; ++s) {
+        const size_t count =
+            std::min(per_shard, walks_per_epoch - std::min(walks_per_epoch,
+                                                           s * per_shard));
+        if (count == 0) break;
+        pool.Submit([&, s, count] {
+          run_walks(count, &rngs[s], done + s * per_shard);
+        });
+      }
+      pool.Wait();
+    } else {
+      run_walks(walks_per_epoch, &rng, done);
+    }
+    done += walks_per_epoch;
+    epoch_seconds_.push_back(timer.ElapsedSeconds());
+  }
+  return trainer.embeddings();
+}
+
+}  // namespace ehna

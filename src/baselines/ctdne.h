@@ -1,0 +1,40 @@
+#ifndef EHNA_BASELINES_CTDNE_H_
+#define EHNA_BASELINES_CTDNE_H_
+
+#include <vector>
+
+#include "baselines/sgns.h"
+#include "graph/temporal_graph.h"
+#include "walk/ctdne_walk.h"
+
+namespace ehna {
+
+/// CTDNE baseline (Nguyen et al., WWW'18 companion): time-respecting walks
+/// (uniform initial-edge and next-edge selection, per the paper's §V.C
+/// setting) feeding the same skip-gram objective as Node2Vec.
+struct CtdneConfig {
+  SgnsConfig sgns;
+  CtdneWalkConfig walk;
+  /// Walks sampled per epoch; 0 derives one walk per node.
+  size_t walks_per_epoch = 0;
+  int epochs = 2;
+  int num_threads = 1;
+  uint64_t seed = 1;
+};
+
+class CtdneEmbedder {
+ public:
+  explicit CtdneEmbedder(const CtdneConfig& config) : config_(config) {}
+
+  Tensor Fit(const TemporalGraph& graph);
+
+  const std::vector<double>& epoch_seconds() const { return epoch_seconds_; }
+
+ private:
+  CtdneConfig config_;
+  std::vector<double> epoch_seconds_;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_BASELINES_CTDNE_H_

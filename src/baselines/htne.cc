@@ -1,0 +1,133 @@
+#include "baselines/htne.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/noise_distribution.h"
+#include "nn/embedding.h"
+#include "nn/ops.h"
+#include "util/timer.h"
+
+namespace ehna {
+
+namespace {
+
+/// One directed neighbor-formation event: `target` joined `source`'s
+/// neighborhood at `time`.
+struct Event {
+  NodeId source;
+  NodeId target;
+  Timestamp time;
+};
+
+}  // namespace
+
+Tensor HtneEmbedder::Fit(const TemporalGraph& graph) {
+  Rng rng(config_.seed);
+  Embedding emb(graph.num_nodes(), config_.dim, &rng);
+  Embedding delta_raw(graph.num_nodes(), 1, &rng);
+  NoiseDistribution noise(graph);
+  epoch_seconds_.clear();
+
+  // Every edge produces the two directed events of neighborhood formation.
+  std::vector<Event> events;
+  events.reserve(graph.num_edges() * 2);
+  for (const auto& e : graph.edges()) {
+    events.push_back(Event{e.src, e.dst, e.time});
+    events.push_back(Event{e.dst, e.src, e.time});
+  }
+
+  const double inv_span = 1.0 / graph.TimeSpan();
+  const Timestamp min_time = graph.min_time();
+  auto normalized = [&](Timestamp t) {
+    return static_cast<float>((t - min_time) * inv_span);
+  };
+
+  // mu(a, b) = -||e_a - e_b||^2 between two gathered rows.
+  auto mu = [&](const Var& a, const Var& b) {
+    return ag::ScalarMul(ag::SumSquares(ag::Sub(a, b)), -1.0f);
+  };
+
+  auto event_intensity = [&](NodeId candidate,
+                             const Var& e_x, const Var& hist,
+                             const Var& alpha, const Var& kappa) {
+    Var e_c = emb.GatherRow(candidate);
+    Var base = mu(e_x, e_c);
+    if (!hist.defined()) return base;
+    Var mu_h = ag::ScalarMul(
+        ag::RowSumSquares(ag::SubRowBroadcast(hist, e_c)), -1.0f);
+    Var contribution = ag::Sum(ag::Mul(ag::Mul(alpha, kappa), mu_h));
+    return ag::Add(base, contribution);
+  };
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    Timer timer;
+    std::vector<size_t> order(events.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    rng.Shuffle(&order);
+    if (config_.events_per_epoch > 0 &&
+        order.size() > config_.events_per_epoch) {
+      order.resize(config_.events_per_epoch);
+    }
+
+    size_t i = 0;
+    while (i < order.size()) {
+      Var batch_loss;
+      int count = 0;
+      for (; count < config_.batch_events && i < order.size(); ++i, ++count) {
+        const Event& ev = events[order[i]];
+        // History: most recent neighbors strictly before the event.
+        auto before = graph.NeighborsBefore(ev.source, ev.time);
+        while (!before.empty() && before.back().time >= ev.time) {
+          before = before.subspan(0, before.size() - 1);
+        }
+        const size_t hn = std::min<size_t>(
+            before.size(), static_cast<size_t>(config_.history_size));
+
+        Var e_x = emb.GatherRow(ev.source);
+        Var hist, alpha, kappa;
+        if (hn > 0) {
+          std::vector<int64_t> hist_ids;
+          Tensor dts(static_cast<int64_t>(hn));
+          for (size_t h = 0; h < hn; ++h) {
+            const AdjEntry& entry = before[before.size() - hn + h];
+            hist_ids.push_back(entry.neighbor);
+            dts[static_cast<int64_t>(h)] =
+                normalized(ev.time) - normalized(entry.time);
+          }
+          hist = emb.Gather(hist_ids);
+          alpha = ag::Softmax(ag::ScalarMul(
+              ag::RowSumSquares(ag::SubRowBroadcast(hist, e_x)), -1.0f));
+          // delta_x = softplus(raw); kappa_h = exp(-delta_x * dt_h).
+          Var raw = delta_raw.GatherRow(ev.source);
+          Var delta = ag::Log(ag::AddScalar(ag::Exp(raw), 1.0f));
+          kappa = ag::Exp(ag::ScalarMul(
+              ag::MulConst(ag::BroadcastScalar(delta, static_cast<int64_t>(hn)),
+                           dts),
+              -1.0f));
+        }
+
+        Var pos = event_intensity(ev.target, e_x, hist, alpha, kappa);
+        Var loss = ag::ScalarMul(ag::LogSigmoid(pos), -1.0f);
+        const NodeId exclude[] = {ev.source, ev.target};
+        for (int q = 0; q < config_.negatives; ++q) {
+          const NodeId v = noise.SampleExcluding(exclude, &rng);
+          Var neg = event_intensity(v, e_x, hist, alpha, kappa);
+          loss = ag::Add(loss, ag::ScalarMul(
+                                   ag::LogSigmoid(ag::ScalarMul(neg, -1.0f)),
+                                   -1.0f));
+        }
+        batch_loss = batch_loss.defined() ? ag::Add(batch_loss, loss) : loss;
+      }
+      if (!batch_loss.defined()) break;
+      Var mean = ag::ScalarMul(batch_loss, 1.0f / static_cast<float>(count));
+      Backward(mean);
+      emb.ApplyAdam(config_.learning_rate);
+      delta_raw.ApplyAdam(config_.learning_rate);
+    }
+    epoch_seconds_.push_back(timer.ElapsedSeconds());
+  }
+  return emb.table();
+}
+
+}  // namespace ehna

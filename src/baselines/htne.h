@@ -1,0 +1,49 @@
+#ifndef EHNA_BASELINES_HTNE_H_
+#define EHNA_BASELINES_HTNE_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "nn/tensor.h"
+
+namespace ehna {
+
+/// HTNE baseline (Zuo et al., KDD'18): models each node's neighborhood-
+/// formation sequence as a Hawkes process. For the event "x forms neighbor
+/// y at time t" with history H_x(t) (x's most recent neighbors before t),
+/// the conditional intensity is
+///   lambda(y|x,t) = mu(x,y)
+///     + sum_{h in H} alpha_h * exp(-delta_x * (t~ - t~_h)) * mu(h,y)
+/// with mu(a,b) = -||e_a - e_b||^2, alpha the softmax attention over the
+/// history (by -||e_h - e_x||^2) and delta_x a per-node positive decay
+/// (softplus-parameterized). Training maximizes log sigma(lambda) for
+/// observed events and log sigma(-lambda) for noise-sampled negatives.
+/// Implemented over this repository's autograd with sparse-Adam rows.
+struct HtneConfig {
+  int64_t dim = 128;
+  int history_size = 5;
+  int negatives = 5;
+  float learning_rate = 0.01f;
+  int epochs = 3;
+  /// Events sampled per epoch; 0 means every directed event (2 per edge).
+  size_t events_per_epoch = 0;
+  int batch_events = 64;
+  uint64_t seed = 1;
+};
+
+class HtneEmbedder {
+ public:
+  explicit HtneEmbedder(const HtneConfig& config) : config_(config) {}
+
+  Tensor Fit(const TemporalGraph& graph);
+
+  const std::vector<double>& epoch_seconds() const { return epoch_seconds_; }
+
+ private:
+  HtneConfig config_;
+  std::vector<double> epoch_seconds_;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_BASELINES_HTNE_H_

@@ -1,0 +1,116 @@
+#include "baselines/line.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/noise_distribution.h"
+#include "nn/init.h"
+#include "util/alias_sampler.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace ehna {
+
+namespace {
+
+float StableSigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+}  // namespace
+
+Tensor LineEmbedder::Fit(const TemporalGraph& graph) {
+  Rng rng(config_.seed);
+  const int64_t half = std::max<int64_t>(1, config_.dim / 2);
+  const NodeId n = graph.num_nodes();
+
+  Tensor first(n, half);        // first-order vectors.
+  Tensor second(n, half);       // second-order "vertex" vectors.
+  Tensor context(n, half);      // second-order context vectors.
+  const float scale = 0.5f / static_cast<float>(half);
+  UniformInit(&first, -scale, scale, &rng);
+  UniformInit(&second, -scale, scale, &rng);
+  // Context starts at zero, as in the reference implementation.
+
+  std::vector<double> edge_weights;
+  edge_weights.reserve(graph.num_edges());
+  for (const auto& e : graph.edges()) edge_weights.push_back(e.weight);
+  AliasSampler edge_sampler(edge_weights);
+  NoiseDistribution noise(graph);
+
+  const size_t per_epoch = config_.samples_per_epoch > 0
+                               ? config_.samples_per_epoch
+                               : graph.num_edges();
+  const size_t total = per_epoch * std::max(1, config_.epochs);
+  size_t done = 0;
+  epoch_seconds_.clear();
+
+  std::vector<float> grad(half);
+  auto train_pair = [&](Tensor& src_table, Tensor& dst_table, NodeId u,
+                        NodeId v, float lr, bool symmetric_negatives) {
+    float* su = src_table.Row(u);
+    std::fill(grad.begin(), grad.end(), 0.0f);
+    auto step = [&](NodeId target, float label) {
+      float* dv = dst_table.Row(target);
+      float dot = 0.0f;
+      for (int64_t j = 0; j < half; ++j) dot += su[j] * dv[j];
+      const float g = (label - StableSigmoid(dot)) * lr;
+      for (int64_t j = 0; j < half; ++j) {
+        grad[j] += g * dv[j];
+        dv[j] += g * su[j];
+      }
+    };
+    step(v, 1.0f);
+    const NodeId exclude[] = {u, v};
+    for (int q = 0; q < config_.negatives; ++q) {
+      step(noise.SampleExcluding(exclude, &rng), 0.0f);
+    }
+    for (int64_t j = 0; j < half; ++j) su[j] += grad[j];
+    (void)symmetric_negatives;
+  };
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    Timer timer;
+    for (size_t s = 0; s < per_epoch; ++s, ++done) {
+      const float lr =
+          config_.learning_rate *
+          std::max(0.05f, 1.0f - static_cast<float>(done) / total);
+      const auto& e = graph.edges()[edge_sampler.Sample(&rng)];
+      // Undirected edges contribute in both directions.
+      const bool flip = rng.Bernoulli(0.5);
+      const NodeId u = flip ? e.dst : e.src;
+      const NodeId v = flip ? e.src : e.dst;
+      // First order: symmetric model over `first`.
+      train_pair(first, first, u, v, lr, true);
+      // Second order: vertex -> context.
+      train_pair(second, context, u, v, lr, false);
+    }
+    epoch_seconds_.push_back(timer.ElapsedSeconds());
+  }
+
+  // Concatenate (and L2-normalize each half, as the authors do before
+  // concatenation) into [n, 2*half].
+  Tensor out(n, 2 * half);
+  auto normalized_copy = [&](const Tensor& src, NodeId v, float* dst) {
+    const float* row = src.Row(v);
+    double norm = 0.0;
+    for (int64_t j = 0; j < half; ++j) {
+      norm += static_cast<double>(row[j]) * row[j];
+    }
+    const float inv =
+        norm > 1e-24 ? 1.0f / static_cast<float>(std::sqrt(norm)) : 0.0f;
+    for (int64_t j = 0; j < half; ++j) dst[j] = row[j] * inv;
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    normalized_copy(first, v, out.Row(v));
+    normalized_copy(second, v, out.Row(v) + half);
+  }
+  return out;
+}
+
+}  // namespace ehna

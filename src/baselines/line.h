@@ -1,0 +1,42 @@
+#ifndef EHNA_BASELINES_LINE_H_
+#define EHNA_BASELINES_LINE_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "nn/tensor.h"
+
+namespace ehna {
+
+/// LINE baseline (Tang et al., WWW'15). Two models are trained — one
+/// preserving first-order proximity (symmetric sigmoid of the dot product)
+/// and one preserving second-order proximity (context vectors) — each with
+/// edge sampling (alias table over edge weights) and negative sampling.
+/// Following the authors' recommendation (and the paper's §V.B), the final
+/// representation concatenates the two halves, each of dimension dim/2.
+struct LineConfig {
+  int64_t dim = 128;  // total; each order gets dim/2.
+  int negatives = 5;
+  float learning_rate = 0.025f;
+  /// Edge samples per epoch; 0 means one pass worth (num_edges).
+  size_t samples_per_epoch = 0;
+  int epochs = 2;
+  uint64_t seed = 1;
+};
+
+class LineEmbedder {
+ public:
+  explicit LineEmbedder(const LineConfig& config) : config_(config) {}
+
+  Tensor Fit(const TemporalGraph& graph);
+
+  const std::vector<double>& epoch_seconds() const { return epoch_seconds_; }
+
+ private:
+  LineConfig config_;
+  std::vector<double> epoch_seconds_;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_BASELINES_LINE_H_

@@ -1,0 +1,65 @@
+#include "baselines/node2vec.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/noise_distribution.h"
+#include "util/timer.h"
+
+namespace ehna {
+
+Tensor Node2VecEmbedder::Fit(const TemporalGraph& graph) {
+  Rng rng(config_.seed);
+  SgnsTrainer trainer(graph.num_nodes(), config_.sgns, &rng);
+  Node2VecWalkSampler sampler(&graph, config_.walk);
+  NoiseDistribution noise(graph);
+  epoch_seconds_.clear();
+
+  std::vector<NodeId> nodes(graph.num_nodes());
+  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+
+  const int total_rounds =
+      config_.epochs * std::max(1, config_.walk.walks_per_node);
+  int round = 0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    Timer timer;
+    for (int w = 0; w < config_.walk.walks_per_node; ++w, ++round) {
+      // Linear learning-rate decay over the full schedule, as in word2vec.
+      const float lr = config_.sgns.learning_rate *
+                       std::max(0.05f, 1.0f - static_cast<float>(round) /
+                                                  total_rounds);
+      rng.Shuffle(&nodes);
+      if (config_.num_threads > 1) {
+        ThreadPool pool(config_.num_threads);
+        std::vector<Rng> rngs;
+        rngs.reserve(config_.num_threads * 4);
+        for (int t = 0; t < config_.num_threads * 4; ++t) {
+          rngs.push_back(rng.Fork());
+        }
+        const size_t chunk =
+            (nodes.size() + rngs.size() - 1) / rngs.size();
+        for (size_t c = 0; c < rngs.size(); ++c) {
+          const size_t begin = c * chunk;
+          const size_t end = std::min(nodes.size(), begin + chunk);
+          if (begin >= end) break;
+          pool.Submit([&, begin, end, c] {
+            for (size_t i = begin; i < end; ++i) {
+              auto walk = sampler.SampleWalk(nodes[i], &rngs[c]);
+              trainer.TrainWalk(walk, noise, &rngs[c], lr);
+            }
+          });
+        }
+        pool.Wait();
+      } else {
+        for (NodeId v : nodes) {
+          auto walk = sampler.SampleWalk(v, &rng);
+          trainer.TrainWalk(walk, noise, &rng, lr);
+        }
+      }
+    }
+    epoch_seconds_.push_back(timer.ElapsedSeconds());
+  }
+  return trainer.embeddings();
+}
+
+}  // namespace ehna

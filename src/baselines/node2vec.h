@@ -1,0 +1,44 @@
+#ifndef EHNA_BASELINES_NODE2VEC_H_
+#define EHNA_BASELINES_NODE2VEC_H_
+
+#include <vector>
+
+#include "baselines/sgns.h"
+#include "graph/temporal_graph.h"
+#include "util/thread_pool.h"
+#include "walk/node2vec_walk.h"
+
+namespace ehna {
+
+/// Node2Vec baseline (Grover & Leskovec, KDD'16): second-order biased
+/// static walks + skip-gram with negative sampling. With p = q = 1 this is
+/// DeepWalk. Paper settings (§V.C): k = 10 walks per node, l = 80,
+/// window 10, 5 negatives, dim 128.
+struct Node2VecConfig {
+  SgnsConfig sgns;
+  Node2VecWalkConfig walk;
+  int epochs = 2;
+  /// Worker threads for walk + SGNS hogwild training (Table VIII's
+  /// "Node2Vec 10" rows use 10).
+  int num_threads = 1;
+  uint64_t seed = 1;
+};
+
+/// Trains Node2Vec and returns the [N, dim] embedding matrix.
+class Node2VecEmbedder {
+ public:
+  explicit Node2VecEmbedder(const Node2VecConfig& config) : config_(config) {}
+
+  Tensor Fit(const TemporalGraph& graph);
+
+  /// Wall-clock seconds of each completed epoch (for Table VIII).
+  const std::vector<double>& epoch_seconds() const { return epoch_seconds_; }
+
+ private:
+  Node2VecConfig config_;
+  std::vector<double> epoch_seconds_;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_BASELINES_NODE2VEC_H_

@@ -1,0 +1,73 @@
+#include "baselines/sgns.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/init.h"
+#include "util/logging.h"
+
+namespace ehna {
+
+namespace {
+float StableSigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+}  // namespace
+
+SgnsTrainer::SgnsTrainer(NodeId num_nodes, const SgnsConfig& config, Rng* rng)
+    : config_(config),
+      in_(num_nodes, config.dim),
+      out_(num_nodes, config.dim) {
+  EHNA_CHECK_GT(num_nodes, 0u);
+  EHNA_CHECK_GT(config.dim, 0);
+  const float scale = 0.5f / static_cast<float>(config.dim);
+  UniformInit(&in_, -scale, scale, rng);
+  // Output vectors start at zero, as in word2vec.
+}
+
+void SgnsTrainer::TrainPair(NodeId center, NodeId context,
+                            const NoiseDistribution& noise, Rng* rng,
+                            float lr) {
+  const int64_t d = config_.dim;
+  float* u = in_.Row(center);
+  std::vector<float> u_grad(d, 0.0f);
+
+  auto update_output = [&](NodeId target, float label) {
+    float* v = out_.Row(target);
+    float dot = 0.0f;
+    for (int64_t j = 0; j < d; ++j) dot += u[j] * v[j];
+    const float g = (label - StableSigmoid(dot)) * lr;
+    for (int64_t j = 0; j < d; ++j) {
+      u_grad[j] += g * v[j];
+      v[j] += g * u[j];
+    }
+  };
+
+  update_output(context, 1.0f);
+  const NodeId exclude[] = {center, context};
+  for (int n = 0; n < config_.negatives; ++n) {
+    update_output(noise.SampleExcluding(exclude, rng), 0.0f);
+  }
+  for (int64_t j = 0; j < d; ++j) u[j] += u_grad[j];
+}
+
+void SgnsTrainer::TrainWalk(const std::vector<NodeId>& walk,
+                            const NoiseDistribution& noise, Rng* rng,
+                            float lr) {
+  const int n = static_cast<int>(walk.size());
+  for (int i = 0; i < n; ++i) {
+    const int lo = std::max(0, i - config_.window);
+    const int hi = std::min(n - 1, i + config_.window);
+    for (int j = lo; j <= hi; ++j) {
+      if (j == i || walk[j] == walk[i]) continue;
+      TrainPair(walk[i], walk[j], noise, rng, lr);
+    }
+  }
+}
+
+}  // namespace ehna

@@ -1,0 +1,55 @@
+#ifndef EHNA_BASELINES_SGNS_H_
+#define EHNA_BASELINES_SGNS_H_
+
+#include <vector>
+
+#include "graph/noise_distribution.h"
+#include "graph/temporal_graph.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace ehna {
+
+/// Configuration of the skip-gram-with-negative-sampling trainer shared by
+/// the DeepWalk/Node2Vec/CTDNE baselines.
+struct SgnsConfig {
+  int64_t dim = 128;
+  /// Context window radius (paper: the node2vec default of 10).
+  int window = 10;
+  int negatives = 5;
+  /// Initial SGD learning rate (linearly decayed by the embedder drivers).
+  float learning_rate = 0.025f;
+};
+
+/// word2vec-style trainer: maintains input ("embedding") and output
+/// ("context") vector tables and applies manual-gradient SGD updates for
+/// (center, context) pairs drawn from random-walk corpora. Updates are
+/// lock-free and safe to run hogwild-style from several threads (benign
+/// races, as in the reference word2vec implementation).
+class SgnsTrainer {
+ public:
+  SgnsTrainer(NodeId num_nodes, const SgnsConfig& config, Rng* rng);
+
+  /// Trains on every (center, context) pair of `walk` within the window.
+  /// `lr` overrides the configured learning rate (for decay schedules).
+  void TrainWalk(const std::vector<NodeId>& walk,
+                 const NoiseDistribution& noise, Rng* rng, float lr);
+
+  /// One positive pair + `negatives` sampled negatives.
+  void TrainPair(NodeId center, NodeId context, const NoiseDistribution& noise,
+                 Rng* rng, float lr);
+
+  /// The learned input vectors, [N, dim].
+  const Tensor& embeddings() const { return in_; }
+
+  const SgnsConfig& config() const { return config_; }
+
+ private:
+  SgnsConfig config_;
+  Tensor in_;   // [N, dim] input vectors.
+  Tensor out_;  // [N, dim] context vectors.
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_BASELINES_SGNS_H_

@@ -1,0 +1,274 @@
+#include "core/aggregator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/attention.h"
+#include "nn/ops.h"
+
+namespace ehna {
+
+namespace {
+
+TemporalWalkConfig MakeTemporalWalkConfig(const EhnaConfig& c) {
+  TemporalWalkConfig w;
+  w.p = c.p;
+  w.q = c.q;
+  w.walk_length = c.walk_length;
+  w.num_walks = c.num_walks;
+  w.decay_rate = c.decay_rate;
+  w.use_time_decay = true;
+  return w;
+}
+
+Node2VecWalkConfig MakeStaticWalkConfig(const EhnaConfig& c) {
+  Node2VecWalkConfig w;
+  w.p = c.p;
+  w.q = c.q;
+  w.walk_length = c.walk_length;
+  w.walks_per_node = c.num_walks;
+  return w;
+}
+
+}  // namespace
+
+const char* EhnaVariantName(EhnaVariant v) {
+  switch (v) {
+    case EhnaVariant::kFull:
+      return "EHNA";
+    case EhnaVariant::kNoAttention:
+      return "EHNA-NA";
+    case EhnaVariant::kStaticWalk:
+      return "EHNA-RW";
+    case EhnaVariant::kSingleLayer:
+      return "EHNA-SL";
+  }
+  return "?";
+}
+
+EhnaAggregator::EhnaAggregator(const TemporalGraph* graph,
+                               Embedding* embedding, const EhnaConfig& config,
+                               Rng* rng)
+    : graph_(graph),
+      embedding_(embedding),
+      config_(config),
+      use_attention_(config.variant == EhnaVariant::kFull),
+      temporal_sampler_(graph, MakeTemporalWalkConfig(config)),
+      static_sampler_(graph, MakeStaticWalkConfig(config)),
+      node_lstm_(config.dim, config.dim,
+                 config.variant == EhnaVariant::kSingleLayer
+                     ? 1
+                     : config.lstm_layers,
+                 rng),
+      node_bn_(config.dim),
+      walk_lstm_(config.dim, config.dim,
+                 config.variant == EhnaVariant::kSingleLayer
+                     ? 1
+                     : config.lstm_layers,
+                 rng),
+      walk_bn_(config.dim),
+      fuse_(2 * config.dim, config.dim, rng, /*bias=*/false) {
+  EHNA_CHECK(graph != nullptr);
+  EHNA_CHECK(embedding != nullptr);
+  EHNA_CHECK_EQ(embedding->dim(), config.dim);
+}
+
+std::vector<Walk> EhnaAggregator::SampleWalks(NodeId target,
+                                              Timestamp ref_time, Rng* rng) {
+  std::vector<Walk> walks;
+  walks.reserve(config_.num_walks);
+  if (config_.variant == EhnaVariant::kStaticWalk) {
+    for (int i = 0; i < config_.num_walks; ++i) {
+      const std::vector<NodeId> nodes = static_sampler_.SampleWalk(target, rng);
+      if (nodes.size() < 2) continue;
+      Walk w;
+      w.reserve(nodes.size());
+      for (NodeId v : nodes) w.push_back(WalkStep{v, 0.0, 1.0f});
+      walks.push_back(std::move(w));
+    }
+    return walks;
+  }
+  for (Walk& w : temporal_sampler_.SampleWalks(target, ref_time, rng)) {
+    if (w.size() < 2) continue;  // no historical neighborhood reached.
+    walks.push_back(std::move(w));
+  }
+  return walks;
+}
+
+Var EhnaAggregator::NodeLevel(const std::vector<Walk>& walks,
+                              const Var& target_embedding,
+                              std::vector<float>* walk_coeffs, bool training) {
+  const int64_t dim = config_.dim;
+  const size_t k = walks.size();
+  walk_coeffs->assign(k, 1.0f);
+
+  // Per walk: gather embeddings and apply node-level attention (Eq. 3).
+  std::vector<Var> weighted;  // each [L_i, dim]
+  weighted.reserve(k);
+  size_t max_len = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const Walk& walk = walks[i];
+    max_len = std::max(max_len, walk.size());
+    std::vector<int64_t> ids;
+    ids.reserve(walk.size());
+    for (const WalkStep& s : walk) ids.push_back(s.node);
+    Var emb = embedding_->Gather(ids);  // [L_i, dim]
+
+    if (use_attention_) {
+      const std::vector<float> coeffs = NodeAttentionCoefficients(
+          walk, graph_->min_time(), graph_->TimeSpan());
+      (*walk_coeffs)[i] = WalkAttentionCoefficient(coeffs);
+      // logits_j = -c_j * ||e_x - e_vj||^2, softmax over the walk.
+      Var diff = ag::SubRowBroadcast(emb, target_embedding);
+      Var dist = ag::RowSumSquares(diff);  // [L_i]
+      Tensor neg_coeffs(static_cast<int64_t>(coeffs.size()));
+      for (size_t j = 0; j < coeffs.size(); ++j) neg_coeffs[j] = -coeffs[j];
+      Var alpha = ag::Softmax(ag::MulConst(dist, neg_coeffs));
+      weighted.push_back(ag::ScaleRows(emb, alpha));
+    } else {
+      weighted.push_back(emb);
+    }
+  }
+
+  // Batch the k variable-length walks through the stacked LSTM with
+  // per-timestep masks (padded rows freeze their state).
+  Var zero_row = Var::Leaf(Tensor(dim));
+  std::vector<Var> inputs;
+  std::vector<Tensor> masks;
+  inputs.reserve(max_len);
+  masks.reserve(max_len);
+  for (size_t t = 0; t < max_len; ++t) {
+    std::vector<Var> rows;
+    rows.reserve(k);
+    Tensor mask(static_cast<int64_t>(k));
+    for (size_t i = 0; i < k; ++i) {
+      if (t < walks[i].size()) {
+        rows.push_back(ag::Row(weighted[i], static_cast<int64_t>(t)));
+        mask[static_cast<int64_t>(i)] = 1.0f;
+      } else {
+        rows.push_back(zero_row);
+      }
+    }
+    inputs.push_back(ag::ConcatRows(rows));
+    masks.push_back(std::move(mask));
+  }
+
+  Var h = node_lstm_.Forward(inputs, masks);        // [k, dim]
+  Var normed = config_.population_batchnorm
+                   ? node_bn_.ForwardPopulation(h, training)
+                   : node_bn_.Forward(h, training);
+  return ag::Relu(normed);  // Algorithm 1 line 4.
+}
+
+Var EhnaAggregator::WalkLevel(const Var& walk_reprs,
+                              const Var& target_embedding,
+                              const std::vector<float>& walk_coeffs,
+                              bool training) {
+  const int64_t k = walk_reprs.value().rows();
+  Var weighted = walk_reprs;
+  if (use_attention_ && k > 1) {
+    // beta_r = softmax_r(-a_r * ||e_x - h_r||^2)  (Eq. 4).
+    Var diff = ag::SubRowBroadcast(walk_reprs, target_embedding);
+    Var dist = ag::RowSumSquares(diff);  // [k]
+    Tensor neg_coeffs(k);
+    for (int64_t i = 0; i < k; ++i) neg_coeffs[i] = -walk_coeffs[i];
+    Var beta = ag::Softmax(ag::MulConst(dist, neg_coeffs));
+    weighted = ag::ScaleRows(walk_reprs, beta);
+  }
+
+  // Sequence of k walk representations through the walk-level LSTM
+  // (batch of one).
+  std::vector<Var> inputs;
+  inputs.reserve(k);
+  for (int64_t i = 0; i < k; ++i) {
+    inputs.push_back(ag::AsMatrix(ag::Row(weighted, i)));
+  }
+  Var h = walk_lstm_.Forward(inputs, {});            // [1, dim]
+  Var normed = config_.population_batchnorm
+                   ? walk_bn_.ForwardPopulation(h, training)
+                   : walk_bn_.Forward(h, training);
+  return ag::AsVector(normed);  // line 6: H.
+}
+
+Var EhnaAggregator::SingleLevel(const std::vector<Walk>& walks,
+                                bool training) {
+  // EHNA-SL: flatten every walk into one long sequence through a
+  // single-layer LSTM; no attention, no walk-level stage.
+  std::vector<int64_t> ids;
+  for (const Walk& w : walks) {
+    for (const WalkStep& s : w) ids.push_back(s.node);
+  }
+  EHNA_CHECK(!ids.empty());
+  Var emb = embedding_->Gather(ids);  // [L, dim]
+  std::vector<Var> inputs;
+  inputs.reserve(ids.size());
+  for (size_t t = 0; t < ids.size(); ++t) {
+    inputs.push_back(ag::AsMatrix(ag::Row(emb, static_cast<int64_t>(t))));
+  }
+  Var h = node_lstm_.Forward(inputs, {});  // [1, dim]
+  Var normed = config_.population_batchnorm
+                   ? node_bn_.ForwardPopulation(h, training)
+                   : node_bn_.Forward(h, training);
+  return ag::AsVector(ag::Relu(normed));
+}
+
+Var EhnaAggregator::FallbackNeighborhood(NodeId target, Timestamp ref_time,
+                                         Rng* rng) {
+  // GraphSAGE-style: mean embedding of a sampled 1- and 2-hop neighborhood.
+  auto hist = graph_->NeighborsBefore(target, ref_time);
+  std::span<const AdjEntry> pool =
+      hist.empty() ? graph_->Neighbors(target) : hist;
+  if (pool.empty()) {
+    // Isolated node: the neighborhood summary is zero; the fused output
+    // then depends only on e_x.
+    return Var::Leaf(Tensor(config_.dim));
+  }
+  std::vector<int64_t> ids;
+  const size_t want = static_cast<size_t>(config_.fallback_samples);
+  for (size_t idx : rng->SampleWithoutReplacement(pool.size(), want)) {
+    const NodeId nbr = pool[idx].neighbor;
+    ids.push_back(nbr);
+    // One 2-hop sample per 1-hop neighbor.
+    auto second = graph_->Neighbors(nbr);
+    if (!second.empty()) {
+      ids.push_back(second[rng->UniformInt(second.size())].neighbor);
+    }
+  }
+  Var emb = embedding_->Gather(ids);
+  return ag::ColMean(emb);
+}
+
+Var EhnaAggregator::Fuse(const Var& neighborhood,
+                         const Var& target_embedding) {
+  Var z = fuse_.ForwardVec(ag::Concat(neighborhood, target_embedding));
+  return ag::L2Normalize(z);  // Algorithm 1 line 8.
+}
+
+Var EhnaAggregator::Aggregate(NodeId target, Timestamp ref_time, bool training,
+                              Rng* rng) {
+  Var e_x = embedding_->GatherRow(target);
+  std::vector<Walk> walks = SampleWalks(target, ref_time, rng);
+  if (walks.empty()) {
+    return Fuse(FallbackNeighborhood(target, ref_time, rng), e_x);
+  }
+  if (config_.variant == EhnaVariant::kSingleLayer) {
+    return Fuse(SingleLevel(walks, training), e_x);
+  }
+  std::vector<float> walk_coeffs;
+  Var walk_reprs = NodeLevel(walks, e_x, &walk_coeffs, training);
+  Var h = WalkLevel(walk_reprs, e_x, walk_coeffs, training);
+  return Fuse(h, e_x);
+}
+
+std::vector<Var> EhnaAggregator::Parameters() const {
+  std::vector<Var> params;
+  for (const auto& module_params :
+       {node_lstm_.Parameters(), node_bn_.Parameters(),
+        walk_lstm_.Parameters(), walk_bn_.Parameters(),
+        fuse_.Parameters()}) {
+    params.insert(params.end(), module_params.begin(), module_params.end());
+  }
+  return params;
+}
+
+}  // namespace ehna

@@ -1,0 +1,86 @@
+#ifndef EHNA_CORE_AGGREGATOR_H_
+#define EHNA_CORE_AGGREGATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/ehna_config.h"
+#include "graph/temporal_graph.h"
+#include "nn/batchnorm.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "util/rng.h"
+#include "walk/node2vec_walk.h"
+#include "walk/temporal_walk.h"
+
+namespace ehna {
+
+/// The historical-neighborhood aggregation network of Algorithm 1: samples
+/// temporal random walks from a target node, applies node-level attention
+/// (Eq. 3) + a stacked LSTM + BatchNorm + ReLU per walk, walk-level
+/// attention (Eq. 4) + a stacked LSTM + BatchNorm across walks, and fuses
+/// the neighborhood summary H with the node's own embedding through
+/// z = normalize(W [H || e_x]).
+///
+/// Nodes with no historical neighborhood fall back to a GraphSAGE-style
+/// mean over a sampled 2-hop neighborhood (§IV.D).
+class EhnaAggregator {
+ public:
+  /// `graph` and `embedding` must outlive the aggregator.
+  EhnaAggregator(const TemporalGraph* graph, Embedding* embedding,
+                 const EhnaConfig& config, Rng* rng);
+
+  /// Computes the aggregated embedding z_x (rank-1 [dim]) for `target`,
+  /// analyzing history strictly before-or-at `ref_time`. `training` selects
+  /// BatchNorm statistics mode.
+  Var Aggregate(NodeId target, Timestamp ref_time, bool training, Rng* rng);
+
+  /// All trainable dense parameters (LSTMs, BatchNorms, output projection).
+  /// The embedding table updates sparsely through its own optimizer.
+  std::vector<Var> Parameters() const;
+
+  const EhnaConfig& config() const { return config_; }
+
+ private:
+  /// Walk sampling according to the configured variant. Walks of length 1
+  /// (no historical step possible) are dropped; an empty result triggers
+  /// the fallback path.
+  std::vector<Walk> SampleWalks(NodeId target, Timestamp ref_time, Rng* rng);
+
+  /// Algorithm 1 lines 1-4 batched over walks: attention-weighted node
+  /// embeddings -> stacked LSTM -> BN -> ReLU. Returns [k, dim].
+  Var NodeLevel(const std::vector<Walk>& walks, const Var& target_embedding,
+                std::vector<float>* walk_coeffs, bool training);
+
+  /// Algorithm 1 lines 5-6: walk attention -> stacked LSTM -> BN. [dim].
+  Var WalkLevel(const Var& walk_reprs, const Var& target_embedding,
+                const std::vector<float>& walk_coeffs, bool training);
+
+  /// EHNA-SL: one single-layer LSTM pass over the flattened walk sequence.
+  Var SingleLevel(const std::vector<Walk>& walks, bool training);
+
+  /// GraphSAGE-style neighborhood mean for history-less targets.
+  Var FallbackNeighborhood(NodeId target, Timestamp ref_time, Rng* rng);
+
+  /// z = normalize(W [H || e_x]).
+  Var Fuse(const Var& neighborhood, const Var& target_embedding);
+
+  const TemporalGraph* graph_;
+  Embedding* embedding_;
+  EhnaConfig config_;
+  bool use_attention_;
+
+  TemporalWalkSampler temporal_sampler_;
+  Node2VecWalkSampler static_sampler_;  // used by the EHNA-RW variant.
+
+  StackedLstm node_lstm_;
+  BatchNorm1d node_bn_;
+  StackedLstm walk_lstm_;
+  BatchNorm1d walk_bn_;
+  Linear fuse_;  // [2*dim -> dim], the trainable W of Algorithm 1 line 7.
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_CORE_AGGREGATOR_H_

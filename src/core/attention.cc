@@ -1,0 +1,47 @@
+#include "core/attention.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace ehna {
+
+std::vector<float> NodeAttentionCoefficients(const Walk& walk,
+                                             Timestamp min_time,
+                                             Timestamp time_span,
+                                             float floor) {
+  EHNA_CHECK(!walk.empty());
+  EHNA_CHECK_GT(time_span, 0.0);
+
+  // Accumulate the normalized-timestamp sum per *node* (all occurrences of
+  // a node share one coefficient, per Eq. 3's sum over (u,v) in r).
+  std::unordered_map<NodeId, double> time_sum;
+  auto normalized = [&](Timestamp t) {
+    double x = (t - min_time) / time_span;
+    // Clamp to (0, 1]: a timestamp at min_time still contributes mass.
+    return std::clamp(x, 1e-6, 1.0);
+  };
+  for (size_t j = 1; j < walk.size(); ++j) {
+    const double t = normalized(walk[j].edge_time);
+    time_sum[walk[j - 1].node] += t;
+    time_sum[walk[j].node] += t;
+  }
+
+  std::vector<float> coeffs(walk.size());
+  for (size_t j = 0; j < walk.size(); ++j) {
+    const auto it = time_sum.find(walk[j].node);
+    const double sum = it == time_sum.end() ? 0.0 : it->second;
+    coeffs[j] = 1.0f / std::max(static_cast<float>(sum), floor);
+  }
+  return coeffs;
+}
+
+float WalkAttentionCoefficient(const std::vector<float>& node_coeffs) {
+  EHNA_CHECK(!node_coeffs.empty());
+  double total = 0.0;
+  for (float c : node_coeffs) total += c;
+  return static_cast<float>(total / static_cast<double>(node_coeffs.size()));
+}
+
+}  // namespace ehna

@@ -1,0 +1,34 @@
+#ifndef EHNA_CORE_ATTENTION_H_
+#define EHNA_CORE_ATTENTION_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "walk/walk.h"
+
+namespace ehna {
+
+/// Per-position temporal coefficients of the node-level attention (Eq. 3).
+///
+/// For each position j of `walk`, the returned value is
+///   c_j = 1 / sum_{(u,v) in r : v = node_j} t~(u,v)
+/// where the sum ranges over the walk's edges incident to *any* occurrence
+/// of the node at position j, and t~ is the timestamp normalized to
+/// (0, 1] over [min_time, max_time] (so recent interactions give large
+/// sums, hence small coefficients, hence large attention once negated in
+/// the exponent). Positions whose node has no incident walk edge (only the
+/// isolated start of a length-1 walk) get 1 / floor.
+///
+/// `floor` guards the division for degenerate sums.
+std::vector<float> NodeAttentionCoefficients(const Walk& walk,
+                                             Timestamp min_time,
+                                             Timestamp time_span,
+                                             float floor = 0.05f);
+
+/// The walk-level temporal coefficient of Eq. 4:
+///   a_r = (1/|r|) * sum over positions of the node-level coefficients.
+float WalkAttentionCoefficient(const std::vector<float>& node_coeffs);
+
+}  // namespace ehna
+
+#endif  // EHNA_CORE_ATTENTION_H_

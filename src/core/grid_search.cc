@@ -1,0 +1,56 @@
+#include "core/grid_search.h"
+
+#include "core/model.h"
+#include "eval/link_prediction.h"
+#include "graph/split.h"
+
+namespace ehna {
+
+Result<EhnaGridSearchResult> GridSearchEhna(
+    const TemporalGraph& train_graph, const EhnaConfig& base,
+    const EhnaGridSpace& space, const EhnaGridSearchOptions& options) {
+  if (space.p_values.empty() || space.q_values.empty() ||
+      space.learning_rates.empty()) {
+    return Status::InvalidArgument("empty grid dimension");
+  }
+
+  // Nested temporal split: the validation edges are the most recent slice
+  // of the training timeline.
+  Rng rng(options.seed);
+  TemporalSplitOptions split_opt;
+  split_opt.holdout_fraction = options.validation_fraction;
+  EHNA_ASSIGN_OR_RETURN(TemporalSplit validation,
+                        MakeTemporalSplit(train_graph, split_opt, &rng));
+
+  LinkPredictionOptions eval_opt;
+  eval_opt.repeats = options.eval_repeats;
+
+  EhnaGridSearchResult result;
+  result.best_config = base;
+  result.best_score = -1.0;
+  for (double p : space.p_values) {
+    for (double q : space.q_values) {
+      for (float lr : space.learning_rates) {
+        EhnaConfig cfg = base;
+        cfg.p = p;
+        cfg.q = q;
+        cfg.learning_rate = lr;
+        EhnaModel model(&validation.train, cfg);
+        model.Train();
+        const Tensor emb = model.FinalizeEmbeddings();
+        EHNA_ASSIGN_OR_RETURN(
+            const BinaryMetrics metrics,
+            EvaluateLinkPrediction(validation, emb, options.operator_used,
+                                   eval_opt));
+        result.trials.push_back(EhnaGridTrial{p, q, lr, metrics.f1});
+        if (metrics.f1 > result.best_score) {
+          result.best_score = metrics.f1;
+          result.best_config = cfg;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ehna

@@ -1,0 +1,58 @@
+#ifndef EHNA_CORE_GRID_SEARCH_H_
+#define EHNA_CORE_GRID_SEARCH_H_
+
+#include <vector>
+
+#include "core/ehna_config.h"
+#include "eval/edge_ops.h"
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+
+namespace ehna {
+
+/// The hyperparameter grid of the paper's §V.C: "grid search over
+/// p, q ∈ {0.25, 0.50, 1, 2, 4} and r ∈ {2e-5, 2e-6, 2e-7}". Defaults
+/// reproduce that grid (with learning rates rescaled for Adam — see
+/// DESIGN.md §2); shrink the vectors for faster searches.
+struct EhnaGridSpace {
+  std::vector<double> p_values{0.25, 0.5, 1.0, 2.0, 4.0};
+  std::vector<double> q_values{0.25, 0.5, 1.0, 2.0, 4.0};
+  std::vector<float> learning_rates{2e-3f};
+};
+
+/// One evaluated grid point.
+struct EhnaGridTrial {
+  double p = 1.0;
+  double q = 1.0;
+  float learning_rate = 0.0f;
+  double score = 0.0;  // validation F1 under the chosen operator.
+};
+
+/// Result of a grid search: the winning configuration plus every trial.
+struct EhnaGridSearchResult {
+  EhnaConfig best_config;
+  double best_score = 0.0;
+  std::vector<EhnaGridTrial> trials;
+};
+
+/// Options controlling the validation protocol of the search.
+struct EhnaGridSearchOptions {
+  /// Fraction of the most recent *training* edges held out as the
+  /// validation set (nested temporal split, so the search never sees the
+  /// final test edges).
+  double validation_fraction = 0.2;
+  EdgeOperator operator_used = EdgeOperator::kWeightedL2;
+  int eval_repeats = 2;
+  uint64_t seed = 17;
+};
+
+/// Trains one EHNA model per (p, q, lr) combination of `space` on a nested
+/// temporal split of `train_graph` and returns the configuration with the
+/// best validation F1. `base` provides all other hyperparameters.
+Result<EhnaGridSearchResult> GridSearchEhna(
+    const TemporalGraph& train_graph, const EhnaConfig& base,
+    const EhnaGridSpace& space, const EhnaGridSearchOptions& options = {});
+
+}  // namespace ehna
+
+#endif  // EHNA_CORE_GRID_SEARCH_H_

@@ -1,0 +1,136 @@
+#include "core/model.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "nn/ops.h"
+#include "util/timer.h"
+
+namespace ehna {
+
+EhnaModel::EhnaModel(const TemporalGraph* graph, const EhnaConfig& config)
+    : graph_(graph),
+      config_(config),
+      rng_(config.seed),
+      embedding_(graph->num_nodes(), config.dim, &rng_),
+      aggregator_(graph, &embedding_, config, &rng_),
+      noise_(*graph),
+      optimizer_(aggregator_.Parameters(), config.learning_rate) {
+  EHNA_CHECK_GT(graph->num_nodes(), 0u);
+  EHNA_CHECK_GT(graph->num_edges(), 0u);
+}
+
+Var EhnaModel::EdgeLoss(const TemporalEdge& edge, bool training) {
+  const Timestamp t = edge.time;
+  Var zx = aggregator_.Aggregate(edge.src, t, training, &rng_);
+  Var zy = aggregator_.Aggregate(edge.dst, t, training, &rng_);
+  Var d_pos = ag::SumSquares(ag::Sub(zx, zy));
+
+  const NodeId exclude[] = {edge.src, edge.dst};
+  Var loss;
+  auto add_negative_terms = [&](const Var& anchor) {
+    for (int q = 0; q < config_.num_negatives; ++q) {
+      const NodeId v = noise_.SampleExcluding(exclude, &rng_);
+      Var zv = aggregator_.Aggregate(v, t, training, &rng_);
+      Var d_neg = ag::SumSquares(ag::Sub(anchor, zv));
+      Var term =
+          ag::Hinge(ag::AddScalar(ag::Sub(d_pos, d_neg), config_.margin));
+      loss = loss.defined() ? ag::Add(loss, term) : term;
+    }
+  };
+  add_negative_terms(zx);                                   // Eq. 6.
+  if (config_.bidirectional_negatives) add_negative_terms(zy);  // Eq. 7.
+  return loss;
+}
+
+EhnaModel::EpochStats EhnaModel::TrainEpoch() {
+  Timer timer;
+  const auto& edges = graph_->edges();
+  std::vector<size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  rng_.Shuffle(&order);
+  if (config_.max_edges_per_epoch > 0 &&
+      order.size() > config_.max_edges_per_epoch) {
+    order.resize(config_.max_edges_per_epoch);
+  }
+
+  EpochStats stats;
+  double loss_sum = 0.0;
+  const int batch = std::max(1, config_.batch_edges);
+  size_t i = 0;
+  while (i < order.size()) {
+    Var batch_loss;
+    int batch_count = 0;
+    for (; batch_count < batch && i < order.size(); ++i, ++batch_count) {
+      Var loss = EdgeLoss(edges[order[i]], /*training=*/true);
+      batch_loss = batch_loss.defined() ? ag::Add(batch_loss, loss) : loss;
+    }
+    if (!batch_loss.defined()) break;
+    Var mean_loss =
+        ag::ScalarMul(batch_loss, 1.0f / static_cast<float>(batch_count));
+    loss_sum += mean_loss.value()[0] * batch_count;
+
+    Backward(mean_loss);
+    ClipGradNorm(optimizer_.params(), config_.grad_clip);
+    optimizer_.Step();
+    optimizer_.ZeroGrad();
+    embedding_.ApplyAdam(config_.learning_rate * config_.embedding_lr_multiplier);
+  }
+
+  stats.edges = order.size();
+  stats.avg_loss = order.empty() ? 0.0 : loss_sum / order.size();
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+std::vector<EhnaModel::EpochStats> EhnaModel::Train(
+    int epochs,
+    const std::function<void(int, const EpochStats&)>& progress) {
+  const int total = epochs > 0 ? epochs : config_.epochs;
+  std::vector<EpochStats> history;
+  history.reserve(total);
+  for (int e = 0; e < total; ++e) {
+    history.push_back(TrainEpoch());
+    if (progress) progress(e, history.back());
+  }
+  return history;
+}
+
+Tensor EhnaModel::AggregateAt(NodeId node, Timestamp ref_time) {
+  Var z = aggregator_.Aggregate(node, ref_time, /*training=*/false, &rng_);
+  embedding_.ClearGradients();
+  return z.value();
+}
+
+Tensor EhnaModel::FinalizeEmbeddings() {
+  const NodeId n = graph_->num_nodes();
+  const int64_t d = config_.dim;
+  Tensor final(n, d);
+  for (NodeId v = 0; v < n; ++v) {
+    auto recent = graph_->MostRecentInteraction(v);
+    if (recent.ok()) {
+      const Tensor z = AggregateAt(v, recent.value());
+      float* dst = final.Row(v);
+      for (int64_t j = 0; j < d; ++j) dst[j] = z[j];
+    } else {
+      // Isolated node: L2-normalized raw embedding, so its scale matches
+      // the (normalized) aggregated embeddings.
+      const float* src = embedding_.RowData(v);
+      double norm = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        norm += static_cast<double>(src[j]) * src[j];
+      }
+      const float inv =
+          norm > 1e-24 ? 1.0f / static_cast<float>(std::sqrt(norm)) : 0.0f;
+      float* dst = final.Row(v);
+      for (int64_t j = 0; j < d; ++j) dst[j] = src[j] * inv;
+    }
+  }
+  // Write back only after every node has been aggregated against the
+  // *trained* table (§IV.D's e_x := z_x), so later aggregations do not read
+  // already-replaced rows.
+  for (NodeId v = 0; v < n; ++v) embedding_.SetRow(v, final.Row(v));
+  return final;
+}
+
+}  // namespace ehna

@@ -1,0 +1,72 @@
+#ifndef EHNA_CORE_MODEL_H_
+#define EHNA_CORE_MODEL_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/aggregator.h"
+#include "core/ehna_config.h"
+#include "graph/noise_distribution.h"
+#include "graph/temporal_graph.h"
+#include "nn/optim.h"
+
+namespace ehna {
+
+/// The complete EHNA model and trainer (§IV): per-edge historical
+/// neighborhood aggregation for both endpoints and the sampled negatives,
+/// the margin-based hinge objective of Eq. 6/7, sparse-Adam updates for the
+/// embedding table, dense Adam for the network parameters, and the final
+/// inference pass that replaces each node's embedding with its aggregated
+/// embedding anchored at its most recent interaction.
+class EhnaModel {
+ public:
+  /// `graph` must outlive the model.
+  EhnaModel(const TemporalGraph* graph, const EhnaConfig& config);
+
+  /// Per-epoch training statistics.
+  struct EpochStats {
+    double avg_loss = 0.0;
+    size_t edges = 0;
+    double seconds = 0.0;
+  };
+
+  /// One pass over (a shuffled sample of) the training edges.
+  EpochStats TrainEpoch();
+
+  /// Runs `config.epochs` epochs (or `epochs` if > 0). `progress`, when
+  /// set, is invoked after each epoch.
+  std::vector<EpochStats> Train(
+      int epochs = 0,
+      const std::function<void(int epoch, const EpochStats&)>& progress = {});
+
+  /// Builds the autograd loss for one edge (Eq. 6, or Eq. 7 when
+  /// bidirectional negatives are enabled). Exposed for tests.
+  Var EdgeLoss(const TemporalEdge& edge, bool training);
+
+  /// §IV.D final pass: one aggregation per node anchored at its most recent
+  /// edge; the aggregated embeddings become the final embeddings (written
+  /// back into the table) and are returned as an [N, dim] matrix. Isolated
+  /// nodes keep their (L2-normalized) raw embeddings.
+  Tensor FinalizeEmbeddings();
+
+  /// Aggregated embedding of one node at a reference time (inference mode).
+  Tensor AggregateAt(NodeId node, Timestamp ref_time);
+
+  const Tensor& embedding_table() const { return embedding_.table(); }
+  Embedding* embedding() { return &embedding_; }
+  EhnaAggregator* aggregator() { return &aggregator_; }
+  const EhnaConfig& config() const { return config_; }
+
+ private:
+  const TemporalGraph* graph_;
+  EhnaConfig config_;
+  Rng rng_;
+  Embedding embedding_;
+  EhnaAggregator aggregator_;
+  NoiseDistribution noise_;
+  Adam optimizer_;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_CORE_MODEL_H_

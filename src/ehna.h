@@ -1,0 +1,36 @@
+#ifndef EHNA_EHNA_H_
+#define EHNA_EHNA_H_
+
+/// \file
+/// Umbrella header for the EHNA library: temporal network representation
+/// learning via historical neighborhoods aggregation (Huang et al., ICDE
+/// 2020), with the baselines and evaluation tasks of the paper.
+///
+/// Typical flow:
+///   TemporalGraph graph = LoadTemporalGraph("edges.txt").value();
+///   EhnaModel model(&graph, EhnaConfig{});
+///   model.Train();
+///   Tensor embeddings = model.FinalizeEmbeddings();
+///
+/// Fine-grained headers remain directly includable; this header is a
+/// convenience for application code.
+
+#include "baselines/ctdne.h"
+#include "baselines/htne.h"
+#include "baselines/line.h"
+#include "baselines/node2vec.h"
+#include "core/grid_search.h"
+#include "core/model.h"
+#include "eval/knn.h"
+#include "eval/link_prediction.h"
+#include "eval/ranking_metrics.h"
+#include "eval/reconstruction.h"
+#include "graph/edgelist_io.h"
+#include "graph/generators/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/split.h"
+#include "nn/pca.h"
+#include "nn/serialize.h"
+#include "walk/walk_stats.h"
+
+#endif  // EHNA_EHNA_H_

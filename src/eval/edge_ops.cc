@@ -1,0 +1,42 @@
+#include "eval/edge_ops.h"
+
+#include <cmath>
+
+namespace ehna {
+
+const char* EdgeOperatorName(EdgeOperator op) {
+  switch (op) {
+    case EdgeOperator::kMean:
+      return "Mean";
+    case EdgeOperator::kHadamard:
+      return "Hadamard";
+    case EdgeOperator::kWeightedL1:
+      return "Weighted-L1";
+    case EdgeOperator::kWeightedL2:
+      return "Weighted-L2";
+  }
+  return "?";
+}
+
+void ApplyEdgeOperator(EdgeOperator op, const float* ex, const float* ey,
+                       int64_t dim, float* out) {
+  switch (op) {
+    case EdgeOperator::kMean:
+      for (int64_t i = 0; i < dim; ++i) out[i] = 0.5f * (ex[i] + ey[i]);
+      return;
+    case EdgeOperator::kHadamard:
+      for (int64_t i = 0; i < dim; ++i) out[i] = ex[i] * ey[i];
+      return;
+    case EdgeOperator::kWeightedL1:
+      for (int64_t i = 0; i < dim; ++i) out[i] = std::abs(ex[i] - ey[i]);
+      return;
+    case EdgeOperator::kWeightedL2:
+      for (int64_t i = 0; i < dim; ++i) {
+        const float d = ex[i] - ey[i];
+        out[i] = d * d;
+      }
+      return;
+  }
+}
+
+}  // namespace ehna

@@ -1,0 +1,30 @@
+#ifndef EHNA_EVAL_EDGE_OPS_H_
+#define EHNA_EVAL_EDGE_OPS_H_
+
+#include <array>
+#include <cstdint>
+
+namespace ehna {
+
+/// The four binary operators of Table II that turn two node embeddings
+/// into one edge representation for the link-prediction classifier.
+enum class EdgeOperator {
+  kMean,        // (e_x[i] + e_y[i]) / 2
+  kHadamard,    // e_x[i] * e_y[i]
+  kWeightedL1,  // |e_x[i] - e_y[i]|
+  kWeightedL2,  // (e_x[i] - e_y[i])^2
+};
+
+constexpr std::array<EdgeOperator, 4> kAllEdgeOperators = {
+    EdgeOperator::kMean, EdgeOperator::kHadamard, EdgeOperator::kWeightedL1,
+    EdgeOperator::kWeightedL2};
+
+const char* EdgeOperatorName(EdgeOperator op);
+
+/// Writes the d-dimensional edge representation of (ex, ey) into `out`.
+void ApplyEdgeOperator(EdgeOperator op, const float* ex, const float* ey,
+                       int64_t dim, float* out);
+
+}  // namespace ehna
+
+#endif  // EHNA_EVAL_EDGE_OPS_H_

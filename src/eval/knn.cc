@@ -1,0 +1,97 @@
+#include "eval/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <string>
+
+namespace ehna {
+
+namespace {
+
+double Score(const float* a, const float* b, int64_t d,
+             Similarity similarity) {
+  switch (similarity) {
+    case Similarity::kDotProduct: {
+      double dot = 0.0;
+      for (int64_t j = 0; j < d; ++j) dot += static_cast<double>(a[j]) * b[j];
+      return dot;
+    }
+    case Similarity::kCosine: {
+      double dot = 0.0, na = 0.0, nb = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        dot += static_cast<double>(a[j]) * b[j];
+        na += static_cast<double>(a[j]) * a[j];
+        nb += static_cast<double>(b[j]) * b[j];
+      }
+      const double denom = std::sqrt(na) * std::sqrt(nb);
+      return denom > 1e-24 ? dot / denom : 0.0;
+    }
+    case Similarity::kNegativeEuclidean: {
+      double dist = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        const double diff = static_cast<double>(a[j]) - b[j];
+        dist += diff * diff;
+      }
+      return -dist;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<std::vector<Neighbor>> TopKNeighbors(const Tensor& embeddings,
+                                            NodeId query, size_t k,
+                                            Similarity similarity) {
+  if (embeddings.rank() != 2) {
+    return Status::InvalidArgument("embeddings must be a matrix");
+  }
+  if (query >= embeddings.rows()) {
+    return Status::OutOfRange("query node " + std::to_string(query) +
+                              " outside embedding matrix");
+  }
+  if (k == 0) return std::vector<Neighbor>{};
+
+  const int64_t d = embeddings.cols();
+  const float* q = embeddings.Row(query);
+
+  // Min-heap of the best k scores seen so far.
+  auto worse = [](const Neighbor& a, const Neighbor& b) {
+    return a.score > b.score;
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(worse)> heap(
+      worse);
+  for (int64_t v = 0; v < embeddings.rows(); ++v) {
+    if (static_cast<NodeId>(v) == query) continue;
+    const double s = Score(q, embeddings.Row(v), d, similarity);
+    if (heap.size() < k) {
+      heap.push(Neighbor{static_cast<NodeId>(v), s});
+    } else if (s > heap.top().score) {
+      heap.pop();
+      heap.push(Neighbor{static_cast<NodeId>(v), s});
+    }
+  }
+  std::vector<Neighbor> out;
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(heap.top());
+    heap.pop();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+Result<double> PairSimilarity(const Tensor& embeddings, NodeId a, NodeId b,
+                              Similarity similarity) {
+  if (embeddings.rank() != 2) {
+    return Status::InvalidArgument("embeddings must be a matrix");
+  }
+  if (a >= embeddings.rows() || b >= embeddings.rows()) {
+    return Status::OutOfRange("node outside embedding matrix");
+  }
+  return Score(embeddings.Row(a), embeddings.Row(b), embeddings.cols(),
+               similarity);
+}
+
+}  // namespace ehna

@@ -1,0 +1,40 @@
+#ifndef EHNA_EVAL_KNN_H_
+#define EHNA_EVAL_KNN_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "nn/tensor.h"
+#include "util/status.h"
+
+namespace ehna {
+
+/// Similarity used by nearest-neighbor queries over an embedding matrix.
+enum class Similarity {
+  kDotProduct,          // the paper's reconstruction metric.
+  kCosine,              // dot product on L2-normalized vectors.
+  kNegativeEuclidean,   // -||a-b||^2, the metric EHNA optimizes.
+};
+
+/// One nearest-neighbor hit.
+struct Neighbor {
+  NodeId node = 0;
+  double score = 0.0;
+};
+
+/// Exact top-k search: returns the `k` highest-scoring nodes for `query`
+/// (excluding the query itself), sorted by descending score. O(N·d) per
+/// query with an O(N log k) heap — appropriate for the graph sizes this
+/// library targets; callers needing sublinear search should index the
+/// matrix externally.
+Result<std::vector<Neighbor>> TopKNeighbors(const Tensor& embeddings,
+                                            NodeId query, size_t k,
+                                            Similarity similarity);
+
+/// Pairwise similarity of two rows of `embeddings`.
+Result<double> PairSimilarity(const Tensor& embeddings, NodeId a, NodeId b,
+                              Similarity similarity);
+
+}  // namespace ehna
+
+#endif  // EHNA_EVAL_KNN_H_

@@ -1,0 +1,195 @@
+#include "eval/link_prediction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/rng.h"
+
+namespace ehna {
+
+namespace {
+
+/// Repeated 50/50 classify-and-score over prebuilt features: shuffle,
+/// split, standardize with train statistics, fit logistic regression,
+/// average the metrics. Shared by the single-operator and combined-
+/// operator entry points.
+Result<BinaryMetrics> RunClassificationProtocol(
+    const Tensor& features, const std::vector<int>& labels,
+    const LinkPredictionOptions& options) {
+  const size_t n = static_cast<size_t>(features.rows());
+  const int64_t d = features.cols();
+
+  Rng rng(options.seed);
+  BinaryMetrics total;
+  for (int rep = 0; rep < options.repeats; ++rep) {
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    rng.Shuffle(&order);
+    const size_t train_n =
+        static_cast<size_t>(static_cast<double>(n) * options.train_fraction);
+    if (train_n == 0 || train_n >= n) {
+      return Status::FailedPrecondition("degenerate train/test split");
+    }
+
+    Tensor train_x(static_cast<int64_t>(train_n), d);
+    std::vector<int> train_y(train_n);
+    Tensor test_x(static_cast<int64_t>(n - train_n), d);
+    std::vector<int> test_y(n - train_n);
+    for (size_t i = 0; i < n; ++i) {
+      const float* src = features.Row(static_cast<int64_t>(order[i]));
+      float* dst = i < train_n
+                       ? train_x.Row(static_cast<int64_t>(i))
+                       : test_x.Row(static_cast<int64_t>(i - train_n));
+      std::copy(src, src + d, dst);
+      (i < train_n ? train_y[i] : test_y[i - train_n]) = labels[order[i]];
+    }
+
+    // Standardize features with train-split statistics (unit-norm
+    // embeddings produce tiny raw feature magnitudes that starve the
+    // classifier; LIBLINEAR practice is to scale inputs).
+    std::vector<float> mean(d, 0.0f), inv_std(d, 0.0f);
+    for (size_t i = 0; i < train_n; ++i) {
+      const float* row = train_x.Row(static_cast<int64_t>(i));
+      for (int64_t j = 0; j < d; ++j) mean[j] += row[j];
+    }
+    for (int64_t j = 0; j < d; ++j) mean[j] /= static_cast<float>(train_n);
+    for (size_t i = 0; i < train_n; ++i) {
+      const float* row = train_x.Row(static_cast<int64_t>(i));
+      for (int64_t j = 0; j < d; ++j) {
+        const float diff = row[j] - mean[j];
+        inv_std[j] += diff * diff;
+      }
+    }
+    for (int64_t j = 0; j < d; ++j) {
+      inv_std[j] =
+          1.0f / std::max(1e-6f, std::sqrt(inv_std[j] /
+                                           static_cast<float>(train_n)));
+    }
+    auto standardize = [&](Tensor* x) {
+      for (int64_t i = 0; i < x->rows(); ++i) {
+        float* row = x->Row(i);
+        for (int64_t j = 0; j < d; ++j) {
+          row[j] = (row[j] - mean[j]) * inv_std[j];
+        }
+      }
+    };
+    standardize(&train_x);
+    standardize(&test_x);
+
+    LogisticRegressionConfig cfg = options.classifier;
+    cfg.seed = options.classifier.seed + static_cast<uint64_t>(rep);
+    LogisticRegression clf(cfg);
+    EHNA_RETURN_NOT_OK(clf.Fit(train_x, train_y));
+    const std::vector<double> probs = clf.PredictProba(test_x);
+    EHNA_ASSIGN_OR_RETURN(const BinaryMetrics m,
+                          ComputeBinaryMetrics(probs, test_y));
+    total.auc += m.auc;
+    total.f1 += m.f1;
+    total.precision += m.precision;
+    total.recall += m.recall;
+    total.accuracy += m.accuracy;
+  }
+  const double inv = 1.0 / options.repeats;
+  total.auc *= inv;
+  total.f1 *= inv;
+  total.precision *= inv;
+  total.recall *= inv;
+  total.accuracy *= inv;
+  return total;
+}
+
+/// Builds the feature matrix for the split's positive + negative pairs,
+/// one block of `dim` columns per operator in `ops`.
+Result<Tensor> BuildEdgeFeatures(const TemporalSplit& split,
+                                 const Tensor& embeddings,
+                                 const std::vector<EdgeOperator>& ops,
+                                 std::vector<int>* labels) {
+  const int64_t d = embeddings.cols();
+  const int64_t nodes = embeddings.rows();
+  const size_t n = split.test_positive.size() + split.test_negative.size();
+  const int64_t blocks = static_cast<int64_t>(ops.size());
+
+  Tensor features(static_cast<int64_t>(n), d * blocks);
+  labels->assign(n, 0);
+  int64_t row = 0;
+  auto emit = [&](NodeId u, NodeId v, int label) -> Status {
+    if (u >= nodes || v >= nodes) {
+      return Status::OutOfRange("pair endpoint outside embedding matrix");
+    }
+    for (int64_t b = 0; b < blocks; ++b) {
+      ApplyEdgeOperator(ops[static_cast<size_t>(b)], embeddings.Row(u),
+                        embeddings.Row(v), d, features.Row(row) + b * d);
+    }
+    (*labels)[row] = label;
+    ++row;
+    return Status::OK();
+  };
+  for (const auto& e : split.test_positive) {
+    EHNA_RETURN_NOT_OK(emit(e.src, e.dst, 1));
+  }
+  for (const auto& [u, v] : split.test_negative) {
+    EHNA_RETURN_NOT_OK(emit(u, v, 0));
+  }
+  return features;
+}
+
+Status ValidateInputs(const TemporalSplit& split, const Tensor& embeddings,
+                      const LinkPredictionOptions& options) {
+  if (embeddings.rank() != 2) {
+    return Status::InvalidArgument("embeddings must be a matrix");
+  }
+  if (split.test_positive.empty() || split.test_negative.empty()) {
+    return Status::InvalidArgument("split has no test examples");
+  }
+  if (options.train_fraction <= 0.0 || options.train_fraction >= 1.0) {
+    return Status::InvalidArgument("train_fraction must be in (0,1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BinaryMetrics> EvaluateLinkPrediction(
+    const TemporalSplit& split, const Tensor& embeddings, EdgeOperator op,
+    const LinkPredictionOptions& options) {
+  EHNA_RETURN_NOT_OK(ValidateInputs(split, embeddings, options));
+  std::vector<int> labels;
+  EHNA_ASSIGN_OR_RETURN(const Tensor features,
+                        BuildEdgeFeatures(split, embeddings, {op}, &labels));
+  return RunClassificationProtocol(features, labels, options);
+}
+
+Result<std::vector<BinaryMetrics>> EvaluateLinkPredictionAllOperators(
+    const TemporalSplit& split, const Tensor& embeddings,
+    const LinkPredictionOptions& options) {
+  std::vector<BinaryMetrics> out;
+  out.reserve(kAllEdgeOperators.size());
+  for (EdgeOperator op : kAllEdgeOperators) {
+    EHNA_ASSIGN_OR_RETURN(
+        BinaryMetrics m, EvaluateLinkPrediction(split, embeddings, op, options));
+    out.push_back(m);
+  }
+  return out;
+}
+
+Result<BinaryMetrics> EvaluateLinkPredictionCombined(
+    const TemporalSplit& split, const Tensor& embeddings,
+    const std::vector<EdgeOperator>& ops,
+    const LinkPredictionOptions& options) {
+  EHNA_RETURN_NOT_OK(ValidateInputs(split, embeddings, options));
+  if (ops.empty()) {
+    return Status::InvalidArgument("need at least one operator");
+  }
+  std::set<EdgeOperator> distinct(ops.begin(), ops.end());
+  if (distinct.size() != ops.size()) {
+    return Status::InvalidArgument("duplicate operators in combination");
+  }
+  std::vector<int> labels;
+  EHNA_ASSIGN_OR_RETURN(const Tensor features,
+                        BuildEdgeFeatures(split, embeddings, ops, &labels));
+  return RunClassificationProtocol(features, labels, options);
+}
+
+}  // namespace ehna

@@ -1,0 +1,51 @@
+#ifndef EHNA_EVAL_LINK_PREDICTION_H_
+#define EHNA_EVAL_LINK_PREDICTION_H_
+
+#include <vector>
+
+#include "eval/edge_ops.h"
+#include "eval/logistic_regression.h"
+#include "eval/metrics.h"
+#include "graph/split.h"
+#include "nn/tensor.h"
+#include "util/status.h"
+
+namespace ehna {
+
+/// Parameters of the link-prediction evaluation (§V.E): edge
+/// representations from a binary operator, a 50/50 train/test split of the
+/// positive+negative examples, a logistic-regression classifier, repeated
+/// `repeats` times with different splits and averaged.
+struct LinkPredictionOptions {
+  double train_fraction = 0.5;
+  int repeats = 3;  // paper: 10.
+  LogisticRegressionConfig classifier;
+  uint64_t seed = 13;
+};
+
+/// Evaluates one operator: builds edge features from `embeddings` for the
+/// split's positive and negative pairs, then runs the classify-and-score
+/// protocol. Returns averaged metrics.
+Result<BinaryMetrics> EvaluateLinkPrediction(
+    const TemporalSplit& split, const Tensor& embeddings, EdgeOperator op,
+    const LinkPredictionOptions& options);
+
+/// Convenience: all four operators of Table II, in kAllEdgeOperators order.
+Result<std::vector<BinaryMetrics>> EvaluateLinkPredictionAllOperators(
+    const TemporalSplit& split, const Tensor& embeddings,
+    const LinkPredictionOptions& options);
+
+/// The paper's stated future work (§V.E: "we are unaware of any systematic
+/// and sensible evaluation of combining operators ... we leave this
+/// exploration to further work"): concatenates the edge representations of
+/// several operators into one feature vector per pair and runs the same
+/// classify-and-score protocol. `ops` must be non-empty and
+/// duplicate-free.
+Result<BinaryMetrics> EvaluateLinkPredictionCombined(
+    const TemporalSplit& split, const Tensor& embeddings,
+    const std::vector<EdgeOperator>& ops,
+    const LinkPredictionOptions& options);
+
+}  // namespace ehna
+
+#endif  // EHNA_EVAL_LINK_PREDICTION_H_

@@ -1,0 +1,100 @@
+#include "eval/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ehna {
+
+namespace {
+double StableSigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+}  // namespace
+
+Status LogisticRegression::Fit(const Tensor& features,
+                               const std::vector<int>& labels) {
+  if (features.rank() != 2 || features.rows() == 0) {
+    return Status::InvalidArgument("features must be a non-empty matrix");
+  }
+  if (static_cast<size_t>(features.rows()) != labels.size()) {
+    return Status::InvalidArgument("features/labels size mismatch");
+  }
+  for (int y : labels) {
+    if (y != 0 && y != 1) return Status::InvalidArgument("labels must be 0/1");
+  }
+
+  const int64_t n = features.rows();
+  const int64_t d = features.cols();
+  w_.assign(d, 0.0f);
+  b_ = 0.0f;
+
+  // Adam state.
+  std::vector<float> m(d + 1, 0.0f), v(d + 1, 0.0f);
+  int64_t t = 0;
+  const float beta1 = 0.9f, beta2 = 0.999f, eps = 1e-8f;
+
+  Rng rng(config_.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+
+  std::vector<float> gw(d);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    size_t i = 0;
+    while (i < order.size()) {
+      std::fill(gw.begin(), gw.end(), 0.0f);
+      float gb = 0.0f;
+      int count = 0;
+      for (; count < config_.batch && i < order.size(); ++i, ++count) {
+        const size_t row = order[i];
+        const float* x = features.Row(static_cast<int64_t>(row));
+        double z = b_;
+        for (int64_t j = 0; j < d; ++j) z += w_[j] * x[j];
+        const float err =
+            static_cast<float>(StableSigmoid(z) - labels[row]);
+        for (int64_t j = 0; j < d; ++j) gw[j] += err * x[j];
+        gb += err;
+      }
+      const float inv = 1.0f / static_cast<float>(count);
+      for (int64_t j = 0; j < d; ++j) gw[j] = gw[j] * inv + config_.l2 * w_[j];
+      gb *= inv;
+
+      ++t;
+      const float bc1 = 1.0f - std::pow(beta1, static_cast<float>(t));
+      const float bc2 = 1.0f - std::pow(beta2, static_cast<float>(t));
+      auto adam = [&](float g, float* param, int64_t slot) {
+        m[slot] = beta1 * m[slot] + (1.0f - beta1) * g;
+        v[slot] = beta2 * v[slot] + (1.0f - beta2) * g * g;
+        *param -= config_.learning_rate * (m[slot] / bc1) /
+                  (std::sqrt(v[slot] / bc2) + eps);
+      };
+      for (int64_t j = 0; j < d; ++j) adam(gw[j], &w_[j], j);
+      adam(gb, &b_, d);
+    }
+  }
+  return Status::OK();
+}
+
+double LogisticRegression::PredictProba(const float* x) const {
+  double z = b_;
+  for (size_t j = 0; j < w_.size(); ++j) z += w_[j] * x[j];
+  return StableSigmoid(z);
+}
+
+std::vector<double> LogisticRegression::PredictProba(
+    const Tensor& features) const {
+  EHNA_CHECK_EQ(features.cols(), static_cast<int64_t>(w_.size()));
+  std::vector<double> out(features.rows());
+  for (int64_t i = 0; i < features.rows(); ++i) {
+    out[i] = PredictProba(features.Row(i));
+  }
+  return out;
+}
+
+}  // namespace ehna

@@ -1,0 +1,52 @@
+#ifndef EHNA_EVAL_LOGISTIC_REGRESSION_H_
+#define EHNA_EVAL_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ehna {
+
+/// Configuration of the L2-regularized binary logistic-regression
+/// classifier used by the link-prediction protocol (the paper trains
+/// LIBLINEAR; this is the same model class optimized by mini-batch Adam,
+/// which gives all embedding methods the same footing — see DESIGN.md §4).
+struct LogisticRegressionConfig {
+  float learning_rate = 0.05f;
+  int epochs = 60;
+  int batch = 64;
+  /// L2 penalty weight (LIBLINEAR's 1/(2C); default matches C = 1 at
+  /// n ~ a few thousand examples).
+  float l2 = 1e-4f;
+  uint64_t seed = 7;
+};
+
+/// Binary logistic regression over dense float features.
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticRegressionConfig config = {})
+      : config_(config) {}
+
+  /// Fits on `features` [n, d] with labels in {0, 1}.
+  Status Fit(const Tensor& features, const std::vector<int>& labels);
+
+  /// P(y = 1 | x) for one feature row of the fitted dimensionality.
+  double PredictProba(const float* x) const;
+
+  /// Probabilities for every row of `features`.
+  std::vector<double> PredictProba(const Tensor& features) const;
+
+  const std::vector<float>& weights() const { return w_; }
+  float bias() const { return b_; }
+
+ private:
+  LogisticRegressionConfig config_;
+  std::vector<float> w_;
+  float b_ = 0.0f;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_EVAL_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,82 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ehna {
+
+Result<double> AreaUnderRoc(const std::vector<double>& scores,
+                            const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores/labels size mismatch");
+  }
+  const size_t n = scores.size();
+  size_t pos = 0;
+  for (int y : labels) {
+    if (y != 0 && y != 1) {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+    pos += static_cast<size_t>(y);
+  }
+  const size_t neg = n - pos;
+  if (pos == 0 || neg == 0) {
+    return Status::InvalidArgument("AUC needs both classes present");
+  }
+
+  // Average ranks with tie handling.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[idx[j + 1]] == scores[idx[i]]) ++j;
+    // Ranks are 1-based; ties share the average rank of the run [i, j].
+    const double avg_rank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) {
+      if (labels[idx[k]] == 1) rank_sum_pos += avg_rank;
+    }
+    i = j + 1;
+  }
+  const double auc =
+      (rank_sum_pos - static_cast<double>(pos) * (pos + 1) / 2.0) /
+      (static_cast<double>(pos) * static_cast<double>(neg));
+  return auc;
+}
+
+Result<BinaryMetrics> ComputeBinaryMetrics(const std::vector<double>& scores,
+                                           const std::vector<int>& labels,
+                                           double threshold) {
+  EHNA_ASSIGN_OR_RETURN(const double auc, AreaUnderRoc(scores, labels));
+  size_t tp = 0, fp = 0, tn = 0, fn = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool pred = scores[i] >= threshold;
+    if (pred && labels[i] == 1) ++tp;
+    else if (pred && labels[i] == 0) ++fp;
+    else if (!pred && labels[i] == 0) ++tn;
+    else ++fn;
+  }
+  BinaryMetrics m;
+  m.auc = auc;
+  m.precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  m.recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  m.f1 = m.precision + m.recall > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  m.accuracy = scores.empty()
+                   ? 0.0
+                   : static_cast<double>(tp + tn) / scores.size();
+  return m;
+}
+
+double ErrorReduction(double best_baseline, double ours) {
+  const double denom = 1.0 - best_baseline;
+  if (std::abs(denom) < 1e-12) return 0.0;
+  return ((1.0 - best_baseline) - (1.0 - ours)) / denom;
+}
+
+}  // namespace ehna

@@ -1,0 +1,39 @@
+#ifndef EHNA_EVAL_METRICS_H_
+#define EHNA_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace ehna {
+
+/// Classification quality metrics for a binary task (the link-prediction
+/// tables report AUC, F1, Precision and Recall).
+struct BinaryMetrics {
+  double auc = 0.0;
+  double f1 = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Area under the ROC curve from scores and 0/1 labels, computed by the
+/// rank statistic (ties get the average rank). Returns InvalidArgument if
+/// either class is absent.
+Result<double> AreaUnderRoc(const std::vector<double>& scores,
+                            const std::vector<int>& labels);
+
+/// Precision/recall/F1/accuracy at the given probability threshold plus
+/// AUC. `scores` are probabilities (or any monotone score for AUC).
+Result<BinaryMetrics> ComputeBinaryMetrics(const std::vector<double>& scores,
+                                           const std::vector<int>& labels,
+                                           double threshold = 0.5);
+
+/// The paper's "Error Reduction" (Abu-El-Haija et al.):
+/// ((1 - them) - (1 - us)) / (1 - them), where `them` is the best baseline
+/// score and `us` is EHNA's. Positive numbers favour `us`.
+double ErrorReduction(double best_baseline, double ours);
+
+}  // namespace ehna
+
+#endif  // EHNA_EVAL_METRICS_H_

@@ -1,0 +1,113 @@
+#include "eval/ranking_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ehna {
+
+namespace {
+
+/// Indices sorted by descending score (stable, so ties keep input order).
+Result<std::vector<size_t>> RankedOrder(const std::vector<double>& scores,
+                                        const std::vector<int>& relevance) {
+  if (scores.size() != relevance.size()) {
+    return Status::InvalidArgument("scores/relevance size mismatch");
+  }
+  if (scores.empty()) {
+    return Status::InvalidArgument("empty candidate list");
+  }
+  for (int r : relevance) {
+    if (r != 0 && r != 1) {
+      return Status::InvalidArgument("relevance labels must be 0/1");
+    }
+  }
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  return order;
+}
+
+size_t TotalRelevant(const std::vector<int>& relevance) {
+  size_t n = 0;
+  for (int r : relevance) n += static_cast<size_t>(r);
+  return n;
+}
+
+}  // namespace
+
+Result<double> PrecisionAtK(const std::vector<double>& scores,
+                            const std::vector<int>& relevance, size_t k) {
+  EHNA_ASSIGN_OR_RETURN(const std::vector<size_t> order,
+                        RankedOrder(scores, relevance));
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  k = std::min(k, order.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < k; ++i) hits += relevance[order[i]];
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+Result<double> RecallAtK(const std::vector<double>& scores,
+                         const std::vector<int>& relevance, size_t k) {
+  EHNA_ASSIGN_OR_RETURN(const std::vector<size_t> order,
+                        RankedOrder(scores, relevance));
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  const size_t total = TotalRelevant(relevance);
+  if (total == 0) return Status::InvalidArgument("no relevant items");
+  k = std::min(k, order.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < k; ++i) hits += relevance[order[i]];
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+Result<double> AveragePrecision(const std::vector<double>& scores,
+                                const std::vector<int>& relevance) {
+  EHNA_ASSIGN_OR_RETURN(const std::vector<size_t> order,
+                        RankedOrder(scores, relevance));
+  const size_t total = TotalRelevant(relevance);
+  if (total == 0) return Status::InvalidArgument("no relevant items");
+  double sum = 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (relevance[order[i]] == 1) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(total);
+}
+
+Result<double> ReciprocalRank(const std::vector<double>& scores,
+                              const std::vector<int>& relevance) {
+  EHNA_ASSIGN_OR_RETURN(const std::vector<size_t> order,
+                        RankedOrder(scores, relevance));
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (relevance[order[i]] == 1) {
+      return 1.0 / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+Result<double> NdcgAtK(const std::vector<double>& scores,
+                       const std::vector<int>& relevance, size_t k) {
+  EHNA_ASSIGN_OR_RETURN(const std::vector<size_t> order,
+                        RankedOrder(scores, relevance));
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  const size_t total = TotalRelevant(relevance);
+  if (total == 0) return Status::InvalidArgument("no relevant items");
+  k = std::min(k, order.size());
+  double dcg = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    if (relevance[order[i]] == 1) dcg += 1.0 / std::log2(i + 2.0);
+  }
+  double ideal = 0.0;
+  for (size_t i = 0; i < std::min(k, total); ++i) {
+    ideal += 1.0 / std::log2(i + 2.0);
+  }
+  return dcg / ideal;
+}
+
+}  // namespace ehna

@@ -1,0 +1,43 @@
+#ifndef EHNA_EVAL_RANKING_METRICS_H_
+#define EHNA_EVAL_RANKING_METRICS_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace ehna {
+
+/// Ranking-quality metrics over a scored candidate list, complementing the
+/// paper's Precision@P with the standard retrieval suite (used by the
+/// reconstruction analyses and available to library users for
+/// recommendation-style evaluations).
+///
+/// All functions take parallel `scores` (higher = ranked earlier) and 0/1
+/// `relevance` labels; ties are broken by original index, matching a
+/// stable sort of the candidates.
+
+/// Precision@k: fraction of the top-k that is relevant. k is clamped to
+/// the list size.
+Result<double> PrecisionAtK(const std::vector<double>& scores,
+                            const std::vector<int>& relevance, size_t k);
+
+/// Recall@k: fraction of all relevant items that appear in the top-k.
+Result<double> RecallAtK(const std::vector<double>& scores,
+                         const std::vector<int>& relevance, size_t k);
+
+/// Average precision: mean of Precision@rank over the ranks of relevant
+/// items (the building block of MAP).
+Result<double> AveragePrecision(const std::vector<double>& scores,
+                                const std::vector<int>& relevance);
+
+/// Reciprocal rank of the first relevant item (0 if none).
+Result<double> ReciprocalRank(const std::vector<double>& scores,
+                              const std::vector<int>& relevance);
+
+/// Normalized discounted cumulative gain at k with binary gains.
+Result<double> NdcgAtK(const std::vector<double>& scores,
+                       const std::vector<int>& relevance, size_t k);
+
+}  // namespace ehna
+
+#endif  // EHNA_EVAL_RANKING_METRICS_H_

@@ -1,0 +1,81 @@
+#include "eval/reconstruction.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ehna {
+
+Result<std::vector<double>> EvaluateReconstruction(
+    const TemporalGraph& graph, const Tensor& embeddings,
+    const ReconstructionOptions& options) {
+  if (embeddings.rank() != 2 ||
+      embeddings.rows() != static_cast<int64_t>(graph.num_nodes())) {
+    return Status::InvalidArgument(
+        "embeddings must be [num_nodes, dim] for this graph");
+  }
+  if (options.precision_at.empty()) {
+    return Status::InvalidArgument("no P values requested");
+  }
+  if (options.sample_nodes < 2) {
+    return Status::InvalidArgument("need at least 2 sampled nodes");
+  }
+  if (options.repeats < 1) {
+    return Status::InvalidArgument("repeats must be >= 1");
+  }
+
+  Rng rng(options.seed);
+  const int64_t d = embeddings.cols();
+  std::vector<double> totals(options.precision_at.size(), 0.0);
+
+  for (int rep = 0; rep < options.repeats; ++rep) {
+    const std::vector<size_t> sample = rng.SampleWithoutReplacement(
+        graph.num_nodes(), options.sample_nodes);
+
+    // Score all pairs among the sample.
+    struct ScoredPair {
+      float score;
+      NodeId u, v;
+    };
+    std::vector<ScoredPair> pairs;
+    pairs.reserve(sample.size() * (sample.size() - 1) / 2);
+    for (size_t a = 0; a < sample.size(); ++a) {
+      const float* ea = embeddings.Row(static_cast<int64_t>(sample[a]));
+      for (size_t b = a + 1; b < sample.size(); ++b) {
+        const float* eb = embeddings.Row(static_cast<int64_t>(sample[b]));
+        float dot = 0.0f;
+        for (int64_t j = 0; j < d; ++j) dot += ea[j] * eb[j];
+        pairs.push_back(ScoredPair{dot, static_cast<NodeId>(sample[a]),
+                                   static_cast<NodeId>(sample[b])});
+      }
+    }
+
+    // Only the largest requested P pairs matter: partial sort.
+    const size_t max_p =
+        std::min(pairs.size(),
+                 *std::max_element(options.precision_at.begin(),
+                                   options.precision_at.end()));
+    std::partial_sort(pairs.begin(), pairs.begin() + max_p, pairs.end(),
+                      [](const ScoredPair& a, const ScoredPair& b) {
+                        return a.score > b.score;
+                      });
+
+    // Cumulative hits over the ranked prefix, then read off each P.
+    std::vector<size_t> cumulative_hits(max_p + 1, 0);
+    for (size_t i = 0; i < max_p; ++i) {
+      cumulative_hits[i + 1] =
+          cumulative_hits[i] +
+          (graph.HasEdge(pairs[i].u, pairs[i].v) ? 1 : 0);
+    }
+    for (size_t pi = 0; pi < options.precision_at.size(); ++pi) {
+      const size_t p = std::min(options.precision_at[pi], max_p);
+      totals[pi] += p == 0 ? 0.0
+                           : static_cast<double>(cumulative_hits[p]) /
+                                 static_cast<double>(p);
+    }
+  }
+
+  for (double& t : totals) t /= options.repeats;
+  return totals;
+}
+
+}  // namespace ehna

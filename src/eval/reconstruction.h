@@ -1,0 +1,33 @@
+#ifndef EHNA_EVAL_RECONSTRUCTION_H_
+#define EHNA_EVAL_RECONSTRUCTION_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ehna {
+
+/// Parameters of the network-reconstruction protocol (§V.D): sample
+/// `sample_nodes` nodes, rank all pairs among them by dot-product
+/// similarity (descending), and report Precision@P — the fraction of the
+/// top-P ranked pairs that are true edges of the original network — for
+/// each requested P. Repeated `repeats` times and averaged.
+struct ReconstructionOptions {
+  size_t sample_nodes = 500;  // paper: 10'000 (scaled; see DESIGN.md §4).
+  int repeats = 3;            // paper: 10.
+  std::vector<size_t> precision_at;  // the P values (paper: 1e2 .. 1e6).
+  uint64_t seed = 11;
+};
+
+/// Precision@P for every requested P, aligned with
+/// `ReconstructionOptions::precision_at`.
+Result<std::vector<double>> EvaluateReconstruction(
+    const TemporalGraph& graph, const Tensor& embeddings,
+    const ReconstructionOptions& options);
+
+}  // namespace ehna
+
+#endif  // EHNA_EVAL_RECONSTRUCTION_H_

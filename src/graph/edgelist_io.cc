@@ -1,0 +1,59 @@
+#include "graph/edgelist_io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ehna {
+
+Result<std::vector<TemporalEdge>> ReadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+
+  std::vector<TemporalEdge> edges;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    long long src = -1, dst = -1;
+    double time = 0.0;
+    double weight = 1.0;
+    if (!(ls >> src >> dst >> time)) {
+      return Status::InvalidArgument("malformed edge at " + path + ":" +
+                                     std::to_string(lineno));
+    }
+    ls >> weight;  // optional; leaves 1.0 if absent.
+    if (src < 0 || dst < 0 ||
+        src > static_cast<long long>(kInvalidNode) - 1 ||
+        dst > static_cast<long long>(kInvalidNode) - 1) {
+      return Status::InvalidArgument("node id out of range at " + path + ":" +
+                                     std::to_string(lineno));
+    }
+    edges.push_back(TemporalEdge{static_cast<NodeId>(src),
+                                 static_cast<NodeId>(dst), time,
+                                 static_cast<float>(weight)});
+  }
+  return edges;
+}
+
+Status WriteEdgeList(const std::string& path,
+                     const std::vector<TemporalEdge>& edges) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  for (const auto& e : edges) {
+    out << e.src << " " << e.dst << " " << e.time << " " << e.weight << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<TemporalGraph> LoadTemporalGraph(const std::string& path,
+                                        bool directed) {
+  EHNA_ASSIGN_OR_RETURN(std::vector<TemporalEdge> edges, ReadEdgeList(path));
+  return TemporalGraph::FromEdges(std::move(edges), /*num_nodes=*/0, directed);
+}
+
+}  // namespace ehna

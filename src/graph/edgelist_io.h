@@ -1,0 +1,28 @@
+#ifndef EHNA_GRAPH_EDGELIST_IO_H_
+#define EHNA_GRAPH_EDGELIST_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+
+namespace ehna {
+
+/// Parses a whitespace-separated temporal edge list. Each non-empty,
+/// non-comment ('#' or '%') line is `src dst time [weight]`. This matches the
+/// common format of the SNAP / KONECT temporal datasets the paper uses, so a
+/// user with the real Digg/DBLP dumps can load them directly.
+Result<std::vector<TemporalEdge>> ReadEdgeList(const std::string& path);
+
+/// Writes edges as `src dst time weight` lines.
+Status WriteEdgeList(const std::string& path,
+                     const std::vector<TemporalEdge>& edges);
+
+/// Convenience: ReadEdgeList + TemporalGraph::FromEdges.
+Result<TemporalGraph> LoadTemporalGraph(const std::string& path,
+                                        bool directed = false);
+
+}  // namespace ehna
+
+#endif  // EHNA_GRAPH_EDGELIST_IO_H_

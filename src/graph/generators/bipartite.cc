@@ -1,0 +1,210 @@
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/generators/generators.h"
+#include "util/alias_sampler.h"
+
+namespace ehna {
+
+namespace {
+
+uint64_t PackPair(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+/// Time-varying item attractiveness: zero before the item emerges, a sharp
+/// onset at emergence, then exponential decay with the mode's trend
+/// duration. Established items (early emergence) keep a baseline floor so
+/// the catalogue never empties.
+double ItemWeight(double base_popularity, double emergence, double now,
+                  double trend_duration) {
+  if (now < emergence) return 0.0;
+  const double age = now - emergence;
+  const double trending = std::exp(-age / trend_duration);
+  return base_popularity * (0.15 + trending);
+}
+
+}  // namespace
+
+Result<TemporalGraph> MakeBipartiteGraph(const BipartiteGraphOptions& options) {
+  if (options.num_users < 2 || options.num_items < 2) {
+    return Status::InvalidArgument("need at least 2 users and 2 items");
+  }
+  if (options.num_edges < 10) {
+    return Status::InvalidArgument("num_edges must be >= 10");
+  }
+  Rng rng(options.seed);
+
+  const double horizon = static_cast<double>(options.num_edges);
+  const bool purchase = options.mode == BipartiteMode::kPurchase;
+  const double trend_duration = (purchase ? 0.06 : 0.30) * horizon;
+  const double alpha =
+      purchase ? options.popularity_alpha + 0.4 : options.popularity_alpha;
+
+  // Item base popularity (power law) and emergence times. A third of the
+  // catalogue is "established" (emerges at t=0); the rest trickles in over
+  // the first 80% of the horizon so late test edges hit recently trending
+  // items.
+  std::vector<double> base_pop(options.num_items);
+  std::vector<double> emergence(options.num_items);
+  for (NodeId i = 0; i < options.num_items; ++i) {
+    base_pop[i] = static_cast<double>(rng.PowerLaw(alpha, 1000));
+    emergence[i] = rng.Bernoulli(0.33) ? 0.0 : rng.Uniform(0.0, 0.8 * horizon);
+  }
+
+  // User activity propensity (power law) — heavy users dominate, as in both
+  // datasets.
+  std::vector<double> user_propensity(options.num_users);
+  for (NodeId u = 0; u < options.num_users; ++u) {
+    user_propensity[u] = static_cast<double>(rng.PowerLaw(1.6, 200));
+  }
+  AliasSampler user_sampler(user_propensity);
+
+  // The item distribution drifts over time; rebuild its alias table on a
+  // fixed schedule instead of per event.
+  const size_t num_epochs = 50;
+  const size_t epoch_len = std::max<size_t>(1, options.num_edges / num_epochs);
+  AliasSampler item_sampler;
+  auto rebuild_items = [&](double now) {
+    std::vector<double> w(options.num_items);
+    for (NodeId i = 0; i < options.num_items; ++i) {
+      w[i] = ItemWeight(base_pop[i], emergence[i], now, trend_duration);
+    }
+    item_sampler.Build(w);
+  };
+
+  std::unordered_set<uint64_t> seen;  // dedup for review mode.
+  std::vector<TemporalEdge> edges;
+  edges.reserve(options.num_edges);
+
+  size_t event = 0;
+  NodeId session_user = kInvalidNode;
+  size_t session_left = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = options.num_edges * 60 + 1000;
+  while (edges.size() < options.num_edges && attempts < max_attempts) {
+    ++attempts;
+    if (event % epoch_len == 0 || item_sampler.empty()) {
+      rebuild_items(static_cast<double>(event));
+    }
+    if (session_left == 0 || session_user == kInvalidNode) {
+      session_user = static_cast<NodeId>(user_sampler.Sample(&rng));
+      session_left = 1 + static_cast<size_t>(rng.Exponential(
+                             1.0 / std::max(0.5, options.session_burst_mean)));
+    }
+    if (item_sampler.empty()) {
+      return Status::Internal("no item has positive weight");
+    }
+    const NodeId item_local = static_cast<NodeId>(item_sampler.Sample(&rng));
+    const NodeId item = options.num_users + item_local;
+
+    if (!purchase) {
+      // A user reviews a business at most once. On a collision, end the
+      // session so a fresh user is drawn — otherwise a heavy user stuck on
+      // the trending catalogue head can stall the generator.
+      if (!seen.insert(PackPair(session_user, item)).second) {
+        session_left = 0;
+        continue;
+      }
+    }
+    const Timestamp t = static_cast<Timestamp>(event);
+    edges.push_back(TemporalEdge{session_user, item, t, 1.0f});
+    ++event;
+    --session_left;
+  }
+  if (edges.size() < options.num_edges) {
+    return Status::Internal("bipartite generator stalled (catalogue too "
+                            "small for deduplicated reviews?)");
+  }
+  return TemporalGraph::FromEdges(std::move(edges),
+                                  options.num_users + options.num_items,
+                                  /*directed=*/false);
+}
+
+Result<TemporalGraph> MakeRandomGraph(const RandomGraphOptions& options) {
+  if (options.num_nodes < 2) {
+    return Status::InvalidArgument("num_nodes must be >= 2");
+  }
+  Rng rng(options.seed);
+  std::unordered_set<uint64_t> seen;
+  std::vector<TemporalEdge> edges;
+  edges.reserve(options.num_edges);
+  size_t attempts = 0;
+  while (edges.size() < options.num_edges &&
+         attempts < options.num_edges * 100 + 1000) {
+    ++attempts;
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(options.num_nodes));
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(options.num_nodes));
+    if (u == v) continue;
+    const uint64_t key = u < v ? PackPair(u, v) : PackPair(v, u);
+    if (!seen.insert(key).second) continue;
+    edges.push_back(TemporalEdge{u, v,
+                                 static_cast<Timestamp>(edges.size()), 1.0f});
+  }
+  if (edges.size() < options.num_edges) {
+    return Status::InvalidArgument("num_edges too large for simple graph");
+  }
+  return TemporalGraph::FromEdges(std::move(edges), options.num_nodes,
+                                  /*directed=*/false);
+}
+
+const char* PaperDatasetName(PaperDataset d) {
+  switch (d) {
+    case PaperDataset::kDigg:
+      return "Digg";
+    case PaperDataset::kYelp:
+      return "Yelp";
+    case PaperDataset::kTmall:
+      return "Tmall";
+    case PaperDataset::kDblp:
+      return "DBLP";
+  }
+  return "?";
+}
+
+Result<TemporalGraph> MakePaperDataset(PaperDataset dataset, double scale,
+                                       uint64_t seed) {
+  if (scale <= 0) return Status::InvalidArgument("scale must be > 0");
+  switch (dataset) {
+    case PaperDataset::kDigg: {
+      SocialGraphOptions o;
+      o.num_nodes = static_cast<NodeId>(2000 * scale);
+      o.num_edges = static_cast<size_t>(12000 * scale);
+      // Keep the community *size* (~15 nodes) scale-invariant so the
+      // planted structure stays equally learnable at every benchmark scale.
+      o.num_communities = std::max(4, static_cast<int>(o.num_nodes / 15));
+      o.intra_community_prob = 0.9;
+      o.seed = seed;
+      return MakeSocialGraph(o);
+    }
+    case PaperDataset::kYelp: {
+      BipartiteGraphOptions o;
+      o.num_users = static_cast<NodeId>(1200 * scale);
+      o.num_items = static_cast<NodeId>(800 * scale);
+      o.num_edges = static_cast<size_t>(15000 * scale);
+      o.mode = BipartiteMode::kReview;
+      o.seed = seed;
+      return MakeBipartiteGraph(o);
+    }
+    case PaperDataset::kTmall: {
+      BipartiteGraphOptions o;
+      o.num_users = static_cast<NodeId>(1400 * scale);
+      o.num_items = static_cast<NodeId>(900 * scale);
+      o.num_edges = static_cast<size_t>(18000 * scale);
+      o.mode = BipartiteMode::kPurchase;
+      o.seed = seed;
+      return MakeBipartiteGraph(o);
+    }
+    case PaperDataset::kDblp: {
+      CoauthorGraphOptions o;
+      o.num_papers = static_cast<size_t>(3500 * scale);
+      o.seed = seed;
+      return MakeCoauthorGraph(o);
+    }
+  }
+  return Status::InvalidArgument("unknown dataset");
+}
+
+}  // namespace ehna

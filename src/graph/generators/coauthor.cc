@@ -1,0 +1,103 @@
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/generators/generators.h"
+#include "graph/generators/recency_buffer.h"
+
+namespace ehna {
+
+namespace {
+using gen_internal::RecencyBuffer;
+using gen_internal::SampleRecentIndex;
+}  // namespace
+
+Result<TemporalGraph> MakeCoauthorGraph(const CoauthorGraphOptions& options) {
+  if (options.num_papers < 2) {
+    return Status::InvalidArgument("num_papers must be >= 2");
+  }
+  if (options.new_author_prob < 0 || options.new_author_prob > 1 ||
+      options.collaborator_prob < 0 || options.collaborator_prob > 1) {
+    return Status::InvalidArgument("probabilities must be in [0,1]");
+  }
+  Rng rng(options.seed);
+
+  const double expected_entries =
+      static_cast<double>(options.num_papers) *
+      (1.0 + options.mean_extra_authors);
+  const double half_life =
+      options.recency_half_life_fraction * expected_entries;
+  RecencyBuffer participants(half_life);
+
+  NodeId next_author = 0;
+  auto new_author = [&]() { return next_author++; };
+
+  // Seed pool so the first papers have someone to collaborate with.
+  for (int i = 0; i < 5; ++i) participants.Append(new_author());
+
+  // Adjacency built incrementally (chronological) for "recent collaborator"
+  // draws.
+  std::vector<std::vector<NodeId>> collab;
+  auto ensure_node = [&](NodeId a) {
+    if (collab.size() <= a) collab.resize(a + 1);
+  };
+
+  std::vector<TemporalEdge> edges;
+  edges.reserve(options.num_papers * 3);
+
+  for (size_t paper = 0; paper < options.num_papers; ++paper) {
+    const Timestamp t = static_cast<Timestamp>(paper);
+    std::vector<NodeId> team;
+    std::unordered_set<NodeId> team_set;
+    auto add_member = [&](NodeId a) {
+      if (team_set.insert(a).second) team.push_back(a);
+    };
+
+    // Lead author.
+    if (rng.Bernoulli(options.new_author_prob)) {
+      add_member(new_author());
+    } else {
+      add_member(participants.Sample(&rng));
+    }
+
+    // Additional authors; at least one so every paper creates edges.
+    const size_t extras = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::round(rng.Exponential(1.0 / std::max(
+                                              0.1, options.mean_extra_authors)))));
+    for (size_t s = 0; s < std::min<size_t>(extras, 6); ++s) {
+      if (rng.Bernoulli(options.new_author_prob)) {
+        add_member(new_author());
+        continue;
+      }
+      if (rng.Bernoulli(options.collaborator_prob)) {
+        // Recent collaborator of an already chosen team member.
+        const NodeId anchor = team[rng.UniformInt(team.size())];
+        if (anchor < collab.size() && !collab[anchor].empty()) {
+          const size_t idx = SampleRecentIndex(
+              collab[anchor].size(), half_life / 4.0, &rng);
+          add_member(collab[anchor][idx]);
+          continue;
+        }
+      }
+      add_member(participants.Sample(&rng));
+    }
+    if (team.size() < 2) add_member(new_author());
+
+    // Clique of co-authorship edges for this paper.
+    for (size_t i = 0; i < team.size(); ++i) {
+      for (size_t j = i + 1; j < team.size(); ++j) {
+        edges.push_back(TemporalEdge{team[i], team[j], t, 1.0f});
+        ensure_node(std::max(team[i], team[j]));
+        collab[team[i]].push_back(team[j]);
+        collab[team[j]].push_back(team[i]);
+      }
+    }
+    for (NodeId a : team) participants.Append(a);
+  }
+
+  return TemporalGraph::FromEdges(std::move(edges), next_author,
+                                  /*directed=*/false);
+}
+
+}  // namespace ehna

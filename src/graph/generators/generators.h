@@ -1,0 +1,116 @@
+#ifndef EHNA_GRAPH_GENERATORS_GENERATORS_H_
+#define EHNA_GRAPH_GENERATORS_GENERATORS_H_
+
+#include <cstddef>
+
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ehna {
+
+// ---------------------------------------------------------------------------
+// Synthetic temporal-network generators.
+//
+// The paper evaluates on four proprietary-scale public dumps (Digg, Yelp,
+// Tmall, DBLP). This repository substitutes scale-parameterized generators
+// that reproduce the *mechanisms* those datasets contribute to the
+// evaluation: recency-driven edge formation (what temporal methods exploit),
+// community / transitive structure (what proximity-preserving methods
+// exploit), and — for Yelp/Tmall — bipartite interaction structure with
+// popularity drift. See DESIGN.md §4 for the substitution rationale.
+//
+// All generators emit integer event indices as timestamps (0, 1, 2, ...);
+// downstream code only ever uses timestamps relative to the graph's span.
+// ---------------------------------------------------------------------------
+
+/// DBLP-like growing co-authorship network: "papers" arrive in chronological
+/// order; each paper's author team mixes recently active authors, brand-new
+/// authors, and recent co-authors of the chosen authors (triadic closure),
+/// then forms a clique of co-authorship edges.
+struct CoauthorGraphOptions {
+  size_t num_papers = 3000;
+  /// Expected team size is roughly 1 + mean_extra_authors.
+  double mean_extra_authors = 1.6;
+  /// Probability a slot introduces a previously unseen author.
+  double new_author_prob = 0.15;
+  /// Probability an additional author is drawn from a chosen author's recent
+  /// collaborators rather than by global recent activity.
+  double collaborator_prob = 0.55;
+  /// Exponential decay rate (per event) of author activity, as a fraction of
+  /// the total event horizon: activity halves every
+  /// `recency_half_life_fraction * num_papers` events.
+  double recency_half_life_fraction = 0.1;
+  uint64_t seed = 1;
+};
+Result<TemporalGraph> MakeCoauthorGraph(const CoauthorGraphOptions& options);
+
+/// Digg-like social friendship network: nodes belong to planted communities;
+/// each new friendship is triadic (friend of a recent friend) with high
+/// probability, otherwise intra-community biased, and initiators are chosen
+/// by recency-weighted activity. Friendships are deduplicated (a friendship
+/// forms once).
+struct SocialGraphOptions {
+  NodeId num_nodes = 2000;
+  size_t num_edges = 12000;
+  int num_communities = 20;
+  /// Probability an edge closes a length-2 path over recent edges.
+  double triadic_prob = 0.55;
+  /// Probability a non-triadic edge stays inside the community.
+  double intra_community_prob = 0.8;
+  double recency_half_life_fraction = 0.1;
+  uint64_t seed = 1;
+};
+Result<TemporalGraph> MakeSocialGraph(const SocialGraphOptions& options);
+
+/// Behaviour profile for the bipartite generator.
+enum class BipartiteMode {
+  /// Yelp-like review network: broad popularity tail, slow popularity drift,
+  /// repeat interactions uncommon.
+  kReview,
+  /// Tmall-like purchase network: sharper popularity concentration, strong
+  /// trending dynamics (short event horizon), repeat purchases allowed.
+  kPurchase,
+};
+
+/// User-item bipartite interaction network. Users are ids
+/// [0, num_users); items are [num_users, num_users + num_items). Items have
+/// an "emergence" time and a popularity that rises then decays, so which
+/// items a user interacts with depends strongly on *when* — the signal that
+/// separates temporal embeddings from static ones on Yelp/Tmall.
+struct BipartiteGraphOptions {
+  NodeId num_users = 1200;
+  NodeId num_items = 800;
+  size_t num_edges = 15000;
+  BipartiteMode mode = BipartiteMode::kReview;
+  /// Power-law exponent of base item popularity.
+  double popularity_alpha = 1.3;
+  /// Mean number of interactions in one user session burst.
+  double session_burst_mean = 3.0;
+  uint64_t seed = 1;
+};
+Result<TemporalGraph> MakeBipartiteGraph(const BipartiteGraphOptions& options);
+
+/// Uniform temporal Erdos-Renyi-style graph (no temporal signal). Used by
+/// tests and as a null model: temporal methods should NOT beat static ones
+/// here.
+struct RandomGraphOptions {
+  NodeId num_nodes = 500;
+  size_t num_edges = 2000;
+  uint64_t seed = 1;
+};
+Result<TemporalGraph> MakeRandomGraph(const RandomGraphOptions& options);
+
+/// Identifier for the paper's four datasets; `MakePaperDataset` maps each to
+/// its substitute generator with benchmark-default scales.
+enum class PaperDataset { kDigg, kYelp, kTmall, kDblp };
+
+const char* PaperDatasetName(PaperDataset d);
+
+/// Scale multiplier `scale` >= 1 grows node and edge counts proportionally.
+Result<TemporalGraph> MakePaperDataset(PaperDataset dataset, double scale = 1.0,
+                                       uint64_t seed = 1);
+
+}  // namespace ehna
+
+#endif  // EHNA_GRAPH_GENERATORS_GENERATORS_H_

@@ -1,0 +1,58 @@
+#ifndef EHNA_GRAPH_GENERATORS_RECENCY_BUFFER_H_
+#define EHNA_GRAPH_GENERATORS_RECENCY_BUFFER_H_
+
+#include <cmath>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+namespace ehna::gen_internal {
+
+/// An append-only log of event participants supporting O(1) recency-weighted
+/// sampling: the probability of drawing the entry `k` positions from the end
+/// decays geometrically with `k` (half-life `half_life` entries). This is the
+/// mechanism all generators use to make edge formation depend on *recent*
+/// activity — the temporal signal EHNA is designed to exploit.
+class RecencyBuffer {
+ public:
+  /// `half_life`: number of appended entries over which sampling weight
+  /// halves. Values < 1 are clamped to 1.
+  explicit RecencyBuffer(double half_life)
+      : rate_(std::log(2.0) / std::max(1.0, half_life)) {}
+
+  void Append(NodeId node) { entries_.push_back(node); }
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  /// Draws an entry with geometric recency weighting; requires !empty().
+  NodeId Sample(Rng* rng) const {
+    const double back = rng->Exponential(rate_);
+    const double pos = static_cast<double>(entries_.size()) - 1.0 - back;
+    if (pos < 0.0) {
+      // Older than the log: fall back to uniform over the whole history.
+      return entries_[rng->UniformInt(entries_.size())];
+    }
+    return entries_[static_cast<size_t>(pos)];
+  }
+
+ private:
+  double rate_;
+  std::vector<NodeId> entries_;
+};
+
+/// Samples an index into a chronologically appended list (size `n`) with
+/// geometric recency weighting; returns n-1-k for k ~ floor(Exp(ln2 /
+/// half_life)), clamped to uniform fallback for over-draws.
+inline size_t SampleRecentIndex(size_t n, double half_life, Rng* rng) {
+  const double rate = std::log(2.0) / std::max(1.0, half_life);
+  const double back = rng->Exponential(rate);
+  const double pos = static_cast<double>(n) - 1.0 - back;
+  if (pos < 0.0) return static_cast<size_t>(rng->UniformInt(n));
+  return static_cast<size_t>(pos);
+}
+
+}  // namespace ehna::gen_internal
+
+#endif  // EHNA_GRAPH_GENERATORS_RECENCY_BUFFER_H_

@@ -1,0 +1,120 @@
+#include <unordered_set>
+#include <vector>
+
+#include "graph/generators/generators.h"
+#include "graph/generators/recency_buffer.h"
+
+namespace ehna {
+
+namespace {
+using gen_internal::RecencyBuffer;
+using gen_internal::SampleRecentIndex;
+
+uint64_t PackPair(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+}  // namespace
+
+Result<TemporalGraph> MakeSocialGraph(const SocialGraphOptions& options) {
+  if (options.num_nodes < 4) {
+    return Status::InvalidArgument("num_nodes must be >= 4");
+  }
+  if (options.num_communities < 1) {
+    return Status::InvalidArgument("num_communities must be >= 1");
+  }
+  const double max_edges = static_cast<double>(options.num_nodes) *
+                           (options.num_nodes - 1) / 2.0;
+  if (static_cast<double>(options.num_edges) > 0.5 * max_edges) {
+    return Status::InvalidArgument(
+        "num_edges too large for a deduplicated friendship graph");
+  }
+  Rng rng(options.seed);
+
+  // Community assignment (round-robin shuffled for even sizes).
+  std::vector<int> community(options.num_nodes);
+  std::vector<std::vector<NodeId>> members(options.num_communities);
+  {
+    std::vector<NodeId> order(options.num_nodes);
+    for (NodeId v = 0; v < options.num_nodes; ++v) order[v] = v;
+    rng.Shuffle(&order);
+    for (NodeId i = 0; i < options.num_nodes; ++i) {
+      const int c = static_cast<int>(i) % options.num_communities;
+      community[order[i]] = c;
+      members[c].push_back(order[i]);
+    }
+  }
+
+  const double half_life =
+      options.recency_half_life_fraction * 2.0 *
+      static_cast<double>(options.num_edges);
+  RecencyBuffer participants(half_life);
+
+  std::vector<std::vector<NodeId>> adj(options.num_nodes);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(options.num_edges * 2);
+
+  auto recent_neighbor = [&](NodeId u) -> NodeId {
+    if (adj[u].empty()) return kInvalidNode;
+    const size_t idx =
+        SampleRecentIndex(adj[u].size(), half_life / 8.0, &rng);
+    return adj[u][idx];
+  };
+
+  std::vector<TemporalEdge> edges;
+  edges.reserve(options.num_edges);
+
+  size_t event = 0;
+  size_t stagnation = 0;
+  while (edges.size() < options.num_edges &&
+         stagnation < options.num_edges * 50 + 1000) {
+    ++stagnation;
+    // Initiator: mostly recency-weighted (active users stay active), with a
+    // uniform floor so every node can appear.
+    NodeId u;
+    if (participants.empty() || rng.Bernoulli(0.2)) {
+      u = static_cast<NodeId>(rng.UniformInt(options.num_nodes));
+    } else {
+      u = participants.Sample(&rng);
+    }
+
+    NodeId w = kInvalidNode;
+    if (rng.Bernoulli(options.triadic_prob)) {
+      // Close a 2-path over *recent* edges: friend of a recent friend.
+      const NodeId v = recent_neighbor(u);
+      if (v != kInvalidNode) {
+        const NodeId cand = recent_neighbor(v);
+        if (cand != kInvalidNode && cand != u) w = cand;
+      }
+    }
+    if (w == kInvalidNode) {
+      if (rng.Bernoulli(options.intra_community_prob)) {
+        const auto& pool = members[community[u]];
+        if (pool.size() > 1) {
+          w = pool[rng.UniformInt(pool.size())];
+        }
+      }
+      if (w == kInvalidNode || w == u) {
+        w = static_cast<NodeId>(rng.UniformInt(options.num_nodes));
+      }
+    }
+    if (w == u) continue;
+    if (!seen.insert(PackPair(u, w)).second) continue;  // friendship exists.
+
+    const Timestamp t = static_cast<Timestamp>(event++);
+    edges.push_back(TemporalEdge{u, w, t, 1.0f});
+    adj[u].push_back(w);
+    adj[w].push_back(u);
+    participants.Append(u);
+    participants.Append(w);
+    stagnation = 0;
+  }
+  if (edges.size() < options.num_edges) {
+    return Status::Internal("social generator stalled before reaching the "
+                            "requested edge count");
+  }
+  return TemporalGraph::FromEdges(std::move(edges), options.num_nodes,
+                                  /*directed=*/false);
+}
+
+}  // namespace ehna

@@ -1,0 +1,44 @@
+#include "graph/noise_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ehna {
+
+namespace {
+std::vector<double> PoweredWeights(const std::vector<size_t>& degrees,
+                                   double power) {
+  std::vector<double> w(degrees.size());
+  for (size_t i = 0; i < degrees.size(); ++i) {
+    w[i] = degrees[i] == 0 ? 0.0
+                           : std::pow(static_cast<double>(degrees[i]), power);
+  }
+  return w;
+}
+}  // namespace
+
+NoiseDistribution::NoiseDistribution(const TemporalGraph& g, double power)
+    : NoiseDistribution(g.Degrees(), power) {}
+
+NoiseDistribution::NoiseDistribution(const std::vector<size_t>& degrees,
+                                     double power)
+    : sampler_(PoweredWeights(degrees, power)), power_(power) {}
+
+NodeId NoiseDistribution::Sample(Rng* rng) const {
+  EHNA_CHECK(!sampler_.empty());
+  return static_cast<NodeId>(sampler_.Sample(rng));
+}
+
+NodeId NoiseDistribution::SampleExcluding(std::span<const NodeId> exclude,
+                                          Rng* rng) const {
+  NodeId v = Sample(rng);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (std::find(exclude.begin(), exclude.end(), v) == exclude.end()) break;
+    v = Sample(rng);
+  }
+  return v;
+}
+
+}  // namespace ehna

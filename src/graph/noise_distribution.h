@@ -1,0 +1,41 @@
+#ifndef EHNA_GRAPH_NOISE_DISTRIBUTION_H_
+#define EHNA_GRAPH_NOISE_DISTRIBUTION_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "util/alias_sampler.h"
+#include "util/rng.h"
+
+namespace ehna {
+
+/// The negative-sampling noise distribution P_n(v) ~ d_v^power used by the
+/// EHNA objective (Eq. 6-7) and by all skip-gram baselines; the paper (and
+/// word2vec) fixes power = 0.75. Nodes with zero degree get zero mass.
+class NoiseDistribution {
+ public:
+  /// Builds the alias table over `g`'s nodes.
+  explicit NoiseDistribution(const TemporalGraph& g, double power = 0.75);
+
+  /// Builds from raw degrees (used by tests and by baselines that maintain
+  /// their own degree counts).
+  explicit NoiseDistribution(const std::vector<size_t>& degrees,
+                             double power = 0.75);
+
+  /// Draws one node id.
+  NodeId Sample(Rng* rng) const;
+
+  /// Draws one node id distinct from every entry of `exclude` (rejection
+  /// sampling, bounded; falls back to the last draw if the graph is tiny).
+  NodeId SampleExcluding(std::span<const NodeId> exclude, Rng* rng) const;
+
+  double power() const { return power_; }
+
+ private:
+  AliasSampler sampler_;
+  double power_;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_GRAPH_NOISE_DISTRIBUTION_H_

@@ -1,0 +1,74 @@
+#include "graph/split.h"
+
+#include <algorithm>
+#include <string>
+
+namespace ehna {
+
+Result<TemporalSplit> MakeTemporalSplit(const TemporalGraph& g,
+                                        const TemporalSplitOptions& options,
+                                        Rng* rng) {
+  if (options.holdout_fraction <= 0.0 || options.holdout_fraction >= 1.0) {
+    return Status::InvalidArgument("holdout_fraction must be in (0,1)");
+  }
+  const auto& all = g.edges();  // already time-sorted.
+  const size_t holdout =
+      static_cast<size_t>(all.size() * options.holdout_fraction);
+  if (holdout == 0 || holdout >= all.size()) {
+    return Status::FailedPrecondition("graph too small to split: " +
+                                      std::to_string(all.size()) + " edges");
+  }
+  const size_t train_count = all.size() - holdout;
+
+  std::vector<TemporalEdge> train_edges(all.begin(),
+                                        all.begin() + train_count);
+  EHNA_ASSIGN_OR_RETURN(
+      TemporalGraph train,
+      TemporalGraph::FromEdges(std::move(train_edges), g.num_nodes(),
+                               g.directed()));
+
+  TemporalSplit split;
+  split.test_positive.reserve(holdout);
+  for (size_t i = train_count; i < all.size(); ++i) {
+    const TemporalEdge& e = all[i];
+    if (options.drop_unseen_endpoints &&
+        (train.Degree(e.src) == 0 || train.Degree(e.dst) == 0)) {
+      continue;
+    }
+    split.test_positive.push_back(e);
+  }
+  if (split.test_positive.empty()) {
+    return Status::FailedPrecondition(
+        "no held-out edge has both endpoints in the training graph");
+  }
+
+  const size_t num_negative = static_cast<size_t>(
+      static_cast<double>(split.test_positive.size()) *
+      options.negative_ratio);
+  split.test_negative.reserve(num_negative);
+  const NodeId n = g.num_nodes();
+  for (size_t i = 0; i < num_negative; ++i) {
+    bool found = false;
+    for (int attempt = 0; attempt < options.max_negative_attempts; ++attempt) {
+      const NodeId u = static_cast<NodeId>(rng->UniformInt(n));
+      const NodeId v = static_cast<NodeId>(rng->UniformInt(n));
+      if (u == v) continue;
+      if (g.HasEdge(u, v)) continue;  // no edge anywhere in the full graph.
+      if (options.drop_unseen_endpoints &&
+          (train.Degree(u) == 0 || train.Degree(v) == 0)) {
+        continue;
+      }
+      split.test_negative.emplace_back(u, v);
+      found = true;
+      break;
+    }
+    if (!found) {
+      return Status::FailedPrecondition(
+          "could not sample a non-edge pair; graph too dense?");
+    }
+  }
+  split.train = std::move(train);
+  return split;
+}
+
+}  // namespace ehna

@@ -1,0 +1,45 @@
+#ifndef EHNA_GRAPH_SPLIT_H_
+#define EHNA_GRAPH_SPLIT_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ehna {
+
+/// Output of the paper's future-link-prediction protocol (§V.E): the most
+/// recent `holdout_fraction` of edges are removed and become positive test
+/// examples; an equal number of never-connected node pairs are sampled as
+/// negatives; the remaining prefix of the timeline forms the training graph.
+struct TemporalSplit {
+  TemporalGraph train;
+  std::vector<TemporalEdge> test_positive;
+  /// Sampled pairs with no edge anywhere in the *full* graph.
+  std::vector<std::pair<NodeId, NodeId>> test_negative;
+};
+
+/// Options for MakeTemporalSplit.
+struct TemporalSplitOptions {
+  /// Fraction of the most recent edges to hold out (paper: 0.20).
+  double holdout_fraction = 0.20;
+  /// Negatives per positive (paper: 1.0, "an equal number").
+  double negative_ratio = 1.0;
+  /// Drop held-out edges whose endpoints never appear in the training graph
+  /// (an embedding method cannot score a node it has never seen). The paper
+  /// implicitly relies on this; we make it explicit and deterministic.
+  bool drop_unseen_endpoints = true;
+  /// Cap on rejection-sampling attempts per negative pair.
+  int max_negative_attempts = 200;
+};
+
+/// Splits `g` per the paper's protocol. Fails if the holdout would be empty
+/// or if negatives cannot be found (graph too dense).
+Result<TemporalSplit> MakeTemporalSplit(const TemporalGraph& g,
+                                        const TemporalSplitOptions& options,
+                                        Rng* rng);
+
+}  // namespace ehna
+
+#endif  // EHNA_GRAPH_SPLIT_H_

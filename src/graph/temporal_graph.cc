@@ -1,0 +1,126 @@
+#include "graph/temporal_graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "util/logging.h"
+
+namespace ehna {
+
+Result<TemporalGraph> TemporalGraph::FromEdges(std::vector<TemporalEdge> edges,
+                                               NodeId num_nodes,
+                                               bool directed) {
+  TemporalGraph g;
+  g.directed_ = directed;
+
+  NodeId max_id = 0;
+  for (const auto& e : edges) {
+    if (e.src == e.dst) {
+      return Status::InvalidArgument("self-loop on node " +
+                                     std::to_string(e.src));
+    }
+    if (e.weight < 0.0f) {
+      return Status::InvalidArgument("negative edge weight");
+    }
+    max_id = std::max(max_id, std::max(e.src, e.dst));
+  }
+  if (num_nodes == 0) {
+    num_nodes = edges.empty() ? 0 : max_id + 1;
+  } else if (!edges.empty() && max_id >= num_nodes) {
+    return Status::InvalidArgument("edge endpoint " + std::to_string(max_id) +
+                                   " >= num_nodes " +
+                                   std::to_string(num_nodes));
+  }
+  g.num_nodes_ = num_nodes;
+
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const TemporalEdge& a, const TemporalEdge& b) {
+                     return a.time < b.time;
+                   });
+  g.edges_ = std::move(edges);
+
+  if (!g.edges_.empty()) {
+    g.min_time_ = g.edges_.front().time;
+    g.max_time_ = g.edges_.back().time;
+  }
+
+  // Count adjacency slots per node.
+  std::vector<size_t> counts(num_nodes + 1, 0);
+  for (const auto& e : g.edges_) {
+    ++counts[e.src];
+    if (!directed) ++counts[e.dst];
+  }
+  g.adj_offsets_.assign(num_nodes + 1, 0);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    g.adj_offsets_[v + 1] = g.adj_offsets_[v] + counts[v];
+  }
+  g.adj_.resize(g.adj_offsets_[num_nodes]);
+
+  // Fill in chronological order: edges_ is time-sorted, so appending each
+  // edge to its endpoints' cursors leaves every adjacency list ascending in
+  // time without a per-node sort.
+  std::vector<size_t> cursor(g.adj_offsets_.begin(), g.adj_offsets_.end() - 1);
+  g.edge_keys_.reserve(g.edges_.size() * 2);
+  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
+    const TemporalEdge& e = g.edges_[id];
+    g.adj_[cursor[e.src]++] = AdjEntry{e.dst, e.time, e.weight, id};
+    if (!directed) {
+      g.adj_[cursor[e.dst]++] = AdjEntry{e.src, e.time, e.weight, id};
+    }
+    g.edge_keys_.insert(PackEdgeKey(e.src, e.dst));
+    if (!directed) g.edge_keys_.insert(PackEdgeKey(e.dst, e.src));
+  }
+  return g;
+}
+
+std::span<const AdjEntry> TemporalGraph::Neighbors(NodeId node) const {
+  EHNA_DCHECK(node < num_nodes_);
+  return {adj_.data() + adj_offsets_[node],
+          adj_offsets_[node + 1] - adj_offsets_[node]};
+}
+
+std::span<const AdjEntry> TemporalGraph::NeighborsBefore(
+    NodeId node, Timestamp cutoff) const {
+  auto all = Neighbors(node);
+  auto it = std::upper_bound(
+      all.begin(), all.end(), cutoff,
+      [](Timestamp t, const AdjEntry& a) { return t < a.time; });
+  return all.subspan(0, static_cast<size_t>(it - all.begin()));
+}
+
+size_t TemporalGraph::Degree(NodeId node) const {
+  EHNA_DCHECK(node < num_nodes_);
+  return adj_offsets_[node + 1] - adj_offsets_[node];
+}
+
+bool TemporalGraph::HasEdge(NodeId u, NodeId v) const {
+  return edge_keys_.count(PackEdgeKey(u, v)) > 0;
+}
+
+Result<Timestamp> TemporalGraph::MostRecentInteraction(NodeId node) const {
+  auto nbrs = Neighbors(node);
+  if (nbrs.empty()) {
+    return Status::NotFound("node " + std::to_string(node) + " is isolated");
+  }
+  return nbrs.back().time;
+}
+
+Timestamp TemporalGraph::TimeSpan() const {
+  const Timestamp span = max_time_ - min_time_;
+  return span > 1e-12 ? span : 1e-12;
+}
+
+double TemporalGraph::WeightedDegree(NodeId node) const {
+  double total = 0.0;
+  for (const auto& a : Neighbors(node)) total += a.weight;
+  return total;
+}
+
+std::vector<size_t> TemporalGraph::Degrees() const {
+  std::vector<size_t> d(num_nodes_);
+  for (NodeId v = 0; v < num_nodes_; ++v) d[v] = Degree(v);
+  return d;
+}
+
+}  // namespace ehna

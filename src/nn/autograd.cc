@@ -1,0 +1,142 @@
+#include "nn/autograd.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ehna {
+
+using internal::VarImpl;
+
+Var Var::Leaf(Tensor value, bool requires_grad) {
+  auto impl = std::make_shared<VarImpl>();
+  impl->value = std::move(value);
+  impl->requires_grad = requires_grad;
+  impl->name = "leaf";
+  return Var(std::move(impl));
+}
+
+Var Var::Op(Tensor value, std::vector<Var> parents,
+            std::function<void(const Tensor&, const Tensor&)> backward,
+            const char* name) {
+  auto impl = std::make_shared<VarImpl>();
+  impl->value = std::move(value);
+  impl->parents = std::move(parents);
+  impl->backward = std::move(backward);
+  impl->name = name;
+  for (const Var& p : impl->parents) {
+    EHNA_CHECK(p.defined());
+  }
+  return Var(std::move(impl));
+}
+
+const Tensor& Var::value() const {
+  EHNA_CHECK(defined());
+  return impl_->value;
+}
+
+Tensor& Var::mutable_value() {
+  EHNA_CHECK(defined());
+  return impl_->value;
+}
+
+const Tensor& Var::grad() const {
+  EHNA_CHECK(defined());
+  return impl_->grad;
+}
+
+bool Var::requires_grad() const {
+  EHNA_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+void Var::ZeroGrad() const {
+  EHNA_CHECK(defined());
+  impl_->grad = Tensor();
+  impl_->grad_defined = false;
+}
+
+void Var::AccumulateGrad(const Tensor& g) const {
+  EHNA_CHECK(defined());
+  EHNA_CHECK(g.SameShape(impl_->value));
+  if (!impl_->grad_defined) {
+    impl_->grad = g;
+    impl_->grad_defined = true;
+  } else {
+    impl_->grad.AddInPlace(g);
+  }
+}
+
+const char* Var::name() const {
+  EHNA_CHECK(defined());
+  return impl_->name;
+}
+
+namespace {
+
+/// Marks every node whose subtree reaches a grad-requiring leaf (or a leaf
+/// with a gradient hook). Returns the memoized flag for `node`.
+bool ComputeNeedsGrad(VarImpl* node,
+                      std::unordered_map<VarImpl*, bool>* memo) {
+  auto it = memo->find(node);
+  if (it != memo->end()) return it->second;
+  // Insert a provisional false to stop cycles (graphs are DAGs by
+  // construction, but defensive).
+  (*memo)[node] = false;
+  bool needs = node->requires_grad ||
+               (node->parents.empty() && static_cast<bool>(node->backward));
+  for (const Var& p : node->parents) {
+    needs = ComputeNeedsGrad(p.impl(), memo) || needs;
+  }
+  (*memo)[node] = needs;
+  return needs;
+}
+
+}  // namespace
+
+void Backward(const Var& root) {
+  EHNA_CHECK(root.defined());
+  EHNA_CHECK_EQ(root.value().numel(), 1);
+
+  std::unordered_map<VarImpl*, bool> needs;
+  if (!ComputeNeedsGrad(root.impl(), &needs)) return;  // nothing to do.
+
+  // Iterative DFS post-order: parents land before children; reversed, every
+  // node is processed after all nodes that feed gradient into it.
+  std::vector<VarImpl*> order;
+  std::unordered_set<VarImpl*> visited;
+  struct Frame {
+    VarImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root.impl(), 0});
+  visited.insert(root.impl());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      VarImpl* p = f.node->parents[f.next_parent++].impl();
+      if (!visited.count(p) && needs[p]) {
+        visited.insert(p);
+        stack.push_back({p, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed d(root)/d(root) = 1.
+  Tensor seed = root.value();
+  seed.Fill(1.0f);
+  root.impl()->grad = seed;
+  root.impl()->grad_defined = true;
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    VarImpl* node = *it;
+    if (!node->backward) continue;
+    if (!node->grad_defined) continue;  // no gradient flowed here.
+    node->backward(node->grad, node->value);
+  }
+}
+
+}  // namespace ehna

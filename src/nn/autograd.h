@@ -1,0 +1,97 @@
+#ifndef EHNA_NN_AUTOGRAD_H_
+#define EHNA_NN_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace ehna {
+
+namespace internal {
+struct VarImpl;
+}  // namespace internal
+
+/// A node in a dynamically built reverse-mode autodiff graph. `Var` is a
+/// cheap shared handle: ops produce new Vars wired to their inputs, and
+/// `Backward(loss)` propagates gradients through the recorded graph in
+/// reverse topological order. Gradients accumulate (+=) into each node's
+/// `grad()` tensor, so parameters can participate in several subgraphs per
+/// step; call `ZeroGrad()` between steps.
+class Var {
+ public:
+  /// Null handle; most APIs reject it.
+  Var() = default;
+
+  /// A leaf holding `value`. If `requires_grad`, gradients reaching the leaf
+  /// are retained in grad().
+  static Var Leaf(Tensor value, bool requires_grad = false);
+
+  /// An interior node produced by an op. `backward` receives (grad_of_this,
+  /// this_value) and must route gradient contributions into the parents via
+  /// `AccumulateGrad`. Ops use the helpers in ops.h; model code rarely calls
+  /// this directly.
+  static Var Op(Tensor value, std::vector<Var> parents,
+                std::function<void(const Tensor& grad, const Tensor& value)>
+                    backward,
+                const char* name = "op");
+
+  bool defined() const { return impl_ != nullptr; }
+
+  const Tensor& value() const;
+  Tensor& mutable_value();
+
+  /// Accumulated gradient; zero-shaped until backward has touched this node.
+  const Tensor& grad() const;
+
+  bool requires_grad() const;
+
+  /// Clears the gradient (used on parameter leaves between steps). Const
+  /// because Var has shared-handle semantics: the mutation targets the
+  /// shared node, not the handle.
+  void ZeroGrad() const;
+
+  /// Adds `g` into this node's gradient (allocating it on first use). Ops'
+  /// backward closures call this on their parents.
+  void AccumulateGrad(const Tensor& g) const;
+
+  /// Op name for debugging.
+  const char* name() const;
+
+  /// Identity comparison (same graph node).
+  bool operator==(const Var& other) const { return impl_ == other.impl_; }
+
+  /// Internal access for the engine.
+  internal::VarImpl* impl() const { return impl_.get(); }
+
+ private:
+  explicit Var(std::shared_ptr<internal::VarImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<internal::VarImpl> impl_;
+};
+
+namespace internal {
+struct VarImpl {
+  Tensor value;
+  Tensor grad;            // empty until first accumulation.
+  bool requires_grad = false;
+  bool grad_defined = false;
+  const char* name = "leaf";
+  std::vector<Var> parents;
+  std::function<void(const Tensor&, const Tensor&)> backward;
+};
+}  // namespace internal
+
+/// Runs reverse-mode differentiation from `root`, which must hold a single
+/// scalar (numel() == 1). Seeds d(root)/d(root) = 1 and invokes each
+/// reachable node's backward closure exactly once, in reverse topological
+/// order. Nodes whose subtree contains no grad-requiring leaf are skipped.
+void Backward(const Var& root);
+
+}  // namespace ehna
+
+#endif  // EHNA_NN_AUTOGRAD_H_

@@ -1,0 +1,202 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+
+namespace ehna {
+
+BatchNorm1d::BatchNorm1d(int64_t features, float momentum, float eps)
+    : features_(features),
+      momentum_(momentum),
+      eps_(eps),
+      running_mean_(features),
+      running_var_(Tensor::Full(features, 1.0f)) {
+  gamma_ = Var::Leaf(Tensor::Full(features, 1.0f), /*requires_grad=*/true);
+  beta_ = Var::Leaf(Tensor(features), /*requires_grad=*/true);
+}
+
+Var BatchNorm1d::ForwardWithStats(const Var& x, const Tensor& mean,
+                                  const Tensor& inv_std,
+                                  bool batch_stats) const {
+  const Tensor& in = x.value();
+  const int64_t batch = in.rows();
+  const int64_t f = features_;
+
+  Tensor out(batch, f);
+  for (int64_t i = 0; i < batch; ++i) {
+    const float* xr = in.Row(i);
+    float* orow = out.Row(i);
+    const float* gm = gamma_.value().data();
+    const float* bt = beta_.value().data();
+    for (int64_t j = 0; j < f; ++j) {
+      orow[j] = gm[j] * (xr[j] - mean[j]) * inv_std[j] + bt[j];
+    }
+  }
+
+  Var gamma = gamma_;
+  Var beta = beta_;
+  Tensor mean_c = mean;
+  Tensor inv_std_c = inv_std;
+  return Var::Op(
+      std::move(out), {x, gamma, beta},
+      [x, gamma, beta, mean_c, inv_std_c, batch_stats](const Tensor& g,
+                                                       const Tensor&) {
+        const Tensor& in = x.value();
+        const int64_t batch = in.rows();
+        const int64_t f = in.cols();
+        const float* gm = gamma.value().data();
+
+        // Recompute x_hat.
+        Tensor xhat(batch, f);
+        for (int64_t i = 0; i < batch; ++i) {
+          const float* xr = in.Row(i);
+          float* hr = xhat.Row(i);
+          for (int64_t j = 0; j < f; ++j) {
+            hr[j] = (xr[j] - mean_c[j]) * inv_std_c[j];
+          }
+        }
+
+        Tensor dgamma(f), dbeta(f);
+        for (int64_t i = 0; i < batch; ++i) {
+          const float* grow = g.Row(i);
+          const float* hr = xhat.Row(i);
+          for (int64_t j = 0; j < f; ++j) {
+            dgamma[j] += grow[j] * hr[j];
+            dbeta[j] += grow[j];
+          }
+        }
+        gamma.AccumulateGrad(dgamma);
+        beta.AccumulateGrad(dbeta);
+
+        Tensor dx(batch, f);
+        if (!batch_stats) {
+          // Statistics are constants: a per-feature affine map.
+          for (int64_t i = 0; i < batch; ++i) {
+            const float* grow = g.Row(i);
+            float* dr = dx.Row(i);
+            for (int64_t j = 0; j < f; ++j) {
+              dr[j] = grow[j] * gm[j] * inv_std_c[j];
+            }
+          }
+        } else {
+          // Full backward through the batch mean and variance.
+          Tensor sum_dxhat(f), sum_dxhat_xhat(f);
+          for (int64_t i = 0; i < batch; ++i) {
+            const float* grow = g.Row(i);
+            const float* hr = xhat.Row(i);
+            for (int64_t j = 0; j < f; ++j) {
+              const float dxh = grow[j] * gm[j];
+              sum_dxhat[j] += dxh;
+              sum_dxhat_xhat[j] += dxh * hr[j];
+            }
+          }
+          const float inv_b = 1.0f / static_cast<float>(batch);
+          for (int64_t i = 0; i < batch; ++i) {
+            const float* grow = g.Row(i);
+            const float* hr = xhat.Row(i);
+            float* dr = dx.Row(i);
+            for (int64_t j = 0; j < f; ++j) {
+              const float dxh = grow[j] * gm[j];
+              dr[j] = inv_std_c[j] * inv_b *
+                      (static_cast<float>(batch) * dxh - sum_dxhat[j] -
+                       hr[j] * sum_dxhat_xhat[j]);
+            }
+          }
+        }
+        x.AccumulateGrad(dx);
+      },
+      "batch_norm");
+}
+
+Var BatchNorm1d::ForwardPopulation(const Var& x, bool update_stats) {
+  const Tensor& in = x.value();
+  EHNA_CHECK_EQ(in.rank(), 2);
+  EHNA_CHECK_EQ(in.cols(), features_);
+  const int64_t batch = in.rows();
+
+  if (update_stats && batch >= 1) {
+    Tensor mean(features_), var(features_);
+    for (int64_t i = 0; i < batch; ++i) {
+      const float* xr = in.Row(i);
+      for (int64_t j = 0; j < features_; ++j) mean[j] += xr[j];
+    }
+    mean.ScaleInPlace(1.0f / static_cast<float>(batch));
+    for (int64_t i = 0; i < batch; ++i) {
+      const float* xr = in.Row(i);
+      for (int64_t j = 0; j < features_; ++j) {
+        const float d = xr[j] - mean[j];
+        var[j] += d * d;
+      }
+    }
+    var.ScaleInPlace(1.0f / static_cast<float>(batch));
+    if (!stats_initialized_) {
+      running_mean_ = mean;
+      running_var_ = var;
+      stats_initialized_ = true;
+    } else {
+      for (int64_t j = 0; j < features_; ++j) {
+        running_mean_[j] =
+            (1.0f - momentum_) * running_mean_[j] + momentum_ * mean[j];
+        running_var_[j] =
+            (1.0f - momentum_) * running_var_[j] + momentum_ * var[j];
+      }
+    }
+  }
+  Tensor inv_std(features_);
+  for (int64_t j = 0; j < features_; ++j) {
+    inv_std[j] = 1.0f / std::sqrt(running_var_[j] + eps_);
+  }
+  return ForwardWithStats(x, running_mean_, inv_std, /*batch_stats=*/false);
+}
+
+Var BatchNorm1d::Forward(const Var& x, bool training) {
+  const Tensor& in = x.value();
+  EHNA_CHECK_EQ(in.rank(), 2);
+  EHNA_CHECK_EQ(in.cols(), features_);
+  const int64_t batch = in.rows();
+
+  const bool use_batch_stats = training && batch > 1;
+  Tensor mean(features_), var(features_);
+  if (use_batch_stats) {
+    for (int64_t i = 0; i < batch; ++i) {
+      const float* xr = in.Row(i);
+      for (int64_t j = 0; j < features_; ++j) mean[j] += xr[j];
+    }
+    mean.ScaleInPlace(1.0f / static_cast<float>(batch));
+    for (int64_t i = 0; i < batch; ++i) {
+      const float* xr = in.Row(i);
+      for (int64_t j = 0; j < features_; ++j) {
+        const float d = xr[j] - mean[j];
+        var[j] += d * d;
+      }
+    }
+    var.ScaleInPlace(1.0f / static_cast<float>(batch));
+
+    if (!stats_initialized_) {
+      running_mean_ = mean;
+      running_var_ = var;
+      stats_initialized_ = true;
+    } else {
+      for (int64_t j = 0; j < features_; ++j) {
+        running_mean_[j] =
+            (1.0f - momentum_) * running_mean_[j] + momentum_ * mean[j];
+        running_var_[j] =
+            (1.0f - momentum_) * running_var_[j] + momentum_ * var[j];
+      }
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  Tensor inv_std(features_);
+  for (int64_t j = 0; j < features_; ++j) {
+    inv_std[j] = 1.0f / std::sqrt(var[j] + eps_);
+  }
+  return ForwardWithStats(x, mean, inv_std, use_batch_stats);
+}
+
+std::vector<Var> BatchNorm1d::Parameters() const { return {gamma_, beta_}; }
+
+}  // namespace ehna

@@ -1,0 +1,54 @@
+#ifndef EHNA_NN_BATCHNORM_H_
+#define EHNA_NN_BATCHNORM_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace ehna {
+
+/// Batch normalization over the row (batch) dimension of a [B, F] input
+/// (Ioffe & Szegedy), as used on the LSTM outputs in Algorithm 1. Training
+/// with B > 1 normalizes with batch statistics and updates running
+/// estimates; training with B == 1 (the walk-level aggregation sees a
+/// single row) and inference both normalize with the running estimates —
+/// see DESIGN.md §2.
+class BatchNorm1d {
+ public:
+  explicit BatchNorm1d(int64_t features, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  /// x: [B, features]. `training` selects batch vs running statistics.
+  Var Forward(const Var& x, bool training);
+
+  /// Population-statistics variant: always normalizes with the *running*
+  /// estimates (treated as constants in the backward pass) and, when
+  /// `update_stats` is set, folds the batch statistics into them first.
+  /// This mimics BN over a large cross-sample batch when the physical
+  /// batch is a handful of correlated rows (e.g. the k walks of one target
+  /// node, whose shared — and informative — component per-batch BN would
+  /// subtract away). See DESIGN.md §2.
+  Var ForwardPopulation(const Var& x, bool update_stats);
+
+  std::vector<Var> Parameters() const;
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  Var ForwardWithStats(const Var& x, const Tensor& mean,
+                       const Tensor& inv_std, bool batch_stats) const;
+
+  int64_t features_;
+  float momentum_;
+  float eps_;
+  Var gamma_;  // [F]
+  Var beta_;   // [F]
+  Tensor running_mean_;  // [F]
+  Tensor running_var_;   // [F]
+  bool stats_initialized_ = false;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_NN_BATCHNORM_H_

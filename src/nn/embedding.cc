@@ -1,0 +1,105 @@
+#include "nn/embedding.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace ehna {
+
+Embedding::Embedding(int64_t num_rows, int64_t dim, Rng* rng)
+    : table_(num_rows, dim),
+      grad_map_ptr_(
+          std::make_shared<std::unordered_map<int64_t, Tensor>>()),
+      grad_map_(*grad_map_ptr_) {
+  EHNA_CHECK_GT(num_rows, 0);
+  EHNA_CHECK_GT(dim, 0);
+  const float scale = 0.5f / static_cast<float>(dim);
+  UniformInit(&table_, -scale, scale, rng);
+}
+
+Var Embedding::Gather(const std::vector<int64_t>& ids) {
+  EHNA_CHECK(!ids.empty());
+  const int64_t d = dim();
+  Tensor out(static_cast<int64_t>(ids.size()), d);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EHNA_DCHECK(ids[i] >= 0 && ids[i] < num_rows());
+    const float* src = table_.Row(ids[i]);
+    float* dst = out.Row(static_cast<int64_t>(i));
+    for (int64_t j = 0; j < d; ++j) dst[j] = src[j];
+  }
+  auto map = grad_map_ptr_;
+  std::vector<int64_t> ids_copy = ids;
+  // A "leaf with a hook": no parents, but a backward closure that scatters
+  // the incoming gradient rows into the sparse accumulator.
+  return Var::Op(std::move(out), {},
+                 [map, ids_copy, d](const Tensor& g, const Tensor&) {
+                   for (size_t i = 0; i < ids_copy.size(); ++i) {
+                     Tensor& acc = (*map)[ids_copy[i]];
+                     if (acc.numel() == 0) acc = Tensor(d);
+                     const float* src = g.Row(static_cast<int64_t>(i));
+                     for (int64_t j = 0; j < d; ++j) acc[j] += src[j];
+                   }
+                 },
+                 "embedding_gather");
+}
+
+Var Embedding::GatherRow(int64_t id) {
+  EHNA_CHECK(id >= 0 && id < num_rows());
+  const int64_t d = dim();
+  Tensor out(d);
+  const float* src = table_.Row(id);
+  for (int64_t j = 0; j < d; ++j) out[j] = src[j];
+  auto map = grad_map_ptr_;
+  return Var::Op(std::move(out), {},
+                 [map, id, d](const Tensor& g, const Tensor&) {
+                   Tensor& acc = (*map)[id];
+                   if (acc.numel() == 0) acc = Tensor(d);
+                   for (int64_t j = 0; j < d; ++j) acc[j] += g[j];
+                 },
+                 "embedding_gather_row");
+}
+
+void Embedding::SetRow(int64_t id, const float* values) {
+  EHNA_CHECK(id >= 0 && id < num_rows());
+  float* dst = table_.Row(id);
+  for (int64_t j = 0; j < dim(); ++j) dst[j] = values[j];
+}
+
+void Embedding::ApplyAdam(float lr, float beta1, float beta2, float eps) {
+  if (grad_map_.empty()) return;
+  ++adam_step_;
+  const float bc1 =
+      1.0f - std::pow(beta1, static_cast<float>(adam_step_));
+  const float bc2 =
+      1.0f - std::pow(beta2, static_cast<float>(adam_step_));
+  const int64_t d = dim();
+  for (auto& [row, grad] : grad_map_) {
+    Tensor& m = adam_m_[row];
+    Tensor& v = adam_v_[row];
+    if (m.numel() == 0) m = Tensor(d);
+    if (v.numel() == 0) v = Tensor(d);
+    float* trow = table_.Row(row);
+    for (int64_t j = 0; j < d; ++j) {
+      const float gj = grad[j];
+      m[j] = beta1 * m[j] + (1.0f - beta1) * gj;
+      v[j] = beta2 * v[j] + (1.0f - beta2) * gj * gj;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      trow[j] -= lr * mhat / (std::sqrt(vhat) + eps);
+    }
+  }
+  grad_map_.clear();
+}
+
+void Embedding::ApplySgd(float lr) {
+  const int64_t d = dim();
+  for (auto& [row, grad] : grad_map_) {
+    float* trow = table_.Row(row);
+    for (int64_t j = 0; j < d; ++j) trow[j] -= lr * grad[j];
+  }
+  grad_map_.clear();
+}
+
+void Embedding::ClearGradients() { grad_map_.clear(); }
+
+}  // namespace ehna

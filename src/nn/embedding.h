@@ -1,0 +1,74 @@
+#ifndef EHNA_NN_EMBEDDING_H_
+#define EHNA_NN_EMBEDDING_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/autograd.h"
+#include "util/rng.h"
+
+namespace ehna {
+
+/// A trainable embedding table with *sparse* gradient accumulation and a
+/// built-in lazily-updated Adam state: only rows touched since the last
+/// `ApplyAdam` pay update cost. This is what makes training over graphs
+/// with tens of thousands of nodes tractable without a framework.
+///
+/// Usage per step: Gather(...) produces graph leaves; after Backward() the
+/// gathered rows' gradients have been scattered into an internal row->grad
+/// map; ApplyAdam(...) consumes the map and clears it.
+class Embedding {
+ public:
+  /// Rows initialized U(-0.5/dim, 0.5/dim) (word2vec-style).
+  Embedding(int64_t num_rows, int64_t dim, Rng* rng);
+
+  int64_t num_rows() const { return table_.rows(); }
+  int64_t dim() const { return table_.cols(); }
+
+  /// Gathers `ids` into a [n, dim] autograd leaf. During backward, the
+  /// leaf's gradient rows accumulate into this table's sparse gradient map.
+  Var Gather(const std::vector<int64_t>& ids);
+
+  /// Gathers one row as a rank-1 [dim] leaf.
+  Var GatherRow(int64_t id);
+
+  /// Read-only access to a row of the raw table.
+  const float* RowData(int64_t id) const { return table_.Row(id); }
+  const Tensor& table() const { return table_; }
+
+  /// Copies `values` (length dim) into row `id` (used by the final
+  /// "embedding := aggregated embedding" pass, §IV.D).
+  void SetRow(int64_t id, const float* values);
+
+  /// Applies one lazy sparse-Adam update to every touched row and clears
+  /// the accumulated gradients. Bias correction uses a global step count
+  /// incremented per call.
+  void ApplyAdam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                 float eps = 1e-8f);
+
+  /// Applies plain SGD to touched rows and clears gradients.
+  void ApplySgd(float lr);
+
+  /// Drops accumulated gradients without applying them.
+  void ClearGradients();
+
+  /// Rows with pending gradients (for tests/inspection).
+  size_t num_pending_rows() const { return grad_map_.size(); }
+
+ private:
+  Tensor table_;  // [N, dim]
+  // Sparse accumulated gradients, keyed by row. Shared with gather-leaf
+  // backward hooks via shared_ptr so hooks outlive nothing they shouldn't.
+  std::shared_ptr<std::unordered_map<int64_t, Tensor>> grad_map_ptr_;
+  std::unordered_map<int64_t, Tensor>& grad_map_;
+  // Adam state, allocated on first use per row.
+  std::unordered_map<int64_t, Tensor> adam_m_;
+  std::unordered_map<int64_t, Tensor> adam_v_;
+  int64_t adam_step_ = 0;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_NN_EMBEDDING_H_

@@ -1,0 +1,26 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace ehna {
+
+void UniformInit(Tensor* t, float lo, float hi, Rng* rng) {
+  float* d = t->data();
+  for (int64_t i = 0; i < t->numel(); ++i) {
+    d[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+}
+
+void XavierInit(Tensor* t, int64_t fan_in, int64_t fan_out, Rng* rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  UniformInit(t, -a, a, rng);
+}
+
+void NormalInit(Tensor* t, float stddev, Rng* rng) {
+  float* d = t->data();
+  for (int64_t i = 0; i < t->numel(); ++i) {
+    d[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+}
+
+}  // namespace ehna

@@ -1,0 +1,20 @@
+#ifndef EHNA_NN_INIT_H_
+#define EHNA_NN_INIT_H_
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace ehna {
+
+/// Fills `t` uniformly in [lo, hi).
+void UniformInit(Tensor* t, float lo, float hi, Rng* rng);
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+void XavierInit(Tensor* t, int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// Gaussian N(0, stddev^2).
+void NormalInit(Tensor* t, float stddev, Rng* rng);
+
+}  // namespace ehna
+
+#endif  // EHNA_NN_INIT_H_

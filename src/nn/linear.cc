@@ -1,0 +1,33 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace ehna {
+
+Linear::Linear(int64_t in_dim, int64_t out_dim, Rng* rng, bool bias)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  Tensor w(in_dim, out_dim);
+  XavierInit(&w, in_dim, out_dim, rng);
+  weight_ = Var::Leaf(std::move(w), /*requires_grad=*/true);
+  if (bias) {
+    bias_ = Var::Leaf(Tensor(out_dim), /*requires_grad=*/true);
+  }
+}
+
+Var Linear::Forward(const Var& x) const {
+  Var y = ag::MatMul(x, weight_);
+  if (bias_.defined()) y = ag::AddRowBroadcast(y, bias_);
+  return y;
+}
+
+Var Linear::ForwardVec(const Var& x) const {
+  return ag::AsVector(Forward(ag::AsMatrix(x)));
+}
+
+std::vector<Var> Linear::Parameters() const {
+  std::vector<Var> params{weight_};
+  if (bias_.defined()) params.push_back(bias_);
+  return params;
+}
+
+}  // namespace ehna

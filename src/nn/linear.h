@@ -1,0 +1,38 @@
+#ifndef EHNA_NN_LINEAR_H_
+#define EHNA_NN_LINEAR_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+#include "nn/ops.h"
+#include "util/rng.h"
+
+namespace ehna {
+
+/// Affine layer y = x W + b with W: [in, out], b: [out]. Weights are
+/// Xavier-initialized trainable leaves.
+class Linear {
+ public:
+  Linear(int64_t in_dim, int64_t out_dim, Rng* rng, bool bias = true);
+
+  /// x: [B, in] -> [B, out].
+  Var Forward(const Var& x) const;
+
+  /// x: [in] -> [out] (single-sample convenience).
+  Var ForwardVec(const Var& x) const;
+
+  std::vector<Var> Parameters() const;
+
+  int64_t in_dim() const { return in_dim_; }
+  int64_t out_dim() const { return out_dim_; }
+
+ private:
+  int64_t in_dim_;
+  int64_t out_dim_;
+  Var weight_;  // [in, out]
+  Var bias_;    // [out]; undefined when bias is disabled.
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_NN_LINEAR_H_

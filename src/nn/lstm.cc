@@ -1,0 +1,91 @@
+#include "nn/lstm.h"
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace ehna {
+
+LstmCell::LstmCell(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  EHNA_CHECK_GT(input_dim, 0);
+  EHNA_CHECK_GT(hidden_dim, 0);
+  Tensor w_ih(input_dim, 4 * hidden_dim);
+  Tensor w_hh(hidden_dim, 4 * hidden_dim);
+  XavierInit(&w_ih, input_dim, hidden_dim, rng);
+  XavierInit(&w_hh, hidden_dim, hidden_dim, rng);
+  Tensor bias(4 * hidden_dim);
+  // Forget-gate block (second quarter) biased to 1.
+  for (int64_t j = hidden_dim; j < 2 * hidden_dim; ++j) bias[j] = 1.0f;
+  w_ih_ = Var::Leaf(std::move(w_ih), /*requires_grad=*/true);
+  w_hh_ = Var::Leaf(std::move(w_hh), /*requires_grad=*/true);
+  bias_ = Var::Leaf(std::move(bias), /*requires_grad=*/true);
+}
+
+LstmCell::State LstmCell::InitialState(int64_t batch) const {
+  return State{Var::Leaf(Tensor(batch, hidden_dim_)),
+               Var::Leaf(Tensor(batch, hidden_dim_))};
+}
+
+LstmCell::State LstmCell::Forward(const Var& x, const State& state) const {
+  EHNA_CHECK_EQ(x.value().cols(), input_dim_);
+  Var gates = ag::AddRowBroadcast(
+      ag::Add(ag::MatMul(x, w_ih_), ag::MatMul(state.h, w_hh_)), bias_);
+  const int64_t h = hidden_dim_;
+  Var i = ag::Sigmoid(ag::SliceCols(gates, 0, h));
+  Var f = ag::Sigmoid(ag::SliceCols(gates, h, h));
+  Var g = ag::Tanh(ag::SliceCols(gates, 2 * h, h));
+  Var o = ag::Sigmoid(ag::SliceCols(gates, 3 * h, h));
+  Var c_new = ag::Add(ag::Mul(f, state.c), ag::Mul(i, g));
+  Var h_new = ag::Mul(o, ag::Tanh(c_new));
+  return State{h_new, c_new};
+}
+
+std::vector<Var> LstmCell::Parameters() const { return {w_ih_, w_hh_, bias_}; }
+
+StackedLstm::StackedLstm(int64_t input_dim, int64_t hidden_dim, int num_layers,
+                         Rng* rng)
+    : hidden_dim_(hidden_dim) {
+  EHNA_CHECK_GE(num_layers, 1);
+  cells_.reserve(num_layers);
+  for (int l = 0; l < num_layers; ++l) {
+    cells_.emplace_back(l == 0 ? input_dim : hidden_dim, hidden_dim, rng);
+  }
+}
+
+Var StackedLstm::Forward(const std::vector<Var>& inputs,
+                         const std::vector<Tensor>& masks) const {
+  EHNA_CHECK(!inputs.empty());
+  EHNA_CHECK(masks.empty() || masks.size() == inputs.size());
+  const int64_t batch = inputs[0].value().rows();
+
+  std::vector<LstmCell::State> states;
+  states.reserve(cells_.size());
+  for (const auto& cell : cells_) states.push_back(cell.InitialState(batch));
+
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    Var layer_input = inputs[t];
+    for (size_t l = 0; l < cells_.size(); ++l) {
+      LstmCell::State next = cells_[l].Forward(layer_input, states[l]);
+      if (!masks.empty()) {
+        // Padded rows keep their previous state, so the final hidden state
+        // of a short walk is the one at its last valid step.
+        next.h = ag::MaskRows(next.h, states[l].h, masks[t]);
+        next.c = ag::MaskRows(next.c, states[l].c, masks[t]);
+      }
+      states[l] = next;
+      layer_input = states[l].h;
+    }
+  }
+  return states.back().h;
+}
+
+std::vector<Var> StackedLstm::Parameters() const {
+  std::vector<Var> params;
+  for (const auto& cell : cells_) {
+    auto p = cell.Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  return params;
+}
+
+}  // namespace ehna

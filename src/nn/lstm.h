@@ -1,0 +1,72 @@
+#ifndef EHNA_NN_LSTM_H_
+#define EHNA_NN_LSTM_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+#include "util/rng.h"
+
+namespace ehna {
+
+/// One LSTM cell with the standard i/f/g/o gate parameterization, operating
+/// on batches of row vectors. Gate weights are packed as
+/// [input_dim, 4*hidden] and [hidden, 4*hidden] (column blocks i|f|g|o);
+/// forget-gate biases initialize to 1 for stable early training.
+class LstmCell {
+ public:
+  LstmCell(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  struct State {
+    Var h;  // [B, hidden]
+    Var c;  // [B, hidden]
+  };
+
+  /// Fresh all-zero state for a batch of `batch` rows (constant leaves).
+  State InitialState(int64_t batch) const;
+
+  /// One step: x [B, input_dim], state {h, c} -> new state.
+  State Forward(const Var& x, const State& state) const;
+
+  std::vector<Var> Parameters() const;
+
+  int64_t input_dim() const { return input_dim_; }
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  Var w_ih_;  // [input_dim, 4*hidden]
+  Var w_hh_;  // [hidden, 4*hidden]
+  Var bias_;  // [4*hidden]
+};
+
+/// A stack of LSTM layers (the paper's "stacked LSTM" aggregator; the
+/// default depth is 2, per §V.C). `Forward` consumes a whole sequence and
+/// returns the top layer's final hidden state, honoring per-timestep
+/// validity masks so that variable-length walks batched together freeze
+/// their state once exhausted.
+class StackedLstm {
+ public:
+  StackedLstm(int64_t input_dim, int64_t hidden_dim, int num_layers,
+              Rng* rng);
+
+  /// `inputs[t]` is the batch input at step t ([B, input_dim]); `masks[t]`
+  /// (rank-1 [B], values 0/1, constant) marks which rows are still alive at
+  /// step t. Pass an empty `masks` to treat every step as valid. Returns the
+  /// final hidden state of the top layer, [B, hidden].
+  Var Forward(const std::vector<Var>& inputs,
+              const std::vector<Tensor>& masks) const;
+
+  std::vector<Var> Parameters() const;
+
+  int num_layers() const { return static_cast<int>(cells_.size()); }
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  std::vector<LstmCell> cells_;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_NN_LSTM_H_

@@ -1,0 +1,720 @@
+#include "nn/ops.h"
+
+#include <cmath>
+
+namespace ehna::ag {
+
+namespace {
+
+/// Builds a zero tensor with the same shape as `like`.
+Tensor ZerosLike(const Tensor& like) {
+  return like.rank() == 1 ? Tensor(like.rows())
+                          : Tensor(like.rows(), like.cols());
+}
+
+}  // namespace
+
+Var Add(const Var& a, const Var& b) {
+  EHNA_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  out.AddInPlace(b.value());
+  return Var::Op(std::move(out), {a, b},
+                 [a, b](const Tensor& g, const Tensor&) {
+                   a.AccumulateGrad(g);
+                   b.AccumulateGrad(g);
+                 },
+                 "add");
+}
+
+Var AddRowBroadcast(const Var& mat, const Var& row) {
+  const Tensor& m = mat.value();
+  const Tensor& r = row.value();
+  EHNA_CHECK_EQ(r.rank(), 1);
+  EHNA_CHECK_EQ(m.cols(), r.rows());
+  Tensor out = m;
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    float* orow = out.Row(i);
+    for (int64_t j = 0; j < m.cols(); ++j) orow[j] += r[j];
+  }
+  return Var::Op(std::move(out), {mat, row},
+                 [mat, row](const Tensor& g, const Tensor&) {
+                   mat.AccumulateGrad(g);
+                   Tensor gr(row.value().rows());
+                   for (int64_t i = 0; i < g.rows(); ++i) {
+                     const float* grow = g.Row(i);
+                     for (int64_t j = 0; j < g.cols(); ++j) gr[j] += grow[j];
+                   }
+                   row.AccumulateGrad(gr);
+                 },
+                 "add_row_broadcast");
+}
+
+Var Sub(const Var& a, const Var& b) {
+  EHNA_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  out.Axpy(-1.0f, b.value());
+  return Var::Op(std::move(out), {a, b},
+                 [a, b](const Tensor& g, const Tensor&) {
+                   a.AccumulateGrad(g);
+                   Tensor gb = g;
+                   gb.ScaleInPlace(-1.0f);
+                   b.AccumulateGrad(gb);
+                 },
+                 "sub");
+}
+
+Var SubRowBroadcast(const Var& mat, const Var& row) {
+  const Tensor& m = mat.value();
+  const Tensor& r = row.value();
+  EHNA_CHECK_EQ(r.rank(), 1);
+  EHNA_CHECK_EQ(m.cols(), r.rows());
+  Tensor out = m;
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    float* orow = out.Row(i);
+    for (int64_t j = 0; j < m.cols(); ++j) orow[j] -= r[j];
+  }
+  return Var::Op(std::move(out), {mat, row},
+                 [mat, row](const Tensor& g, const Tensor&) {
+                   mat.AccumulateGrad(g);
+                   Tensor gr(row.value().rows());
+                   for (int64_t i = 0; i < g.rows(); ++i) {
+                     const float* grow = g.Row(i);
+                     for (int64_t j = 0; j < g.cols(); ++j) gr[j] -= grow[j];
+                   }
+                   row.AccumulateGrad(gr);
+                 },
+                 "sub_row_broadcast");
+}
+
+Var Mul(const Var& a, const Var& b) {
+  EHNA_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  const float* bd = b.value().data();
+  float* od = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) od[i] *= bd[i];
+  return Var::Op(std::move(out), {a, b},
+                 [a, b](const Tensor& g, const Tensor&) {
+                   Tensor ga = g;
+                   {
+                     const float* bd = b.value().data();
+                     float* d = ga.data();
+                     for (int64_t i = 0; i < ga.numel(); ++i) d[i] *= bd[i];
+                   }
+                   a.AccumulateGrad(ga);
+                   Tensor gb = g;
+                   {
+                     const float* ad = a.value().data();
+                     float* d = gb.data();
+                     for (int64_t i = 0; i < gb.numel(); ++i) d[i] *= ad[i];
+                   }
+                   b.AccumulateGrad(gb);
+                 },
+                 "mul");
+}
+
+Var ScalarMul(const Var& a, float c) {
+  Tensor out = a.value();
+  out.ScaleInPlace(c);
+  return Var::Op(std::move(out), {a},
+                 [a, c](const Tensor& g, const Tensor&) {
+                   Tensor ga = g;
+                   ga.ScaleInPlace(c);
+                   a.AccumulateGrad(ga);
+                 },
+                 "scalar_mul");
+}
+
+Var AddScalar(const Var& a, float c) {
+  Tensor out = a.value();
+  float* d = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) d[i] += c;
+  return Var::Op(std::move(out), {a},
+                 [a](const Tensor& g, const Tensor&) { a.AccumulateGrad(g); },
+                 "add_scalar");
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  Tensor out = ehna::MatMul(a.value(), b.value());
+  return Var::Op(std::move(out), {a, b},
+                 [a, b](const Tensor& g, const Tensor&) {
+                   a.AccumulateGrad(MatMulTransposeB(g, b.value()));
+                   b.AccumulateGrad(MatMulTransposeA(a.value(), g));
+                 },
+                 "matmul");
+}
+
+Var MatVec(const Var& mat, const Var& vec) {
+  const Tensor& m = mat.value();
+  const Tensor& v = vec.value();
+  EHNA_CHECK_EQ(v.rank(), 1);
+  EHNA_CHECK_EQ(m.cols(), v.rows());
+  Tensor out(m.rows());
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.Row(i);
+    float acc = 0.0f;
+    for (int64_t j = 0; j < m.cols(); ++j) acc += row[j] * v[j];
+    out[i] = acc;
+  }
+  return Var::Op(
+      std::move(out), {mat, vec},
+      [mat, vec](const Tensor& g, const Tensor&) {
+        const Tensor& m = mat.value();
+        const Tensor& v = vec.value();
+        Tensor gm(m.rows(), m.cols());
+        Tensor gv(v.rows());
+        for (int64_t i = 0; i < m.rows(); ++i) {
+          const float gi = g[i];
+          float* gmrow = gm.Row(i);
+          const float* mrow = m.Row(i);
+          for (int64_t j = 0; j < m.cols(); ++j) {
+            gmrow[j] = gi * v[j];
+            gv[j] += gi * mrow[j];
+          }
+        }
+        mat.AccumulateGrad(gm);
+        vec.AccumulateGrad(gv);
+      },
+      "matvec");
+}
+
+Var Sigmoid(const Var& a) {
+  Tensor out = a.value();
+  float* d = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    d[i] = 1.0f / (1.0f + std::exp(-d[i]));
+  }
+  return Var::Op(std::move(out), {a},
+                 [a](const Tensor& g, const Tensor& y) {
+                   Tensor ga = g;
+                   const float* yd = y.data();
+                   float* d = ga.data();
+                   for (int64_t i = 0; i < ga.numel(); ++i) {
+                     d[i] *= yd[i] * (1.0f - yd[i]);
+                   }
+                   a.AccumulateGrad(ga);
+                 },
+                 "sigmoid");
+}
+
+Var Tanh(const Var& a) {
+  Tensor out = a.value();
+  float* d = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) d[i] = std::tanh(d[i]);
+  return Var::Op(std::move(out), {a},
+                 [a](const Tensor& g, const Tensor& y) {
+                   Tensor ga = g;
+                   const float* yd = y.data();
+                   float* d = ga.data();
+                   for (int64_t i = 0; i < ga.numel(); ++i) {
+                     d[i] *= 1.0f - yd[i] * yd[i];
+                   }
+                   a.AccumulateGrad(ga);
+                 },
+                 "tanh");
+}
+
+Var Relu(const Var& a) {
+  Tensor out = a.value();
+  float* d = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+  return Var::Op(std::move(out), {a},
+                 [a](const Tensor& g, const Tensor& y) {
+                   Tensor ga = g;
+                   const float* yd = y.data();
+                   float* d = ga.data();
+                   for (int64_t i = 0; i < ga.numel(); ++i) {
+                     if (yd[i] <= 0.0f) d[i] = 0.0f;
+                   }
+                   a.AccumulateGrad(ga);
+                 },
+                 "relu");
+}
+
+Var Exp(const Var& a) {
+  Tensor out = a.value();
+  float* d = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) d[i] = std::exp(d[i]);
+  return Var::Op(std::move(out), {a},
+                 [a](const Tensor& g, const Tensor& y) {
+                   Tensor ga = g;
+                   const float* yd = y.data();
+                   float* d = ga.data();
+                   for (int64_t i = 0; i < ga.numel(); ++i) d[i] *= yd[i];
+                   a.AccumulateGrad(ga);
+                 },
+                 "exp");
+}
+
+Var Log(const Var& a) {
+  Tensor out = a.value();
+  float* d = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    EHNA_DCHECK(d[i] > 0.0f);
+    d[i] = std::log(d[i]);
+  }
+  return Var::Op(std::move(out), {a},
+                 [a](const Tensor& g, const Tensor&) {
+                   Tensor ga = g;
+                   const float* xd = a.value().data();
+                   float* d = ga.data();
+                   for (int64_t i = 0; i < ga.numel(); ++i) d[i] /= xd[i];
+                   a.AccumulateGrad(ga);
+                 },
+                 "log");
+}
+
+Var Softmax(const Var& vec) {
+  const Tensor& x = vec.value();
+  EHNA_CHECK_EQ(x.rank(), 1);
+  Tensor out = x;
+  float mx = out[0];
+  for (int64_t i = 1; i < out.numel(); ++i) mx = std::max(mx, out[i]);
+  float total = 0.0f;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = std::exp(out[i] - mx);
+    total += out[i];
+  }
+  out.ScaleInPlace(1.0f / total);
+  return Var::Op(std::move(out), {vec},
+                 [vec](const Tensor& g, const Tensor& y) {
+                   // dx = y * (g - <g, y>)
+                   float dot = 0.0f;
+                   for (int64_t i = 0; i < y.numel(); ++i) dot += g[i] * y[i];
+                   Tensor gx(y.rows());
+                   for (int64_t i = 0; i < y.numel(); ++i) {
+                     gx[i] = y[i] * (g[i] - dot);
+                   }
+                   vec.AccumulateGrad(gx);
+                 },
+                 "softmax");
+}
+
+Var Sum(const Var& a) {
+  Tensor out(1);
+  out[0] = a.value().Sum();
+  return Var::Op(std::move(out), {a},
+                 [a](const Tensor& g, const Tensor&) {
+                   Tensor ga = ZerosLike(a.value());
+                   ga.Fill(g[0]);
+                   a.AccumulateGrad(ga);
+                 },
+                 "sum");
+}
+
+Var Mean(const Var& a) {
+  const int64_t n = a.value().numel();
+  EHNA_CHECK_GT(n, 0);
+  Tensor out(1);
+  out[0] = a.value().Sum() / static_cast<float>(n);
+  return Var::Op(std::move(out), {a},
+                 [a, n](const Tensor& g, const Tensor&) {
+                   Tensor ga = ZerosLike(a.value());
+                   ga.Fill(g[0] / static_cast<float>(n));
+                   a.AccumulateGrad(ga);
+                 },
+                 "mean");
+}
+
+Var SumSquares(const Var& a) {
+  const Tensor& x = a.value();
+  Tensor out(1);
+  double acc = 0.0;
+  const float* d = x.data();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    acc += static_cast<double>(d[i]) * d[i];
+  }
+  out[0] = static_cast<float>(acc);
+  return Var::Op(std::move(out), {a},
+                 [a](const Tensor& g, const Tensor&) {
+                   Tensor ga = a.value();
+                   ga.ScaleInPlace(2.0f * g[0]);
+                   a.AccumulateGrad(ga);
+                 },
+                 "sum_squares");
+}
+
+Var RowSumSquares(const Var& mat) {
+  const Tensor& m = mat.value();
+  EHNA_CHECK_EQ(m.rank(), 2);
+  Tensor out(m.rows());
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.Row(i);
+    float acc = 0.0f;
+    for (int64_t j = 0; j < m.cols(); ++j) acc += row[j] * row[j];
+    out[i] = acc;
+  }
+  return Var::Op(std::move(out), {mat},
+                 [mat](const Tensor& g, const Tensor&) {
+                   const Tensor& m = mat.value();
+                   Tensor gm(m.rows(), m.cols());
+                   for (int64_t i = 0; i < m.rows(); ++i) {
+                     const float* row = m.Row(i);
+                     float* grow = gm.Row(i);
+                     const float gi = 2.0f * g[i];
+                     for (int64_t j = 0; j < m.cols(); ++j) {
+                       grow[j] = gi * row[j];
+                     }
+                   }
+                   mat.AccumulateGrad(gm);
+                 },
+                 "row_sum_squares");
+}
+
+Var Dot(const Var& a, const Var& b) {
+  const Tensor& x = a.value();
+  const Tensor& y = b.value();
+  EHNA_CHECK_EQ(x.rank(), 1);
+  EHNA_CHECK(x.SameShape(y));
+  Tensor out(1);
+  float acc = 0.0f;
+  for (int64_t i = 0; i < x.numel(); ++i) acc += x[i] * y[i];
+  out[0] = acc;
+  return Var::Op(std::move(out), {a, b},
+                 [a, b](const Tensor& g, const Tensor&) {
+                   Tensor ga = b.value();
+                   ga.ScaleInPlace(g[0]);
+                   a.AccumulateGrad(ga);
+                   Tensor gb = a.value();
+                   gb.ScaleInPlace(g[0]);
+                   b.AccumulateGrad(gb);
+                 },
+                 "dot");
+}
+
+Var Row(const Var& mat, int64_t i) {
+  const Tensor& m = mat.value();
+  EHNA_CHECK_EQ(m.rank(), 2);
+  EHNA_CHECK(i >= 0 && i < m.rows());
+  Tensor out(m.cols());
+  const float* row = m.Row(i);
+  for (int64_t j = 0; j < m.cols(); ++j) out[j] = row[j];
+  return Var::Op(std::move(out), {mat},
+                 [mat, i](const Tensor& g, const Tensor&) {
+                   const Tensor& m = mat.value();
+                   Tensor gm(m.rows(), m.cols());
+                   float* grow = gm.Row(i);
+                   for (int64_t j = 0; j < m.cols(); ++j) grow[j] = g[j];
+                   mat.AccumulateGrad(gm);
+                 },
+                 "row");
+}
+
+Var ConcatRows(const std::vector<Var>& rows) {
+  EHNA_CHECK(!rows.empty());
+  const int64_t n = rows[0].value().numel();
+  for (const Var& r : rows) {
+    EHNA_CHECK_EQ(r.value().rank(), 1);
+    EHNA_CHECK_EQ(r.value().numel(), n);
+  }
+  Tensor out(static_cast<int64_t>(rows.size()), n);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const float* src = rows[i].value().data();
+    float* dst = out.Row(static_cast<int64_t>(i));
+    for (int64_t j = 0; j < n; ++j) dst[j] = src[j];
+  }
+  std::vector<Var> parents = rows;
+  return Var::Op(std::move(out), std::move(parents),
+                 [rows, n](const Tensor& g, const Tensor&) {
+                   for (size_t i = 0; i < rows.size(); ++i) {
+                     Tensor gr(n);
+                     const float* src = g.Row(static_cast<int64_t>(i));
+                     for (int64_t j = 0; j < n; ++j) gr[j] = src[j];
+                     rows[i].AccumulateGrad(gr);
+                   }
+                 },
+                 "concat_rows");
+}
+
+Var Concat(const Var& a, const Var& b) {
+  const Tensor& x = a.value();
+  const Tensor& y = b.value();
+  EHNA_CHECK_EQ(x.rank(), 1);
+  EHNA_CHECK_EQ(y.rank(), 1);
+  Tensor out(x.numel() + y.numel());
+  for (int64_t i = 0; i < x.numel(); ++i) out[i] = x[i];
+  for (int64_t i = 0; i < y.numel(); ++i) out[x.numel() + i] = y[i];
+  const int64_t na = x.numel();
+  return Var::Op(std::move(out), {a, b},
+                 [a, b, na](const Tensor& g, const Tensor&) {
+                   Tensor ga(na);
+                   for (int64_t i = 0; i < na; ++i) ga[i] = g[i];
+                   a.AccumulateGrad(ga);
+                   Tensor gb(g.numel() - na);
+                   for (int64_t i = 0; i < gb.numel(); ++i) gb[i] = g[na + i];
+                   b.AccumulateGrad(gb);
+                 },
+                 "concat");
+}
+
+Var SliceCols(const Var& mat, int64_t start, int64_t len) {
+  const Tensor& m = mat.value();
+  EHNA_CHECK_EQ(m.rank(), 2);
+  EHNA_CHECK(start >= 0 && len > 0 && start + len <= m.cols());
+  Tensor out(m.rows(), len);
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    const float* src = m.Row(i) + start;
+    float* dst = out.Row(i);
+    for (int64_t j = 0; j < len; ++j) dst[j] = src[j];
+  }
+  return Var::Op(std::move(out), {mat},
+                 [mat, start, len](const Tensor& g, const Tensor&) {
+                   const Tensor& m = mat.value();
+                   Tensor gm(m.rows(), m.cols());
+                   for (int64_t i = 0; i < m.rows(); ++i) {
+                     const float* src = g.Row(i);
+                     float* dst = gm.Row(i) + start;
+                     for (int64_t j = 0; j < len; ++j) dst[j] = src[j];
+                   }
+                   mat.AccumulateGrad(gm);
+                 },
+                 "slice_cols");
+}
+
+Var ScaleRows(const Var& mat, const Var& scale) {
+  const Tensor& m = mat.value();
+  const Tensor& s = scale.value();
+  EHNA_CHECK_EQ(m.rank(), 2);
+  EHNA_CHECK_EQ(s.rank(), 1);
+  EHNA_CHECK_EQ(m.rows(), s.rows());
+  Tensor out = m;
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    float* row = out.Row(i);
+    for (int64_t j = 0; j < m.cols(); ++j) row[j] *= s[i];
+  }
+  return Var::Op(
+      std::move(out), {mat, scale},
+      [mat, scale](const Tensor& g, const Tensor&) {
+        const Tensor& m = mat.value();
+        const Tensor& s = scale.value();
+        Tensor gm(m.rows(), m.cols());
+        Tensor gs(s.rows());
+        for (int64_t i = 0; i < m.rows(); ++i) {
+          const float* grow = g.Row(i);
+          const float* mrow = m.Row(i);
+          float* gmrow = gm.Row(i);
+          float acc = 0.0f;
+          for (int64_t j = 0; j < m.cols(); ++j) {
+            gmrow[j] = grow[j] * s[i];
+            acc += grow[j] * mrow[j];
+          }
+          gs[i] = acc;
+        }
+        mat.AccumulateGrad(gm);
+        scale.AccumulateGrad(gs);
+      },
+      "scale_rows");
+}
+
+Var ScaleRowsConst(const Var& mat, const Tensor& scale) {
+  const Tensor& m = mat.value();
+  EHNA_CHECK_EQ(m.rank(), 2);
+  EHNA_CHECK_EQ(scale.rank(), 1);
+  EHNA_CHECK_EQ(m.rows(), scale.rows());
+  Tensor out = m;
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    float* row = out.Row(i);
+    for (int64_t j = 0; j < m.cols(); ++j) row[j] *= scale[i];
+  }
+  Tensor scale_copy = scale;
+  return Var::Op(std::move(out), {mat},
+                 [mat, scale_copy](const Tensor& g, const Tensor&) {
+                   const Tensor& m = mat.value();
+                   Tensor gm(m.rows(), m.cols());
+                   for (int64_t i = 0; i < m.rows(); ++i) {
+                     const float* grow = g.Row(i);
+                     float* gmrow = gm.Row(i);
+                     for (int64_t j = 0; j < m.cols(); ++j) {
+                       gmrow[j] = grow[j] * scale_copy[i];
+                     }
+                   }
+                   mat.AccumulateGrad(gm);
+                 },
+                 "scale_rows_const");
+}
+
+Var MaskRows(const Var& a, const Var& b, const Tensor& mask) {
+  const Tensor& x = a.value();
+  const Tensor& y = b.value();
+  EHNA_CHECK(x.SameShape(y));
+  EHNA_CHECK_EQ(x.rank(), 2);
+  EHNA_CHECK_EQ(mask.rank(), 1);
+  EHNA_CHECK_EQ(mask.rows(), x.rows());
+  Tensor out(x.rows(), x.cols());
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    const float mi = mask[i];
+    const float* xr = x.Row(i);
+    const float* yr = y.Row(i);
+    float* orow = out.Row(i);
+    for (int64_t j = 0; j < x.cols(); ++j) {
+      orow[j] = mi * xr[j] + (1.0f - mi) * yr[j];
+    }
+  }
+  Tensor mask_copy = mask;
+  return Var::Op(
+      std::move(out), {a, b},
+      [a, b, mask_copy](const Tensor& g, const Tensor&) {
+        const Tensor& x = a.value();
+        Tensor ga(x.rows(), x.cols());
+        Tensor gb(x.rows(), x.cols());
+        for (int64_t i = 0; i < x.rows(); ++i) {
+          const float mi = mask_copy[i];
+          const float* grow = g.Row(i);
+          float* gar = ga.Row(i);
+          float* gbr = gb.Row(i);
+          for (int64_t j = 0; j < x.cols(); ++j) {
+            gar[j] = mi * grow[j];
+            gbr[j] = (1.0f - mi) * grow[j];
+          }
+        }
+        a.AccumulateGrad(ga);
+        b.AccumulateGrad(gb);
+      },
+      "mask_rows");
+}
+
+Var L2Normalize(const Var& vec, float eps) {
+  const Tensor& x = vec.value();
+  EHNA_CHECK_EQ(x.rank(), 1);
+  const float norm = x.Norm();
+  const bool degenerate = norm < eps;
+  const float denom = degenerate ? eps : norm;
+  Tensor out = x;
+  out.ScaleInPlace(1.0f / denom);
+  return Var::Op(std::move(out), {vec},
+                 [vec, denom, degenerate](const Tensor& g, const Tensor& y) {
+                   Tensor gx(y.rows());
+                   if (degenerate) {
+                     // Below the clamp the map is linear: y = x / eps.
+                     for (int64_t i = 0; i < y.numel(); ++i) {
+                       gx[i] = g[i] / denom;
+                     }
+                   } else {
+                     float dot = 0.0f;
+                     for (int64_t i = 0; i < y.numel(); ++i) {
+                       dot += g[i] * y[i];
+                     }
+                     for (int64_t i = 0; i < y.numel(); ++i) {
+                       gx[i] = (g[i] - y[i] * dot) / denom;
+                     }
+                   }
+                   vec.AccumulateGrad(gx);
+                 },
+                 "l2_normalize");
+}
+
+Var Hinge(const Var& scalar) {
+  EHNA_CHECK_EQ(scalar.value().numel(), 1);
+  return Relu(scalar);
+}
+
+Var LogSigmoid(const Var& a) {
+  Tensor out = a.value();
+  float* d = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    // log sigmoid(x) = -softplus(-x) = min(x,0) - log(1 + exp(-|x|)).
+    const float x = d[i];
+    d[i] = std::min(x, 0.0f) - std::log1p(std::exp(-std::abs(x)));
+  }
+  return Var::Op(std::move(out), {a},
+                 [a](const Tensor& g, const Tensor&) {
+                   // d/dx log sigmoid(x) = 1 - sigmoid(x) = sigmoid(-x).
+                   Tensor ga = g;
+                   const float* xd = a.value().data();
+                   float* d = ga.data();
+                   for (int64_t i = 0; i < ga.numel(); ++i) {
+                     const float x = xd[i];
+                     const float s = x >= 0.0f
+                                         ? std::exp(-x) / (1.0f + std::exp(-x))
+                                         : 1.0f / (1.0f + std::exp(x));
+                     d[i] *= s;
+                   }
+                   a.AccumulateGrad(ga);
+                 },
+                 "log_sigmoid");
+}
+
+Var BroadcastScalar(const Var& scalar, int64_t n) {
+  EHNA_CHECK_EQ(scalar.value().numel(), 1);
+  EHNA_CHECK_GT(n, 0);
+  Tensor out = Tensor::Full(n, scalar.value()[0]);
+  return Var::Op(std::move(out), {scalar},
+                 [scalar](const Tensor& g, const Tensor&) {
+                   Tensor gs(1);
+                   gs[0] = g.Sum();
+                   scalar.AccumulateGrad(gs);
+                 },
+                 "broadcast_scalar");
+}
+
+Var MulConst(const Var& a, const Tensor& c) {
+  EHNA_CHECK(a.value().SameShape(c));
+  Tensor out = a.value();
+  const float* cd = c.data();
+  float* od = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) od[i] *= cd[i];
+  Tensor c_copy = c;
+  return Var::Op(std::move(out), {a},
+                 [a, c_copy](const Tensor& g, const Tensor&) {
+                   Tensor ga = g;
+                   const float* cd = c_copy.data();
+                   float* d = ga.data();
+                   for (int64_t i = 0; i < ga.numel(); ++i) d[i] *= cd[i];
+                   a.AccumulateGrad(ga);
+                 },
+                 "mul_const");
+}
+
+Var ColMean(const Var& mat) {
+  const Tensor& m = mat.value();
+  EHNA_CHECK_EQ(m.rank(), 2);
+  EHNA_CHECK_GT(m.rows(), 0);
+  Tensor out(m.cols());
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.Row(i);
+    for (int64_t j = 0; j < m.cols(); ++j) out[j] += row[j];
+  }
+  out.ScaleInPlace(1.0f / static_cast<float>(m.rows()));
+  return Var::Op(std::move(out), {mat},
+                 [mat](const Tensor& g, const Tensor&) {
+                   const Tensor& m = mat.value();
+                   const float inv = 1.0f / static_cast<float>(m.rows());
+                   Tensor gm(m.rows(), m.cols());
+                   for (int64_t i = 0; i < m.rows(); ++i) {
+                     float* grow = gm.Row(i);
+                     for (int64_t j = 0; j < m.cols(); ++j) {
+                       grow[j] = g[j] * inv;
+                     }
+                   }
+                   mat.AccumulateGrad(gm);
+                 },
+                 "col_mean");
+}
+
+Var AsMatrix(const Var& vec) {
+  const Tensor& x = vec.value();
+  EHNA_CHECK_EQ(x.rank(), 1);
+  Tensor out = x.Reshape(1, x.numel());
+  return Var::Op(std::move(out), {vec},
+                 [vec](const Tensor& g, const Tensor&) {
+                   Tensor gv(g.numel());
+                   for (int64_t i = 0; i < g.numel(); ++i) gv[i] = g.data()[i];
+                   vec.AccumulateGrad(gv);
+                 },
+                 "as_matrix");
+}
+
+Var AsVector(const Var& mat) {
+  const Tensor& x = mat.value();
+  EHNA_CHECK_EQ(x.rank(), 2);
+  EHNA_CHECK_EQ(x.rows(), 1);
+  Tensor out(x.cols());
+  for (int64_t i = 0; i < x.cols(); ++i) out[i] = x.data()[i];
+  return Var::Op(std::move(out), {mat},
+                 [mat](const Tensor& g, const Tensor&) {
+                   Tensor gm = g.Reshape(1, g.numel());
+                   mat.AccumulateGrad(gm);
+                 },
+                 "as_vector");
+}
+
+}  // namespace ehna::ag

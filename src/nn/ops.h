@@ -1,0 +1,117 @@
+#ifndef EHNA_NN_OPS_H_
+#define EHNA_NN_OPS_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace ehna::ag {
+
+// Differentiable operations over `Var`. Every function returns a new graph
+// node whose backward closure routes gradients to its inputs. Shape
+// conventions: "vec" is rank-1 [n]; "mat" is rank-2 [m,n].
+
+/// Elementwise a + b (same shape).
+Var Add(const Var& a, const Var& b);
+
+/// mat [m,n] + row-broadcast vec [n] (bias add).
+Var AddRowBroadcast(const Var& mat, const Var& row);
+
+/// Elementwise a - b (same shape).
+Var Sub(const Var& a, const Var& b);
+
+/// Each row of mat [m,n] minus vec [n].
+Var SubRowBroadcast(const Var& mat, const Var& row);
+
+/// Elementwise a * b (same shape).
+Var Mul(const Var& a, const Var& b);
+
+/// a * c for a compile-time-constant scalar c.
+Var ScalarMul(const Var& a, float c);
+
+/// a + c elementwise.
+Var AddScalar(const Var& a, float c);
+
+/// Matrix product [m,k] @ [k,n] -> [m,n].
+Var MatMul(const Var& a, const Var& b);
+
+/// Matrix-vector product [m,k] @ [k] -> [m].
+Var MatVec(const Var& mat, const Var& vec);
+
+Var Sigmoid(const Var& a);
+Var Tanh(const Var& a);
+Var Relu(const Var& a);
+Var Exp(const Var& a);
+Var Log(const Var& a);  ///< Natural log; inputs must be positive.
+
+/// Softmax over a rank-1 vector (numerically stabilized).
+Var Softmax(const Var& vec);
+
+/// Sum of all elements -> scalar [1].
+Var Sum(const Var& a);
+
+/// Mean of all elements -> scalar [1].
+Var Mean(const Var& a);
+
+/// Sum of squared elements -> scalar [1] (i.e. squared L2 norm).
+Var SumSquares(const Var& a);
+
+/// Per-row squared L2 norm of mat [m,n] -> vec [m].
+Var RowSumSquares(const Var& mat);
+
+/// Dot product of two rank-1 vectors -> scalar [1].
+Var Dot(const Var& a, const Var& b);
+
+/// Row i of mat [m,n] -> vec [n].
+Var Row(const Var& mat, int64_t i);
+
+/// Stacks rank-1 vectors (all length n) into a [m,n] matrix.
+Var ConcatRows(const std::vector<Var>& rows);
+
+/// Concatenation of two rank-1 vectors -> [na+nb].
+Var Concat(const Var& a, const Var& b);
+
+/// Columns [start, start+len) of mat -> [m,len].
+Var SliceCols(const Var& mat, int64_t start, int64_t len);
+
+/// Scales row i of mat [m,n] by scale[i]; gradients flow to both.
+Var ScaleRows(const Var& mat, const Var& scale);
+
+/// Scales row i by the constant scale[i] (no gradient to the scales).
+Var ScaleRowsConst(const Var& mat, const Tensor& scale);
+
+/// Per-row select between two same-shape matrices:
+/// out_i = mask[i] * a_i + (1 - mask[i]) * b_i. `mask` is constant. Used to
+/// freeze LSTM state on padded timesteps of shorter walks.
+Var MaskRows(const Var& a, const Var& b, const Tensor& mask);
+
+/// vec / max(||vec||, eps): the L2 normalization applied to aggregated
+/// embeddings (Algorithm 1 line 8).
+Var L2Normalize(const Var& vec, float eps = 1e-12f);
+
+/// max(0, x) on a scalar — the hinge [.]_+ of Eq. 5. (Alias of Relu with a
+/// scalar check.)
+Var Hinge(const Var& scalar);
+
+/// Numerically stable elementwise log(sigmoid(x)).
+Var LogSigmoid(const Var& a);
+
+/// Replicates a scalar [1] into a rank-1 vector of length n; the gradient
+/// sums back.
+Var BroadcastScalar(const Var& scalar, int64_t n);
+
+/// Elementwise product with a constant tensor (no gradient to `c`).
+Var MulConst(const Var& a, const Tensor& c);
+
+/// Column means of mat [m,n] -> vec [n] (mean over the batch dimension).
+Var ColMean(const Var& mat);
+
+/// Reinterprets a rank-1 [n] as a single-row matrix [1,n].
+Var AsMatrix(const Var& vec);
+
+/// Reinterprets a single-row matrix [1,n] as a rank-1 [n].
+Var AsVector(const Var& mat);
+
+}  // namespace ehna::ag
+
+#endif  // EHNA_NN_OPS_H_

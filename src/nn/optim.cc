@@ -1,0 +1,96 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace ehna {
+
+void Optimizer::ZeroGrad() {
+  for (Var& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.resize(params_.size());
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    const Tensor& g = p.grad();
+    if (g.numel() == 0) continue;
+    if (momentum_ > 0.0f) {
+      Tensor& v = velocity_[i];
+      if (v.numel() == 0) v = g;
+      else {
+        v.ScaleInPlace(momentum_);
+        v.AddInPlace(g);
+      }
+      p.mutable_value().Axpy(-lr_, v);
+    } else {
+      p.mutable_value().Axpy(-lr_, g);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    const Tensor& g = p.grad();
+    if (g.numel() == 0) continue;
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    if (m.numel() == 0) {
+      m = g;
+      m.ScaleInPlace(0.0f);
+      v = m;
+    }
+    float* md = m.data();
+    float* vd = v.data();
+    const float* gd = g.data();
+    float* pd = p.mutable_value().data();
+    for (int64_t j = 0; j < g.numel(); ++j) {
+      md[j] = beta1_ * md[j] + (1.0f - beta1_) * gd[j];
+      vd[j] = beta2_ * vd[j] + (1.0f - beta2_) * gd[j] * gd[j];
+      const float mhat = md[j] / bc1;
+      const float vhat = vd[j] / bc2;
+      pd[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<Var>& params, float max_norm) {
+  double total = 0.0;
+  for (const Var& p : params) {
+    const Tensor& g = p.grad();
+    const float n = g.numel() == 0 ? 0.0f : g.Norm();
+    total += static_cast<double>(n) * n;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (const Var& p : params) {
+      if (p.grad().numel() == 0) continue;
+      Tensor scaled = p.grad();
+      scaled.ScaleInPlace(scale);
+      p.ZeroGrad();
+      p.AccumulateGrad(scaled);
+    }
+  }
+  return norm;
+}
+
+}  // namespace ehna

@@ -1,0 +1,116 @@
+#include "nn/pca.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace ehna {
+
+namespace {
+
+/// y = C v where C = X^T X / n is the (d x d) covariance of the centered
+/// data, computed without materializing C: y = X^T (X v) / n.
+void CovarianceApply(const Tensor& centered, const std::vector<double>& v,
+                     std::vector<double>* y) {
+  const int64_t n = centered.rows();
+  const int64_t d = centered.cols();
+  y->assign(d, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = centered.Row(i);
+    double dot = 0.0;
+    for (int64_t j = 0; j < d; ++j) dot += row[j] * v[j];
+    for (int64_t j = 0; j < d; ++j) (*y)[j] += dot * row[j];
+  }
+  for (int64_t j = 0; j < d; ++j) (*y)[j] /= static_cast<double>(n);
+}
+
+double Normalize(std::vector<double>* v) {
+  double norm = 0.0;
+  for (double x : *v) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm > 1e-300) {
+    for (double& x : *v) x /= norm;
+  }
+  return norm;
+}
+
+}  // namespace
+
+Result<PcaResult> ComputePca(const Tensor& data, int k, Rng* rng,
+                             int power_iterations) {
+  if (data.rank() != 2 || data.rows() < 2) {
+    return Status::InvalidArgument("PCA needs a matrix with >= 2 rows");
+  }
+  if (k < 1 || k > data.cols()) {
+    return Status::InvalidArgument("component count out of range");
+  }
+  const int64_t n = data.rows();
+  const int64_t d = data.cols();
+
+  // Center.
+  Tensor centered = data;
+  std::vector<double> mean(d, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = data.Row(i);
+    for (int64_t j = 0; j < d; ++j) mean[j] += row[j];
+  }
+  for (int64_t j = 0; j < d; ++j) mean[j] /= static_cast<double>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = centered.Row(i);
+    for (int64_t j = 0; j < d; ++j) {
+      row[j] -= static_cast<float>(mean[j]);
+    }
+  }
+
+  PcaResult result;
+  result.components = Tensor(k, d);
+  result.projected = Tensor(n, k);
+  result.explained_variance.reserve(k);
+
+  std::vector<std::vector<double>> axes;
+  for (int c = 0; c < k; ++c) {
+    // Random start, orthogonalized against found axes each iteration.
+    std::vector<double> v(d);
+    for (int64_t j = 0; j < d; ++j) v[j] = rng->Normal();
+    Normalize(&v);
+
+    double eigenvalue = 0.0;
+    std::vector<double> y;
+    for (int it = 0; it < power_iterations; ++it) {
+      // Gram-Schmidt deflation.
+      for (const auto& axis : axes) {
+        double dot = 0.0;
+        for (int64_t j = 0; j < d; ++j) dot += v[j] * axis[j];
+        for (int64_t j = 0; j < d; ++j) v[j] -= dot * axis[j];
+      }
+      Normalize(&v);
+      CovarianceApply(centered, v, &y);
+      eigenvalue = Normalize(&y);
+      v = y;
+    }
+    // Final orthogonalization for numerical hygiene.
+    for (const auto& axis : axes) {
+      double dot = 0.0;
+      for (int64_t j = 0; j < d; ++j) dot += v[j] * axis[j];
+      for (int64_t j = 0; j < d; ++j) v[j] -= dot * axis[j];
+    }
+    Normalize(&v);
+    axes.push_back(v);
+    result.explained_variance.push_back(eigenvalue);
+    for (int64_t j = 0; j < d; ++j) {
+      result.components.at(c, j) = static_cast<float>(v[j]);
+    }
+  }
+
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = centered.Row(i);
+    for (int c = 0; c < k; ++c) {
+      double dot = 0.0;
+      for (int64_t j = 0; j < d; ++j) dot += row[j] * axes[c][j];
+      result.projected.at(i, c) = static_cast<float>(dot);
+    }
+  }
+  return result;
+}
+
+}  // namespace ehna

@@ -1,0 +1,31 @@
+#ifndef EHNA_NN_PCA_H_
+#define EHNA_NN_PCA_H_
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ehna {
+
+/// Result of a principal-component projection.
+struct PcaResult {
+  /// [n, k] coordinates of each input row in the leading principal
+  /// components.
+  Tensor projected;
+  /// [k, d] row-major principal axes (unit vectors).
+  Tensor components;
+  /// Variance captured by each component, descending.
+  std::vector<double> explained_variance;
+};
+
+/// Projects the rows of `data` [n, d] onto their `k` leading principal
+/// components using power iteration with deflation on the covariance —
+/// no external linear-algebra dependency. Intended for embedding
+/// visualization (one of the paper's motivating applications): project to
+/// k = 2 and plot. Deterministic given `rng`.
+Result<PcaResult> ComputePca(const Tensor& data, int k, Rng* rng,
+                             int power_iterations = 100);
+
+}  // namespace ehna
+
+#endif  // EHNA_NN_PCA_H_

@@ -1,0 +1,106 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace ehna {
+
+namespace {
+constexpr char kMagic[4] = {'E', 'H', 'N', 'T'};
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status WriteTensorText(const std::string& path, const Tensor& t) {
+  if (t.rank() != 2) {
+    return Status::InvalidArgument("text serialization expects a matrix");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << t.rows() << " " << t.cols() << "\n";
+  for (int64_t i = 0; i < t.rows(); ++i) {
+    out << i;
+    const float* row = t.Row(i);
+    for (int64_t j = 0; j < t.cols(); ++j) out << " " << row[j];
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Tensor> ReadTensorText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+  int64_t rows = 0, cols = 0;
+  if (!(in >> rows >> cols) || rows <= 0 || cols <= 0) {
+    return Status::InvalidArgument("malformed header in " + path);
+  }
+  Tensor t(rows, cols);
+  std::vector<bool> seen(rows, false);
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t idx = -1;
+    if (!(in >> idx) || idx < 0 || idx >= rows) {
+      return Status::InvalidArgument("bad row index in " + path);
+    }
+    if (seen[idx]) {
+      return Status::InvalidArgument("duplicate row index in " + path);
+    }
+    seen[idx] = true;
+    float* row = t.Row(idx);
+    for (int64_t j = 0; j < cols; ++j) {
+      if (!(in >> row[j])) {
+        return Status::InvalidArgument("truncated row in " + path);
+      }
+    }
+  }
+  return t;
+}
+
+Status WriteTensorBinary(const std::string& path, const Tensor& t) {
+  if (t.rank() != 2) {
+    return Status::InvalidArgument("binary serialization expects a matrix");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const int64_t rows = t.rows(), cols = t.cols();
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Tensor> ReadTensorBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  char magic[4];
+  uint32_t version = 0;
+  int64_t rows = 0, cols = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an EHNA tensor file: " + path);
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported tensor version");
+  }
+  if (rows <= 0 || cols <= 0 || rows > (int64_t{1} << 32) ||
+      cols > (int64_t{1} << 24)) {
+    return Status::InvalidArgument("implausible tensor shape");
+  }
+  Tensor t(rows, cols);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!in) return Status::InvalidArgument("truncated tensor payload");
+  return t;
+}
+
+}  // namespace ehna

@@ -1,0 +1,31 @@
+#ifndef EHNA_NN_SERIALIZE_H_
+#define EHNA_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/tensor.h"
+#include "util/status.h"
+
+namespace ehna {
+
+/// Writes `t` as a text embedding file in the word2vec convention: a
+/// header line "rows cols", then one row per line ("row_index v0 v1 ...").
+/// The format round-trips through ReadTensorText and is directly loadable
+/// by downstream tooling.
+Status WriteTensorText(const std::string& path, const Tensor& t);
+
+/// Reads a text tensor written by WriteTensorText. Row indices must form
+/// the dense range [0, rows).
+Result<Tensor> ReadTensorText(const std::string& path);
+
+/// Writes `t` in a compact binary format:
+///   magic "EHNT", u32 version, i64 rows, i64 cols, rows*cols float32 LE.
+Status WriteTensorBinary(const std::string& path, const Tensor& t);
+
+/// Reads a binary tensor written by WriteTensorBinary, validating the
+/// magic, version and payload size.
+Result<Tensor> ReadTensorBinary(const std::string& path);
+
+}  // namespace ehna
+
+#endif  // EHNA_NN_SERIALIZE_H_

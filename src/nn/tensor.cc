@@ -1,0 +1,161 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ehna {
+
+Tensor Tensor::FromVector(std::vector<float> values) {
+  Tensor t;
+  t.rows_ = static_cast<int64_t>(values.size());
+  t.cols_ = 1;
+  t.rank_ = 1;
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::FromVector(int64_t rows, int64_t cols,
+                          std::vector<float> values) {
+  EHNA_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.rank_ = 2;
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::Full(int64_t n, float value) {
+  Tensor t(n);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Full(int64_t rows, int64_t cols, float value) {
+  Tensor t(rows, cols);
+  t.Fill(value);
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  EHNA_CHECK(SameShape(other));
+  const float* src = other.data();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += src[i];
+}
+
+void Tensor::Axpy(float alpha, const Tensor& other) {
+  EHNA_CHECK(SameShape(other));
+  const float* src = other.data();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * src[i];
+}
+
+void Tensor::ScaleInPlace(float alpha) {
+  for (float& x : data_) x *= alpha;
+}
+
+float Tensor::Sum() const {
+  float s = 0.0f;
+  for (float x : data_) s += x;
+  return s;
+}
+
+float Tensor::Norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(s));
+}
+
+Tensor Tensor::Reshape(int64_t rows, int64_t cols) const {
+  EHNA_CHECK_EQ(rows * cols, numel());
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.rank_ = 2;
+  t.data_ = data_;
+  return t;
+}
+
+std::string Tensor::ToString(int max_elems) const {
+  std::ostringstream os;
+  if (rank_ == 1) {
+    os << "[" << rows_ << "]{";
+  } else {
+    os << "[" << rows_ << "x" << cols_ << "]{";
+  }
+  const int64_t n = std::min<int64_t>(numel(), max_elems);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data_[i];
+  }
+  if (numel() > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  EHNA_CHECK_EQ(a.cols(), b.rows());
+  Tensor out(a.rows(), b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  // i-k-j loop order: unit-stride inner loop over the output row.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out.Row(i);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b.Row(kk);
+      for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
+  EHNA_CHECK_EQ(a.cols(), b.cols());
+  Tensor out(a.rows(), b.rows());
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out.Row(i);
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b.Row(j);
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
+  EHNA_CHECK_EQ(a.rows(), b.rows());
+  Tensor out(a.cols(), b.cols());
+  const int64_t m = a.cols(), k = a.rows(), n = b.cols();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.Row(kk);
+    const float* brow = b.Row(kk);
+    for (int64_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* orow = out.Row(i);
+      for (int64_t j = 0; j < n; ++j) orow[j] += aki * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  EHNA_CHECK_EQ(a.rank(), 2);
+  Tensor out(a.cols(), a.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) out.at(j, i) = a.at(i, j);
+  }
+  return out;
+}
+
+}  // namespace ehna

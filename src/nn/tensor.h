@@ -1,0 +1,137 @@
+#ifndef EHNA_NN_TENSOR_H_
+#define EHNA_NN_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ehna {
+
+/// A dense, row-major float32 tensor of rank 1 or 2. This is the numeric
+/// workhorse under the autograd layer; it deliberately supports only the
+/// shapes the EHNA model needs (vectors and matrices) in exchange for
+/// simple, auditable kernels.
+class Tensor {
+ public:
+  /// Empty (rank-1, zero-length) tensor.
+  Tensor() = default;
+
+  /// 1-D tensor of `n` zeros.
+  explicit Tensor(int64_t n) : rows_(n), cols_(1), rank_(1), data_(n, 0.0f) {
+    EHNA_CHECK_GE(n, 0);
+  }
+
+  /// 2-D tensor of zeros.
+  Tensor(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), rank_(2), data_(rows * cols, 0.0f) {
+    EHNA_CHECK_GE(rows, 0);
+    EHNA_CHECK_GE(cols, 0);
+  }
+
+  /// 1-D tensor from values.
+  static Tensor FromVector(std::vector<float> values);
+
+  /// 2-D tensor from row-major values; `values.size()` must equal
+  /// rows * cols.
+  static Tensor FromVector(int64_t rows, int64_t cols,
+                           std::vector<float> values);
+
+  /// 1-D or 2-D filled with `value`.
+  static Tensor Full(int64_t n, float value);
+  static Tensor Full(int64_t rows, int64_t cols, float value);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int rank() const { return rank_; }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  /// True if shapes (rank and dims) match.
+  bool SameShape(const Tensor& other) const {
+    return rank_ == other.rank_ && rows_ == other.rows_ &&
+           cols_ == other.cols_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// 1-D element access.
+  float& operator[](int64_t i) {
+    EHNA_DCHECK(i >= 0 && i < numel());
+    return data_[i];
+  }
+  float operator[](int64_t i) const {
+    EHNA_DCHECK(i >= 0 && i < numel());
+    return data_[i];
+  }
+
+  /// 2-D element access (also usable on 1-D with j==0).
+  float& at(int64_t i, int64_t j) {
+    EHNA_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  float at(int64_t i, int64_t j) const {
+    EHNA_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Pointer to the start of row `i` (2-D).
+  float* Row(int64_t i) { return data_.data() + i * cols_; }
+  const float* Row(int64_t i) const { return data_.data() + i * cols_; }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Sets every element to zero.
+  void Zero() { Fill(0.0f); }
+
+  /// this += other (same shape required).
+  void AddInPlace(const Tensor& other);
+
+  /// this += alpha * other.
+  void Axpy(float alpha, const Tensor& other);
+
+  /// this *= alpha.
+  void ScaleInPlace(float alpha);
+
+  /// Sum of elements.
+  float Sum() const;
+
+  /// Euclidean norm.
+  float Norm() const;
+
+  /// Reinterprets a rank-1 tensor of length n as [1, n] or vice versa; the
+  /// buffer is shared semantics-free (copy).
+  Tensor Reshape(int64_t rows, int64_t cols) const;
+
+  /// Debug rendering, e.g. "[2x3]{1, 2, 3, ...}".
+  std::string ToString(int max_elems = 8) const;
+
+  bool operator==(const Tensor& other) const {
+    return SameShape(other) && data_ == other.data_;
+  }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 1;
+  int rank_ = 1;
+  std::vector<float> data_;
+};
+
+/// out = a @ b for a [m,k] and b [k,n]. Shapes checked.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// out = a @ b^T for a [m,k], b [n,k].
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
+
+/// out = a^T @ b for a [k,m], b [k,n].
+Tensor MatMulTransposeA(const Tensor& a, const Tensor& b);
+
+/// Transpose of a 2-D tensor.
+Tensor Transpose(const Tensor& a);
+
+}  // namespace ehna
+
+#endif  // EHNA_NN_TENSOR_H_

@@ -1,0 +1,64 @@
+#include "util/alias_sampler.h"
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace ehna {
+
+void AliasSampler::Build(const std::vector<double>& weights) {
+  prob_.clear();
+  alias_.clear();
+  const size_t n = weights.size();
+  if (n == 0) return;
+
+  double total = 0.0;
+  for (double w : weights) {
+    EHNA_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  if (total <= 0.0) return;
+
+  prob_.resize(n);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; partition into under- and over-full buckets.
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<uint32_t>(i));
+    } else {
+      large.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  // Numerical leftovers are full buckets.
+  for (uint32_t l : large) prob_[l] = 1.0;
+  for (uint32_t s : small) prob_[s] = 1.0;
+}
+
+size_t AliasSampler::Sample(Rng* rng) const {
+  EHNA_DCHECK(!prob_.empty());
+  const size_t i = static_cast<size_t>(rng->UniformInt(prob_.size()));
+  return rng->Uniform() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace ehna

@@ -1,0 +1,40 @@
+#ifndef EHNA_UTIL_ALIAS_SAMPLER_H_
+#define EHNA_UTIL_ALIAS_SAMPLER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ehna {
+
+/// Walker's alias method: O(n) construction, O(1) sampling from an arbitrary
+/// discrete distribution. Used for edge sampling (LINE), negative-node
+/// sampling (degree^0.75 noise distribution) and static-walk transitions.
+class AliasSampler {
+ public:
+  AliasSampler() = default;
+
+  /// Builds the tables from non-negative weights. Zero-total or empty weight
+  /// vectors yield an empty sampler (`size() == 0`, sampling is invalid).
+  explicit AliasSampler(const std::vector<double>& weights) { Build(weights); }
+
+  /// (Re)builds the tables from `weights`.
+  void Build(const std::vector<double>& weights);
+
+  /// Number of outcomes (0 if unbuilt/degenerate).
+  size_t size() const { return prob_.size(); }
+
+  bool empty() const { return prob_.empty(); }
+
+  /// Draws one index in [0, size()). Requires size() > 0.
+  size_t Sample(Rng* rng) const;
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_UTIL_ALIAS_SAMPLER_H_

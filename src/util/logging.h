@@ -1,0 +1,81 @@
+#ifndef EHNA_UTIL_LOGGING_H_
+#define EHNA_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ehna {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are suppressed. Defaults to Info.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and flushes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process after flushing. Used by checks.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define EHNA_LOG(level)                                                \
+  ::ehna::internal::LogMessage(::ehna::LogLevel::k##level, __FILE__, \
+                               __LINE__)                               \
+      .stream()
+
+/// Unconditional invariant check; aborts with a message on failure. Used for
+/// programming errors (not data errors, which use Status).
+#define EHNA_CHECK(cond)                                          \
+  if (!(cond))                                                    \
+  ::ehna::internal::FatalLogMessage(__FILE__, __LINE__).stream()  \
+      << "Check failed: " #cond " "
+
+#define EHNA_CHECK_EQ(a, b) EHNA_CHECK((a) == (b))
+#define EHNA_CHECK_NE(a, b) EHNA_CHECK((a) != (b))
+#define EHNA_CHECK_LT(a, b) EHNA_CHECK((a) < (b))
+#define EHNA_CHECK_LE(a, b) EHNA_CHECK((a) <= (b))
+#define EHNA_CHECK_GT(a, b) EHNA_CHECK((a) > (b))
+#define EHNA_CHECK_GE(a, b) EHNA_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define EHNA_DCHECK(cond) EHNA_CHECK(cond)
+#else
+#define EHNA_DCHECK(cond) \
+  if (false) ::ehna::internal::FatalLogMessage(__FILE__, __LINE__).stream()
+#endif
+
+}  // namespace ehna
+
+#endif  // EHNA_UTIL_LOGGING_H_

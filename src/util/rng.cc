@@ -1,0 +1,141 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace ehna {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53-bit mantissa trick: uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  EHNA_DCHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  EHNA_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = Uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_normal_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_normal_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::Exponential(double rate) {
+  EHNA_DCHECK(rate > 0);
+  double u = 0.0;
+  do {
+    u = Uniform();
+  } while (u <= 1e-300);
+  return -std::log(u) / rate;
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+uint64_t Rng::PowerLaw(double alpha, uint64_t max) {
+  EHNA_DCHECK(max >= 1);
+  if (max == 1) return 1;
+  // Inverse transform on the continuous Pareto then clamp/round.
+  if (std::abs(alpha - 1.0) < 1e-9) {
+    // P(x) ~ 1/x: CDF inversion via exp.
+    const double x = std::exp(Uniform() * std::log(static_cast<double>(max)));
+    uint64_t k = static_cast<uint64_t>(x);
+    return std::clamp<uint64_t>(k, 1, max);
+  }
+  const double one_minus = 1.0 - alpha;
+  const double max_pow = std::pow(static_cast<double>(max), one_minus);
+  const double u = Uniform();
+  const double x = std::pow(1.0 + u * (max_pow - 1.0), 1.0 / one_minus);
+  uint64_t k = static_cast<uint64_t>(x);
+  return std::clamp<uint64_t>(k, 1, max);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  if (k >= n) {
+    std::vector<size_t> all(n);
+    std::iota(all.begin(), all.end(), size_t{0});
+    return all;
+  }
+  if (k * 4 >= n) {
+    std::vector<size_t> all(n);
+    std::iota(all.begin(), all.end(), size_t{0});
+    Shuffle(&all);
+    all.resize(k);
+    return all;
+  }
+  // Floyd's algorithm for k << n.
+  std::unordered_set<size_t> chosen;
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(UniformInt(static_cast<uint64_t>(j) + 1));
+    if (chosen.count(t)) t = j;
+    chosen.insert(t);
+    out.push_back(t);
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
+
+}  // namespace ehna

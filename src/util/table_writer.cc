@@ -1,0 +1,76 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace ehna {
+
+TableWriter::TableWriter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::FormatDouble(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void TableWriter::Print(std::ostream& os) const {
+  size_t ncols = columns_.size();
+  for (const auto& row : rows_) ncols = std::max(ncols, row.size());
+
+  std::vector<size_t> widths(ncols, 0);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = std::max(widths[c], columns_[c].size());
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+
+  size_t total = 1;
+  for (size_t c = 0; c < ncols; ++c) total += widths[c] + 3;
+
+  os << "\n== " << title_ << " ==\n";
+  print_row(columns_);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+Status TableWriter::WriteTsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c) out << "\t";
+    out << columns_[c];
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out << "\t";
+      out << row[c];
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace ehna

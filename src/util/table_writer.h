@@ -1,0 +1,45 @@
+#ifndef EHNA_UTIL_TABLE_WRITER_H_
+#define EHNA_UTIL_TABLE_WRITER_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ehna {
+
+/// Accumulates rows of string cells and renders them as an aligned,
+/// pipe-separated text table (the format the bench binaries print so each
+/// reproduced paper table is directly readable next to the paper's rows).
+/// Also supports TSV export for downstream plotting.
+class TableWriter {
+ public:
+  /// `title` is printed above the table; `columns` is the header row.
+  TableWriter(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row; missing trailing cells are rendered empty, extra cells
+  /// are kept (the column widths adapt).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string FormatDouble(double value, int precision = 4);
+
+  /// Renders the aligned table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Writes a TSV file (header + rows). Returns IoError on failure.
+  Status WriteTsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_UTIL_TABLE_WRITER_H_

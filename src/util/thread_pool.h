@@ -1,0 +1,55 @@
+#ifndef EHNA_UTIL_THREAD_POOL_H_
+#define EHNA_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ehna {
+
+/// A fixed-size worker pool with a simple task queue. Used to parallelize
+/// walk sampling and hogwild-style SGNS training (Table VIII's k-thread
+/// variants). Tasks must not throw.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for every i in [0, n), partitioned into contiguous chunks
+  /// across the pool, and waits for completion. `fn` must be thread-safe.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;  // queued + running tasks, guarded by mu_.
+  bool shutdown_ = false;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_UTIL_THREAD_POOL_H_

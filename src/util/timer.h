@@ -1,0 +1,32 @@
+#ifndef EHNA_UTIL_TIMER_H_
+#define EHNA_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ehna {
+
+/// Monotonic wall-clock stopwatch used by the training-time benchmarks
+/// (Table VIII) and progress logging.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_UTIL_TIMER_H_

@@ -1,0 +1,56 @@
+#include "walk/ctdne_walk.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ehna {
+
+namespace {
+
+/// Suffix of `node`'s (time-ascending) adjacency with time strictly after
+/// `cutoff` (CTDNE walks are strictly increasing in time, which also rules
+/// out oscillating forever across one timestamp).
+std::span<const AdjEntry> NeighborsAfter(const TemporalGraph& g, NodeId node,
+                                         Timestamp cutoff) {
+  auto all = g.Neighbors(node);
+  auto it = std::upper_bound(
+      all.begin(), all.end(), cutoff,
+      [](Timestamp t, const AdjEntry& a) { return t < a.time; });
+  return all.subspan(static_cast<size_t>(it - all.begin()));
+}
+
+}  // namespace
+
+CtdneWalkSampler::CtdneWalkSampler(const TemporalGraph* graph,
+                                   CtdneWalkConfig config)
+    : graph_(graph), config_(config) {
+  EHNA_CHECK(graph != nullptr);
+  EHNA_CHECK_GE(config_.walk_length, 1);
+}
+
+std::vector<NodeId> CtdneWalkSampler::SampleWalk(Rng* rng) const {
+  std::vector<NodeId> walk;
+  if (graph_->num_edges() == 0) return walk;
+
+  // Uniform initial edge; walk continues from its destination.
+  const TemporalEdge& first =
+      graph_->edges()[rng->UniformInt(graph_->num_edges())];
+  walk.reserve(config_.walk_length + 1);
+  walk.push_back(first.src);
+  walk.push_back(first.dst);
+
+  NodeId current = first.dst;
+  Timestamp now = first.time;
+  for (int step = 2; step <= config_.walk_length; ++step) {
+    auto candidates = NeighborsAfter(*graph_, current, now);
+    if (candidates.empty()) break;
+    const AdjEntry& next = candidates[rng->UniformInt(candidates.size())];
+    walk.push_back(next.neighbor);
+    current = next.neighbor;
+    now = next.time;
+  }
+  return walk;
+}
+
+}  // namespace ehna

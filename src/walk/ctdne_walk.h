@@ -1,0 +1,43 @@
+#ifndef EHNA_WALK_CTDNE_WALK_H_
+#define EHNA_WALK_CTDNE_WALK_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+#include "walk/walk.h"
+
+namespace ehna {
+
+/// Configuration of the CTDNE time-respecting walk (Nguyen et al., WWW'18
+/// companion), the paper's third baseline: walks start from a uniformly
+/// sampled edge and only traverse edges with non-decreasing timestamps, so
+/// every walk moves forward in time.
+struct CtdneWalkConfig {
+  int walk_length = 80;
+  /// Walks whose realized length falls below this are discarded by callers
+  /// (CTDNE requires a minimum context; we default to window size).
+  int min_length = 5;
+};
+
+/// Samples time-increasing walks with uniform initial-edge and uniform
+/// next-edge selection (the paper's §V.C setting: "uniform sampling for
+/// initial edge selections and node selections").
+class CtdneWalkSampler {
+ public:
+  CtdneWalkSampler(const TemporalGraph* graph, CtdneWalkConfig config);
+
+  /// Samples one walk starting from a uniformly drawn edge. May be shorter
+  /// than `walk_length` when the temporal frontier dead-ends.
+  std::vector<NodeId> SampleWalk(Rng* rng) const;
+
+  const CtdneWalkConfig& config() const { return config_; }
+
+ private:
+  const TemporalGraph* graph_;
+  CtdneWalkConfig config_;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_WALK_CTDNE_WALK_H_

@@ -1,0 +1,81 @@
+#include "walk/node2vec_walk.h"
+
+#include "util/logging.h"
+
+namespace ehna {
+
+Node2VecWalkSampler::Node2VecWalkSampler(const TemporalGraph* graph,
+                                         Node2VecWalkConfig config)
+    : graph_(graph), config_(config) {
+  EHNA_CHECK(graph != nullptr);
+  EHNA_CHECK_GT(config_.p, 0.0);
+  EHNA_CHECK_GT(config_.q, 0.0);
+  EHNA_CHECK_GE(config_.walk_length, 1);
+}
+
+std::vector<NodeId> Node2VecWalkSampler::SampleWalk(NodeId start,
+                                                    Rng* rng) const {
+  std::vector<NodeId> walk;
+  walk.reserve(config_.walk_length + 1);
+  walk.push_back(start);
+
+  NodeId prev = kInvalidNode;
+  NodeId current = start;
+  std::vector<double> weights;
+  for (int step = 0; step < config_.walk_length; ++step) {
+    auto nbrs = graph_->Neighbors(current);
+    if (nbrs.empty()) break;
+
+    size_t chosen;
+    if (prev == kInvalidNode) {
+      // First step: weighted by edge weight only.
+      double total = 0.0;
+      weights.resize(nbrs.size());
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        weights[i] = nbrs[i].weight;
+        total += weights[i];
+      }
+      if (total <= 0.0) break;
+      double pick = rng->Uniform() * total;
+      chosen = nbrs.size() - 1;
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        pick -= weights[i];
+        if (pick <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      weights.resize(nbrs.size());
+      double total = 0.0;
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        double beta;
+        if (nbrs[i].neighbor == prev) {
+          beta = 1.0 / config_.p;
+        } else if (graph_->HasEdge(prev, nbrs[i].neighbor)) {
+          beta = 1.0;
+        } else {
+          beta = 1.0 / config_.q;
+        }
+        weights[i] = beta * nbrs[i].weight;
+        total += weights[i];
+      }
+      if (total <= 0.0) break;
+      double pick = rng->Uniform() * total;
+      chosen = nbrs.size() - 1;
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        pick -= weights[i];
+        if (pick <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    prev = current;
+    current = nbrs[chosen].neighbor;
+    walk.push_back(current);
+  }
+  return walk;
+}
+
+}  // namespace ehna

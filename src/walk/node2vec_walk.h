@@ -1,0 +1,44 @@
+#ifndef EHNA_WALK_NODE2VEC_WALK_H_
+#define EHNA_WALK_NODE2VEC_WALK_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+#include "walk/walk.h"
+
+namespace ehna {
+
+/// Configuration of the static second-order biased walk of Grover &
+/// Leskovec (node2vec). With p = q = 1 this degenerates to DeepWalk's
+/// uniform first-order walk.
+struct Node2VecWalkConfig {
+  double p = 1.0;
+  double q = 1.0;
+  int walk_length = 80;
+  /// Walks started per node per epoch.
+  int walks_per_node = 10;
+};
+
+/// Samples node2vec walks over the static projection of the graph
+/// (timestamps ignored, weights respected). Transition weights are computed
+/// on the fly (O(degree) per step) rather than via precomputed per-edge
+/// alias tables, trading a small constant for O(V+E) memory.
+class Node2VecWalkSampler {
+ public:
+  Node2VecWalkSampler(const TemporalGraph* graph, Node2VecWalkConfig config);
+
+  /// Samples one walk (node sequence) starting at `start`. Returns just
+  /// {start} if the node is isolated.
+  std::vector<NodeId> SampleWalk(NodeId start, Rng* rng) const;
+
+  const Node2VecWalkConfig& config() const { return config_; }
+
+ private:
+  const TemporalGraph* graph_;
+  Node2VecWalkConfig config_;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_WALK_NODE2VEC_WALK_H_

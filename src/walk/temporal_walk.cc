@@ -1,0 +1,98 @@
+#include "walk/temporal_walk.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ehna {
+
+TemporalWalkSampler::TemporalWalkSampler(const TemporalGraph* graph,
+                                         TemporalWalkConfig config)
+    : graph_(graph), config_(config), inv_span_(1.0 / graph->TimeSpan()) {
+  EHNA_CHECK(graph != nullptr);
+  EHNA_CHECK_GT(config_.p, 0.0);
+  EHNA_CHECK_GT(config_.q, 0.0);
+  EHNA_CHECK_GE(config_.walk_length, 1);
+  EHNA_CHECK_GE(config_.num_walks, 1);
+}
+
+double TemporalWalkSampler::TransitionWeight(NodeId prev, Timestamp prev_time,
+                                             NodeId v, const AdjEntry& cand,
+                                             Timestamp ref_time) const {
+  (void)prev_time;
+  (void)v;
+  double kernel = cand.weight;
+  if (config_.use_time_decay) {
+    const double dt = (ref_time - cand.time) * inv_span_;
+    kernel *= std::exp(-config_.decay_rate * (dt > 0.0 ? dt : 0.0));
+  }
+  if (prev == kInvalidNode) return kernel;  // first step: no beta factor.
+
+  double beta;
+  if (cand.neighbor == prev) {
+    beta = std::isinf(config_.p) ? 0.0 : 1.0 / config_.p;  // d_uw = 0.
+  } else if (graph_->HasEdge(prev, cand.neighbor)) {
+    beta = 1.0;  // d_uw = 1.
+  } else {
+    beta = 1.0 / config_.q;  // d_uw = 2.
+  }
+  return beta * kernel;
+}
+
+Walk TemporalWalkSampler::SampleWalk(NodeId start, Timestamp ref_time,
+                                     Rng* rng) const {
+  Walk walk;
+  walk.reserve(config_.walk_length + 1);
+  walk.push_back(WalkStep{start, 0.0, 0.0f});
+
+  NodeId prev = kInvalidNode;
+  NodeId current = start;
+  Timestamp frontier_time = ref_time;
+
+  std::vector<double> weights;
+  for (int step = 0; step < config_.walk_length; ++step) {
+    // Relevance constraint (Definition 2): only historical edges no newer
+    // than the edge we just traversed (or the target edge, on step one).
+    auto candidates = graph_->NeighborsBefore(current, frontier_time);
+    if (candidates.empty()) break;  // early termination (§IV.A).
+
+    weights.resize(candidates.size());
+    double total = 0.0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      weights[i] = TransitionWeight(prev, frontier_time, current,
+                                    candidates[i], ref_time);
+      total += weights[i];
+    }
+    if (total <= 0.0) break;  // all moves forbidden (e.g. p = inf dead end).
+
+    double pick = rng->Uniform() * total;
+    size_t chosen = candidates.size() - 1;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      pick -= weights[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+
+    const AdjEntry& next = candidates[chosen];
+    walk.push_back(WalkStep{next.neighbor, next.time, next.weight});
+    prev = current;
+    current = next.neighbor;
+    frontier_time = next.time;
+  }
+  return walk;
+}
+
+std::vector<Walk> TemporalWalkSampler::SampleWalks(NodeId start,
+                                                   Timestamp ref_time,
+                                                   Rng* rng) const {
+  std::vector<Walk> walks;
+  walks.reserve(config_.num_walks);
+  for (int i = 0; i < config_.num_walks; ++i) {
+    walks.push_back(SampleWalk(start, ref_time, rng));
+  }
+  return walks;
+}
+
+}  // namespace ehna

@@ -1,0 +1,36 @@
+#ifndef EHNA_WALK_WALK_H_
+#define EHNA_WALK_WALK_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+
+namespace ehna {
+
+/// One visited position in a walk. For step i > 0, `edge_time` and
+/// `edge_weight` describe the edge traversed from step i-1 to step i; for the
+/// starting step they are 0 (there is no incoming edge).
+struct WalkStep {
+  NodeId node = 0;
+  Timestamp edge_time = 0.0;
+  float edge_weight = 0.0f;
+
+  bool operator==(const WalkStep&) const = default;
+};
+
+/// A (temporal) random walk: the chronological record of visited nodes and
+/// the timestamps of the edges used, which the EHNA attention coefficients
+/// (Eq. 3-4) consume.
+using Walk = std::vector<WalkStep>;
+
+/// Extracts just the node sequence (what skip-gram baselines consume).
+inline std::vector<NodeId> WalkNodes(const Walk& walk) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(walk.size());
+  for (const auto& s : walk) nodes.push_back(s.node);
+  return nodes;
+}
+
+}  // namespace ehna
+
+#endif  // EHNA_WALK_WALK_H_

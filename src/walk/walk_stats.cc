@@ -1,0 +1,83 @@
+#include "walk/walk_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ehna {
+
+std::unordered_map<NodeId, size_t> VisitCounts(
+    const std::vector<Walk>& walks) {
+  std::unordered_map<NodeId, size_t> counts;
+  for (const Walk& w : walks) {
+    for (const WalkStep& s : w) ++counts[s.node];
+  }
+  return counts;
+}
+
+WalkCorpusStats ComputeWalkCorpusStats(const std::vector<Walk>& walks,
+                                       int requested_steps) {
+  WalkCorpusStats stats;
+  stats.num_walks = walks.size();
+  if (walks.empty()) return stats;
+
+  size_t total_steps = 0;
+  size_t early = 0;
+  size_t backtracks = 0;
+  size_t interior_steps = 0;
+  stats.min_length = std::numeric_limits<size_t>::max();
+
+  Timestamp min_time = std::numeric_limits<Timestamp>::max();
+  Timestamp max_time = std::numeric_limits<Timestamp>::lowest();
+  std::vector<Timestamp> edge_times;
+  for (const Walk& w : walks) {
+    const size_t steps = w.empty() ? 0 : w.size() - 1;
+    total_steps += steps;
+    stats.min_length = std::min(stats.min_length, steps);
+    stats.max_length = std::max(stats.max_length, steps);
+    if (requested_steps > 0 && steps < static_cast<size_t>(requested_steps)) {
+      ++early;
+    }
+    for (size_t j = 2; j < w.size(); ++j) {
+      ++interior_steps;
+      if (w[j].node == w[j - 2].node) ++backtracks;
+    }
+    for (size_t j = 1; j < w.size(); ++j) {
+      edge_times.push_back(w[j].edge_time);
+      min_time = std::min(min_time, w[j].edge_time);
+      max_time = std::max(max_time, w[j].edge_time);
+    }
+  }
+  stats.mean_length =
+      static_cast<double>(total_steps) / static_cast<double>(walks.size());
+  if (requested_steps > 0) {
+    stats.early_termination_rate =
+        static_cast<double>(early) / static_cast<double>(walks.size());
+  }
+  stats.backtrack_rate =
+      interior_steps == 0
+          ? 0.0
+          : static_cast<double>(backtracks) /
+                static_cast<double>(interior_steps);
+
+  const auto counts = VisitCounts(walks);
+  stats.distinct_nodes = counts.size();
+  double total_visits = 0.0;
+  for (const auto& [node, c] : counts) total_visits += c;
+  for (const auto& [node, c] : counts) {
+    const double p = static_cast<double>(c) / total_visits;
+    stats.visit_entropy -= p * std::log(p);
+  }
+
+  if (!edge_times.empty() && max_time > min_time) {
+    double age_sum = 0.0;
+    const double span = max_time - min_time;
+    for (Timestamp t : edge_times) {
+      age_sum += (max_time - t) / span;
+    }
+    stats.mean_normalized_age = age_sum / static_cast<double>(edge_times.size());
+  }
+  return stats;
+}
+
+}  // namespace ehna

@@ -1,0 +1,51 @@
+#ifndef EHNA_WALK_WALK_STATS_H_
+#define EHNA_WALK_WALK_STATS_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "walk/walk.h"
+
+namespace ehna {
+
+/// Summary statistics of a sampled walk corpus — instrumentation for
+/// understanding what the temporal random walk actually explores (used by
+/// tests, examples, and when tuning p/q/decay on a new dataset).
+struct WalkCorpusStats {
+  size_t num_walks = 0;
+  /// Length counted in steps (nodes - 1).
+  double mean_length = 0.0;
+  size_t min_length = 0;
+  size_t max_length = 0;
+  /// Fraction of walks that terminated before the configured length
+  /// (length < requested steps).
+  double early_termination_rate = 0.0;
+  /// Number of distinct nodes visited anywhere in the corpus.
+  size_t distinct_nodes = 0;
+  /// Shannon entropy (nats) of the node-visit distribution; higher means
+  /// broader exploration.
+  double visit_entropy = 0.0;
+  /// Fraction of steps that return to the node visited two steps earlier
+  /// (the behaviour the p parameter controls).
+  double backtrack_rate = 0.0;
+  /// Mean of the traversed edges' ages relative to the most recent edge in
+  /// the corpus, normalized by the span of traversed timestamps: 0 = only
+  /// the newest edges, 1 = only the oldest (the behaviour the decay rate
+  /// controls).
+  double mean_normalized_age = 0.0;
+};
+
+/// Computes statistics over `walks`. `requested_steps` is the configured
+/// walk length (for the early-termination rate); pass 0 to skip that
+/// metric.
+WalkCorpusStats ComputeWalkCorpusStats(const std::vector<Walk>& walks,
+                                       int requested_steps);
+
+/// Per-node visit counts across the corpus.
+std::unordered_map<NodeId, size_t> VisitCounts(const std::vector<Walk>& walks);
+
+}  // namespace ehna
+
+#endif  // EHNA_WALK_WALK_STATS_H_

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aggregator.h"
+#include "core/model.h"
+#include "graph/generators/generators.h"
+#include "nn/ops.h"
+
+namespace ehna {
+namespace {
+
+TemporalGraph SmallGraph() {
+  auto g = MakePaperDataset(PaperDataset::kDigg, 0.05, 42);
+  EHNA_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+EhnaConfig SmallConfig() {
+  EhnaConfig cfg;
+  cfg.dim = 8;
+  cfg.num_walks = 3;
+  cfg.walk_length = 4;
+  cfg.lstm_layers = 2;
+  cfg.num_negatives = 1;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(AggregatorTest, OutputIsUnitNormVector) {
+  TemporalGraph g = SmallGraph();
+  Rng rng(1);
+  EhnaConfig cfg = SmallConfig();
+  Embedding emb(g.num_nodes(), cfg.dim, &rng);
+  EhnaAggregator agg(&g, &emb, cfg, &rng);
+  for (NodeId v : {NodeId{0}, NodeId{5}, NodeId{17}}) {
+    Var z = agg.Aggregate(v, g.max_time() + 1.0, /*training=*/true, &rng);
+    ASSERT_EQ(z.value().rank(), 1);
+    ASSERT_EQ(z.value().numel(), cfg.dim);
+    EXPECT_NEAR(z.value().Norm(), 1.0f, 1e-4f);
+  }
+  emb.ClearGradients();
+}
+
+TEST(AggregatorTest, EarlyRefTimeTriggersFallback) {
+  TemporalGraph g = SmallGraph();
+  Rng rng(2);
+  EhnaConfig cfg = SmallConfig();
+  Embedding emb(g.num_nodes(), cfg.dim, &rng);
+  EhnaAggregator agg(&g, &emb, cfg, &rng);
+  // Before the first edge nobody has history; the fallback path must still
+  // produce a valid normalized embedding.
+  Var z = agg.Aggregate(0, g.min_time() - 1.0, true, &rng);
+  EXPECT_NEAR(z.value().Norm(), 1.0f, 1e-4f);
+  emb.ClearGradients();
+}
+
+TEST(AggregatorTest, IsolatedNodeUsesOwnEmbeddingOnly) {
+  auto made = TemporalGraph::FromEdges({{0, 1, 1.0, 1.0f}}, /*num_nodes=*/5);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  Rng rng(3);
+  EhnaConfig cfg = SmallConfig();
+  Embedding emb(g.num_nodes(), cfg.dim, &rng);
+  EhnaAggregator agg(&g, &emb, cfg, &rng);
+  Var z = agg.Aggregate(4, 10.0, true, &rng);  // node 4 isolated.
+  EXPECT_NEAR(z.value().Norm(), 1.0f, 1e-4f);
+  emb.ClearGradients();
+}
+
+TEST(AggregatorTest, GradientsReachAllParameterGroups) {
+  TemporalGraph g = SmallGraph();
+  Rng rng(4);
+  EhnaConfig cfg = SmallConfig();
+  Embedding emb(g.num_nodes(), cfg.dim, &rng);
+  EhnaAggregator agg(&g, &emb, cfg, &rng);
+  Var z = agg.Aggregate(1, g.max_time() + 1.0, true, &rng);
+  Backward(ag::SumSquares(z));
+  int with_grad = 0;
+  for (const Var& p : agg.Parameters()) with_grad += p.grad().numel() > 0;
+  // At least the node-level LSTM, BNs, and fuse weight must receive grads.
+  EXPECT_GE(with_grad, 8);
+  EXPECT_GT(emb.num_pending_rows(), 0u);
+  emb.ClearGradients();
+}
+
+TEST(AggregatorTest, VariantsProduceValidOutputs) {
+  TemporalGraph g = SmallGraph();
+  for (EhnaVariant variant :
+       {EhnaVariant::kFull, EhnaVariant::kNoAttention,
+        EhnaVariant::kStaticWalk, EhnaVariant::kSingleLayer}) {
+    Rng rng(5);
+    EhnaConfig cfg = SmallConfig();
+    cfg.variant = variant;
+    Embedding emb(g.num_nodes(), cfg.dim, &rng);
+    EhnaAggregator agg(&g, &emb, cfg, &rng);
+    Var z = agg.Aggregate(2, g.max_time() + 1.0, true, &rng);
+    EXPECT_NEAR(z.value().Norm(), 1.0f, 1e-4f) << EhnaVariantName(variant);
+    for (int64_t i = 0; i < z.value().numel(); ++i) {
+      EXPECT_TRUE(std::isfinite(z.value()[i])) << EhnaVariantName(variant);
+    }
+    emb.ClearGradients();
+  }
+}
+
+TEST(AggregatorTest, VariantNames) {
+  EXPECT_STREQ(EhnaVariantName(EhnaVariant::kFull), "EHNA");
+  EXPECT_STREQ(EhnaVariantName(EhnaVariant::kNoAttention), "EHNA-NA");
+  EXPECT_STREQ(EhnaVariantName(EhnaVariant::kStaticWalk), "EHNA-RW");
+  EXPECT_STREQ(EhnaVariantName(EhnaVariant::kSingleLayer), "EHNA-SL");
+}
+
+TEST(AggregatorTest, DeterministicGivenSameRngState) {
+  TemporalGraph g = SmallGraph();
+  EhnaConfig cfg = SmallConfig();
+  Rng rng_a(7), rng_b(7);
+  Embedding emb_a(g.num_nodes(), cfg.dim, &rng_a);
+  Embedding emb_b(g.num_nodes(), cfg.dim, &rng_b);
+  EhnaAggregator agg_a(&g, &emb_a, cfg, &rng_a);
+  EhnaAggregator agg_b(&g, &emb_b, cfg, &rng_b);
+  Var za = agg_a.Aggregate(3, g.max_time() + 1.0, false, &rng_a);
+  Var zb = agg_b.Aggregate(3, g.max_time() + 1.0, false, &rng_b);
+  for (int64_t i = 0; i < za.value().numel(); ++i) {
+    EXPECT_FLOAT_EQ(za.value()[i], zb.value()[i]);
+  }
+  emb_a.ClearGradients();
+  emb_b.ClearGradients();
+}
+
+}  // namespace
+}  // namespace ehna

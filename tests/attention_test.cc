@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "core/attention.h"
+
+namespace ehna {
+namespace {
+
+Walk MakeWalk(std::vector<NodeId> nodes, std::vector<Timestamp> edge_times) {
+  Walk w;
+  w.push_back(WalkStep{nodes[0], 0.0, 0.0f});
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    w.push_back(WalkStep{nodes[i], edge_times[i - 1], 1.0f});
+  }
+  return w;
+}
+
+TEST(AttentionTest, CoefficientPerPosition) {
+  // Walk 0 -(t=10)- 1 -(t=5)- 2 over span [0, 10].
+  Walk w = MakeWalk({0, 1, 2}, {10.0, 5.0});
+  auto c = NodeAttentionCoefficients(w, 0.0, 10.0);
+  ASSERT_EQ(c.size(), 3u);
+  // Node 0: edge (0,1) normalized 1.0 -> c = 1.
+  EXPECT_NEAR(c[0], 1.0f, 1e-5f);
+  // Node 1: edges 1.0 + 0.5 -> c = 1/1.5.
+  EXPECT_NEAR(c[1], 1.0f / 1.5f, 1e-5f);
+  // Node 2: edge 0.5 -> c = 2.
+  EXPECT_NEAR(c[2], 2.0f, 1e-5f);
+}
+
+TEST(AttentionTest, MoreRecentInteractionsGiveSmallerCoefficient) {
+  // Smaller coefficient => larger attention after exp(-c * dist).
+  Walk recent = MakeWalk({0, 1}, {100.0});
+  Walk old = MakeWalk({0, 1}, {1.0});
+  auto c_recent = NodeAttentionCoefficients(recent, 0.0, 100.0);
+  auto c_old = NodeAttentionCoefficients(old, 0.0, 100.0);
+  EXPECT_LT(c_recent[1], c_old[1]);
+}
+
+TEST(AttentionTest, RepeatedNodeSharesAccumulatedSum) {
+  // Walk 0-1-0: node 0 appears twice; both positions carry the same
+  // coefficient computed from *both* incident edges.
+  Walk w = MakeWalk({0, 1, 0}, {10.0, 10.0});
+  auto c = NodeAttentionCoefficients(w, 0.0, 10.0);
+  EXPECT_FLOAT_EQ(c[0], c[2]);
+  // Node 0 total mass = 1.0 + 1.0 = 2 -> c = 0.5; node 1 same edges -> 0.5.
+  EXPECT_NEAR(c[0], 0.5f, 1e-5f);
+}
+
+TEST(AttentionTest, FrequencyLowersCoefficient) {
+  // A node touched by two walk edges has a smaller coefficient than one
+  // touched by a single equally recent edge.
+  Walk twice = MakeWalk({0, 1, 2}, {10.0, 10.0});  // node 1 touched twice.
+  auto c = NodeAttentionCoefficients(twice, 0.0, 10.0);
+  EXPECT_LT(c[1], c[0]);
+}
+
+TEST(AttentionTest, IsolatedStartGetsFloorCoefficient) {
+  Walk w{{7, 0.0, 0.0f}};  // length-1 walk: no incident edges.
+  auto c = NodeAttentionCoefficients(w, 0.0, 10.0, /*floor=*/0.05f);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_FLOAT_EQ(c[0], 1.0f / 0.05f);
+}
+
+TEST(AttentionTest, OldTimesClampedToPositiveMass) {
+  // Edge exactly at min_time still contributes (clamped to 1e-6), so the
+  // coefficient is finite and bounded by the floor.
+  Walk w = MakeWalk({0, 1}, {0.0});
+  auto c = NodeAttentionCoefficients(w, 0.0, 10.0, 0.05f);
+  EXPECT_LE(c[1], 1.0f / 0.05f + 1e-3f);
+  EXPECT_GT(c[1], 0.0f);
+}
+
+TEST(AttentionTest, WalkCoefficientIsMeanOfNodeCoefficients) {
+  const std::vector<float> coeffs{1.0f, 2.0f, 3.0f};
+  EXPECT_FLOAT_EQ(WalkAttentionCoefficient(coeffs), 2.0f);
+}
+
+TEST(AttentionTest, WalkCoefficientSingleNode) {
+  EXPECT_FLOAT_EQ(WalkAttentionCoefficient({4.0f}), 4.0f);
+}
+
+}  // namespace
+}  // namespace ehna

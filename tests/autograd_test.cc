@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/autograd.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "util/rng.h"
+
+namespace ehna {
+namespace {
+
+/// Checks d(loss)/d(leaf) against central finite differences for every
+/// element of every leaf. `build` must construct a scalar loss from the
+/// given leaves (freshly, on each call).
+void CheckGradients(std::vector<Var> leaves,
+                    const std::function<Var(const std::vector<Var>&)>& build,
+                    float eps = 1e-3f, float tol = 2e-2f) {
+  Var loss = build(leaves);
+  ASSERT_EQ(loss.value().numel(), 1);
+  Backward(loss);
+
+  for (size_t li = 0; li < leaves.size(); ++li) {
+    Var& leaf = leaves[li];
+    const Tensor analytic = leaf.grad().numel() == 0
+                                ? Tensor()  // no gradient flowed.
+                                : leaf.grad();
+    for (int64_t i = 0; i < leaf.value().numel(); ++i) {
+      const float orig = leaf.value().data()[i];
+      leaf.mutable_value().data()[i] = orig + eps;
+      const float up = build(leaves).value()[0];
+      leaf.mutable_value().data()[i] = orig - eps;
+      const float down = build(leaves).value()[0];
+      leaf.mutable_value().data()[i] = orig;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float got = analytic.numel() == 0 ? 0.0f : analytic.data()[i];
+      EXPECT_NEAR(got, numeric, tol + 0.05f * std::abs(numeric))
+          << "leaf " << li << " element " << i;
+    }
+  }
+}
+
+Var RandomLeaf(int64_t n, Rng* rng) {
+  Tensor t(n);
+  UniformInit(&t, -1.0f, 1.0f, rng);
+  return Var::Leaf(std::move(t), true);
+}
+
+Var RandomLeaf(int64_t r, int64_t c, Rng* rng) {
+  Tensor t(r, c);
+  UniformInit(&t, -1.0f, 1.0f, rng);
+  return Var::Leaf(std::move(t), true);
+}
+
+// ------------------------------------------------------------ Mechanics
+
+TEST(AutogradTest, LeafHoldsValue) {
+  Var v = Var::Leaf(Tensor::FromVector({1, 2}));
+  EXPECT_FALSE(v.requires_grad());
+  EXPECT_FLOAT_EQ(v.value()[1], 2.0f);
+}
+
+TEST(AutogradTest, BackwardSeedsScalarOne) {
+  Var x = Var::Leaf(Tensor::FromVector({3.0f}), true);
+  Var y = ag::ScalarMul(x, 2.0f);
+  Backward(y);
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossUses) {
+  Var x = Var::Leaf(Tensor::FromVector({1.0f}), true);
+  Var y = ag::Add(x, x);  // dy/dx = 2.
+  Backward(y);
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(AutogradTest, ZeroGradClears) {
+  Var x = Var::Leaf(Tensor::FromVector({1.0f}), true);
+  Backward(ag::ScalarMul(x, 3.0f));
+  EXPECT_EQ(x.grad().numel(), 1);
+  x.ZeroGrad();
+  EXPECT_EQ(x.grad().numel(), 0);
+}
+
+TEST(AutogradTest, NoGradForConstantSubtree) {
+  Var c = Var::Leaf(Tensor::FromVector({5.0f}), false);
+  Var x = Var::Leaf(Tensor::FromVector({2.0f}), true);
+  Var y = ag::Add(ag::ScalarMul(c, 2.0f), x);
+  Backward(y);
+  EXPECT_EQ(c.grad().numel(), 0);  // backward skipped for constants.
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+}
+
+TEST(AutogradTest, DiamondGraphCorrectGradient) {
+  // y = x*x + x  =>  dy/dx = 2x + 1.
+  Var x = Var::Leaf(Tensor::FromVector({3.0f}), true);
+  Var y = ag::Add(ag::Mul(x, x), x);
+  Backward(y);
+  EXPECT_FLOAT_EQ(x.grad()[0], 7.0f);
+}
+
+TEST(AutogradTest, RepeatedBackwardAccumulates) {
+  Var x = Var::Leaf(Tensor::FromVector({1.0f}), true);
+  Backward(ag::ScalarMul(x, 2.0f));
+  Backward(ag::ScalarMul(x, 3.0f));
+  EXPECT_FLOAT_EQ(x.grad()[0], 5.0f);
+}
+
+// ------------------------------------------------- Finite-diff checks
+
+TEST(GradCheckTest, AddSubMul) {
+  Rng rng(1);
+  CheckGradients({RandomLeaf(5, &rng), RandomLeaf(5, &rng)},
+                 [](const std::vector<Var>& v) {
+                   return ag::Sum(ag::Mul(ag::Add(v[0], v[1]),
+                                          ag::Sub(v[0], v[1])));
+                 });
+}
+
+TEST(GradCheckTest, MatMul) {
+  Rng rng(2);
+  CheckGradients({RandomLeaf(3, 4, &rng), RandomLeaf(4, 2, &rng)},
+                 [](const std::vector<Var>& v) {
+                   return ag::Sum(ag::MatMul(v[0], v[1]));
+                 });
+}
+
+TEST(GradCheckTest, MatVec) {
+  Rng rng(3);
+  CheckGradients({RandomLeaf(3, 4, &rng), RandomLeaf(4, &rng)},
+                 [](const std::vector<Var>& v) {
+                   return ag::Sum(ag::MatVec(v[0], v[1]));
+                 });
+}
+
+TEST(GradCheckTest, RowBroadcastOps) {
+  Rng rng(4);
+  CheckGradients({RandomLeaf(3, 4, &rng), RandomLeaf(4, &rng)},
+                 [](const std::vector<Var>& v) {
+                   return ag::Sum(ag::Mul(ag::AddRowBroadcast(v[0], v[1]),
+                                          ag::SubRowBroadcast(v[0], v[1])));
+                 });
+}
+
+TEST(GradCheckTest, Activations) {
+  Rng rng(5);
+  CheckGradients({RandomLeaf(6, &rng)}, [](const std::vector<Var>& v) {
+    return ag::Sum(
+        ag::Add(ag::Sigmoid(v[0]), ag::Add(ag::Tanh(v[0]), ag::Relu(v[0]))));
+  });
+}
+
+TEST(GradCheckTest, ExpAndLog) {
+  Rng rng(6);
+  // Keep log inputs positive via exp.
+  CheckGradients({RandomLeaf(5, &rng)}, [](const std::vector<Var>& v) {
+    return ag::Sum(ag::Log(ag::AddScalar(ag::Exp(v[0]), 1.0f)));
+  });
+}
+
+TEST(GradCheckTest, LogSigmoid) {
+  Rng rng(7);
+  CheckGradients({RandomLeaf(5, &rng)}, [](const std::vector<Var>& v) {
+    return ag::Sum(ag::LogSigmoid(ag::ScalarMul(v[0], 3.0f)));
+  });
+}
+
+TEST(GradCheckTest, SoftmaxWeightedSum) {
+  Rng rng(8);
+  CheckGradients({RandomLeaf(5, &rng), RandomLeaf(5, &rng)},
+                 [](const std::vector<Var>& v) {
+                   return ag::Dot(ag::Softmax(v[0]), v[1]);
+                 });
+}
+
+TEST(GradCheckTest, SumSquaresAndRowSumSquares) {
+  Rng rng(9);
+  CheckGradients({RandomLeaf(3, 4, &rng)}, [](const std::vector<Var>& v) {
+    return ag::Add(ag::Sum(ag::RowSumSquares(v[0])),
+                   ag::ScalarMul(ag::SumSquares(v[0]), 0.5f));
+  });
+}
+
+TEST(GradCheckTest, MeanAndAddScalar) {
+  Rng rng(10);
+  CheckGradients({RandomLeaf(7, &rng)}, [](const std::vector<Var>& v) {
+    return ag::Mean(ag::AddScalar(v[0], 2.5f));
+  });
+}
+
+TEST(GradCheckTest, RowAndConcatRows) {
+  Rng rng(11);
+  CheckGradients({RandomLeaf(3, 4, &rng)}, [](const std::vector<Var>& v) {
+    std::vector<Var> rows{ag::Row(v[0], 2), ag::Row(v[0], 0),
+                          ag::Row(v[0], 1)};
+    return ag::SumSquares(ag::ConcatRows(rows));
+  });
+}
+
+TEST(GradCheckTest, ConcatVectors) {
+  Rng rng(12);
+  CheckGradients({RandomLeaf(3, &rng), RandomLeaf(4, &rng)},
+                 [](const std::vector<Var>& v) {
+                   return ag::SumSquares(ag::Concat(v[0], v[1]));
+                 });
+}
+
+TEST(GradCheckTest, SliceCols) {
+  Rng rng(13);
+  CheckGradients({RandomLeaf(3, 6, &rng)}, [](const std::vector<Var>& v) {
+    return ag::Add(ag::Sum(ag::SliceCols(v[0], 0, 2)),
+                   ag::SumSquares(ag::SliceCols(v[0], 3, 3)));
+  });
+}
+
+TEST(GradCheckTest, ScaleRows) {
+  Rng rng(14);
+  CheckGradients({RandomLeaf(3, 4, &rng), RandomLeaf(3, &rng)},
+                 [](const std::vector<Var>& v) {
+                   return ag::SumSquares(ag::ScaleRows(v[0], v[1]));
+                 });
+}
+
+TEST(GradCheckTest, ScaleRowsConstAndMulConst) {
+  Rng rng(15);
+  Tensor scale = Tensor::FromVector({0.5f, 2.0f, -1.0f});
+  Tensor cmat = Tensor::FromVector({1.0f, -2.0f, 0.5f, 3.0f});
+  CheckGradients({RandomLeaf(3, 4, &rng), RandomLeaf(4, &rng)},
+                 [scale, cmat](const std::vector<Var>& v) {
+                   return ag::Add(
+                       ag::Sum(ag::ScaleRowsConst(v[0], scale)),
+                       ag::Sum(ag::MulConst(v[1], cmat)));
+                 });
+}
+
+TEST(GradCheckTest, MaskRows) {
+  Rng rng(16);
+  Tensor mask = Tensor::FromVector({1.0f, 0.0f, 1.0f});
+  CheckGradients({RandomLeaf(3, 4, &rng), RandomLeaf(3, 4, &rng)},
+                 [mask](const std::vector<Var>& v) {
+                   return ag::SumSquares(ag::MaskRows(v[0], v[1], mask));
+                 });
+}
+
+TEST(GradCheckTest, L2Normalize) {
+  Rng rng(17);
+  CheckGradients({RandomLeaf(5, &rng), RandomLeaf(5, &rng)},
+                 [](const std::vector<Var>& v) {
+                   return ag::Dot(ag::L2Normalize(v[0]), v[1]);
+                 });
+}
+
+TEST(GradCheckTest, BroadcastScalar) {
+  Rng rng(18);
+  CheckGradients({RandomLeaf(1, &rng), RandomLeaf(6, &rng)},
+                 [](const std::vector<Var>& v) {
+                   return ag::Dot(ag::BroadcastScalar(v[0], 6), v[1]);
+                 });
+}
+
+TEST(GradCheckTest, ColMean) {
+  Rng rng(19);
+  CheckGradients({RandomLeaf(4, 3, &rng)}, [](const std::vector<Var>& v) {
+    return ag::SumSquares(ag::ColMean(v[0]));
+  });
+}
+
+TEST(GradCheckTest, AsMatrixAsVectorRoundTrip) {
+  Rng rng(20);
+  CheckGradients({RandomLeaf(5, &rng)}, [](const std::vector<Var>& v) {
+    return ag::SumSquares(ag::AsVector(ag::AsMatrix(v[0])));
+  });
+}
+
+TEST(GradCheckTest, HingeActiveAndInactive) {
+  Var x = Var::Leaf(Tensor::FromVector({2.0f}), true);
+  Backward(ag::Hinge(x));
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+
+  Var y = Var::Leaf(Tensor::FromVector({-2.0f}), true);
+  Var h = ag::Hinge(y);
+  EXPECT_FLOAT_EQ(h.value()[0], 0.0f);
+  Backward(h);
+  EXPECT_FLOAT_EQ(y.grad()[0], 0.0f);
+}
+
+TEST(GradCheckTest, CompositeExpressionLikeLoss) {
+  // A miniature version of the EHNA objective over raw leaves:
+  // [m + ||a-b||^2 - ||a-c||^2]_+.
+  Rng rng(21);
+  CheckGradients(
+      {RandomLeaf(4, &rng), RandomLeaf(4, &rng), RandomLeaf(4, &rng)},
+      [](const std::vector<Var>& v) {
+        Var d_pos = ag::SumSquares(ag::Sub(v[0], v[1]));
+        Var d_neg = ag::SumSquares(ag::Sub(v[0], v[2]));
+        return ag::Hinge(ag::AddScalar(ag::Sub(d_pos, d_neg), 1.0f));
+      });
+}
+
+}  // namespace
+}  // namespace ehna

@@ -1,0 +1,140 @@
+// Parameterized invariants of the baseline embedders: output shapes,
+// finiteness, and determinism under a fixed seed, across dimension and
+// configuration grids.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "baselines/ctdne.h"
+#include "baselines/htne.h"
+#include "baselines/line.h"
+#include "baselines/node2vec.h"
+#include "graph/generators/generators.h"
+
+namespace ehna {
+namespace {
+
+const TemporalGraph& SharedGraph() {
+  static const TemporalGraph* graph = [] {
+    auto g = MakePaperDataset(PaperDataset::kDblp, 0.03, 13);
+    EHNA_CHECK(g.ok());
+    return new TemporalGraph(std::move(g).value());
+  }();
+  return *graph;
+}
+
+void ExpectFinite(const Tensor& emb) {
+  for (int64_t i = 0; i < emb.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(emb.data()[i])) << "element " << i;
+  }
+}
+
+// ------------------------------------------------------------- Node2Vec
+
+class Node2VecProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Node2VecProperty, ShapeFinitenessDeterminism) {
+  const auto [dim, window] = GetParam();
+  const TemporalGraph& g = SharedGraph();
+  Node2VecConfig cfg;
+  cfg.sgns.dim = dim;
+  cfg.sgns.window = window;
+  cfg.walk.walk_length = 10;
+  cfg.walk.walks_per_node = 2;
+  cfg.epochs = 1;
+  cfg.seed = 21;
+  Tensor a = Node2VecEmbedder(cfg).Fit(g);
+  EXPECT_EQ(a.rows(), static_cast<int64_t>(g.num_nodes()));
+  EXPECT_EQ(a.cols(), dim);
+  ExpectFinite(a);
+  Tensor b = Node2VecEmbedder(cfg).Fit(g);
+  EXPECT_EQ(a, b);  // deterministic under a fixed seed.
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Node2VecProperty,
+                         ::testing::Combine(::testing::Values(4, 16),
+                                            ::testing::Values(2, 6)));
+
+// ---------------------------------------------------------------- CTDNE
+
+class CtdneProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CtdneProperty, ShapeFinitenessDeterminism) {
+  const int dim = GetParam();
+  const TemporalGraph& g = SharedGraph();
+  CtdneConfig cfg;
+  cfg.sgns.dim = dim;
+  cfg.walk.walk_length = 10;
+  cfg.walk.min_length = 2;
+  cfg.walks_per_epoch = 150;
+  cfg.epochs = 1;
+  cfg.seed = 22;
+  Tensor a = CtdneEmbedder(cfg).Fit(g);
+  EXPECT_EQ(a.cols(), dim);
+  ExpectFinite(a);
+  Tensor b = CtdneEmbedder(cfg).Fit(g);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CtdneProperty, ::testing::Values(4, 16, 32));
+
+// ----------------------------------------------------------------- LINE
+
+class LineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LineProperty, HalvesNormalizedAndDeterministic) {
+  const int dim = GetParam();
+  const TemporalGraph& g = SharedGraph();
+  LineConfig cfg;
+  cfg.dim = dim;
+  cfg.epochs = 1;
+  cfg.samples_per_epoch = 400;
+  cfg.seed = 23;
+  Tensor a = LineEmbedder(cfg).Fit(g);
+  const int64_t half = std::max<int64_t>(1, dim / 2);
+  EXPECT_EQ(a.cols(), 2 * half);
+  ExpectFinite(a);
+  // Both halves unit-norm for nodes with any updates (all nodes have
+  // degree > 0 in this generator).
+  for (NodeId v = 0; v < std::min<NodeId>(g.num_nodes(), 20); ++v) {
+    double n1 = 0.0;
+    for (int64_t j = 0; j < half; ++j) {
+      n1 += static_cast<double>(a.at(v, j)) * a.at(v, j);
+    }
+    EXPECT_NEAR(n1, 1.0, 1e-3) << "node " << v;
+  }
+  Tensor b = LineEmbedder(cfg).Fit(g);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, LineProperty, ::testing::Values(8, 16, 30));
+
+// ----------------------------------------------------------------- HTNE
+
+class HtneProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HtneProperty, ShapeFinitenessDeterminism) {
+  const auto [dim, history] = GetParam();
+  const TemporalGraph& g = SharedGraph();
+  HtneConfig cfg;
+  cfg.dim = dim;
+  cfg.history_size = history;
+  cfg.epochs = 1;
+  cfg.events_per_epoch = 200;
+  cfg.negatives = 1;
+  cfg.seed = 24;
+  Tensor a = HtneEmbedder(cfg).Fit(g);
+  EXPECT_EQ(a.cols(), dim);
+  ExpectFinite(a);
+  Tensor b = HtneEmbedder(cfg).Fit(g);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, HtneProperty,
+                         ::testing::Combine(::testing::Values(4, 16),
+                                            ::testing::Values(1, 5, 10)));
+
+}  // namespace
+}  // namespace ehna

@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/edge_ops.h"
+#include "eval/link_prediction.h"
+#include "eval/logistic_regression.h"
+#include "eval/metrics.h"
+#include "eval/reconstruction.h"
+#include "graph/generators/generators.h"
+#include "nn/init.h"
+
+namespace ehna {
+namespace {
+
+// ----------------------------------------------------------------- AUC
+
+TEST(AucTest, PerfectRankingIsOne) {
+  auto auc = AreaUnderRoc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(auc.value(), 1.0);
+}
+
+TEST(AucTest, InvertedRankingIsZero) {
+  auto auc = AreaUnderRoc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(auc.value(), 0.0);
+}
+
+TEST(AucTest, AllTiedIsHalf) {
+  auto auc = AreaUnderRoc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(auc.value(), 0.5);
+}
+
+TEST(AucTest, KnownMixedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}: pairs won 3/4.
+  auto auc = AreaUnderRoc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(auc.value(), 0.75);
+}
+
+TEST(AucTest, SingleClassRejected) {
+  EXPECT_FALSE(AreaUnderRoc({0.5, 0.6}, {1, 1}).ok());
+  EXPECT_FALSE(AreaUnderRoc({0.5}, {1, 0}).ok());  // size mismatch.
+  EXPECT_FALSE(AreaUnderRoc({0.5, 0.5}, {1, 2}).ok());
+}
+
+// -------------------------------------------------------- BinaryMetrics
+
+TEST(BinaryMetricsTest, PerfectClassifier) {
+  auto m = ComputeBinaryMetrics({0.9, 0.8, 0.1, 0.2}, {1, 1, 0, 0});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m.value().precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.value().recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.value().f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.value().accuracy, 1.0);
+}
+
+TEST(BinaryMetricsTest, KnownConfusionMatrix) {
+  // preds>=0.5: {1, 1, 1, 0}; labels {1, 0, 1, 1} -> tp=2 fp=1 fn=1.
+  auto m = ComputeBinaryMetrics({0.9, 0.7, 0.6, 0.4}, {1, 0, 1, 1});
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m.value().precision, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.value().recall, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.value().f1, 2.0 / 3.0, 1e-9);
+}
+
+TEST(ErrorReductionTest, MatchesPaperDefinition) {
+  // them=0.90, us=0.95 -> reduction (0.10-0.05)/0.10 = 50%.
+  EXPECT_NEAR(ErrorReduction(0.90, 0.95), 0.5, 1e-9);
+  // Worse than baseline gives negative reduction.
+  EXPECT_LT(ErrorReduction(0.90, 0.85), 0.0);
+}
+
+// ---------------------------------------------------- LogisticRegression
+
+TEST(LogisticRegressionTest, LearnsLinearlySeparableData) {
+  Rng rng(1);
+  const int n = 400;
+  Tensor x(n, 2);
+  std::vector<int> y(n);
+  for (int i = 0; i < n; ++i) {
+    const float a = static_cast<float>(rng.Uniform(-1, 1));
+    const float b = static_cast<float>(rng.Uniform(-1, 1));
+    x.at(i, 0) = a;
+    x.at(i, 1) = b;
+    y[i] = a + b > 0 ? 1 : 0;
+  }
+  LogisticRegression clf;
+  ASSERT_TRUE(clf.Fit(x, y).ok());
+  int correct = 0;
+  for (int i = 0; i < n; ++i) {
+    correct += (clf.PredictProba(x.Row(i)) >= 0.5) == (y[i] == 1);
+  }
+  EXPECT_GT(correct, n * 95 / 100);
+}
+
+TEST(LogisticRegressionTest, RejectsBadInput) {
+  LogisticRegression clf;
+  EXPECT_FALSE(clf.Fit(Tensor(0, 2), {}).ok());
+  EXPECT_FALSE(clf.Fit(Tensor(2, 2), {1}).ok());
+  EXPECT_FALSE(clf.Fit(Tensor(2, 2), {1, 2}).ok());
+}
+
+TEST(LogisticRegressionTest, ProbaVectorMatchesRowwise) {
+  Rng rng(2);
+  Tensor x(5, 3);
+  UniformInit(&x, -1, 1, &rng);
+  std::vector<int> y{0, 1, 0, 1, 1};
+  LogisticRegression clf;
+  ASSERT_TRUE(clf.Fit(x, y).ok());
+  auto probs = clf.PredictProba(x);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(probs[i], clf.PredictProba(x.Row(i)));
+  }
+}
+
+// --------------------------------------------------------------- EdgeOps
+
+TEST(EdgeOpsTest, AllOperatorsMatchDefinitions) {
+  const float ex[3] = {1.0f, -2.0f, 0.0f};
+  const float ey[3] = {3.0f, 2.0f, -1.0f};
+  float out[3];
+  ApplyEdgeOperator(EdgeOperator::kMean, ex, ey, 3, out);
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  ApplyEdgeOperator(EdgeOperator::kHadamard, ex, ey, 3, out);
+  EXPECT_FLOAT_EQ(out[0], 3.0f);
+  EXPECT_FLOAT_EQ(out[1], -4.0f);
+  ApplyEdgeOperator(EdgeOperator::kWeightedL1, ex, ey, 3, out);
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+  EXPECT_FLOAT_EQ(out[2], 1.0f);
+  ApplyEdgeOperator(EdgeOperator::kWeightedL2, ex, ey, 3, out);
+  EXPECT_FLOAT_EQ(out[0], 4.0f);
+  EXPECT_FLOAT_EQ(out[1], 16.0f);
+}
+
+TEST(EdgeOpsTest, NamesAreTableII) {
+  EXPECT_STREQ(EdgeOperatorName(EdgeOperator::kMean), "Mean");
+  EXPECT_STREQ(EdgeOperatorName(EdgeOperator::kHadamard), "Hadamard");
+  EXPECT_STREQ(EdgeOperatorName(EdgeOperator::kWeightedL1), "Weighted-L1");
+  EXPECT_STREQ(EdgeOperatorName(EdgeOperator::kWeightedL2), "Weighted-L2");
+}
+
+// ---------------------------------------------------------- Reconstruction
+
+TEST(ReconstructionTest, OracleEmbeddingsScoreHigh) {
+  // Build embeddings whose dot product is engineered: linked pairs share a
+  // coordinate. Two cliques of 6 nodes, embeddings = one-hot of clique.
+  std::vector<TemporalEdge> edges;
+  Timestamp t = 0.0;
+  for (NodeId base : {NodeId{0}, NodeId{6}}) {
+    for (NodeId i = 0; i < 6; ++i) {
+      for (NodeId j = i + 1; j < 6; ++j) {
+        edges.push_back({base + i, base + j, t, 1.0f});
+        t += 1.0;
+      }
+    }
+  }
+  auto made = TemporalGraph::FromEdges(edges);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  Tensor emb(12, 2);
+  for (NodeId v = 0; v < 12; ++v) emb.at(v, v < 6 ? 0 : 1) = 1.0f;
+
+  ReconstructionOptions opt;
+  opt.sample_nodes = 12;
+  opt.repeats = 1;
+  opt.precision_at = {30};
+  auto p = EvaluateReconstruction(g, emb, opt);
+  ASSERT_TRUE(p.ok());
+  // All 30 true edges rank in the top 30 (same-clique dot = 1, cross = 0).
+  EXPECT_DOUBLE_EQ(p.value()[0], 1.0);
+}
+
+TEST(ReconstructionTest, RandomEmbeddingsScoreNearDensity) {
+  auto made = MakeRandomGraph({.num_nodes = 60, .num_edges = 300, .seed = 3});
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  Rng rng(4);
+  Tensor emb(60, 8);
+  UniformInit(&emb, -1, 1, &rng);
+  ReconstructionOptions opt;
+  opt.sample_nodes = 60;
+  opt.repeats = 3;
+  opt.precision_at = {200};
+  auto p = EvaluateReconstruction(g, emb, opt);
+  ASSERT_TRUE(p.ok());
+  const double density = 300.0 / (60.0 * 59.0 / 2.0);
+  EXPECT_NEAR(p.value()[0], density, 0.1);
+}
+
+TEST(ReconstructionTest, ValidatesArguments) {
+  auto made = MakeRandomGraph({.num_nodes = 20, .num_edges = 40, .seed = 1});
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  Tensor emb(20, 4);
+  ReconstructionOptions opt;
+  opt.precision_at = {};
+  EXPECT_FALSE(EvaluateReconstruction(g, emb, opt).ok());
+  opt.precision_at = {10};
+  opt.sample_nodes = 1;
+  EXPECT_FALSE(EvaluateReconstruction(g, emb, opt).ok());
+  Tensor wrong(19, 4);
+  opt.sample_nodes = 10;
+  EXPECT_FALSE(EvaluateReconstruction(g, wrong, opt).ok());
+}
+
+TEST(ReconstructionTest, PrecisionMonotoneForOracle) {
+  // With oracle one-hot embeddings, precision can only drop as P grows
+  // past the number of true edges.
+  std::vector<TemporalEdge> edges;
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = i + 1; j < 5; ++j) {
+      edges.push_back({i, j, static_cast<Timestamp>(i + j), 1.0f});
+    }
+  }
+  // Plus isolated-ish tail nodes to create non-edges in the sample.
+  edges.push_back({5, 6, 100.0, 1.0f});
+  auto made = TemporalGraph::FromEdges(edges, 8);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  Tensor emb(8, 2);
+  for (NodeId v = 0; v < 5; ++v) emb.at(v, 0) = 1.0f;
+  emb.at(5, 1) = 1.0f;
+  emb.at(6, 1) = 1.0f;
+  ReconstructionOptions opt;
+  opt.sample_nodes = 8;
+  opt.repeats = 1;
+  opt.precision_at = {5, 11, 20};
+  auto p = EvaluateReconstruction(g, emb, opt);
+  ASSERT_TRUE(p.ok());
+  EXPECT_GE(p.value()[0], p.value()[1]);
+  EXPECT_GE(p.value()[1], p.value()[2]);
+}
+
+// -------------------------------------------------------- LinkPrediction
+
+TEST(LinkPredictionTest, OracleGroupEmbeddingsScoreNearPerfect) {
+  // Two planted groups of 20 nodes; all edges (train and held-out) are
+  // within-group, negatives are sampled globally (mostly cross-group).
+  // One-hot group embeddings with the Hadamard operator make positives
+  // trivially separable, so the pipeline must report near-perfect metrics.
+  Rng build_rng(6);
+  std::vector<TemporalEdge> edges;
+  Timestamp t = 0.0;
+  for (int i = 0; i < 600; ++i) {
+    const NodeId base = build_rng.Bernoulli(0.5) ? 0 : 20;
+    const NodeId u = base + static_cast<NodeId>(build_rng.UniformInt(20));
+    NodeId v = base + static_cast<NodeId>(build_rng.UniformInt(20));
+    if (u == v) continue;
+    edges.push_back({u, v, t, 1.0f});
+    t += 1.0;
+  }
+  auto made = TemporalGraph::FromEdges(edges, 40);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+
+  Rng rng(7);
+  auto split_r = MakeTemporalSplit(g, {}, &rng);
+  ASSERT_TRUE(split_r.ok());
+  const TemporalSplit& split = split_r.value();
+  // Sanity: a decent share of negatives must be cross-group.
+  int cross = 0;
+  for (const auto& [u, v] : split.test_negative) {
+    cross += (u < 20) != (v < 20);
+  }
+  ASSERT_GT(cross, static_cast<int>(split.test_negative.size()) / 4);
+
+  Tensor oracle(40, 2);
+  for (NodeId v = 0; v < 40; ++v) oracle.at(v, v < 20 ? 0 : 1) = 1.0f;
+  Tensor random(40, 2);
+  Rng erng(8);
+  UniformInit(&random, -1, 1, &erng);
+
+  LinkPredictionOptions opt;
+  opt.repeats = 2;
+  opt.classifier.epochs = 60;
+  auto oracle_m =
+      EvaluateLinkPrediction(split, oracle, EdgeOperator::kHadamard, opt);
+  auto random_m =
+      EvaluateLinkPrediction(split, random, EdgeOperator::kHadamard, opt);
+  ASSERT_TRUE(oracle_m.ok());
+  ASSERT_TRUE(random_m.ok());
+  // Oracle separates all cross-group negatives; within-group negatives are
+  // indistinguishable, bounding AUC below 1 but far above random.
+  EXPECT_GT(oracle_m.value().auc, random_m.value().auc + 0.1);
+  EXPECT_GT(oracle_m.value().auc, 0.7);
+}
+
+TEST(LinkPredictionTest, AllOperatorsReturnMetrics) {
+  auto made = MakePaperDataset(PaperDataset::kDigg, 0.04, 8);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  Rng rng(9);
+  auto split_r = MakeTemporalSplit(g, {}, &rng);
+  ASSERT_TRUE(split_r.ok());
+  Rng erng(10);
+  Tensor emb(g.num_nodes(), 8);
+  UniformInit(&emb, -1, 1, &erng);
+  LinkPredictionOptions opt;
+  opt.repeats = 1;
+  opt.classifier.epochs = 5;
+  auto all = EvaluateLinkPredictionAllOperators(split_r.value(), emb, opt);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), 4u);
+  for (const auto& m : all.value()) {
+    EXPECT_GE(m.auc, 0.0);
+    EXPECT_LE(m.auc, 1.0);
+  }
+}
+
+TEST(LinkPredictionTest, CombinedOperatorsConcatenateFeatures) {
+  auto made = MakePaperDataset(PaperDataset::kDblp, 0.04, 12);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  Rng rng(13);
+  auto split_r = MakeTemporalSplit(g, {}, &rng);
+  ASSERT_TRUE(split_r.ok());
+  Rng erng(14);
+  Tensor emb(g.num_nodes(), 8);
+  UniformInit(&emb, -1, 1, &erng);
+
+  LinkPredictionOptions opt;
+  opt.repeats = 2;
+  opt.classifier.epochs = 20;
+  // All four operators combined must produce valid averaged metrics.
+  auto combined = EvaluateLinkPredictionCombined(
+      split_r.value(), emb,
+      {EdgeOperator::kMean, EdgeOperator::kHadamard,
+       EdgeOperator::kWeightedL1, EdgeOperator::kWeightedL2},
+      opt);
+  ASSERT_TRUE(combined.ok()) << combined.status();
+  EXPECT_GE(combined.value().auc, 0.0);
+  EXPECT_LE(combined.value().auc, 1.0);
+  // Single-operator combination must equal the single-operator API (same
+  // features, same seeds, same protocol).
+  auto single = EvaluateLinkPrediction(split_r.value(), emb,
+                                       EdgeOperator::kHadamard, opt);
+  auto single_combined = EvaluateLinkPredictionCombined(
+      split_r.value(), emb, {EdgeOperator::kHadamard}, opt);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(single_combined.ok());
+  EXPECT_DOUBLE_EQ(single.value().auc, single_combined.value().auc);
+  EXPECT_DOUBLE_EQ(single.value().f1, single_combined.value().f1);
+}
+
+TEST(LinkPredictionTest, CombinedRejectsEmptyAndDuplicateOperators) {
+  auto made = MakePaperDataset(PaperDataset::kDblp, 0.04, 12);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  Rng rng(15);
+  auto split_r = MakeTemporalSplit(g, {}, &rng);
+  ASSERT_TRUE(split_r.ok());
+  Tensor emb(g.num_nodes(), 4);
+  EXPECT_FALSE(
+      EvaluateLinkPredictionCombined(split_r.value(), emb, {}, {}).ok());
+  EXPECT_FALSE(EvaluateLinkPredictionCombined(
+                   split_r.value(), emb,
+                   {EdgeOperator::kMean, EdgeOperator::kMean}, {})
+                   .ok());
+}
+
+TEST(LinkPredictionTest, RejectsDegenerateOptions) {
+  auto made = MakePaperDataset(PaperDataset::kDigg, 0.04, 8);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  Rng rng(11);
+  auto split_r = MakeTemporalSplit(g, {}, &rng);
+  ASSERT_TRUE(split_r.ok());
+  Tensor emb(g.num_nodes(), 4);
+  LinkPredictionOptions opt;
+  opt.train_fraction = 1.5;
+  EXPECT_FALSE(
+      EvaluateLinkPrediction(split_r.value(), emb, EdgeOperator::kMean, opt)
+          .ok());
+}
+
+}  // namespace
+}  // namespace ehna

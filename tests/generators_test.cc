@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators/generators.h"
+#include "graph/generators/recency_buffer.h"
+
+namespace ehna {
+namespace {
+
+// ----------------------------------------------------------- RecencyBuffer
+
+TEST(RecencyBufferTest, SamplesRecentEntriesMoreOften) {
+  gen_internal::RecencyBuffer buf(/*half_life=*/10.0);
+  for (NodeId v = 0; v < 100; ++v) buf.Append(v);
+  Rng rng(1);
+  int recent = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (buf.Sample(&rng) >= 80) ++recent;  // last 20 entries = 2 half-lives.
+  }
+  // Geometric weighting concentrates most mass on the last ~2 half-lives.
+  EXPECT_GT(recent, n / 2);
+}
+
+TEST(RecencyBufferTest, SingleEntry) {
+  gen_internal::RecencyBuffer buf(5.0);
+  buf.Append(42);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(buf.Sample(&rng), 42u);
+}
+
+// -------------------------------------------------------------- Coauthor
+
+TEST(CoauthorGeneratorTest, ProducesRequestedScale) {
+  CoauthorGraphOptions opt;
+  opt.num_papers = 500;
+  opt.seed = 3;
+  auto g = MakeCoauthorGraph(opt);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g.value().num_edges(), 500u);  // >= 1 edge per paper.
+  EXPECT_GT(g.value().num_nodes(), 20u);
+}
+
+TEST(CoauthorGeneratorTest, TimestampsAreChronologicalPaperIndices) {
+  CoauthorGraphOptions opt;
+  opt.num_papers = 200;
+  auto g = MakeCoauthorGraph(opt);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GE(g.value().min_time(), 0.0);
+  EXPECT_LT(g.value().max_time(), 200.0);
+}
+
+TEST(CoauthorGeneratorTest, DeterministicForSeed) {
+  CoauthorGraphOptions opt;
+  opt.num_papers = 100;
+  opt.seed = 7;
+  auto a = MakeCoauthorGraph(opt);
+  auto b = MakeCoauthorGraph(opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().edges(), b.value().edges());
+}
+
+TEST(CoauthorGeneratorTest, RejectsBadOptions) {
+  CoauthorGraphOptions opt;
+  opt.num_papers = 1;
+  EXPECT_FALSE(MakeCoauthorGraph(opt).ok());
+  opt.num_papers = 100;
+  opt.new_author_prob = 1.5;
+  EXPECT_FALSE(MakeCoauthorGraph(opt).ok());
+}
+
+TEST(CoauthorGeneratorTest, HasTransitiveStructure) {
+  CoauthorGraphOptions opt;
+  opt.num_papers = 800;
+  opt.seed = 5;
+  auto g = MakeCoauthorGraph(opt);
+  ASSERT_TRUE(g.ok());
+  // Papers with >= 3 authors create triangles; check some exist.
+  size_t triangles = 0;
+  const auto& graph = g.value();
+  for (NodeId v = 0; v < std::min<NodeId>(graph.num_nodes(), 100); ++v) {
+    auto nbrs = graph.Neighbors(v);
+    for (size_t i = 0; i < nbrs.size() && triangles == 0; ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (graph.HasEdge(nbrs[i].neighbor, nbrs[j].neighbor)) {
+          ++triangles;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(triangles, 0u);
+}
+
+// ---------------------------------------------------------------- Social
+
+TEST(SocialGeneratorTest, ExactEdgeCountAndDedup) {
+  SocialGraphOptions opt;
+  opt.num_nodes = 300;
+  opt.num_edges = 1500;
+  opt.seed = 4;
+  auto g = MakeSocialGraph(opt);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_edges(), 1500u);
+  EXPECT_EQ(g.value().num_nodes(), 300u);
+  // Friendships are unique (no parallel edges).
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& e : g.value().edges()) {
+    auto key = std::minmax(e.src, e.dst);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second);
+  }
+}
+
+TEST(SocialGeneratorTest, RejectsTooDenseRequest) {
+  SocialGraphOptions opt;
+  opt.num_nodes = 10;
+  opt.num_edges = 40;  // > half of C(10,2)=45/2.
+  EXPECT_FALSE(MakeSocialGraph(opt).ok());
+}
+
+TEST(SocialGeneratorTest, TimestampsStrictlyIncreasing) {
+  SocialGraphOptions opt;
+  opt.num_nodes = 200;
+  opt.num_edges = 800;
+  auto g = MakeSocialGraph(opt);
+  ASSERT_TRUE(g.ok());
+  const auto& edges = g.value().edges();
+  for (size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_GT(edges[i].time, edges[i - 1].time);
+  }
+}
+
+TEST(SocialGeneratorTest, DeterministicForSeed) {
+  SocialGraphOptions opt;
+  opt.num_nodes = 100;
+  opt.num_edges = 300;
+  opt.seed = 9;
+  auto a = MakeSocialGraph(opt);
+  auto b = MakeSocialGraph(opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().edges(), b.value().edges());
+}
+
+// ------------------------------------------------------------- Bipartite
+
+TEST(BipartiteGeneratorTest, EdgesRespectBipartition) {
+  BipartiteGraphOptions opt;
+  opt.num_users = 100;
+  opt.num_items = 50;
+  opt.num_edges = 800;
+  opt.seed = 5;
+  for (BipartiteMode mode : {BipartiteMode::kReview, BipartiteMode::kPurchase}) {
+    opt.mode = mode;
+    auto g = MakeBipartiteGraph(opt);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g.value().num_edges(), 800u);
+    for (const auto& e : g.value().edges()) {
+      EXPECT_LT(e.src, 100u);   // user side.
+      EXPECT_GE(e.dst, 100u);   // item side.
+      EXPECT_LT(e.dst, 150u);
+    }
+  }
+}
+
+TEST(BipartiteGeneratorTest, ReviewModeDeduplicates) {
+  BipartiteGraphOptions opt;
+  opt.num_users = 150;
+  opt.num_items = 100;
+  opt.num_edges = 1000;
+  opt.mode = BipartiteMode::kReview;
+  auto g = MakeBipartiteGraph(opt);
+  ASSERT_TRUE(g.ok());
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& e : g.value().edges()) {
+    EXPECT_TRUE(seen.insert({e.src, e.dst}).second);
+  }
+}
+
+TEST(BipartiteGeneratorTest, PurchaseModeAllowsRepeats) {
+  BipartiteGraphOptions opt;
+  opt.num_users = 20;
+  opt.num_items = 10;
+  opt.num_edges = 2000;
+  opt.mode = BipartiteMode::kPurchase;
+  auto g = MakeBipartiteGraph(opt);
+  ASSERT_TRUE(g.ok());
+  std::set<std::pair<NodeId, NodeId>> seen;
+  size_t repeats = 0;
+  for (const auto& e : g.value().edges()) {
+    if (!seen.insert({e.src, e.dst}).second) ++repeats;
+  }
+  EXPECT_GT(repeats, 0u);
+}
+
+TEST(BipartiteGeneratorTest, PopularityIsSkewed) {
+  BipartiteGraphOptions opt;
+  opt.num_users = 300;
+  opt.num_items = 200;
+  opt.num_edges = 3000;
+  auto g = MakeBipartiteGraph(opt);
+  ASSERT_TRUE(g.ok());
+  auto degrees = g.value().Degrees();
+  std::vector<size_t> item_degrees(degrees.begin() + 300, degrees.end());
+  std::sort(item_degrees.rbegin(), item_degrees.rend());
+  size_t top_mass = 0, total = 0;
+  for (size_t i = 0; i < item_degrees.size(); ++i) {
+    if (i < item_degrees.size() / 10) top_mass += item_degrees[i];
+    total += item_degrees[i];
+  }
+  // Top 10% of items should attract well above 10% of interactions.
+  EXPECT_GT(top_mass, total / 5);
+}
+
+// ------------------------------------------------------------ Random/null
+
+TEST(RandomGeneratorTest, ProducesSimpleGraph) {
+  RandomGraphOptions opt;
+  opt.num_nodes = 100;
+  opt.num_edges = 500;
+  auto g = MakeRandomGraph(opt);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_edges(), 500u);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& e : g.value().edges()) {
+    EXPECT_NE(e.src, e.dst);
+    auto key = std::minmax(e.src, e.dst);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second);
+  }
+}
+
+TEST(RandomGeneratorTest, ImpossibleDensityFails) {
+  RandomGraphOptions opt;
+  opt.num_nodes = 5;
+  opt.num_edges = 100;  // > C(5,2)=10.
+  EXPECT_FALSE(MakeRandomGraph(opt).ok());
+}
+
+// ---------------------------------------------------------- PaperDataset
+
+TEST(PaperDatasetTest, AllFourBuild) {
+  for (PaperDataset d : {PaperDataset::kDigg, PaperDataset::kYelp,
+                         PaperDataset::kTmall, PaperDataset::kDblp}) {
+    auto g = MakePaperDataset(d, /*scale=*/0.1, /*seed=*/1);
+    ASSERT_TRUE(g.ok()) << PaperDatasetName(d) << ": " << g.status();
+    EXPECT_GT(g.value().num_edges(), 100u) << PaperDatasetName(d);
+    EXPECT_GT(g.value().num_nodes(), 10u) << PaperDatasetName(d);
+  }
+}
+
+TEST(PaperDatasetTest, ScaleGrowsGraph) {
+  auto small = MakePaperDataset(PaperDataset::kDigg, 0.1, 1);
+  auto large = MakePaperDataset(PaperDataset::kDigg, 0.3, 1);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large.value().num_edges(), small.value().num_edges());
+}
+
+TEST(PaperDatasetTest, NamesAreStable) {
+  EXPECT_STREQ(PaperDatasetName(PaperDataset::kDigg), "Digg");
+  EXPECT_STREQ(PaperDatasetName(PaperDataset::kYelp), "Yelp");
+  EXPECT_STREQ(PaperDatasetName(PaperDataset::kTmall), "Tmall");
+  EXPECT_STREQ(PaperDatasetName(PaperDataset::kDblp), "DBLP");
+}
+
+TEST(PaperDatasetTest, InvalidScaleRejected) {
+  EXPECT_FALSE(MakePaperDataset(PaperDataset::kDigg, 0.0, 1).ok());
+}
+
+}  // namespace
+}  // namespace ehna

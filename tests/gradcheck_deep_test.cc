@@ -1,0 +1,224 @@
+// Finite-difference gradient checks through the composite modules (LSTM
+// cell, stacked LSTM with masks, BatchNorm in both statistics modes, and
+// the full EHNA aggregation graph down to individual embedding entries).
+// These catch chain-rule mistakes that per-op checks cannot.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "core/aggregator.h"
+#include "graph/temporal_graph.h"
+#include "nn/batchnorm.h"
+#include "nn/init.h"
+#include "nn/lstm.h"
+#include "nn/ops.h"
+
+namespace ehna {
+namespace {
+
+/// Central finite difference of `eval` w.r.t. one tensor element.
+float NumericGrad(float* slot, const std::function<float()>& eval,
+                  float eps = 1e-3f) {
+  const float orig = *slot;
+  *slot = orig + eps;
+  const float up = eval();
+  *slot = orig - eps;
+  const float down = eval();
+  *slot = orig;
+  return (up - down) / (2.0f * eps);
+}
+
+TEST(DeepGradCheckTest, LstmCellInputAndWeights) {
+  Rng rng(1);
+  LstmCell cell(3, 2, &rng);
+  Tensor x0(2, 3);
+  UniformInit(&x0, -1, 1, &rng);
+
+  Var x = Var::Leaf(x0, /*requires_grad=*/true);
+  auto forward = [&](const Var& input) {
+    auto state = cell.InitialState(2);
+    auto next = cell.Forward(input, state);
+    next = cell.Forward(input, next);  // two steps reuse the weights.
+    return ag::SumSquares(next.h);
+  };
+  Var loss = forward(x);
+  Backward(loss);
+
+  // Check input gradient entries.
+  for (int64_t i = 0; i < x0.numel(); ++i) {
+    const float numeric = NumericGrad(
+        x.mutable_value().data() + i,
+        [&] { return forward(x).value()[0]; });
+    EXPECT_NEAR(x.grad().data()[i], numeric,
+                2e-2f + 0.05f * std::abs(numeric))
+        << "input element " << i;
+  }
+  // Check a handful of weight entries on each parameter.
+  for (Var& p : cell.Parameters()) {
+    ASSERT_GT(p.grad().numel(), 0);
+    for (int64_t i = 0; i < std::min<int64_t>(4, p.value().numel()); ++i) {
+      const float numeric = NumericGrad(
+          p.mutable_value().data() + i,
+          [&] { return forward(x).value()[0]; });
+      EXPECT_NEAR(p.grad().data()[i], numeric,
+                  2e-2f + 0.05f * std::abs(numeric));
+    }
+  }
+}
+
+TEST(DeepGradCheckTest, StackedLstmWithMasks) {
+  Rng rng(2);
+  StackedLstm lstm(2, 2, 2, &rng);
+  Tensor in0(2, 2), in1(2, 2);
+  UniformInit(&in0, -1, 1, &rng);
+  UniformInit(&in1, -1, 1, &rng);
+  std::vector<Tensor> masks{Tensor::FromVector({1.0f, 1.0f}),
+                            Tensor::FromVector({1.0f, 0.0f})};
+
+  Var a = Var::Leaf(in0, true);
+  Var b = Var::Leaf(in1, true);
+  auto forward = [&] {
+    return ag::SumSquares(lstm.Forward({a, b}, masks));
+  };
+  Backward(forward());
+
+  for (int64_t i = 0; i < in0.numel(); ++i) {
+    const float numeric = NumericGrad(a.mutable_value().data() + i,
+                                      [&] { return forward().value()[0]; });
+    EXPECT_NEAR(a.grad().data()[i], numeric,
+                2e-2f + 0.05f * std::abs(numeric));
+  }
+  // Step-1 gradients of the masked-out row (batch row 1) must be zero.
+  const Tensor& gb = b.grad();
+  EXPECT_NEAR(gb.at(1, 0), 0.0f, 1e-6f);
+  EXPECT_NEAR(gb.at(1, 1), 0.0f, 1e-6f);
+}
+
+TEST(DeepGradCheckTest, BatchNormTrainingStatistics) {
+  // Finite differences through the full batch-stat backward (mean and
+  // variance depend on x). A fresh BN instance per evaluation keeps the
+  // running-stat side effects from contaminating the numeric baseline.
+  Rng rng(3);
+  Tensor x0(5, 2);
+  UniformInit(&x0, -1, 1, &rng);
+
+  Var x = Var::Leaf(x0, true);
+  BatchNorm1d bn(2);
+  Var loss = ag::SumSquares(
+      ag::Mul(bn.Forward(x, true), bn.Forward(x, true)));
+  (void)loss;  // the double-use above would double-update stats; rebuild:
+
+  BatchNorm1d bn2(2);
+  Var y = bn2.Forward(x, true);
+  // Make the loss depend non-uniformly on rows so dmean/dvar terms matter.
+  Tensor weights(5, 2);
+  for (int64_t i = 0; i < weights.numel(); ++i) {
+    weights.data()[i] = 0.3f + 0.2f * static_cast<float>(i % 3);
+  }
+  Var loss2 = ag::Sum(ag::Mul(y, ag::Mul(y, Var::Leaf(weights))));
+  Backward(loss2);
+
+  auto eval = [&] {
+    BatchNorm1d fresh(2);
+    Var yy = fresh.Forward(x, true);
+    return ag::Sum(ag::Mul(yy, ag::Mul(yy, Var::Leaf(weights)))).value()[0];
+  };
+  for (int64_t i = 0; i < x0.numel(); ++i) {
+    const float numeric =
+        NumericGrad(x.mutable_value().data() + i, eval);
+    EXPECT_NEAR(x.grad().data()[i], numeric,
+                3e-2f + 0.05f * std::abs(numeric))
+        << "element " << i;
+  }
+}
+
+TEST(DeepGradCheckTest, AggregatorEmbeddingGradients) {
+  // End-to-end: d(||z_x||-ish loss)/d(embedding entries) through walks,
+  // attention, two LSTMs, BNs and the fuse projection.
+  auto made = TemporalGraph::FromEdges({{0, 1, 1.0, 1.0f},
+                                        {1, 2, 2.0, 1.0f},
+                                        {0, 2, 3.0, 1.0f},
+                                        {2, 3, 4.0, 1.0f},
+                                        {0, 3, 5.0, 1.0f}});
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+
+  EhnaConfig cfg;
+  cfg.dim = 4;
+  cfg.num_walks = 2;
+  cfg.walk_length = 3;
+  cfg.seed = 4;
+
+  Rng init_rng(5);
+  Embedding emb(g.num_nodes(), cfg.dim, &init_rng);
+  EhnaAggregator agg(&g, &emb, cfg, &init_rng);
+
+  // A fixed probe direction makes the loss scalar and non-degenerate.
+  Tensor probe(cfg.dim);
+  Rng probe_rng(6);
+  UniformInit(&probe, -1.0f, 1.0f, &probe_rng);
+
+  // The aggregation is stochastic; clone the RNG state per evaluation so
+  // forward passes are identical across finite-difference probes.
+  auto eval = [&](Rng rng_state) {
+    Var z = agg.Aggregate(0, 6.0, /*training=*/false, &rng_state);
+    const float value = ag::Dot(z, Var::Leaf(probe)).value()[0];
+    emb.ClearGradients();
+    return value;
+  };
+
+  Rng walk_rng(7);
+  Rng walk_rng_copy = walk_rng;
+  Var z = agg.Aggregate(0, 6.0, /*training=*/false, &walk_rng);
+  Var loss = ag::Dot(z, Var::Leaf(probe));
+  Backward(loss);
+  ASSERT_GT(emb.num_pending_rows(), 0u);
+
+  // Compare the analytic sparse gradient of node 0's first two entries with
+  // finite differences over the table.
+  // Snapshot the analytic grads before clearing.
+  struct Entry {
+    int64_t row;
+    int64_t col;
+    float analytic;
+  };
+  std::vector<Entry> entries;
+  {
+    // Pull two touched entries out via re-running backward bookkeeping:
+    // we read from the map through ApplySgd-free access: recompute by
+    // applying SGD with lr 0 is a no-op, so instead copy via internals:
+    // (num_pending_rows > 0 checked above). We re-derive by finite diffs
+    // for specific (row, col) pairs and match against an SGD(-1) trick:
+  }
+  // SGD with lr = -1 adds the gradient to the table; diff gives grads.
+  Tensor before = emb.table();
+  emb.ApplySgd(-1.0f);
+  Tensor after = emb.table();
+  for (int64_t row : {int64_t{0}, int64_t{1}, int64_t{2}}) {
+    for (int64_t col = 0; col < 2; ++col) {
+      const float analytic = after.at(row, col) - before.at(row, col);
+      // Restore table entry.
+      entries.push_back({row, col, analytic});
+    }
+  }
+  // Restore the table to its pre-SGD state.
+  for (int64_t r = 0; r < before.rows(); ++r) emb.SetRow(r, before.Row(r));
+
+  for (const Entry& e : entries) {
+    float* slot = const_cast<float*>(emb.RowData(e.row)) + e.col;
+    const float orig = *slot;
+    const float eps = 1e-3f;
+    *slot = orig + eps;
+    const float up = eval(walk_rng_copy);
+    *slot = orig - eps;
+    const float down = eval(walk_rng_copy);
+    *slot = orig;
+    const float numeric = (up - down) / (2.0f * eps);
+    EXPECT_NEAR(e.analytic, numeric, 2e-2f + 0.05f * std::abs(numeric))
+        << "embedding (" << e.row << ", " << e.col << ")";
+  }
+}
+
+}  // namespace
+}  // namespace ehna

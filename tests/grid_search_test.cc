@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "core/grid_search.h"
+#include "graph/generators/generators.h"
+
+namespace ehna {
+namespace {
+
+EhnaConfig TinyBase() {
+  EhnaConfig cfg;
+  cfg.dim = 8;
+  cfg.num_walks = 2;
+  cfg.walk_length = 3;
+  cfg.num_negatives = 1;
+  cfg.epochs = 1;
+  cfg.max_edges_per_epoch = 40;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(GridSearchTest, EvaluatesEveryGridPointAndPicksBest) {
+  auto made = MakePaperDataset(PaperDataset::kDblp, 0.03, 7);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+
+  EhnaGridSpace space;
+  space.p_values = {0.5, 2.0};
+  space.q_values = {1.0};
+  space.learning_rates = {2e-3f, 5e-3f};
+  auto result = GridSearchEhna(g, TinyBase(), space);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().trials.size(), 4u);
+  // The reported best matches the max over trials.
+  double best = -1.0;
+  for (const auto& t : result.value().trials) best = std::max(best, t.score);
+  EXPECT_DOUBLE_EQ(result.value().best_score, best);
+  // The winning config carries one of the searched (p, lr) combinations.
+  bool found = false;
+  for (const auto& t : result.value().trials) {
+    if (t.p == result.value().best_config.p &&
+        t.learning_rate == result.value().best_config.learning_rate &&
+        t.score == result.value().best_score) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GridSearchTest, RejectsEmptyGrid) {
+  auto made = MakePaperDataset(PaperDataset::kDblp, 0.03, 7);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  EhnaGridSpace space;
+  space.p_values = {};
+  EXPECT_FALSE(GridSearchEhna(g, TinyBase(), space).ok());
+}
+
+TEST(GridSearchTest, DefaultSpaceMatchesPaperGrid) {
+  EhnaGridSpace space;
+  EXPECT_EQ(space.p_values.size(), 5u);
+  EXPECT_EQ(space.q_values.size(), 5u);
+  EXPECT_DOUBLE_EQ(space.p_values.front(), 0.25);
+  EXPECT_DOUBLE_EQ(space.p_values.back(), 4.0);
+}
+
+}  // namespace
+}  // namespace ehna

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/node2vec.h"
+#include "core/model.h"
+#include "eval/link_prediction.h"
+#include "eval/reconstruction.h"
+#include "graph/generators/generators.h"
+#include "graph/split.h"
+
+namespace ehna {
+namespace {
+
+/// End-to-end: generate a temporal graph, split it, train EHNA on the
+/// training prefix, finalize embeddings, and verify the full evaluation
+/// pipeline produces sane, better-than-chance numbers.
+TEST(IntegrationTest, EhnaEndToEndLinkPrediction) {
+  auto made = MakePaperDataset(PaperDataset::kDblp, 0.05, 17);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+
+  Rng rng(1);
+  auto split_r = MakeTemporalSplit(g, {}, &rng);
+  ASSERT_TRUE(split_r.ok());
+  TemporalSplit split = std::move(split_r).value();
+
+  EhnaConfig cfg;
+  cfg.dim = 16;
+  cfg.num_walks = 4;
+  cfg.walk_length = 5;
+  cfg.num_negatives = 2;
+  cfg.batch_edges = 16;
+  cfg.max_edges_per_epoch = 400;
+  cfg.epochs = 3;
+  cfg.seed = 2;
+  EhnaModel model(&split.train, cfg);
+  model.Train();
+  Tensor emb = model.FinalizeEmbeddings();
+
+  LinkPredictionOptions opt;
+  opt.repeats = 2;
+  opt.classifier.epochs = 60;
+  auto m = EvaluateLinkPrediction(split, emb, EdgeOperator::kWeightedL2, opt);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m.value().auc, 0.6);  // clearly better than chance.
+  EXPECT_GT(m.value().f1, 0.4);
+}
+
+TEST(IntegrationTest, EhnaEndToEndReconstruction) {
+  auto made = MakePaperDataset(PaperDataset::kDigg, 0.05, 23);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+
+  EhnaConfig cfg;
+  cfg.dim = 16;
+  cfg.num_walks = 4;
+  cfg.walk_length = 5;
+  cfg.num_negatives = 2;
+  cfg.batch_edges = 16;
+  cfg.max_edges_per_epoch = 400;
+  cfg.epochs = 3;
+  cfg.seed = 3;
+  EhnaModel model(&g, cfg);
+  model.Train();
+  Tensor emb = model.FinalizeEmbeddings();
+
+  ReconstructionOptions opt;
+  opt.sample_nodes = 80;
+  opt.repeats = 2;
+  opt.precision_at = {100};
+  auto p = EvaluateReconstruction(g, emb, opt);
+  ASSERT_TRUE(p.ok());
+  // Graph density among 80 sampled nodes is tiny; a trained model must
+  // beat it by a wide margin.
+  EXPECT_GT(p.value()[0], 0.05);
+}
+
+TEST(IntegrationTest, BaselinePipelineRunsOnSplitGraph) {
+  auto made = MakePaperDataset(PaperDataset::kYelp, 0.04, 29);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  Rng rng(4);
+  auto split_r = MakeTemporalSplit(g, {}, &rng);
+  ASSERT_TRUE(split_r.ok());
+  TemporalSplit split = std::move(split_r).value();
+
+  Node2VecConfig cfg;
+  cfg.sgns.dim = 16;
+  cfg.walk.walk_length = 20;
+  cfg.walk.walks_per_node = 2;
+  cfg.epochs = 1;
+  Node2VecEmbedder embedder(cfg);
+  Tensor emb = embedder.Fit(split.train);
+
+  LinkPredictionOptions opt;
+  opt.repeats = 1;
+  opt.classifier.epochs = 20;
+  auto all = EvaluateLinkPredictionAllOperators(split, emb, opt);
+  ASSERT_TRUE(all.ok());
+  for (const auto& m : all.value()) {
+    EXPECT_TRUE(std::isfinite(m.auc));
+  }
+}
+
+}  // namespace
+}  // namespace ehna

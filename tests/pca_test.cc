@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ehna.h"  // also exercises the umbrella header.
+#include "nn/init.h"
+#include "nn/pca.h"
+
+namespace ehna {
+namespace {
+
+TEST(PcaTest, RecoversDominantAxis) {
+  // Points along direction (3,4)/5 with small orthogonal noise.
+  Rng rng(1);
+  Tensor data(200, 2);
+  for (int64_t i = 0; i < 200; ++i) {
+    const float t = static_cast<float>(rng.Normal(0.0, 3.0));
+    const float noise = static_cast<float>(rng.Normal(0.0, 0.05));
+    data.at(i, 0) = 0.6f * t - 0.8f * noise;
+    data.at(i, 1) = 0.8f * t + 0.6f * noise;
+  }
+  auto pca = ComputePca(data, 1, &rng);
+  ASSERT_TRUE(pca.ok());
+  const float c0 = pca.value().components.at(0, 0);
+  const float c1 = pca.value().components.at(0, 1);
+  // Axis is (0.6, 0.8) up to sign.
+  EXPECT_NEAR(std::abs(c0 * 0.6f + c1 * 0.8f), 1.0f, 1e-2f);
+  EXPECT_NEAR(pca.value().explained_variance[0], 9.0, 1.5);
+}
+
+TEST(PcaTest, ComponentsAreOrthonormal) {
+  Rng rng(2);
+  Tensor data(100, 6);
+  UniformInit(&data, -1, 1, &rng);
+  auto pca = ComputePca(data, 3, &rng);
+  ASSERT_TRUE(pca.ok());
+  const Tensor& comp = pca.value().components;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      double dot = 0.0;
+      for (int64_t j = 0; j < 6; ++j) {
+        dot += static_cast<double>(comp.at(a, j)) * comp.at(b, j);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-3) << a << "," << b;
+    }
+  }
+}
+
+TEST(PcaTest, ExplainedVarianceDescending) {
+  Rng rng(3);
+  Tensor data(150, 5);
+  // Anisotropic: column j has stddev 5-j.
+  for (int64_t i = 0; i < 150; ++i) {
+    for (int64_t j = 0; j < 5; ++j) {
+      data.at(i, j) = static_cast<float>(rng.Normal(0.0, 5.0 - j));
+    }
+  }
+  auto pca = ComputePca(data, 4, &rng);
+  ASSERT_TRUE(pca.ok());
+  const auto& ev = pca.value().explained_variance;
+  for (size_t i = 1; i < ev.size(); ++i) EXPECT_GE(ev[i - 1], ev[i] - 1e-6);
+}
+
+TEST(PcaTest, ProjectionPreservesPairStructure) {
+  // Two far-apart clusters stay separated after 2-D projection.
+  Rng rng(4);
+  Tensor data(60, 8);
+  for (int64_t i = 0; i < 60; ++i) {
+    const float offset = i < 30 ? 5.0f : -5.0f;
+    for (int64_t j = 0; j < 8; ++j) {
+      data.at(i, j) =
+          offset + static_cast<float>(rng.Normal(0.0, 0.3));
+    }
+  }
+  auto pca = ComputePca(data, 2, &rng);
+  ASSERT_TRUE(pca.ok());
+  const Tensor& proj = pca.value().projected;
+  // First component separates the clusters: signs differ between groups.
+  int consistent = 0;
+  const float sign = proj.at(0, 0) > 0 ? 1.0f : -1.0f;
+  for (int64_t i = 0; i < 60; ++i) {
+    const bool first_cluster = i < 30;
+    const bool positive = sign * proj.at(i, 0) > 0;
+    if (first_cluster == positive) ++consistent;
+  }
+  EXPECT_GE(consistent, 58);
+}
+
+TEST(PcaTest, ValidatesArguments) {
+  Rng rng(5);
+  EXPECT_FALSE(ComputePca(Tensor(1, 4), 1, &rng).ok());  // too few rows.
+  EXPECT_FALSE(ComputePca(Tensor(10, 4), 0, &rng).ok());
+  EXPECT_FALSE(ComputePca(Tensor(10, 4), 5, &rng).ok());
+}
+
+}  // namespace
+}  // namespace ehna

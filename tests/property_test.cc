@@ -1,0 +1,343 @@
+// Parameterized property tests: invariants that must hold across whole
+// parameter grids rather than at single points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "core/attention.h"
+#include "eval/edge_ops.h"
+#include "eval/metrics.h"
+#include "graph/generators/generators.h"
+#include "graph/split.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "util/alias_sampler.h"
+#include "util/logging.h"
+#include "walk/node2vec_walk.h"
+#include "walk/temporal_walk.h"
+
+namespace ehna {
+namespace {
+
+// ------------------------------------------------ Temporal walk invariants
+
+class TemporalWalkProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, int, int>> {
+};
+
+TEST_P(TemporalWalkProperty, RelevanceConstraintHoldsForAllConfigs) {
+  const auto [p, q, length, dataset_idx] = GetParam();
+  auto made = MakePaperDataset(static_cast<PaperDataset>(dataset_idx), 0.05,
+                               /*seed=*/dataset_idx + 1);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+
+  TemporalWalkConfig cfg;
+  cfg.p = p;
+  cfg.q = q;
+  cfg.walk_length = length;
+  TemporalWalkSampler sampler(&g, cfg);
+  Rng rng(42);
+  const Timestamp ref = g.min_time() + 0.7 * (g.max_time() - g.min_time());
+  for (int i = 0; i < 30; ++i) {
+    const NodeId start = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    Walk w = sampler.SampleWalk(start, ref, &rng);
+    ASSERT_FALSE(w.empty());
+    EXPECT_EQ(w[0].node, start);
+    EXPECT_LE(w.size(), static_cast<size_t>(length) + 1);
+    // Definition 2: all traversed edges historical w.r.t. ref and
+    // non-increasing along the walk.
+    for (size_t j = 1; j < w.size(); ++j) {
+      EXPECT_LE(w[j].edge_time, ref);
+      if (j >= 2) EXPECT_LE(w[j].edge_time, w[j - 1].edge_time);
+      EXPECT_TRUE(g.HasEdge(w[j - 1].node, w[j].node));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PqGrid, TemporalWalkProperty,
+    ::testing::Combine(::testing::Values(0.25, 1.0, 4.0),
+                       ::testing::Values(0.25, 1.0, 4.0),
+                       ::testing::Values(3, 8),
+                       ::testing::Values(0, 3)));  // Digg, DBLP.
+
+// ------------------------------------------------ Node2Vec walk invariants
+
+class Node2VecWalkProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(Node2VecWalkProperty, WalksFollowEdgesAndRespectLength) {
+  const auto [p, q] = GetParam();
+  auto made = MakePaperDataset(PaperDataset::kDigg, 0.05, 3);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  Node2VecWalkConfig cfg;
+  cfg.p = p;
+  cfg.q = q;
+  cfg.walk_length = 12;
+  Node2VecWalkSampler sampler(&g, cfg);
+  Rng rng(7);
+  for (int i = 0; i < 25; ++i) {
+    const NodeId start = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    auto w = sampler.SampleWalk(start, &rng);
+    ASSERT_FALSE(w.empty());
+    EXPECT_EQ(w[0], start);
+    EXPECT_LE(w.size(), 13u);
+    for (size_t j = 1; j < w.size(); ++j) {
+      EXPECT_TRUE(g.HasEdge(w[j - 1], w[j]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PqGrid, Node2VecWalkProperty,
+                         ::testing::Combine(::testing::Values(0.25, 1.0, 4.0),
+                                            ::testing::Values(0.25, 1.0,
+                                                              4.0)));
+
+// ------------------------------------------------- Generator invariants
+
+class GeneratorProperty
+    : public ::testing::TestWithParam<std::tuple<int, double, uint64_t>> {};
+
+TEST_P(GeneratorProperty, DatasetInvariants) {
+  const auto [dataset_idx, scale, seed] = GetParam();
+  const auto dataset = static_cast<PaperDataset>(dataset_idx);
+  auto made = MakePaperDataset(dataset, scale, seed);
+  ASSERT_TRUE(made.ok()) << made.status();
+  const TemporalGraph& g = made.value();
+
+  EXPECT_GT(g.num_nodes(), 0u);
+  EXPECT_GT(g.num_edges(), 0u);
+  // Timestamps sorted and non-negative.
+  const auto& edges = g.edges();
+  for (size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_LE(edges[i - 1].time, edges[i].time);
+  }
+  EXPECT_GE(g.min_time(), 0.0);
+  // No self loops; endpoints valid.
+  for (const auto& e : edges) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_LT(e.src, g.num_nodes());
+    EXPECT_LT(e.dst, g.num_nodes());
+  }
+  // Adjacency count is twice the edge count (undirected).
+  size_t total_adj = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) total_adj += g.Degree(v);
+  EXPECT_EQ(total_adj, 2 * g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetsScalesSeeds, GeneratorProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0.05, 0.2),
+                       ::testing::Values(uint64_t{1}, uint64_t{99})));
+
+// ------------------------------------------------------ Split invariants
+
+class SplitProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitProperty, HoldoutFractionRespected) {
+  const double fraction = GetParam();
+  auto made = MakePaperDataset(PaperDataset::kDigg, 0.05, 5);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  Rng rng(5);
+  TemporalSplitOptions opt;
+  opt.holdout_fraction = fraction;
+  auto split = MakeTemporalSplit(g, opt, &rng);
+  ASSERT_TRUE(split.ok());
+  const size_t expected_holdout =
+      static_cast<size_t>(g.num_edges() * fraction);
+  EXPECT_EQ(split.value().train.num_edges(),
+            g.num_edges() - expected_holdout);
+  // Train edges all strictly older than (or equal to boundary of) test.
+  const Timestamp train_max = split.value().train.max_time();
+  for (const auto& e : split.value().test_positive) {
+    EXPECT_GE(e.time, train_max);
+  }
+  // Negatives never collide with true edges.
+  for (const auto& [u, v] : split.value().test_negative) {
+    EXPECT_FALSE(g.HasEdge(u, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SplitProperty,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.5));
+
+// ------------------------------------------------- Alias sampler fidelity
+
+class AliasSamplerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AliasSamplerProperty, EmpiricalMatchesTarget) {
+  const int n = GetParam();
+  Rng wrng(static_cast<uint64_t>(n));
+  std::vector<double> weights(n);
+  double total = 0.0;
+  for (double& w : weights) {
+    w = wrng.Uniform(0.0, 10.0);
+    total += w;
+  }
+  AliasSampler sampler(weights);
+  Rng rng(17);
+  std::vector<int> counts(n, 0);
+  const int draws = 60000;
+  for (int i = 0; i < draws; ++i) ++counts[sampler.Sample(&rng)];
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(draws), weights[i] / total,
+                0.015)
+        << "outcome " << i << " of " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AliasSamplerProperty,
+                         ::testing::Values(2, 3, 7, 16, 64));
+
+// --------------------------------------------------- Edge-op invariants
+
+class EdgeOpProperty : public ::testing::TestWithParam<EdgeOperator> {};
+
+TEST_P(EdgeOpProperty, SymmetricInEndpoints) {
+  // Every operator of Table II is symmetric: f(x,y) == f(y,x). (This is
+  // why they suit undirected link prediction.)
+  const EdgeOperator op = GetParam();
+  Rng rng(3);
+  const int64_t d = 24;
+  std::vector<float> ex(d), ey(d), ab(d), ba(d);
+  for (int64_t j = 0; j < d; ++j) {
+    ex[j] = static_cast<float>(rng.Normal());
+    ey[j] = static_cast<float>(rng.Normal());
+  }
+  ApplyEdgeOperator(op, ex.data(), ey.data(), d, ab.data());
+  ApplyEdgeOperator(op, ey.data(), ex.data(), d, ba.data());
+  for (int64_t j = 0; j < d; ++j) EXPECT_FLOAT_EQ(ab[j], ba[j]);
+}
+
+TEST_P(EdgeOpProperty, IdenticalEmbeddingsGiveCanonicalValue) {
+  const EdgeOperator op = GetParam();
+  const int64_t d = 8;
+  std::vector<float> e(d, 0.5f), out(d);
+  ApplyEdgeOperator(op, e.data(), e.data(), d, out.data());
+  for (int64_t j = 0; j < d; ++j) {
+    switch (op) {
+      case EdgeOperator::kMean:
+        EXPECT_FLOAT_EQ(out[j], 0.5f);
+        break;
+      case EdgeOperator::kHadamard:
+        EXPECT_FLOAT_EQ(out[j], 0.25f);
+        break;
+      case EdgeOperator::kWeightedL1:
+      case EdgeOperator::kWeightedL2:
+        EXPECT_FLOAT_EQ(out[j], 0.0f);
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, EdgeOpProperty,
+                         ::testing::ValuesIn(kAllEdgeOperators));
+
+// -------------------------------------------- Softmax/attention property
+
+class SoftmaxSizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxSizeProperty, SumsToOneAndOrdersMonotonically) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 7 + 1);
+  Tensor logits(n);
+  UniformInit(&logits, -3.0f, 3.0f, &rng);
+  Var x = Var::Leaf(logits);
+  Var y = ag::Softmax(x);
+  float total = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_GT(y.value()[i], 0.0f);
+    total += y.value()[i];
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-5f);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (logits[i] < logits[j]) EXPECT_LE(y.value()[i], y.value()[j]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SoftmaxSizeProperty,
+                         ::testing::Values(1, 2, 5, 17, 64));
+
+// ------------------------------------------- Attention coefficient bounds
+
+class AttentionWalkLengthProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AttentionWalkLengthProperty, CoefficientsBoundedAndPositive) {
+  const int length = GetParam();
+  Rng rng(static_cast<uint64_t>(length));
+  Walk walk;
+  walk.push_back(WalkStep{0, 0.0, 0.0f});
+  for (int j = 1; j <= length; ++j) {
+    walk.push_back(WalkStep{static_cast<NodeId>(rng.UniformInt(5)),
+                            rng.Uniform(0.0, 100.0), 1.0f});
+  }
+  const float floor = 0.05f;
+  const auto coeffs = NodeAttentionCoefficients(walk, 0.0, 100.0, floor);
+  ASSERT_EQ(coeffs.size(), walk.size());
+  for (float c : coeffs) {
+    EXPECT_GT(c, 0.0f);
+    EXPECT_LE(c, 1.0f / floor + 1e-4f);
+  }
+  const float a = WalkAttentionCoefficient(coeffs);
+  EXPECT_GT(a, 0.0f);
+  EXPECT_LE(a, 1.0f / floor + 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AttentionWalkLengthProperty,
+                         ::testing::Values(1, 2, 5, 10, 25));
+
+// ------------------------------------------------------ AUC invariances
+
+class AucScaleProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(AucScaleProperty, InvariantUnderMonotoneTransforms) {
+  const double scale = GetParam();
+  Rng rng(11);
+  std::vector<double> scores(200);
+  std::vector<int> labels(200);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    labels[i] = rng.Bernoulli(0.4);
+    scores[i] = rng.Normal() + labels[i];  // informative scores.
+  }
+  auto base = AreaUnderRoc(scores, labels);
+  ASSERT_TRUE(base.ok());
+  std::vector<double> transformed(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    transformed[i] = scale * scores[i] + 3.0;  // strictly monotone.
+  }
+  auto after = AreaUnderRoc(transformed, labels);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NEAR(base.value(), after.value(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, AucScaleProperty,
+                         ::testing::Values(0.5, 1.0, 10.0, 1000.0));
+
+// -------------------------------------- L2Normalize across magnitudes
+
+class NormalizeProperty : public ::testing::TestWithParam<float> {};
+
+TEST_P(NormalizeProperty, UnitNormForAnyScale) {
+  const float scale = GetParam();
+  Rng rng(5);
+  Tensor v(12);
+  UniformInit(&v, -1.0f, 1.0f, &rng);
+  v.ScaleInPlace(scale);
+  Var x = Var::Leaf(v);
+  Var y = ag::L2Normalize(x);
+  EXPECT_NEAR(y.value().Norm(), 1.0f, 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, NormalizeProperty,
+                         ::testing::Values(1e-3f, 0.1f, 1.0f, 100.0f, 1e4f));
+
+}  // namespace
+}  // namespace ehna

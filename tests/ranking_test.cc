@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/ranking_metrics.h"
+#include "graph/generators/generators.h"
+#include "walk/temporal_walk.h"
+#include "walk/walk_stats.h"
+
+namespace ehna {
+namespace {
+
+// Ranked order by score desc: items 0(0.9,rel) 1(0.8) 2(0.7,rel) 3(0.6)
+const std::vector<double> kScores{0.9, 0.8, 0.7, 0.6};
+const std::vector<int> kRel{1, 0, 1, 0};
+
+TEST(RankingMetricsTest, PrecisionAtK) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kScores, kRel, 1).value(), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kScores, kRel, 2).value(), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kScores, kRel, 3).value(), 2.0 / 3.0);
+  // k beyond the list clamps.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(kScores, kRel, 100).value(), 0.5);
+}
+
+TEST(RankingMetricsTest, RecallAtK) {
+  EXPECT_DOUBLE_EQ(RecallAtK(kScores, kRel, 1).value(), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(kScores, kRel, 3).value(), 1.0);
+}
+
+TEST(RankingMetricsTest, AveragePrecision) {
+  // Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2 = 5/6.
+  EXPECT_NEAR(AveragePrecision(kScores, kRel).value(), 5.0 / 6.0, 1e-12);
+  // Perfect ranking has AP 1.
+  EXPECT_DOUBLE_EQ(
+      AveragePrecision({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}).value(), 1.0);
+}
+
+TEST(RankingMetricsTest, ReciprocalRank) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank(kScores, kRel).value(), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({0.9, 0.8}, {0, 1}).value(), 0.5);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({0.9, 0.8}, {0, 0}).value(), 0.0);
+}
+
+TEST(RankingMetricsTest, NdcgAtK) {
+  // Relevant at ranks 1 and 3 of 4; ideal puts them at ranks 1 and 2.
+  const double dcg = 1.0 / std::log2(2.0) + 1.0 / std::log2(4.0);
+  const double ideal = 1.0 / std::log2(2.0) + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtK(kScores, kRel, 4).value(), dcg / ideal, 1e-12);
+  // Perfect ordering = 1.
+  EXPECT_DOUBLE_EQ(NdcgAtK({0.9, 0.8}, {1, 1}, 2).value(), 1.0);
+}
+
+TEST(RankingMetricsTest, ValidatesInputs) {
+  EXPECT_FALSE(PrecisionAtK({}, {}, 1).ok());
+  EXPECT_FALSE(PrecisionAtK({0.5}, {1, 0}, 1).ok());
+  EXPECT_FALSE(PrecisionAtK({0.5}, {2}, 1).ok());
+  EXPECT_FALSE(PrecisionAtK(kScores, kRel, 0).ok());
+  EXPECT_FALSE(RecallAtK({0.5, 0.4}, {0, 0}, 1).ok());
+  EXPECT_FALSE(AveragePrecision({0.5}, {0}).ok());
+  EXPECT_FALSE(NdcgAtK({0.5}, {0}, 1).ok());
+}
+
+TEST(RankingMetricsTest, StableTieBreaking) {
+  // Equal scores keep input order.
+  EXPECT_DOUBLE_EQ(PrecisionAtK({0.5, 0.5}, {1, 0}, 1).value(), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({0.5, 0.5}, {0, 1}, 1).value(), 0.0);
+}
+
+// -------------------------------------------------------------- WalkStats
+
+Walk MakeWalk(std::initializer_list<NodeId> nodes,
+              std::initializer_list<Timestamp> times) {
+  Walk w;
+  auto tit = times.begin();
+  bool first = true;
+  for (NodeId v : nodes) {
+    w.push_back(WalkStep{v, first ? 0.0 : *tit++, 1.0f});
+    first = false;
+  }
+  return w;
+}
+
+TEST(WalkStatsTest, BasicCorpusStatistics) {
+  std::vector<Walk> walks{
+      MakeWalk({0, 1, 2}, {5.0, 4.0}),
+      MakeWalk({0, 1}, {3.0}),
+  };
+  auto stats = ComputeWalkCorpusStats(walks, /*requested_steps=*/2);
+  EXPECT_EQ(stats.num_walks, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 1.5);
+  EXPECT_EQ(stats.min_length, 1u);
+  EXPECT_EQ(stats.max_length, 2u);
+  EXPECT_DOUBLE_EQ(stats.early_termination_rate, 0.5);
+  EXPECT_EQ(stats.distinct_nodes, 3u);
+  EXPECT_GT(stats.visit_entropy, 0.0);
+}
+
+TEST(WalkStatsTest, BacktrackRateDetectsReturns) {
+  // 0 -> 1 -> 0 -> 1: both interior steps are returns.
+  std::vector<Walk> walks{MakeWalk({0, 1, 0, 1}, {3.0, 2.0, 1.0})};
+  auto stats = ComputeWalkCorpusStats(walks, 0);
+  EXPECT_DOUBLE_EQ(stats.backtrack_rate, 1.0);
+  std::vector<Walk> forward{MakeWalk({0, 1, 2, 3}, {3.0, 2.0, 1.0})};
+  EXPECT_DOUBLE_EQ(ComputeWalkCorpusStats(forward, 0).backtrack_rate, 0.0);
+}
+
+TEST(WalkStatsTest, NormalizedAgeReflectsRecency) {
+  // Corpus A traverses only the newest timestamps; corpus B the oldest.
+  std::vector<Walk> recent{MakeWalk({0, 1, 2}, {10.0, 9.9}),
+                           MakeWalk({0, 1}, {0.0})};  // span setter.
+  std::vector<Walk> old{MakeWalk({0, 1, 2}, {0.1, 0.0}),
+                        MakeWalk({0, 1}, {10.0})};
+  const double age_recent =
+      ComputeWalkCorpusStats(recent, 0).mean_normalized_age;
+  const double age_old = ComputeWalkCorpusStats(old, 0).mean_normalized_age;
+  EXPECT_LT(age_recent, age_old);
+}
+
+TEST(WalkStatsTest, EmptyCorpus) {
+  auto stats = ComputeWalkCorpusStats({}, 5);
+  EXPECT_EQ(stats.num_walks, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 0.0);
+}
+
+TEST(WalkStatsTest, VisitCountsAggregate) {
+  std::vector<Walk> walks{MakeWalk({0, 1, 0}, {2.0, 1.0})};
+  auto counts = VisitCounts(walks);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+}
+
+TEST(WalkStatsTest, DecayRateShiftsAgeOnRealWalks) {
+  // Strong decay should traverse younger edges on average than no decay.
+  auto made = MakePaperDataset(PaperDataset::kDblp, 0.05, 3);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  auto corpus_for = [&](double decay) {
+    TemporalWalkConfig cfg;
+    cfg.walk_length = 5;
+    cfg.num_walks = 1;
+    cfg.decay_rate = decay;
+    TemporalWalkSampler sampler(&g, cfg);
+    Rng rng(9);
+    std::vector<Walk> walks;
+    for (int i = 0; i < 300; ++i) {
+      const NodeId v = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+      walks.push_back(sampler.SampleWalk(v, g.max_time() + 1.0, &rng));
+    }
+    return ComputeWalkCorpusStats(walks, cfg.walk_length);
+  };
+  EXPECT_LT(corpus_for(20.0).mean_normalized_age,
+            corpus_for(0.0).mean_normalized_age);
+}
+
+}  // namespace
+}  // namespace ehna

@@ -1,0 +1,238 @@
+// Robustness and failure-injection tests: degenerate graphs, extreme
+// configurations, and the less-traveled configuration flags (population
+// BatchNorm, bidirectional negatives, directed graphs).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/htne.h"
+#include "baselines/line.h"
+#include "core/model.h"
+#include "eval/link_prediction.h"
+#include "graph/generators/generators.h"
+#include "graph/split.h"
+
+namespace ehna {
+namespace {
+
+TemporalGraph SmallGraph(uint64_t seed = 11) {
+  auto g = MakePaperDataset(PaperDataset::kDblp, 0.03, seed);
+  EHNA_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+EhnaConfig SmallConfig() {
+  EhnaConfig cfg;
+  cfg.dim = 8;
+  cfg.num_walks = 3;
+  cfg.walk_length = 4;
+  cfg.num_negatives = 1;
+  cfg.batch_edges = 8;
+  cfg.epochs = 1;
+  cfg.max_edges_per_epoch = 40;
+  cfg.seed = 3;
+  return cfg;
+}
+
+// ------------------------------------------------ Degenerate graph shapes
+
+TEST(RobustnessTest, TrainsOnSingleEdgeGraph) {
+  auto made = TemporalGraph::FromEdges({{0, 1, 1.0, 1.0f}});
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  EhnaConfig cfg = SmallConfig();
+  cfg.max_edges_per_epoch = 0;
+  EhnaModel model(&g, cfg);
+  auto stats = model.TrainEpoch();
+  EXPECT_TRUE(std::isfinite(stats.avg_loss));
+  Tensor emb = model.FinalizeEmbeddings();
+  for (int64_t i = 0; i < emb.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(emb.data()[i]));
+  }
+}
+
+TEST(RobustnessTest, TrainsOnStarGraph) {
+  // Every edge shares node 0; negatives will often equal the hub's
+  // neighbors; walks from leaves immediately reach the hub.
+  std::vector<TemporalEdge> edges;
+  for (NodeId v = 1; v <= 12; ++v) {
+    edges.push_back({0, v, static_cast<Timestamp>(v), 1.0f});
+  }
+  auto made = TemporalGraph::FromEdges(edges);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  EhnaModel model(&g, SmallConfig());
+  EXPECT_TRUE(std::isfinite(model.TrainEpoch().avg_loss));
+}
+
+TEST(RobustnessTest, TrainsWithManyIsolatedNodes) {
+  std::vector<TemporalEdge> edges{{0, 1, 1.0, 1.0f}, {1, 2, 2.0, 1.0f},
+                                  {2, 0, 3.0, 1.0f}};
+  auto made = TemporalGraph::FromEdges(edges, /*num_nodes=*/50);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  EhnaModel model(&g, SmallConfig());
+  EXPECT_TRUE(std::isfinite(model.TrainEpoch().avg_loss));
+  Tensor emb = model.FinalizeEmbeddings();
+  // Isolated nodes keep normalized raw embeddings.
+  double norm = 0.0;
+  for (int64_t j = 0; j < emb.cols(); ++j) {
+    norm += static_cast<double>(emb.at(49, j)) * emb.at(49, j);
+  }
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-3);
+}
+
+TEST(RobustnessTest, IdenticalTimestampsEverywhere) {
+  // A graph where every edge carries the same timestamp: the time span
+  // floors at epsilon and all temporal machinery must stay finite.
+  std::vector<TemporalEdge> edges;
+  for (NodeId v = 0; v < 10; ++v) {
+    edges.push_back({v, static_cast<NodeId>((v + 1) % 10), 7.0, 1.0f});
+  }
+  auto made = TemporalGraph::FromEdges(edges);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  EhnaModel model(&g, SmallConfig());
+  EXPECT_TRUE(std::isfinite(model.TrainEpoch().avg_loss));
+}
+
+// ----------------------------------------------- Configuration variations
+
+TEST(RobustnessTest, PopulationBatchNormVariant) {
+  TemporalGraph g = SmallGraph();
+  EhnaConfig cfg = SmallConfig();
+  cfg.population_batchnorm = true;
+  cfg.embedding_lr_multiplier = 5.0f;
+  EhnaModel model(&g, cfg);
+  EXPECT_TRUE(std::isfinite(model.TrainEpoch().avg_loss));
+  Tensor emb = model.FinalizeEmbeddings();
+  for (int64_t i = 0; i < emb.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(emb.data()[i]));
+  }
+}
+
+TEST(RobustnessTest, BidirectionalNegativesOnBipartiteGraph) {
+  BipartiteGraphOptions opt;
+  opt.num_users = 60;
+  opt.num_items = 40;
+  opt.num_edges = 400;
+  opt.mode = BipartiteMode::kPurchase;
+  opt.seed = 5;
+  auto made = MakeBipartiteGraph(opt);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  EhnaConfig cfg = SmallConfig();
+  cfg.bidirectional_negatives = true;  // Eq. 7.
+  EhnaModel model(&g, cfg);
+  EXPECT_TRUE(std::isfinite(model.TrainEpoch().avg_loss));
+}
+
+TEST(RobustnessTest, ExtremePAndQ) {
+  TemporalGraph g = SmallGraph();
+  for (double pq : {0.01, 100.0}) {
+    EhnaConfig cfg = SmallConfig();
+    cfg.p = pq;
+    cfg.q = 1.0 / pq;
+    EhnaModel model(&g, cfg);
+    EXPECT_TRUE(std::isfinite(model.TrainEpoch().avg_loss)) << "pq=" << pq;
+  }
+}
+
+TEST(RobustnessTest, WalkLengthOne) {
+  TemporalGraph g = SmallGraph();
+  EhnaConfig cfg = SmallConfig();
+  cfg.walk_length = 1;  // each walk is (target, one neighbor).
+  EhnaModel model(&g, cfg);
+  EXPECT_TRUE(std::isfinite(model.TrainEpoch().avg_loss));
+}
+
+TEST(RobustnessTest, ZeroDecayRateIsStaticWeighting) {
+  TemporalGraph g = SmallGraph();
+  EhnaConfig cfg = SmallConfig();
+  cfg.decay_rate = 0.0;  // exp(0) = 1 everywhere: weight-only kernel.
+  EhnaModel model(&g, cfg);
+  EXPECT_TRUE(std::isfinite(model.TrainEpoch().avg_loss));
+}
+
+// --------------------------------------------------------- Baseline edges
+
+TEST(RobustnessTest, HtneOnGraphWithoutHistory) {
+  // All events share one timestamp: every event has an empty history and
+  // HTNE must fall back to the base intensity alone.
+  std::vector<TemporalEdge> edges;
+  for (NodeId v = 0; v < 8; ++v) {
+    edges.push_back({v, static_cast<NodeId>((v + 3) % 8), 1.0, 1.0f});
+  }
+  auto made = TemporalGraph::FromEdges(edges);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  HtneConfig cfg;
+  cfg.dim = 4;
+  cfg.epochs = 1;
+  cfg.negatives = 1;
+  HtneEmbedder embedder(cfg);
+  Tensor emb = embedder.Fit(g);
+  for (int64_t i = 0; i < emb.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(emb.data()[i]));
+  }
+}
+
+TEST(RobustnessTest, LineOnWeightedGraph) {
+  std::vector<TemporalEdge> edges{{0, 1, 1.0, 10.0f},
+                                  {1, 2, 2.0, 0.1f},
+                                  {2, 3, 3.0, 5.0f},
+                                  {3, 0, 4.0, 1.0f}};
+  auto made = TemporalGraph::FromEdges(edges);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  LineConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 2;
+  LineEmbedder embedder(cfg);
+  Tensor emb = embedder.Fit(g);
+  for (int64_t i = 0; i < emb.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(emb.data()[i]));
+  }
+}
+
+// -------------------------------------------------- Split failure injection
+
+TEST(RobustnessTest, SplitFailsCleanlyOnDenseGraph) {
+  // A near-complete graph cannot yield enough non-edges quickly: the split
+  // must return FailedPrecondition instead of hanging or crashing.
+  std::vector<TemporalEdge> edges;
+  Timestamp t = 0.0;
+  const NodeId n = 8;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      edges.push_back({u, v, t, 1.0f});
+      t += 1.0;
+    }
+  }
+  auto made = TemporalGraph::FromEdges(edges);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  Rng rng(1);
+  TemporalSplitOptions opt;
+  opt.holdout_fraction = 0.2;
+  opt.max_negative_attempts = 5;
+  auto split = MakeTemporalSplit(g, opt, &rng);
+  // Complete graph: no negatives exist at all.
+  EXPECT_FALSE(split.ok());
+  EXPECT_EQ(split.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RobustnessTest, LinkPredictionRejectsMismatchedEmbeddings) {
+  TemporalGraph g = SmallGraph();
+  Rng rng(2);
+  auto split = MakeTemporalSplit(g, {}, &rng);
+  ASSERT_TRUE(split.ok());
+  Tensor tiny(2, 4);  // far fewer rows than nodes.
+  auto m = EvaluateLinkPrediction(split.value(), tiny, EdgeOperator::kMean,
+                                  {});
+  EXPECT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace ehna

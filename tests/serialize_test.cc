@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "eval/knn.h"
+#include "graph/graph_builder.h"
+#include "nn/init.h"
+#include "nn/serialize.h"
+#include "util/rng.h"
+
+namespace ehna {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------- Serialization
+
+TEST(SerializeTest, TextRoundTrip) {
+  Rng rng(1);
+  Tensor t(7, 5);
+  UniformInit(&t, -2.0f, 2.0f, &rng);
+  const std::string path = TempPath("ehna_ser_text.txt");
+  ASSERT_TRUE(WriteTensorText(path, t).ok());
+  auto back = ReadTensorText(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_TRUE(back.value().SameShape(t));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_NEAR(back.value().data()[i], t.data()[i], 1e-4f);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, BinaryRoundTripExact) {
+  Rng rng(2);
+  Tensor t(9, 3);
+  UniformInit(&t, -1.0f, 1.0f, &rng);
+  const std::string path = TempPath("ehna_ser_bin.ehnt");
+  ASSERT_TRUE(WriteTensorBinary(path, t).ok());
+  auto back = ReadTensorBinary(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), t);  // bit-exact.
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, RejectsRank1) {
+  EXPECT_FALSE(WriteTensorText(TempPath("x.txt"), Tensor(5)).ok());
+  EXPECT_FALSE(WriteTensorBinary(TempPath("x.bin"), Tensor(5)).ok());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  EXPECT_FALSE(ReadTensorText("/nonexistent_zzz/t.txt").ok());
+  EXPECT_FALSE(ReadTensorBinary("/nonexistent_zzz/t.bin").ok());
+}
+
+TEST(SerializeTest, BinaryRejectsWrongMagic) {
+  const std::string path = TempPath("ehna_bad_magic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPExxxxxxxxxxxxxxxxxxxxxxxx";
+  }
+  auto r = ReadTensorBinary(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, BinaryRejectsTruncatedPayload) {
+  Rng rng(3);
+  Tensor t(4, 4);
+  UniformInit(&t, -1, 1, &rng);
+  const std::string path = TempPath("ehna_trunc.bin");
+  ASSERT_TRUE(WriteTensorBinary(path, t).ok());
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 8);
+  EXPECT_FALSE(ReadTensorBinary(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, TextRejectsDuplicateRowIndex) {
+  const std::string path = TempPath("ehna_dup_row.txt");
+  {
+    std::ofstream out(path);
+    out << "2 2\n0 1 2\n0 3 4\n";
+  }
+  EXPECT_FALSE(ReadTensorText(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, TextRejectsMalformedHeader) {
+  const std::string path = TempPath("ehna_bad_header.txt");
+  {
+    std::ofstream out(path);
+    out << "not a header\n";
+  }
+  EXPECT_FALSE(ReadTensorText(path).ok());
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------------- kNN
+
+TEST(KnnTest, FindsExactTopK) {
+  // 4 points on a line in 1-D (padded to 2-D).
+  Tensor emb = Tensor::FromVector(4, 2, {0, 0, 1, 0, 2, 0, 10, 0});
+  auto top = TopKNeighbors(emb, 0, 2, Similarity::kNegativeEuclidean);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top.value().size(), 2u);
+  EXPECT_EQ(top.value()[0].node, 1u);
+  EXPECT_EQ(top.value()[1].node, 2u);
+  EXPECT_DOUBLE_EQ(top.value()[0].score, -1.0);
+}
+
+TEST(KnnTest, DotProductRanking) {
+  Tensor emb = Tensor::FromVector(3, 2, {1, 0, 0.9f, 0.1f, -1, 0});
+  auto top = TopKNeighbors(emb, 0, 2, Similarity::kDotProduct);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top.value()[0].node, 1u);
+  EXPECT_EQ(top.value()[1].node, 2u);
+}
+
+TEST(KnnTest, CosineIgnoresMagnitude) {
+  Tensor emb = Tensor::FromVector(3, 2, {1, 0, 100, 0.0f, 0.1f, 0.1f});
+  auto s01 = PairSimilarity(emb, 0, 1, Similarity::kCosine);
+  ASSERT_TRUE(s01.ok());
+  EXPECT_NEAR(s01.value(), 1.0, 1e-6);
+  auto s02 = PairSimilarity(emb, 0, 2, Similarity::kCosine);
+  ASSERT_TRUE(s02.ok());
+  EXPECT_NEAR(s02.value(), std::sqrt(0.5), 1e-5);
+}
+
+TEST(KnnTest, ExcludesQueryAndBoundsK) {
+  Tensor emb(5, 3);
+  auto top = TopKNeighbors(emb, 2, 100, Similarity::kDotProduct);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top.value().size(), 4u);  // everyone but the query.
+  for (const auto& n : top.value()) EXPECT_NE(n.node, 2u);
+}
+
+TEST(KnnTest, KZeroGivesEmpty) {
+  Tensor emb(3, 2);
+  auto top = TopKNeighbors(emb, 0, 0, Similarity::kCosine);
+  ASSERT_TRUE(top.ok());
+  EXPECT_TRUE(top.value().empty());
+}
+
+TEST(KnnTest, RejectsOutOfRangeQuery) {
+  Tensor emb(3, 2);
+  EXPECT_FALSE(TopKNeighbors(emb, 9, 1, Similarity::kCosine).ok());
+  EXPECT_FALSE(PairSimilarity(emb, 0, 9, Similarity::kCosine).ok());
+}
+
+// ----------------------------------------------------------- GraphBuilder
+
+TEST(GraphBuilderTest, BuildsSnapshotOfAppendedEvents) {
+  TemporalGraphBuilder builder;
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2, 2.0, 0.5f).ok());
+  EXPECT_EQ(builder.num_edges(), 2u);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 3u);
+  EXPECT_EQ(g.value().num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, RejectsBadEventsEagerly) {
+  TemporalGraphBuilder builder;
+  EXPECT_FALSE(builder.AddEdge(3, 3, 1.0).ok());
+  EXPECT_FALSE(builder.AddEdge(0, 1, 1.0, -2.0f).ok());
+  EXPECT_EQ(builder.num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, BuildUpToKeepsNodeSpaceStable) {
+  TemporalGraphBuilder builder;
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(builder.AddEdge(7, 8, 9.0).ok());  // late nodes.
+  auto prefix = builder.BuildUpTo(5.0);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(prefix.value().num_edges(), 1u);
+  // Node-id space covers the late nodes even though they have no edges yet.
+  EXPECT_EQ(prefix.value().num_nodes(), 9u);
+  EXPECT_EQ(prefix.value().Degree(8), 0u);
+}
+
+TEST(GraphBuilderTest, ReserveNodesExtendsIdSpace) {
+  TemporalGraphBuilder builder;
+  builder.ReserveNodes(100);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.0).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 100u);
+}
+
+TEST(GraphBuilderTest, AddEdgesBatch) {
+  TemporalGraphBuilder builder;
+  std::vector<TemporalEdge> batch{{0, 1, 1.0, 1.0f}, {1, 2, 2.0, 1.0f}};
+  ASSERT_TRUE(builder.AddEdges(batch).ok());
+  EXPECT_EQ(builder.num_edges(), 2u);
+  std::vector<TemporalEdge> bad{{3, 3, 1.0, 1.0f}};
+  EXPECT_FALSE(builder.AddEdges(bad).ok());
+}
+
+TEST(GraphBuilderTest, DirectedMode) {
+  TemporalGraphBuilder builder(/*directed=*/true);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.0).ok());
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g.value().HasEdge(0, 1));
+  EXPECT_FALSE(g.value().HasEdge(1, 0));
+}
+
+}  // namespace
+}  // namespace ehna

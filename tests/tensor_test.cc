@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace ehna {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TensorTest, Rank1ZeroInitialized) {
+  Tensor t(5);
+  EXPECT_EQ(t.rank(), 1);
+  EXPECT_EQ(t.numel(), 5);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, Rank2Shape) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.numel(), 12);
+}
+
+TEST(TensorTest, FromVector1D) {
+  Tensor t = Tensor::FromVector({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.rank(), 1);
+  EXPECT_FLOAT_EQ(t[1], 2.0f);
+}
+
+TEST(TensorTest, FromVector2DRowMajor) {
+  Tensor t = Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 4.0f);
+}
+
+TEST(TensorTest, FullFills) {
+  Tensor t = Tensor::Full(2, 2, 7.0f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(t.data()[i], 7.0f);
+}
+
+TEST(TensorTest, SameShape) {
+  EXPECT_TRUE(Tensor(2, 3).SameShape(Tensor(2, 3)));
+  EXPECT_FALSE(Tensor(2, 3).SameShape(Tensor(3, 2)));
+  EXPECT_FALSE(Tensor(6).SameShape(Tensor(6, 1)));  // rank differs.
+}
+
+TEST(TensorTest, AddInPlaceAndAxpy) {
+  Tensor a = Tensor::FromVector({1, 2, 3});
+  Tensor b = Tensor::FromVector({10, 20, 30});
+  a.AddInPlace(b);
+  EXPECT_FLOAT_EQ(a[2], 33.0f);
+  a.Axpy(0.5f, b);
+  EXPECT_FLOAT_EQ(a[0], 16.0f);
+}
+
+TEST(TensorTest, ScaleSumNorm) {
+  Tensor a = Tensor::FromVector({3, 4});
+  EXPECT_FLOAT_EQ(a.Sum(), 7.0f);
+  EXPECT_FLOAT_EQ(a.Norm(), 5.0f);
+  a.ScaleInPlace(2.0f);
+  EXPECT_FLOAT_EQ(a.Sum(), 14.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4, 5, 6});
+  Tensor m = a.Reshape(2, 3);
+  EXPECT_EQ(m.rank(), 2);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 6.0f);
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4, 5});
+  EXPECT_EQ(a.ToString(2), "[5]{1, 2, ...}");
+}
+
+TEST(TensorTest, MatMulCorrectness) {
+  Tensor a = Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  // [[58, 64], [139, 154]]
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(TensorTest, MatMulTransposeVariantsAgree) {
+  Rng rng(1);
+  Tensor a(4, 3), b(3, 5);
+  UniformInit(&a, -1, 1, &rng);
+  UniformInit(&b, -1, 1, &rng);
+  Tensor direct = MatMul(a, b);
+  Tensor via_tb = MatMulTransposeB(a, Transpose(b));
+  Tensor via_ta = MatMulTransposeA(Transpose(a), b);
+  for (int64_t i = 0; i < direct.numel(); ++i) {
+    EXPECT_NEAR(direct.data()[i], via_tb.data()[i], 1e-5);
+    EXPECT_NEAR(direct.data()[i], via_ta.data()[i], 1e-5);
+  }
+}
+
+TEST(TensorTest, TransposeInvolution) {
+  Rng rng(2);
+  Tensor a(3, 7);
+  UniformInit(&a, -1, 1, &rng);
+  Tensor tt = Transpose(Transpose(a));
+  EXPECT_EQ(tt, a);
+}
+
+TEST(InitTest, XavierBounds) {
+  Rng rng(3);
+  Tensor w(50, 50);
+  XavierInit(&w, 50, 50, &rng);
+  const float bound = std::sqrt(6.0f / 100.0f);
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_LE(std::abs(w.data()[i]), bound);
+  }
+}
+
+TEST(InitTest, NormalInitSpread) {
+  Rng rng(4);
+  Tensor w(100, 100);
+  NormalInit(&w, 0.1f, &rng);
+  double sq = 0.0;
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    sq += static_cast<double>(w.data()[i]) * w.data()[i];
+  }
+  EXPECT_NEAR(std::sqrt(sq / w.numel()), 0.1, 0.01);
+}
+
+}  // namespace
+}  // namespace ehna
