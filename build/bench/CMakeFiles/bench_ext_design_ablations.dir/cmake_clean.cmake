@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_design_ablations.dir/bench_ext_design_ablations.cc.o"
+  "CMakeFiles/bench_ext_design_ablations.dir/bench_ext_design_ablations.cc.o.d"
+  "bench_ext_design_ablations"
+  "bench_ext_design_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_design_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

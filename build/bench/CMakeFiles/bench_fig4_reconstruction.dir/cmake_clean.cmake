@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_reconstruction.dir/bench_fig4_reconstruction.cc.o"
+  "CMakeFiles/bench_fig4_reconstruction.dir/bench_fig4_reconstruction.cc.o.d"
+  "bench_fig4_reconstruction"
+  "bench_fig4_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

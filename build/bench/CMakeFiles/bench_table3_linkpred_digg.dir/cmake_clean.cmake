@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_linkpred_digg.dir/bench_table3_linkpred_digg.cc.o"
+  "CMakeFiles/bench_table3_linkpred_digg.dir/bench_table3_linkpred_digg.cc.o.d"
+  "bench_table3_linkpred_digg"
+  "bench_table3_linkpred_digg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_linkpred_digg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

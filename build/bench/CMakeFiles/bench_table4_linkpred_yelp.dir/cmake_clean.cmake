@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_linkpred_yelp.dir/bench_table4_linkpred_yelp.cc.o"
+  "CMakeFiles/bench_table4_linkpred_yelp.dir/bench_table4_linkpred_yelp.cc.o.d"
+  "bench_table4_linkpred_yelp"
+  "bench_table4_linkpred_yelp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_linkpred_yelp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_linkpred_tmall.dir/bench_table5_linkpred_tmall.cc.o"
+  "CMakeFiles/bench_table5_linkpred_tmall.dir/bench_table5_linkpred_tmall.cc.o.d"
+  "bench_table5_linkpred_tmall"
+  "bench_table5_linkpred_tmall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_linkpred_tmall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_linkpred_dblp.dir/bench_table6_linkpred_dblp.cc.o"
+  "CMakeFiles/bench_table6_linkpred_dblp.dir/bench_table6_linkpred_dblp.cc.o.d"
+  "bench_table6_linkpred_dblp"
+  "bench_table6_linkpred_dblp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_linkpred_dblp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

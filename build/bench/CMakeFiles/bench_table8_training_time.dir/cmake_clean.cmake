@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_training_time.dir/bench_table8_training_time.cc.o"
+  "CMakeFiles/bench_table8_training_time.dir/bench_table8_training_time.cc.o.d"
+  "bench_table8_training_time"
+  "bench_table8_training_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_training_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "../lib/libehna_bench_common.a"
+  "../lib/libehna_bench_common.pdb"
+  "CMakeFiles/ehna_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/ehna_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/ehna_bench_common.dir/linkpred_table.cc.o"
+  "CMakeFiles/ehna_bench_common.dir/linkpred_table.cc.o.d"
+  "CMakeFiles/ehna_bench_common.dir/paper_reference.cc.o"
+  "CMakeFiles/ehna_bench_common.dir/paper_reference.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehna_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libehna_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coauthor_evolution.dir/coauthor_evolution.cpp.o"
+  "CMakeFiles/coauthor_evolution.dir/coauthor_evolution.cpp.o.d"
+  "coauthor_evolution"
+  "coauthor_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coauthor_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

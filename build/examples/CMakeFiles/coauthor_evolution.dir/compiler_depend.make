@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for coauthor_evolution.
+# This may be replaced when dependencies are built.

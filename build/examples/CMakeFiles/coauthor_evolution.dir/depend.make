@@ -1,0 +1,2 @@
+# Empty dependencies file for coauthor_evolution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_prediction.dir/link_prediction.cpp.o"
+  "CMakeFiles/link_prediction.dir/link_prediction.cpp.o.d"
+  "link_prediction"
+  "link_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

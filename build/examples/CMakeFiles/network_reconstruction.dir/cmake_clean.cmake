@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_reconstruction.dir/network_reconstruction.cpp.o"
+  "CMakeFiles/network_reconstruction.dir/network_reconstruction.cpp.o.d"
+  "network_reconstruction"
+  "network_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

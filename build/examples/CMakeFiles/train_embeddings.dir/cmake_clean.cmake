@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_embeddings.dir/train_embeddings.cpp.o"
+  "CMakeFiles/train_embeddings.dir/train_embeddings.cpp.o.d"
+  "train_embeddings"
+  "train_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

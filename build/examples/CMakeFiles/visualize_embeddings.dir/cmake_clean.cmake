@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_embeddings.dir/visualize_embeddings.cpp.o"
+  "CMakeFiles/visualize_embeddings.dir/visualize_embeddings.cpp.o.d"
+  "visualize_embeddings"
+  "visualize_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for visualize_embeddings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ctdne.cc" "src/baselines/CMakeFiles/ehna_baselines.dir/ctdne.cc.o" "gcc" "src/baselines/CMakeFiles/ehna_baselines.dir/ctdne.cc.o.d"
+  "/root/repo/src/baselines/htne.cc" "src/baselines/CMakeFiles/ehna_baselines.dir/htne.cc.o" "gcc" "src/baselines/CMakeFiles/ehna_baselines.dir/htne.cc.o.d"
+  "/root/repo/src/baselines/line.cc" "src/baselines/CMakeFiles/ehna_baselines.dir/line.cc.o" "gcc" "src/baselines/CMakeFiles/ehna_baselines.dir/line.cc.o.d"
+  "/root/repo/src/baselines/node2vec.cc" "src/baselines/CMakeFiles/ehna_baselines.dir/node2vec.cc.o" "gcc" "src/baselines/CMakeFiles/ehna_baselines.dir/node2vec.cc.o.d"
+  "/root/repo/src/baselines/sgns.cc" "src/baselines/CMakeFiles/ehna_baselines.dir/sgns.cc.o" "gcc" "src/baselines/CMakeFiles/ehna_baselines.dir/sgns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ehna_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/walk/CMakeFiles/ehna_walk.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ehna_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ehna_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehna_baselines.dir/ctdne.cc.o"
+  "CMakeFiles/ehna_baselines.dir/ctdne.cc.o.d"
+  "CMakeFiles/ehna_baselines.dir/htne.cc.o"
+  "CMakeFiles/ehna_baselines.dir/htne.cc.o.d"
+  "CMakeFiles/ehna_baselines.dir/line.cc.o"
+  "CMakeFiles/ehna_baselines.dir/line.cc.o.d"
+  "CMakeFiles/ehna_baselines.dir/node2vec.cc.o"
+  "CMakeFiles/ehna_baselines.dir/node2vec.cc.o.d"
+  "CMakeFiles/ehna_baselines.dir/sgns.cc.o"
+  "CMakeFiles/ehna_baselines.dir/sgns.cc.o.d"
+  "libehna_baselines.a"
+  "libehna_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehna_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehna_core.dir/aggregator.cc.o"
+  "CMakeFiles/ehna_core.dir/aggregator.cc.o.d"
+  "CMakeFiles/ehna_core.dir/attention.cc.o"
+  "CMakeFiles/ehna_core.dir/attention.cc.o.d"
+  "CMakeFiles/ehna_core.dir/grid_search.cc.o"
+  "CMakeFiles/ehna_core.dir/grid_search.cc.o.d"
+  "CMakeFiles/ehna_core.dir/model.cc.o"
+  "CMakeFiles/ehna_core.dir/model.cc.o.d"
+  "libehna_core.a"
+  "libehna_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehna_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/edge_ops.cc" "src/eval/CMakeFiles/ehna_eval.dir/edge_ops.cc.o" "gcc" "src/eval/CMakeFiles/ehna_eval.dir/edge_ops.cc.o.d"
+  "/root/repo/src/eval/knn.cc" "src/eval/CMakeFiles/ehna_eval.dir/knn.cc.o" "gcc" "src/eval/CMakeFiles/ehna_eval.dir/knn.cc.o.d"
+  "/root/repo/src/eval/link_prediction.cc" "src/eval/CMakeFiles/ehna_eval.dir/link_prediction.cc.o" "gcc" "src/eval/CMakeFiles/ehna_eval.dir/link_prediction.cc.o.d"
+  "/root/repo/src/eval/logistic_regression.cc" "src/eval/CMakeFiles/ehna_eval.dir/logistic_regression.cc.o" "gcc" "src/eval/CMakeFiles/ehna_eval.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/ehna_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/ehna_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/ranking_metrics.cc" "src/eval/CMakeFiles/ehna_eval.dir/ranking_metrics.cc.o" "gcc" "src/eval/CMakeFiles/ehna_eval.dir/ranking_metrics.cc.o.d"
+  "/root/repo/src/eval/reconstruction.cc" "src/eval/CMakeFiles/ehna_eval.dir/reconstruction.cc.o" "gcc" "src/eval/CMakeFiles/ehna_eval.dir/reconstruction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ehna_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ehna_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ehna_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehna_eval.dir/edge_ops.cc.o"
+  "CMakeFiles/ehna_eval.dir/edge_ops.cc.o.d"
+  "CMakeFiles/ehna_eval.dir/knn.cc.o"
+  "CMakeFiles/ehna_eval.dir/knn.cc.o.d"
+  "CMakeFiles/ehna_eval.dir/link_prediction.cc.o"
+  "CMakeFiles/ehna_eval.dir/link_prediction.cc.o.d"
+  "CMakeFiles/ehna_eval.dir/logistic_regression.cc.o"
+  "CMakeFiles/ehna_eval.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/ehna_eval.dir/metrics.cc.o"
+  "CMakeFiles/ehna_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/ehna_eval.dir/ranking_metrics.cc.o"
+  "CMakeFiles/ehna_eval.dir/ranking_metrics.cc.o.d"
+  "CMakeFiles/ehna_eval.dir/reconstruction.cc.o"
+  "CMakeFiles/ehna_eval.dir/reconstruction.cc.o.d"
+  "libehna_eval.a"
+  "libehna_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehna_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/edgelist_io.cc" "src/graph/CMakeFiles/ehna_graph.dir/edgelist_io.cc.o" "gcc" "src/graph/CMakeFiles/ehna_graph.dir/edgelist_io.cc.o.d"
+  "/root/repo/src/graph/generators/bipartite.cc" "src/graph/CMakeFiles/ehna_graph.dir/generators/bipartite.cc.o" "gcc" "src/graph/CMakeFiles/ehna_graph.dir/generators/bipartite.cc.o.d"
+  "/root/repo/src/graph/generators/coauthor.cc" "src/graph/CMakeFiles/ehna_graph.dir/generators/coauthor.cc.o" "gcc" "src/graph/CMakeFiles/ehna_graph.dir/generators/coauthor.cc.o.d"
+  "/root/repo/src/graph/generators/social.cc" "src/graph/CMakeFiles/ehna_graph.dir/generators/social.cc.o" "gcc" "src/graph/CMakeFiles/ehna_graph.dir/generators/social.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/graph/CMakeFiles/ehna_graph.dir/graph_builder.cc.o" "gcc" "src/graph/CMakeFiles/ehna_graph.dir/graph_builder.cc.o.d"
+  "/root/repo/src/graph/noise_distribution.cc" "src/graph/CMakeFiles/ehna_graph.dir/noise_distribution.cc.o" "gcc" "src/graph/CMakeFiles/ehna_graph.dir/noise_distribution.cc.o.d"
+  "/root/repo/src/graph/split.cc" "src/graph/CMakeFiles/ehna_graph.dir/split.cc.o" "gcc" "src/graph/CMakeFiles/ehna_graph.dir/split.cc.o.d"
+  "/root/repo/src/graph/temporal_graph.cc" "src/graph/CMakeFiles/ehna_graph.dir/temporal_graph.cc.o" "gcc" "src/graph/CMakeFiles/ehna_graph.dir/temporal_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ehna_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehna_graph.dir/edgelist_io.cc.o"
+  "CMakeFiles/ehna_graph.dir/edgelist_io.cc.o.d"
+  "CMakeFiles/ehna_graph.dir/generators/bipartite.cc.o"
+  "CMakeFiles/ehna_graph.dir/generators/bipartite.cc.o.d"
+  "CMakeFiles/ehna_graph.dir/generators/coauthor.cc.o"
+  "CMakeFiles/ehna_graph.dir/generators/coauthor.cc.o.d"
+  "CMakeFiles/ehna_graph.dir/generators/social.cc.o"
+  "CMakeFiles/ehna_graph.dir/generators/social.cc.o.d"
+  "CMakeFiles/ehna_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/ehna_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/ehna_graph.dir/noise_distribution.cc.o"
+  "CMakeFiles/ehna_graph.dir/noise_distribution.cc.o.d"
+  "CMakeFiles/ehna_graph.dir/split.cc.o"
+  "CMakeFiles/ehna_graph.dir/split.cc.o.d"
+  "CMakeFiles/ehna_graph.dir/temporal_graph.cc.o"
+  "CMakeFiles/ehna_graph.dir/temporal_graph.cc.o.d"
+  "libehna_graph.a"
+  "libehna_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehna_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/autograd.cc" "src/nn/CMakeFiles/ehna_nn.dir/autograd.cc.o" "gcc" "src/nn/CMakeFiles/ehna_nn.dir/autograd.cc.o.d"
+  "/root/repo/src/nn/batchnorm.cc" "src/nn/CMakeFiles/ehna_nn.dir/batchnorm.cc.o" "gcc" "src/nn/CMakeFiles/ehna_nn.dir/batchnorm.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/ehna_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/ehna_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/ehna_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/ehna_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/ehna_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/ehna_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/ehna_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/ehna_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/nn/CMakeFiles/ehna_nn.dir/ops.cc.o" "gcc" "src/nn/CMakeFiles/ehna_nn.dir/ops.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "src/nn/CMakeFiles/ehna_nn.dir/optim.cc.o" "gcc" "src/nn/CMakeFiles/ehna_nn.dir/optim.cc.o.d"
+  "/root/repo/src/nn/pca.cc" "src/nn/CMakeFiles/ehna_nn.dir/pca.cc.o" "gcc" "src/nn/CMakeFiles/ehna_nn.dir/pca.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/ehna_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/ehna_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/ehna_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/ehna_nn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ehna_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehna_nn.dir/autograd.cc.o"
+  "CMakeFiles/ehna_nn.dir/autograd.cc.o.d"
+  "CMakeFiles/ehna_nn.dir/batchnorm.cc.o"
+  "CMakeFiles/ehna_nn.dir/batchnorm.cc.o.d"
+  "CMakeFiles/ehna_nn.dir/embedding.cc.o"
+  "CMakeFiles/ehna_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/ehna_nn.dir/init.cc.o"
+  "CMakeFiles/ehna_nn.dir/init.cc.o.d"
+  "CMakeFiles/ehna_nn.dir/linear.cc.o"
+  "CMakeFiles/ehna_nn.dir/linear.cc.o.d"
+  "CMakeFiles/ehna_nn.dir/lstm.cc.o"
+  "CMakeFiles/ehna_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/ehna_nn.dir/ops.cc.o"
+  "CMakeFiles/ehna_nn.dir/ops.cc.o.d"
+  "CMakeFiles/ehna_nn.dir/optim.cc.o"
+  "CMakeFiles/ehna_nn.dir/optim.cc.o.d"
+  "CMakeFiles/ehna_nn.dir/pca.cc.o"
+  "CMakeFiles/ehna_nn.dir/pca.cc.o.d"
+  "CMakeFiles/ehna_nn.dir/serialize.cc.o"
+  "CMakeFiles/ehna_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/ehna_nn.dir/tensor.cc.o"
+  "CMakeFiles/ehna_nn.dir/tensor.cc.o.d"
+  "libehna_nn.a"
+  "libehna_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehna_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

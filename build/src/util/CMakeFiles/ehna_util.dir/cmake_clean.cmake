@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehna_util.dir/alias_sampler.cc.o"
+  "CMakeFiles/ehna_util.dir/alias_sampler.cc.o.d"
+  "CMakeFiles/ehna_util.dir/logging.cc.o"
+  "CMakeFiles/ehna_util.dir/logging.cc.o.d"
+  "CMakeFiles/ehna_util.dir/rng.cc.o"
+  "CMakeFiles/ehna_util.dir/rng.cc.o.d"
+  "CMakeFiles/ehna_util.dir/status.cc.o"
+  "CMakeFiles/ehna_util.dir/status.cc.o.d"
+  "CMakeFiles/ehna_util.dir/table_writer.cc.o"
+  "CMakeFiles/ehna_util.dir/table_writer.cc.o.d"
+  "CMakeFiles/ehna_util.dir/thread_pool.cc.o"
+  "CMakeFiles/ehna_util.dir/thread_pool.cc.o.d"
+  "libehna_util.a"
+  "libehna_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehna_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libehna_util.a"
+)

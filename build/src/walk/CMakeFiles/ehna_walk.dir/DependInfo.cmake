@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/walk/ctdne_walk.cc" "src/walk/CMakeFiles/ehna_walk.dir/ctdne_walk.cc.o" "gcc" "src/walk/CMakeFiles/ehna_walk.dir/ctdne_walk.cc.o.d"
+  "/root/repo/src/walk/node2vec_walk.cc" "src/walk/CMakeFiles/ehna_walk.dir/node2vec_walk.cc.o" "gcc" "src/walk/CMakeFiles/ehna_walk.dir/node2vec_walk.cc.o.d"
+  "/root/repo/src/walk/temporal_walk.cc" "src/walk/CMakeFiles/ehna_walk.dir/temporal_walk.cc.o" "gcc" "src/walk/CMakeFiles/ehna_walk.dir/temporal_walk.cc.o.d"
+  "/root/repo/src/walk/walk_stats.cc" "src/walk/CMakeFiles/ehna_walk.dir/walk_stats.cc.o" "gcc" "src/walk/CMakeFiles/ehna_walk.dir/walk_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ehna_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ehna_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

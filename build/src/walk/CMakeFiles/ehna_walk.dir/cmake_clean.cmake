@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ehna_walk.dir/ctdne_walk.cc.o"
+  "CMakeFiles/ehna_walk.dir/ctdne_walk.cc.o.d"
+  "CMakeFiles/ehna_walk.dir/node2vec_walk.cc.o"
+  "CMakeFiles/ehna_walk.dir/node2vec_walk.cc.o.d"
+  "CMakeFiles/ehna_walk.dir/temporal_walk.cc.o"
+  "CMakeFiles/ehna_walk.dir/temporal_walk.cc.o.d"
+  "CMakeFiles/ehna_walk.dir/walk_stats.cc.o"
+  "CMakeFiles/ehna_walk.dir/walk_stats.cc.o.d"
+  "libehna_walk.a"
+  "libehna_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ehna_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_test.dir/attention_test.cc.o"
+  "CMakeFiles/attention_test.dir/attention_test.cc.o.d"
+  "attention_test"
+  "attention_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

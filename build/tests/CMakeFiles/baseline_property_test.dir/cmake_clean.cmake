@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_property_test.dir/baseline_property_test.cc.o"
+  "CMakeFiles/baseline_property_test.dir/baseline_property_test.cc.o.d"
+  "baseline_property_test"
+  "baseline_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradcheck_deep_test.dir/gradcheck_deep_test.cc.o"
+  "CMakeFiles/gradcheck_deep_test.dir/gradcheck_deep_test.cc.o.d"
+  "gradcheck_deep_test"
+  "gradcheck_deep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradcheck_deep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

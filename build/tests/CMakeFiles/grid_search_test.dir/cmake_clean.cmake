@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_search_test.dir/grid_search_test.cc.o"
+  "CMakeFiles/grid_search_test.dir/grid_search_test.cc.o.d"
+  "grid_search_test"
+  "grid_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

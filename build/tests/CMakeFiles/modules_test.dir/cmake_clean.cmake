@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modules_test.dir/modules_test.cc.o"
+  "CMakeFiles/modules_test.dir/modules_test.cc.o.d"
+  "modules_test"
+  "modules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

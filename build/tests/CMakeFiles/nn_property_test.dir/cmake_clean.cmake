@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_property_test.dir/nn_property_test.cc.o"
+  "CMakeFiles/nn_property_test.dir/nn_property_test.cc.o.d"
+  "nn_property_test"
+  "nn_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pca_test.cc" "tests/CMakeFiles/pca_test.dir/pca_test.cc.o" "gcc" "tests/CMakeFiles/pca_test.dir/pca_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ehna_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ehna_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ehna_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/walk/CMakeFiles/ehna_walk.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ehna_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ehna_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ehna_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

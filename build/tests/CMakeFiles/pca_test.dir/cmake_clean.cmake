@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca_test.dir/pca_test.cc.o"
+  "CMakeFiles/pca_test.dir/pca_test.cc.o.d"
+  "pca_test"
+  "pca_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_test.dir/proximity_test.cc.o"
+  "CMakeFiles/proximity_test.dir/proximity_test.cc.o.d"
+  "proximity_test"
+  "proximity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranking_test.dir/ranking_test.cc.o"
+  "CMakeFiles/ranking_test.dir/ranking_test.cc.o.d"
+  "ranking_test"
+  "ranking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

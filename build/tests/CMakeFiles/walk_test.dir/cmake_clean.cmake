@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walk_test.dir/walk_test.cc.o"
+  "CMakeFiles/walk_test.dir/walk_test.cc.o.d"
+  "walk_test"
+  "walk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
