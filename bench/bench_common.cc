@@ -119,6 +119,7 @@ Tensor TrainMethodTimed(Method method, const TemporalGraph& graph,
                                             : BenchEhnaConfig(seed);
     cfg.seed = seed;
     cfg.variant = VariantOf(method);
+    cfg.num_threads = num_threads;
     EhnaModel model(&graph, cfg);
     std::vector<double> epochs;
     for (const auto& s : model.Train()) epochs.push_back(s.seconds);

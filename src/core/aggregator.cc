@@ -112,7 +112,7 @@ Var EhnaAggregator::NodeLevel(const std::vector<Walk>& walks,
     std::vector<int64_t> ids;
     ids.reserve(walk.size());
     for (const WalkStep& s : walk) ids.push_back(s.node);
-    Var emb = embedding_->Gather(ids);  // [L_i, dim]
+    Var emb = embedding_->Gather(ids, grad_sink_);  // [L_i, dim]
 
     if (use_attention_) {
       const std::vector<float> coeffs = NodeAttentionCoefficients(
@@ -199,7 +199,7 @@ Var EhnaAggregator::SingleLevel(const std::vector<Walk>& walks,
     for (const WalkStep& s : w) ids.push_back(s.node);
   }
   EHNA_CHECK(!ids.empty());
-  Var emb = embedding_->Gather(ids);  // [L, dim]
+  Var emb = embedding_->Gather(ids, grad_sink_);  // [L, dim]
   std::vector<Var> inputs;
   inputs.reserve(ids.size());
   for (size_t t = 0; t < ids.size(); ++t) {
@@ -234,7 +234,7 @@ Var EhnaAggregator::FallbackNeighborhood(NodeId target, Timestamp ref_time,
       ids.push_back(second[rng->UniformInt(second.size())].neighbor);
     }
   }
-  Var emb = embedding_->Gather(ids);
+  Var emb = embedding_->Gather(ids, grad_sink_);
   return ag::ColMean(emb);
 }
 
@@ -246,7 +246,7 @@ Var EhnaAggregator::Fuse(const Var& neighborhood,
 
 Var EhnaAggregator::Aggregate(NodeId target, Timestamp ref_time, bool training,
                               Rng* rng) {
-  Var e_x = embedding_->GatherRow(target);
+  Var e_x = embedding_->GatherRow(target, grad_sink_);
   std::vector<Walk> walks = SampleWalks(target, ref_time, rng);
   if (walks.empty()) {
     return Fuse(FallbackNeighborhood(target, ref_time, rng), e_x);

@@ -38,7 +38,27 @@ class EhnaAggregator {
 
   /// All trainable dense parameters (LSTMs, BatchNorms, output projection).
   /// The embedding table updates sparsely through its own optimizer.
+  /// The order is fixed by construction, so two aggregators built from the
+  /// same config have positionally matching parameter lists — which is what
+  /// the data-parallel trainer's replica sync/reduce relies on.
   std::vector<Var> Parameters() const;
+
+  /// Redirects this aggregator's embedding gathers to `sink` (nullptr
+  /// restores the embedding's internal accumulator). A worker replica sets
+  /// its own sink so concurrent backward passes never share gradient state.
+  void set_grad_sink(std::shared_ptr<SparseRowGrads> sink) {
+    grad_sink_ = std::move(sink);
+  }
+  const std::shared_ptr<SparseRowGrads>& grad_sink() const {
+    return grad_sink_;
+  }
+
+  /// The aggregator's BatchNorms ({node-level, walk-level}), exposed so the
+  /// data-parallel trainer can sync/merge running statistics between the
+  /// master and its worker replicas.
+  std::vector<BatchNorm1d*> MutableBatchNorms() {
+    return {&node_bn_, &walk_bn_};
+  }
 
   const EhnaConfig& config() const { return config_; }
 
@@ -70,6 +90,7 @@ class EhnaAggregator {
   Embedding* embedding_;
   EhnaConfig config_;
   bool use_attention_;
+  std::shared_ptr<SparseRowGrads> grad_sink_;  // null = internal accumulator.
 
   TemporalWalkSampler temporal_sampler_;
   Node2VecWalkSampler static_sampler_;  // used by the EHNA-RW variant.

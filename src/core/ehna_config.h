@@ -74,6 +74,14 @@ struct EhnaConfig {
   /// neighborhood: number of neighbors sampled per hop.
   int fallback_samples = 10;
 
+  /// Worker threads for training and inference. 1 (the default) runs the
+  /// exact legacy serial path; 0 resolves to the hardware concurrency; N >
+  /// 1 trains data-parallel (per-worker tapes, gradients reduced into one
+  /// optimizer step) and runs inference/walk generation with per-task RNG
+  /// streams so results are reproducible per (seed, num_threads). See
+  /// README "Parallelism & determinism".
+  int num_threads = 1;
+
   uint64_t seed = 1;
 };
 

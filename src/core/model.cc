@@ -2,11 +2,53 @@
 
 #include <algorithm>
 #include <numeric>
+#include <thread>
 
 #include "nn/ops.h"
 #include "util/timer.h"
 
 namespace ehna {
+
+namespace {
+
+// Seed salts separating the per-edge training streams from the per-node
+// inference streams (and both from everything the master rng_ draws).
+constexpr uint64_t kTrainStreamSalt = 0x45484E4154524E00ULL;     // "EHNATRN"
+constexpr uint64_t kFinalizeStreamSalt = 0x45484E4146494E00ULL;  // "EHNAFIN"
+
+// Training stream index for edge `position` of epoch `epoch`: the epoch id
+// occupies the high bits so streams never collide across epochs (supports
+// up to 2^40 edges per epoch and 2^24 epochs).
+uint64_t TrainStream(uint64_t epoch, uint64_t position) {
+  return (epoch << 40) | position;
+}
+
+}  // namespace
+
+/// A data-parallel worker replica. The aggregator owns fresh parameter
+/// leaves (initial values are irrelevant — SyncWorkerFromMaster overwrites
+/// them before the first forward pass) and routes its embedding gathers to
+/// a private sparse sink, so a worker's forward/backward touches no state
+/// shared with other workers: the embedding table and graph are only read,
+/// and all writes land in the replica's own tape, parameter grads, and
+/// sink.
+struct EhnaModel::Worker {
+  Rng init_rng;
+  std::shared_ptr<SparseRowGrads> sink;
+  EhnaAggregator aggregator;
+  std::vector<Var> params;
+  double loss_sum = 0.0;
+  size_t edges = 0;
+
+  Worker(const TemporalGraph* graph, Embedding* embedding,
+         const EhnaConfig& config, Rng rng)
+      : init_rng(rng),
+        sink(std::make_shared<SparseRowGrads>()),
+        aggregator(graph, embedding, config, &init_rng),
+        params(aggregator.Parameters()) {
+    aggregator.set_grad_sink(sink);
+  }
+};
 
 EhnaModel::EhnaModel(const TemporalGraph* graph, const EhnaConfig& config)
     : graph_(graph),
@@ -20,18 +62,99 @@ EhnaModel::EhnaModel(const TemporalGraph* graph, const EhnaConfig& config)
   EHNA_CHECK_GT(graph->num_edges(), 0u);
 }
 
+EhnaModel::~EhnaModel() = default;
+
+int EhnaModel::num_threads() const {
+  if (config_.num_threads > 0) return config_.num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool* EhnaModel::EnsurePool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(num_threads()));
+  }
+  return pool_.get();
+}
+
+void EhnaModel::EnsureWorkers() {
+  EnsurePool();
+  while (workers_.size() < static_cast<size_t>(num_threads())) {
+    workers_.push_back(std::make_unique<Worker>(
+        graph_, &embedding_, config_,
+        Rng::Stream(config_.seed, 0xC0FFEEULL + workers_.size())));
+  }
+}
+
+void EhnaModel::SyncWorkerFromMaster(Worker* worker) {
+  const std::vector<Var>& master = optimizer_.params();
+  EHNA_CHECK_EQ(master.size(), worker->params.size());
+  for (size_t i = 0; i < master.size(); ++i) {
+    worker->params[i].mutable_value() = master[i].value();
+  }
+  const auto master_bns = aggregator_.MutableBatchNorms();
+  const auto worker_bns = worker->aggregator.MutableBatchNorms();
+  for (size_t b = 0; b < master_bns.size(); ++b) {
+    worker_bns[b]->SetRunningStats(master_bns[b]->running_mean(),
+                                   master_bns[b]->running_var(),
+                                   master_bns[b]->stats_initialized());
+  }
+}
+
+void EhnaModel::ReduceWorkerGrads(Worker* worker) {
+  const std::vector<Var>& master = optimizer_.params();
+  for (size_t i = 0; i < master.size(); ++i) {
+    const Tensor& g = worker->params[i].grad();
+    if (g.numel() > 0) master[i].AccumulateGrad(g);
+    worker->params[i].ZeroGrad();
+  }
+  embedding_.AccumulateSparse(*worker->sink);
+  worker->sink->clear();
+}
+
+void EhnaModel::MergeWorkerBatchNormStats(size_t num_used) {
+  const auto master_bns = aggregator_.MutableBatchNorms();
+  for (size_t b = 0; b < master_bns.size(); ++b) {
+    Tensor mean, var;
+    double total = 0.0;
+    for (size_t w = 0; w < num_used; ++w) {
+      Worker& worker = *workers_[w];
+      BatchNorm1d* bn = worker.aggregator.MutableBatchNorms()[b];
+      if (worker.edges == 0 || !bn->stats_initialized()) continue;
+      const float weight = static_cast<float>(worker.edges);
+      if (mean.numel() == 0) {
+        mean = Tensor(bn->running_mean().numel());
+        var = Tensor(bn->running_var().numel());
+      }
+      mean.Axpy(weight, bn->running_mean());
+      var.Axpy(weight, bn->running_var());
+      total += weight;
+    }
+    if (total > 0.0) {
+      mean.ScaleInPlace(1.0f / static_cast<float>(total));
+      var.ScaleInPlace(1.0f / static_cast<float>(total));
+      master_bns[b]->SetRunningStats(mean, var, /*initialized=*/true);
+    }
+  }
+}
+
 Var EhnaModel::EdgeLoss(const TemporalEdge& edge, bool training) {
+  return EdgeLossOn(&aggregator_, edge, training, &rng_);
+}
+
+Var EhnaModel::EdgeLossOn(EhnaAggregator* aggregator, const TemporalEdge& edge,
+                          bool training, Rng* rng) {
   const Timestamp t = edge.time;
-  Var zx = aggregator_.Aggregate(edge.src, t, training, &rng_);
-  Var zy = aggregator_.Aggregate(edge.dst, t, training, &rng_);
+  Var zx = aggregator->Aggregate(edge.src, t, training, rng);
+  Var zy = aggregator->Aggregate(edge.dst, t, training, rng);
   Var d_pos = ag::SumSquares(ag::Sub(zx, zy));
 
   const NodeId exclude[] = {edge.src, edge.dst};
   Var loss;
   auto add_negative_terms = [&](const Var& anchor) {
     for (int q = 0; q < config_.num_negatives; ++q) {
-      const NodeId v = noise_.SampleExcluding(exclude, &rng_);
-      Var zv = aggregator_.Aggregate(v, t, training, &rng_);
+      const NodeId v = noise_.SampleExcluding(exclude, rng);
+      Var zv = aggregator->Aggregate(v, t, training, rng);
       Var d_neg = ag::SumSquares(ag::Sub(anchor, zv));
       Var term =
           ag::Hinge(ag::AddScalar(ag::Sub(d_pos, d_neg), config_.margin));
@@ -44,6 +167,13 @@ Var EhnaModel::EdgeLoss(const TemporalEdge& edge, bool training) {
 }
 
 EhnaModel::EpochStats EhnaModel::TrainEpoch() {
+  EpochStats stats =
+      num_threads() > 1 ? TrainEpochParallel() : TrainEpochSerial();
+  ++epoch_index_;
+  return stats;
+}
+
+EhnaModel::EpochStats EhnaModel::TrainEpochSerial() {
   Timer timer;
   const auto& edges = graph_->edges();
   std::vector<size_t> order(edges.size());
@@ -83,6 +213,71 @@ EhnaModel::EpochStats EhnaModel::TrainEpoch() {
   return stats;
 }
 
+EhnaModel::EpochStats EhnaModel::TrainEpochParallel() {
+  Timer timer;
+  EnsureWorkers();
+  const auto& edges = graph_->edges();
+  std::vector<size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  rng_.Shuffle(&order);
+  if (config_.max_edges_per_epoch > 0 &&
+      order.size() > config_.max_edges_per_epoch) {
+    order.resize(config_.max_edges_per_epoch);
+  }
+
+  EpochStats stats;
+  double loss_sum = 0.0;
+  const size_t batch = static_cast<size_t>(std::max(1, config_.batch_edges));
+  size_t i = 0;
+  while (i < order.size()) {
+    const size_t begin = i;
+    const size_t count = std::min(batch, order.size() - begin);
+    i = begin + count;
+
+    const size_t used = std::min(workers_.size(), count);
+    for (size_t w = 0; w < used; ++w) SyncWorkerFromMaster(workers_[w].get());
+
+    // Each shard runs its edges sequentially on its own replica tape; the
+    // 1/count scale makes the reduced gradient equal the serial batch-mean
+    // gradient.
+    const float inv_count = 1.0f / static_cast<float>(count);
+    pool_->ParallelForShards(
+        count, used, [&](size_t shard, size_t a, size_t b) {
+          Worker& worker = *workers_[shard];
+          worker.loss_sum = 0.0;
+          worker.edges = 0;
+          for (size_t j = a; j < b; ++j) {
+            const size_t pos = begin + j;
+            Rng edge_rng = Rng::Stream(config_.seed ^ kTrainStreamSalt,
+                                       TrainStream(epoch_index_, pos));
+            Var loss = EdgeLossOn(&worker.aggregator, edges[order[pos]],
+                                  /*training=*/true, &edge_rng);
+            worker.loss_sum += loss.value()[0];
+            ++worker.edges;
+            Backward(ag::ScalarMul(loss, inv_count));
+          }
+        });
+
+    // Deterministic reduction: workers merge in shard order, so the result
+    // depends only on (seed, num_threads), not on scheduling.
+    for (size_t w = 0; w < used; ++w) {
+      loss_sum += workers_[w]->loss_sum;
+      ReduceWorkerGrads(workers_[w].get());
+    }
+    MergeWorkerBatchNormStats(used);
+
+    ClipGradNorm(optimizer_.params(), config_.grad_clip);
+    optimizer_.Step();
+    optimizer_.ZeroGrad();
+    embedding_.ApplyAdam(config_.learning_rate * config_.embedding_lr_multiplier);
+  }
+
+  stats.edges = order.size();
+  stats.avg_loss = order.empty() ? 0.0 : loss_sum / order.size();
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
 std::vector<EhnaModel::EpochStats> EhnaModel::Train(
     int epochs,
     const std::function<void(int, const EpochStats&)>& progress) {
@@ -106,24 +301,51 @@ Tensor EhnaModel::FinalizeEmbeddings() {
   const NodeId n = graph_->num_nodes();
   const int64_t d = config_.dim;
   Tensor final(n, d);
-  for (NodeId v = 0; v < n; ++v) {
-    auto recent = graph_->MostRecentInteraction(v);
-    if (recent.ok()) {
-      const Tensor z = AggregateAt(v, recent.value());
-      float* dst = final.Row(v);
-      for (int64_t j = 0; j < d; ++j) dst[j] = z[j];
-    } else {
-      // Isolated node: L2-normalized raw embedding, so its scale matches
-      // the (normalized) aggregated embeddings.
-      const float* src = embedding_.RowData(v);
-      double norm = 0.0;
-      for (int64_t j = 0; j < d; ++j) {
-        norm += static_cast<double>(src[j]) * src[j];
+
+  // Isolated node: L2-normalized raw embedding, so its scale matches the
+  // (normalized) aggregated embeddings.
+  const auto finalize_isolated = [&](NodeId v) {
+    const float* src = embedding_.RowData(v);
+    double norm = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      norm += static_cast<double>(src[j]) * src[j];
+    }
+    const float inv =
+        norm > 1e-24 ? 1.0f / static_cast<float>(std::sqrt(norm)) : 0.0f;
+    float* dst = final.Row(v);
+    for (int64_t j = 0; j < d; ++j) dst[j] = src[j] * inv;
+  };
+
+  if (num_threads() > 1) {
+    // Inference is a pure read of the trained parameters and table (eval
+    // mode never touches BatchNorm running stats, and no backward runs), so
+    // nodes fan out freely; the per-node stream makes the result a function
+    // of the seed alone, independent of thread count and scheduling.
+    EnsurePool();
+    pool_->ParallelFor(n, [&](size_t v) {
+      auto recent = graph_->MostRecentInteraction(v);
+      if (recent.ok()) {
+        Rng node_rng = Rng::Stream(config_.seed ^ kFinalizeStreamSalt, v);
+        Var z = aggregator_.Aggregate(v, recent.value(), /*training=*/false,
+                                      &node_rng);
+        const Tensor& zv = z.value();
+        float* dst = final.Row(v);
+        for (int64_t j = 0; j < d; ++j) dst[j] = zv[j];
+      } else {
+        finalize_isolated(v);
       }
-      const float inv =
-          norm > 1e-24 ? 1.0f / static_cast<float>(std::sqrt(norm)) : 0.0f;
-      float* dst = final.Row(v);
-      for (int64_t j = 0; j < d; ++j) dst[j] = src[j] * inv;
+    });
+    embedding_.ClearGradients();
+  } else {
+    for (NodeId v = 0; v < n; ++v) {
+      auto recent = graph_->MostRecentInteraction(v);
+      if (recent.ok()) {
+        const Tensor z = AggregateAt(v, recent.value());
+        float* dst = final.Row(v);
+        for (int64_t j = 0; j < d; ++j) dst[j] = z[j];
+      } else {
+        finalize_isolated(v);
+      }
     }
   }
   // Write back only after every node has been aggregated against the

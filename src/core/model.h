@@ -2,6 +2,7 @@
 #define EHNA_CORE_MODEL_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/aggregator.h"
@@ -9,6 +10,7 @@
 #include "graph/noise_distribution.h"
 #include "graph/temporal_graph.h"
 #include "nn/optim.h"
+#include "util/thread_pool.h"
 
 namespace ehna {
 
@@ -18,10 +20,21 @@ namespace ehna {
 /// embedding table, dense Adam for the network parameters, and the final
 /// inference pass that replaces each node's embedding with its aggregated
 /// embedding anchored at its most recent interaction.
+///
+/// With `config.num_threads > 1` (0 = hardware concurrency) the trainer is
+/// data-parallel: each minibatch is sharded across worker replicas that
+/// build independent autograd tapes, and the per-shard gradients are
+/// reduced into the single shared parameter set before one optimizer step,
+/// so a step remains mathematically equivalent to the serial batch (up to
+/// float summation order). Inference (FinalizeEmbeddings) fans out across
+/// nodes with per-node RNG streams, making it reproducible for a fixed
+/// seed regardless of thread count. `num_threads == 1` runs the exact
+/// legacy serial path.
 class EhnaModel {
  public:
   /// `graph` must outlive the model.
   EhnaModel(const TemporalGraph* graph, const EhnaConfig& config);
+  ~EhnaModel();
 
   /// Per-epoch training statistics.
   struct EpochStats {
@@ -52,12 +65,47 @@ class EhnaModel {
   /// Aggregated embedding of one node at a reference time (inference mode).
   Tensor AggregateAt(NodeId node, Timestamp ref_time);
 
+  /// The resolved worker count: `config.num_threads`, with 0 mapped to the
+  /// hardware concurrency (at least 1).
+  int num_threads() const;
+
   const Tensor& embedding_table() const { return embedding_.table(); }
   Embedding* embedding() { return &embedding_; }
   EhnaAggregator* aggregator() { return &aggregator_; }
   const EhnaConfig& config() const { return config_; }
 
  private:
+  /// One data-parallel worker: a replica aggregator with its own parameter
+  /// leaves, embedding gradient sink, and scratch stats.
+  struct Worker;
+
+  /// EdgeLoss evaluated against an arbitrary aggregator/RNG (the serial
+  /// path passes the master pair; parallel workers pass their replica and
+  /// a per-edge stream).
+  Var EdgeLossOn(EhnaAggregator* aggregator, const TemporalEdge& edge,
+                 bool training, Rng* rng);
+
+  EpochStats TrainEpochSerial();
+  EpochStats TrainEpochParallel();
+
+  /// Lazily builds the pool (and, for EnsureWorkers, the worker replicas)
+  /// sized to num_threads().
+  ThreadPool* EnsurePool();
+  void EnsureWorkers();
+
+  /// Copies master parameter values and BatchNorm running statistics into a
+  /// worker replica (called between optimizer steps, never concurrently
+  /// with them).
+  void SyncWorkerFromMaster(Worker* worker);
+
+  /// Accumulates a worker's parameter gradients and sparse embedding
+  /// gradients into the master, then clears the worker-side state.
+  void ReduceWorkerGrads(Worker* worker);
+
+  /// Folds the workers' post-batch BatchNorm running statistics back into
+  /// the master as an edge-count-weighted average.
+  void MergeWorkerBatchNormStats(size_t num_used);
+
   const TemporalGraph* graph_;
   EhnaConfig config_;
   Rng rng_;
@@ -65,6 +113,10 @@ class EhnaModel {
   EhnaAggregator aggregator_;
   NoiseDistribution noise_;
   Adam optimizer_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  uint64_t epoch_index_ = 0;  // namespaces the per-edge training streams.
 };
 
 }  // namespace ehna

@@ -197,6 +197,15 @@ Var BatchNorm1d::Forward(const Var& x, bool training) {
   return ForwardWithStats(x, mean, inv_std, use_batch_stats);
 }
 
+void BatchNorm1d::SetRunningStats(const Tensor& mean, const Tensor& var,
+                                  bool initialized) {
+  EHNA_CHECK_EQ(mean.numel(), features_);
+  EHNA_CHECK_EQ(var.numel(), features_);
+  running_mean_ = mean;
+  running_var_ = var;
+  stats_initialized_ = initialized;
+}
+
 std::vector<Var> BatchNorm1d::Parameters() const { return {gamma_, beta_}; }
 
 }  // namespace ehna

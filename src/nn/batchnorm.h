@@ -34,6 +34,12 @@ class BatchNorm1d {
 
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
+  bool stats_initialized() const { return stats_initialized_; }
+
+  /// Overwrites the running statistics (replica <-> master synchronization
+  /// in data-parallel training). Shapes must match `features`.
+  void SetRunningStats(const Tensor& mean, const Tensor& var,
+                       bool initialized);
 
  private:
   Var ForwardWithStats(const Var& x, const Tensor& mean,

@@ -8,8 +8,7 @@ namespace ehna {
 
 Embedding::Embedding(int64_t num_rows, int64_t dim, Rng* rng)
     : table_(num_rows, dim),
-      grad_map_ptr_(
-          std::make_shared<std::unordered_map<int64_t, Tensor>>()),
+      grad_map_ptr_(std::make_shared<SparseRowGrads>()),
       grad_map_(*grad_map_ptr_) {
   EHNA_CHECK_GT(num_rows, 0);
   EHNA_CHECK_GT(dim, 0);
@@ -17,7 +16,8 @@ Embedding::Embedding(int64_t num_rows, int64_t dim, Rng* rng)
   UniformInit(&table_, -scale, scale, rng);
 }
 
-Var Embedding::Gather(const std::vector<int64_t>& ids) {
+Var Embedding::Gather(const std::vector<int64_t>& ids,
+                      const std::shared_ptr<SparseRowGrads>& sink) {
   EHNA_CHECK(!ids.empty());
   const int64_t d = dim();
   Tensor out(static_cast<int64_t>(ids.size()), d);
@@ -27,7 +27,7 @@ Var Embedding::Gather(const std::vector<int64_t>& ids) {
     float* dst = out.Row(static_cast<int64_t>(i));
     for (int64_t j = 0; j < d; ++j) dst[j] = src[j];
   }
-  auto map = grad_map_ptr_;
+  auto map = sink ? sink : grad_map_ptr_;
   std::vector<int64_t> ids_copy = ids;
   // A "leaf with a hook": no parents, but a backward closure that scatters
   // the incoming gradient rows into the sparse accumulator.
@@ -43,13 +43,14 @@ Var Embedding::Gather(const std::vector<int64_t>& ids) {
                  "embedding_gather");
 }
 
-Var Embedding::GatherRow(int64_t id) {
+Var Embedding::GatherRow(int64_t id,
+                         const std::shared_ptr<SparseRowGrads>& sink) {
   EHNA_CHECK(id >= 0 && id < num_rows());
   const int64_t d = dim();
   Tensor out(d);
   const float* src = table_.Row(id);
   for (int64_t j = 0; j < d; ++j) out[j] = src[j];
-  auto map = grad_map_ptr_;
+  auto map = sink ? sink : grad_map_ptr_;
   return Var::Op(std::move(out), {},
                  [map, id, d](const Tensor& g, const Tensor&) {
                    Tensor& acc = (*map)[id];
@@ -98,6 +99,15 @@ void Embedding::ApplySgd(float lr) {
     for (int64_t j = 0; j < d; ++j) trow[j] -= lr * grad[j];
   }
   grad_map_.clear();
+}
+
+void Embedding::AccumulateSparse(const SparseRowGrads& grads) {
+  const int64_t d = dim();
+  for (const auto& [row, grad] : grads) {
+    Tensor& acc = grad_map_[row];
+    if (acc.numel() == 0) acc = Tensor(d);
+    acc.AddInPlace(grad);
+  }
 }
 
 void Embedding::ClearGradients() { grad_map_.clear(); }

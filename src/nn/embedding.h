@@ -19,6 +19,13 @@ namespace ehna {
 /// Usage per step: Gather(...) produces graph leaves; after Backward() the
 /// gathered rows' gradients have been scattered into an internal row->grad
 /// map; ApplyAdam(...) consumes the map and clears it.
+/// Sparse row-id -> gradient accumulator. Workers training in parallel each
+/// own one sink; gathers redirected to it keep backward passes free of
+/// shared mutable state, and the owner merges the sink into the table's
+/// internal accumulator (Embedding::AccumulateSparse) under its own
+/// serialization.
+using SparseRowGrads = std::unordered_map<int64_t, Tensor>;
+
 class Embedding {
  public:
   /// Rows initialized U(-0.5/dim, 0.5/dim) (word2vec-style).
@@ -28,11 +35,20 @@ class Embedding {
   int64_t dim() const { return table_.cols(); }
 
   /// Gathers `ids` into a [n, dim] autograd leaf. During backward, the
-  /// leaf's gradient rows accumulate into this table's sparse gradient map.
-  Var Gather(const std::vector<int64_t>& ids);
+  /// leaf's gradient rows accumulate into `sink` when given, otherwise into
+  /// this table's internal sparse gradient map. Concurrent gathers are safe
+  /// as long as each concurrent backward pass targets a distinct sink and
+  /// the table itself is not being mutated.
+  Var Gather(const std::vector<int64_t>& ids,
+             const std::shared_ptr<SparseRowGrads>& sink = nullptr);
 
   /// Gathers one row as a rank-1 [dim] leaf.
-  Var GatherRow(int64_t id);
+  Var GatherRow(int64_t id,
+                const std::shared_ptr<SparseRowGrads>& sink = nullptr);
+
+  /// Merges a worker sink produced by sink-redirected gathers into the
+  /// internal accumulator. Not thread-safe; call from the reducing thread.
+  void AccumulateSparse(const SparseRowGrads& grads);
 
   /// Read-only access to a row of the raw table.
   const float* RowData(int64_t id) const { return table_.Row(id); }
@@ -61,8 +77,8 @@ class Embedding {
   Tensor table_;  // [N, dim]
   // Sparse accumulated gradients, keyed by row. Shared with gather-leaf
   // backward hooks via shared_ptr so hooks outlive nothing they shouldn't.
-  std::shared_ptr<std::unordered_map<int64_t, Tensor>> grad_map_ptr_;
-  std::unordered_map<int64_t, Tensor>& grad_map_;
+  std::shared_ptr<SparseRowGrads> grad_map_ptr_;
+  SparseRowGrads& grad_map_;
   // Adam state, allocated on first use per row.
   std::unordered_map<int64_t, Tensor> adam_m_;
   std::unordered_map<int64_t, Tensor> adam_v_;

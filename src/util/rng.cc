@@ -138,4 +138,12 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 
 Rng Rng::Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
 
+Rng Rng::Stream(uint64_t seed, uint64_t stream) {
+  // Key the splitmix64 state on both inputs; the +1 keeps stream 0 from
+  // collapsing onto the bare seed, and the constructor runs the result
+  // through four further splitmix64 rounds to fill the xoshiro lanes.
+  uint64_t s = seed ^ ((stream + 1) * 0x9E3779B97F4A7C15ULL);
+  return Rng(SplitMix64(&s));
+}
+
 }  // namespace ehna

@@ -66,6 +66,13 @@ class Rng {
   /// Derives an independent generator (for per-thread streams).
   Rng Fork();
 
+  /// A decorrelated generator for logical stream `stream` of `seed`,
+  /// derived via splitmix64 so that Stream(s, i) is a pure function of
+  /// (s, i). This is what gives parallel walk sampling and inference
+  /// bitwise-reproducible results for a fixed seed regardless of how tasks
+  /// are scheduled across threads.
+  static Rng Stream(uint64_t seed, uint64_t stream);
+
  private:
   uint64_t s_[4];
   bool has_spare_normal_ = false;

@@ -53,6 +53,21 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   Wait();
 }
 
+void ThreadPool::ParallelForShards(
+    size_t n, size_t num_shards,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t shards = std::max<size_t>(1, std::min(n, num_shards));
+  const size_t per_shard = (n + shards - 1) / shards;
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t begin = s * per_shard;
+    const size_t end = std::min(n, begin + per_shard);
+    if (begin >= end) break;
+    Submit([&fn, s, begin, end] { fn(s, begin, end); });
+  }
+  Wait();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

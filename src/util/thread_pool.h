@@ -38,6 +38,16 @@ class ThreadPool {
   /// across the pool, and waits for completion. `fn` must be thread-safe.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Splits [0, n) into exactly min(num_shards, n) contiguous shards and
+  /// runs `fn(shard, begin, end)` for each, waiting for completion. Unlike
+  /// ParallelFor, the shard decomposition is a pure function of (n,
+  /// num_shards) — independent of the pool size — so callers that key
+  /// per-shard state (RNG streams, gradient accumulators) on the shard
+  /// index get schedule-independent results. `fn` must be thread-safe.
+  void ParallelForShards(
+      size_t n, size_t num_shards,
+      const std::function<void(size_t shard, size_t begin, size_t end)>& fn);
+
  private:
   void WorkerLoop();
 

@@ -95,4 +95,20 @@ std::vector<Walk> TemporalWalkSampler::SampleWalks(NodeId start,
   return walks;
 }
 
+std::vector<std::vector<Walk>> TemporalWalkSampler::SampleWalksBatch(
+    const std::vector<Anchor>& anchors, uint64_t seed,
+    ThreadPool* pool) const {
+  std::vector<std::vector<Walk>> out(anchors.size());
+  const auto sample_one = [&](size_t i) {
+    Rng rng = Rng::Stream(seed, static_cast<uint64_t>(i));
+    out[i] = SampleWalks(anchors[i].start, anchors[i].ref_time, &rng);
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(anchors.size(), sample_one);
+  } else {
+    for (size_t i = 0; i < anchors.size(); ++i) sample_one(i);
+  }
+  return out;
+}
+
 }  // namespace ehna

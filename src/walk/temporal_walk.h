@@ -5,6 +5,7 @@
 
 #include "graph/temporal_graph.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "walk/walk.h"
 
 namespace ehna {
@@ -54,6 +55,21 @@ class TemporalWalkSampler {
   /// Samples `config.num_walks` walks from `start`.
   std::vector<Walk> SampleWalks(NodeId start, Timestamp ref_time,
                                 Rng* rng) const;
+
+  /// One (start node, reference time) anchor of a batched sampling request.
+  struct Anchor {
+    NodeId start = 0;
+    Timestamp ref_time = 0.0;
+  };
+
+  /// Samples `config.num_walks` walks for every anchor, fanning the anchors
+  /// out across `pool` (serial when `pool` is null or single-threaded).
+  /// Anchor i draws from the independent stream Rng::Stream(seed, i), so
+  /// the output is bitwise-identical for a fixed seed regardless of thread
+  /// count or scheduling.
+  std::vector<std::vector<Walk>> SampleWalksBatch(
+      const std::vector<Anchor>& anchors, uint64_t seed,
+      ThreadPool* pool) const;
 
   const TemporalWalkConfig& config() const { return config_; }
 

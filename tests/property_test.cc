@@ -51,7 +51,9 @@ TEST_P(TemporalWalkProperty, RelevanceConstraintHoldsForAllConfigs) {
     // non-increasing along the walk.
     for (size_t j = 1; j < w.size(); ++j) {
       EXPECT_LE(w[j].edge_time, ref);
-      if (j >= 2) EXPECT_LE(w[j].edge_time, w[j - 1].edge_time);
+      if (j >= 2) {
+        EXPECT_LE(w[j].edge_time, w[j - 1].edge_time);
+      }
       EXPECT_TRUE(g.HasEdge(w[j - 1].node, w[j].node));
     }
   }
@@ -258,7 +260,9 @@ TEST_P(SoftmaxSizeProperty, SumsToOneAndOrdersMonotonically) {
   EXPECT_NEAR(total, 1.0f, 1e-5f);
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j < n; ++j) {
-      if (logits[i] < logits[j]) EXPECT_LE(y.value()[i], y.value()[j]);
+      if (logits[i] < logits[j]) {
+        EXPECT_LE(y.value()[i], y.value()[j]);
+      }
     }
   }
 }

@@ -305,7 +305,7 @@ TEST(TimerTest, MeasuresElapsedMonotonically) {
 TEST(TimerTest, RestartResets) {
   Timer t;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(i);
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(i);
   t.Restart();
   EXPECT_LT(t.ElapsedSeconds(), 0.5);
 }
