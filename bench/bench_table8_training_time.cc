@@ -8,12 +8,16 @@
 // Node2Vec/CTDNE at paper scale), multi-threading helping the SGNS methods.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <map>
 
 #include "bench/bench_common.h"
 #include "bench/paper_reference.h"
+#include "core/checkpoint.h"
+#include "core/model.h"
 #include "util/table_writer.h"
 
 namespace {
@@ -96,6 +100,65 @@ void BM_Table8_TrainingTime(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Table8_TrainingTime)->Iterations(1)->Unit(benchmark::kSecond);
+
+// Checkpoint overhead companion row: the same EHNA training epoch with
+// per-epoch snapshots enabled, plus the one-time cost of restoring. The
+// interesting numbers are `ckpt_save_s` (amortized per-epoch tax of
+// crash-safety, paid at every `checkpoint_every` boundary) and
+// `ckpt_restore_s` (startup latency of a resumed run).
+void BM_Table8_CheckpointOverhead(benchmark::State& state) {
+  const ehna::TemporalGraph graph = BuildDataset(PaperDataset::kDigg);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ehna_bench_ckpt").string();
+
+  for (auto _ : state) {
+    std::filesystem::remove_all(dir);
+    ehna::EhnaConfig plain = ehna::bench::BenchEhnaConfigFor(
+        PaperDataset::kDigg, /*seed=*/5);
+    plain.epochs = 1;
+
+    ehna::EhnaModel baseline(&graph, plain);
+    const auto base_stats = baseline.Train(1);
+
+    ehna::EhnaConfig ckpt = plain;
+    ckpt.checkpoint_dir = dir;
+    ckpt.checkpoint_every = 1;
+    ehna::EhnaModel snapshotting(&graph, ckpt);
+    const auto ckpt_stats = snapshotting.Train(1);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    ehna::EhnaModel resumed(&graph, ckpt);
+    ehna::CheckpointManager manager(dir, ckpt.checkpoint_keep);
+    const ehna::Status st = manager.RestoreLatest(&resumed);
+    const double restore_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      break;
+    }
+
+    state.counters["epoch_plain_s"] = base_stats.back().seconds;
+    state.counters["epoch_ckpt_s"] = ckpt_stats.back().seconds;
+    state.counters["ckpt_save_s"] =
+        ckpt_stats.back().seconds - base_stats.back().seconds;
+    state.counters["ckpt_restore_s"] = restore_s;
+
+    TableWriter table("Checkpointing — resume overhead (EHNA, Digg)",
+                      {"Metric", "Seconds"});
+    table.AddRow({"epoch, no checkpointing",
+                  TableWriter::FormatDouble(base_stats.back().seconds, 3)});
+    table.AddRow({"epoch + snapshot",
+                  TableWriter::FormatDouble(ckpt_stats.back().seconds, 3)});
+    table.AddRow({"restore from snapshot",
+                  TableWriter::FormatDouble(restore_s, 3)});
+    table.Print(std::cout);
+    std::filesystem::remove_all(dir);
+  }
+}
+BENCHMARK(BM_Table8_CheckpointOverhead)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
 
 }  // namespace
 

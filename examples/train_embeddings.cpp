@@ -7,6 +7,13 @@
 //                    [--input=edges.txt | --dataset=digg|yelp|tmall|dblp]
 //                    [--scale=0.1] [--dim=64] [--epochs=3]
 //                    [--output=embeddings.txt] [--binary] [--seed=1]
+//                    [--threads=1]
+//                    [--checkpoint-dir=DIR] [--checkpoint-every=1]
+//
+// With --checkpoint-dir (EHNA only) the trainer snapshots its full state
+// into DIR after every --checkpoint-every epochs and, on startup, resumes
+// from the last good snapshot found there — a run killed at any instant and
+// restarted produces bitwise-identical embeddings to an uninterrupted one.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -15,6 +22,7 @@
 #include "baselines/htne.h"
 #include "baselines/line.h"
 #include "baselines/node2vec.h"
+#include "core/checkpoint.h"
 #include "core/model.h"
 #include "graph/edgelist_io.h"
 #include "graph/generators/generators.h"
@@ -27,9 +35,12 @@ struct Args {
   std::string input;
   std::string dataset = "dblp";
   std::string output = "embeddings.txt";
+  std::string checkpoint_dir;
   double scale = 0.1;
   int64_t dim = 64;
   int epochs = 3;
+  int checkpoint_every = 1;
+  int threads = 1;
   bool binary = false;
   uint64_t seed = 1;
 };
@@ -54,6 +65,9 @@ Args ParseArgs(int argc, char** argv) {
     else if (ParseFlag(argv[i], "--scale", &v)) args.scale = std::atof(v.c_str());
     else if (ParseFlag(argv[i], "--dim", &v)) args.dim = std::atol(v.c_str());
     else if (ParseFlag(argv[i], "--epochs", &v)) args.epochs = std::atoi(v.c_str());
+    else if (ParseFlag(argv[i], "--checkpoint-dir", &v)) args.checkpoint_dir = v;
+    else if (ParseFlag(argv[i], "--checkpoint-every", &v)) args.checkpoint_every = std::atoi(v.c_str());
+    else if (ParseFlag(argv[i], "--threads", &v)) args.threads = std::atoi(v.c_str());
     else if (ParseFlag(argv[i], "--seed", &v)) args.seed = std::atoll(v.c_str());
     else if (std::strcmp(argv[i], "--binary") == 0) args.binary = true;
     else std::fprintf(stderr, "ignoring unknown argument %s\n", argv[i]);
@@ -98,7 +112,22 @@ int main(int argc, char** argv) {
     cfg.num_walks = 4;
     cfg.walk_length = 5;
     cfg.num_negatives = 2;
+    cfg.num_threads = args.threads;
+    cfg.checkpoint_dir = args.checkpoint_dir;
+    cfg.checkpoint_every = args.checkpoint_every;
     EhnaModel model(&graph, cfg);
+    if (!cfg.checkpoint_dir.empty()) {
+      CheckpointManager manager(cfg.checkpoint_dir, cfg.checkpoint_keep);
+      const Status st = manager.RestoreLatest(&model);
+      if (st.ok()) {
+        std::printf("resumed from %s at epoch %llu\n",
+                    cfg.checkpoint_dir.c_str(),
+                    static_cast<unsigned long long>(model.completed_epochs()));
+      } else if (st.code() != StatusCode::kNotFound) {
+        std::fprintf(stderr, "cannot resume: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
     model.Train(0, [](int e, const EhnaModel::EpochStats& s) {
       std::printf("epoch %d: loss %.4f (%.1fs)\n", e, s.avg_loss, s.seconds);
     });

@@ -1,0 +1,422 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "core/model.h"
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace ehna {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'H', 'N', 'C'};
+constexpr uint32_t kVersion = 1;
+// magic + version + payload size + payload crc.
+constexpr uint64_t kHeaderBytes = 4 + 4 + 8 + 4;
+
+constexpr char kSnapshotPrefix[] = "ckpt-";
+constexpr char kSnapshotSuffix[] = ".ehnc";
+constexpr char kLatestFile[] = "LATEST";
+
+// ------------------------------------------------------------- payload I/O
+
+/// Appends POD fields and tensors to an in-memory payload. Building the
+/// payload in memory first lets the header carry its exact size and CRC,
+/// and keeps the on-disk write a single atomic temp-file + rename.
+class PayloadWriter {
+ public:
+  template <typename T>
+  void Pod(T value) {
+    buf_.append(reinterpret_cast<const char*>(&value), sizeof(value));
+  }
+
+  void TensorValue(const Tensor& t) {
+    Pod<uint8_t>(static_cast<uint8_t>(t.rank()));
+    Pod<int64_t>(t.rows());
+    Pod<int64_t>(t.cols());
+    buf_.append(reinterpret_cast<const char*>(t.data()),
+                t.numel() * sizeof(float));
+  }
+
+  const std::string& buffer() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked cursor over a payload buffer. Every read validates the
+/// remaining byte count before touching memory, and tensor reads validate
+/// the declared shape against the remaining payload *before* allocating, so
+/// even a payload that defeats the CRC cannot crash the parser or trigger
+/// an oversized allocation.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& buf) : buf_(buf) {}
+
+  template <typename T>
+  bool Pod(T* out) {
+    if (buf_.size() - pos_ < sizeof(T)) return false;
+    std::memcpy(out, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool TensorValue(Tensor* out) {
+    uint8_t rank = 0;
+    int64_t rows = 0, cols = 0;
+    if (!Pod(&rank) || !Pod(&rows) || !Pod(&cols)) return false;
+    if ((rank != 1 && rank != 2) || rows < 0 || cols < 0) return false;
+    if (rank == 1 && cols != 1) return false;
+    if (cols > 0 && rows > std::numeric_limits<int64_t>::max() / cols) {
+      return false;
+    }
+    const uint64_t numel = static_cast<uint64_t>(rows * cols);
+    if (numel > (buf_.size() - pos_) / sizeof(float)) return false;
+    Tensor t = rank == 1 ? Tensor(rows) : Tensor(rows, cols);
+    std::memcpy(t.data(), buf_.data() + pos_, numel * sizeof(float));
+    pos_ += numel * sizeof(float);
+    *out = std::move(t);
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  const std::string& buf_;
+  size_t pos_ = 0;
+};
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::InvalidArgument("corrupt checkpoint " + path + ": " + what);
+}
+
+// -------------------------------------------------------- directory layout
+
+std::string SnapshotName(uint64_t epoch) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%s%020llu%s", kSnapshotPrefix,
+                static_cast<unsigned long long>(epoch), kSnapshotSuffix);
+  return buf;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- model snapshot
+
+Status EhnaModel::SaveCheckpoint(const std::string& path) const {
+  PayloadWriter w;
+
+  // Fingerprint: enough to reject restoring into an incompatible model.
+  const std::vector<Var>& params = optimizer_.params();
+  w.Pod<uint64_t>(config_.seed);
+  w.Pod<int64_t>(config_.dim);
+  w.Pod<uint64_t>(static_cast<uint64_t>(embedding_.num_rows()));
+  w.Pod<uint32_t>(static_cast<uint32_t>(config_.variant));
+  w.Pod<int32_t>(config_.lstm_layers);
+  w.Pod<uint32_t>(static_cast<uint32_t>(params.size()));
+  const auto bns = const_cast<EhnaAggregator&>(aggregator_).MutableBatchNorms();
+  w.Pod<uint32_t>(static_cast<uint32_t>(bns.size()));
+
+  w.Pod<uint64_t>(epoch_index_);
+
+  const Rng::State rng_state = rng_.state();
+  for (uint64_t lane : rng_state.s) w.Pod<uint64_t>(lane);
+  w.Pod<uint8_t>(rng_state.has_spare_normal ? 1 : 0);
+  w.Pod<double>(rng_state.spare_normal);
+
+  for (const Var& p : params) w.TensorValue(p.value());
+
+  w.Pod<int64_t>(optimizer_.step_count());
+  for (const Tensor& m : optimizer_.first_moments()) w.TensorValue(m);
+  for (const Tensor& v : optimizer_.second_moments()) w.TensorValue(v);
+
+  for (BatchNorm1d* bn : bns) {
+    w.Pod<uint8_t>(bn->stats_initialized() ? 1 : 0);
+    w.TensorValue(bn->running_mean());
+    w.TensorValue(bn->running_var());
+  }
+
+  w.TensorValue(embedding_.table());
+  w.Pod<int64_t>(embedding_.adam_step());
+  // The sparse maps are written in ascending row order so two snapshots of
+  // the same state are byte-identical regardless of hash iteration order.
+  for (const auto* moments : {&embedding_.adam_m(), &embedding_.adam_v()}) {
+    std::map<int64_t, const Tensor*> sorted;
+    for (const auto& [row, m] : *moments) sorted.emplace(row, &m);
+    w.Pod<uint64_t>(sorted.size());
+    for (const auto& [row, m] : sorted) {
+      w.Pod<int64_t>(row);
+      w.TensorValue(*m);
+    }
+  }
+
+  const std::string& payload = w.buffer();
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  return AtomicWriteFile(
+      path,
+      [&payload, crc](std::ostream& out) -> Status {
+        out.write(kMagic, sizeof(kMagic));
+        const uint32_t version = kVersion;
+        out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+        const uint64_t payload_size = payload.size();
+        out.write(reinterpret_cast<const char*>(&payload_size),
+                  sizeof(payload_size));
+        out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+        out.write(payload.data(),
+                  static_cast<std::streamsize>(payload.size()));
+        return Status::OK();
+      },
+      /*binary=*/true);
+}
+
+Status EhnaModel::RestoreCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open checkpoint: " + path);
+  std::error_code ec;
+  const uint64_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IoError("cannot stat checkpoint: " + path);
+  if (file_size < kHeaderBytes) return Corrupt(path, "truncated header");
+
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  uint32_t crc = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
+  in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt(path, "bad magic");
+  }
+  if (version != kVersion) return Corrupt(path, "unsupported version");
+  // Size check before the payload allocation: a corrupt length field must
+  // yield a Status, never std::bad_alloc.
+  if (payload_size != file_size - kHeaderBytes) {
+    return Corrupt(path, "payload size mismatch");
+  }
+
+  std::string payload(payload_size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  if (!in) return Corrupt(path, "truncated payload");
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return Corrupt(path, "checksum mismatch");
+  }
+
+  // Parse everything into staging state, validate it all against this
+  // model, and only then commit — a rejected snapshot leaves the model
+  // untouched.
+  PayloadReader r(payload);
+  uint64_t seed = 0, num_rows = 0, map_count = 0;
+  int64_t dim = 0;
+  uint32_t variant = 0, param_count = 0, bn_count = 0;
+  int32_t lstm_layers = 0;
+  if (!r.Pod(&seed) || !r.Pod(&dim) || !r.Pod(&num_rows) ||
+      !r.Pod(&variant) || !r.Pod(&lstm_layers) || !r.Pod(&param_count) ||
+      !r.Pod(&bn_count)) {
+    return Corrupt(path, "truncated fingerprint");
+  }
+  const std::vector<Var>& params = optimizer_.params();
+  const auto bns = aggregator_.MutableBatchNorms();
+  if (seed != config_.seed || dim != config_.dim ||
+      num_rows != static_cast<uint64_t>(embedding_.num_rows()) ||
+      variant != static_cast<uint32_t>(config_.variant) ||
+      lstm_layers != config_.lstm_layers || param_count != params.size() ||
+      bn_count != bns.size()) {
+    return Status::InvalidArgument(
+        "checkpoint " + path +
+        " does not match this model's config/graph fingerprint");
+  }
+
+  uint64_t epoch = 0;
+  Rng::State rng_state;
+  uint8_t flag = 0;
+  if (!r.Pod(&epoch)) return Corrupt(path, "truncated epoch counter");
+  for (uint64_t& lane : rng_state.s) {
+    if (!r.Pod(&lane)) return Corrupt(path, "truncated rng state");
+  }
+  if (!r.Pod(&flag)) return Corrupt(path, "truncated rng state");
+  rng_state.has_spare_normal = flag != 0;
+  if (!r.Pod(&rng_state.spare_normal)) {
+    return Corrupt(path, "truncated rng state");
+  }
+
+  std::vector<Tensor> param_values(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!r.TensorValue(&param_values[i])) {
+      return Corrupt(path, "truncated parameter tensor");
+    }
+    if (!param_values[i].SameShape(params[i].value())) {
+      return Corrupt(path, "parameter shape mismatch");
+    }
+  }
+
+  int64_t adam_t = 0;
+  if (!r.Pod(&adam_t)) return Corrupt(path, "truncated optimizer state");
+  std::vector<Tensor> adam_m(params.size()), adam_v(params.size());
+  for (auto* moments : {&adam_m, &adam_v}) {
+    for (size_t i = 0; i < moments->size(); ++i) {
+      Tensor& m = (*moments)[i];
+      if (!r.TensorValue(&m)) return Corrupt(path, "truncated Adam moment");
+      if (m.numel() != 0 && m.numel() != params[i].value().numel()) {
+        return Corrupt(path, "Adam moment shape mismatch");
+      }
+    }
+  }
+
+  struct BnState {
+    bool initialized = false;
+    Tensor mean, var;
+  };
+  std::vector<BnState> bn_states(bns.size());
+  for (size_t b = 0; b < bns.size(); ++b) {
+    if (!r.Pod(&flag) || !r.TensorValue(&bn_states[b].mean) ||
+        !r.TensorValue(&bn_states[b].var)) {
+      return Corrupt(path, "truncated BatchNorm state");
+    }
+    bn_states[b].initialized = flag != 0;
+    if (bn_states[b].mean.numel() != bns[b]->running_mean().numel() ||
+        bn_states[b].var.numel() != bns[b]->running_var().numel()) {
+      return Corrupt(path, "BatchNorm shape mismatch");
+    }
+  }
+
+  Tensor table;
+  int64_t emb_step = 0;
+  if (!r.TensorValue(&table) || !r.Pod(&emb_step)) {
+    return Corrupt(path, "truncated embedding state");
+  }
+  std::unordered_map<int64_t, Tensor> emb_m, emb_v;
+  for (auto* moments : {&emb_m, &emb_v}) {
+    if (!r.Pod(&map_count)) return Corrupt(path, "truncated sparse Adam map");
+    if (map_count > num_rows) return Corrupt(path, "oversized sparse Adam map");
+    for (uint64_t i = 0; i < map_count; ++i) {
+      int64_t row = 0;
+      Tensor m;
+      if (!r.Pod(&row) || !r.TensorValue(&m)) {
+        return Corrupt(path, "truncated sparse Adam entry");
+      }
+      if (!moments->emplace(row, std::move(m)).second) {
+        return Corrupt(path, "duplicate sparse Adam row");
+      }
+    }
+  }
+  if (!r.exhausted()) return Corrupt(path, "trailing bytes");
+
+  // Everything parsed and shape-checked; the component setters re-validate
+  // and are ordered so the first (still fallible) ones run before any
+  // irreversible mutation.
+  EHNA_RETURN_NOT_OK(
+      embedding_.SetState(table, emb_step, std::move(emb_m), std::move(emb_v)));
+  EHNA_RETURN_NOT_OK(
+      optimizer_.SetState(adam_t, std::move(adam_m), std::move(adam_v)));
+  std::vector<Var> mutable_params = aggregator_.Parameters();
+  EHNA_CHECK_EQ(mutable_params.size(), param_values.size());
+  for (size_t i = 0; i < mutable_params.size(); ++i) {
+    mutable_params[i].mutable_value() = std::move(param_values[i]);
+    mutable_params[i].ZeroGrad();
+  }
+  for (size_t b = 0; b < bns.size(); ++b) {
+    bns[b]->SetRunningStats(bn_states[b].mean, bn_states[b].var,
+                            bn_states[b].initialized);
+  }
+  rng_.set_state(rng_state);
+  epoch_index_ = epoch;
+  return Status::OK();
+}
+
+Status SaveCheckpoint(const EhnaModel& model, const std::string& path) {
+  return model.SaveCheckpoint(path);
+}
+
+Status RestoreCheckpoint(EhnaModel* model, const std::string& path) {
+  EHNA_CHECK(model != nullptr);
+  return model->RestoreCheckpoint(path);
+}
+
+// ------------------------------------------------------ CheckpointManager
+
+CheckpointManager::CheckpointManager(std::string dir, int keep_last)
+    : dir_(std::move(dir)), keep_last_(std::max(1, keep_last)) {}
+
+std::string CheckpointManager::PathFor(const std::string& filename) const {
+  return (std::filesystem::path(dir_) / filename).string();
+}
+
+std::vector<std::string> CheckpointManager::ListSnapshots() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > std::strlen(kSnapshotPrefix) + std::strlen(kSnapshotSuffix) &&
+        name.rfind(kSnapshotPrefix, 0) == 0 &&
+        name.compare(name.size() - std::strlen(kSnapshotSuffix),
+                     std::string::npos, kSnapshotSuffix) == 0) {
+      names.push_back(name);
+    }
+  }
+  // Epochs are zero-padded to fixed width, so lexicographic == numeric.
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status CheckpointManager::Save(const EhnaModel& model, uint64_t epoch) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return Status::IoError("cannot create checkpoint dir: " + dir_);
+
+  const std::string name = SnapshotName(epoch);
+  EHNA_RETURN_NOT_OK(model.SaveCheckpoint(PathFor(name)));
+  // The pointer flips to the new snapshot only after the snapshot itself is
+  // durably in place; a crash between the two writes leaves the previous
+  // pointer naming a complete file.
+  EHNA_RETURN_NOT_OK(AtomicWriteFile(PathFor(kLatestFile), name + "\n"));
+
+  std::vector<std::string> names = ListSnapshots();
+  const size_t keep = static_cast<size_t>(keep_last_);
+  if (names.size() > keep) {
+    for (size_t i = 0; i + keep < names.size(); ++i) {
+      std::filesystem::remove(PathFor(names[i]), ec);  // best-effort.
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckpointManager::RestoreLatest(EhnaModel* model) const {
+  EHNA_CHECK(model != nullptr);
+  std::vector<std::string> names = ListSnapshots();
+  // Newest first; the LATEST pointer, when readable and present in the
+  // listing, is tried before anything else.
+  std::reverse(names.begin(), names.end());
+  {
+    std::ifstream latest(PathFor(kLatestFile));
+    std::string pointed;
+    if (latest >> pointed) {
+      auto it = std::find(names.begin(), names.end(), pointed);
+      if (it != names.end()) std::rotate(names.begin(), it, it + 1);
+    }
+  }
+  if (names.empty()) {
+    return Status::NotFound("no checkpoint in " + dir_);
+  }
+  Status last_error;
+  for (const std::string& name : names) {
+    const Status st = model->RestoreCheckpoint(PathFor(name));
+    if (st.ok()) return st;
+    last_error = st;
+    EHNA_LOG(Warning) << "skipping unloadable checkpoint " << PathFor(name)
+                      << ": " << st;
+  }
+  return last_error;
+}
+
+}  // namespace ehna

@@ -1,0 +1,81 @@
+#ifndef EHNA_CORE_CHECKPOINT_H_
+#define EHNA_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ehna {
+
+class EhnaModel;
+
+/// Crash-safe snapshots of the complete EHNA training state.
+///
+/// File format (version 1, little-endian; see DESIGN.md §7):
+///
+///   [0..3]   magic "EHNC"
+///   [4..7]   u32 format version
+///   [8..15]  u64 payload byte count
+///   [16..19] u32 CRC-32 (IEEE) of the payload
+///   [20.. ]  payload: fingerprint (seed, dim, node count, variant, LSTM
+///            depth, parameter/BatchNorm counts), completed-epoch counter,
+///            RNG stream state, every aggregator parameter tensor, dense
+///            Adam step + first/second moments, BatchNorm running
+///            statistics, the embedding table, and the sparse per-row Adam
+///            state (rows in ascending order, so two snapshots of the same
+///            state are byte-identical).
+///
+/// Writes are atomic (temp file + rename). Loads validate the magic,
+/// version, declared payload size against the actual file size (before any
+/// allocation), the CRC, and the model fingerprint; every failure is a
+/// clean Status — a truncated or bit-flipped snapshot can never crash the
+/// process or escape as std::bad_alloc.
+
+/// Serializes `model`'s full training state to `path` atomically.
+Status SaveCheckpoint(const EhnaModel& model, const std::string& path);
+
+/// Restores a snapshot written by SaveCheckpoint into `model`, which must
+/// have been constructed over the same graph shape and config (dim,
+/// variant, LSTM depth, seed). On any validation failure the model is left
+/// unmodified.
+Status RestoreCheckpoint(EhnaModel* model, const std::string& path);
+
+/// Manages a checkpoint directory: `ckpt-<epoch padded to 20 digits>.ehnc`
+/// snapshot files, a `LATEST` pointer naming the last snapshot that was
+/// written completely, and keep-last-N rotation. All writes are atomic, so
+/// a crash at any instant leaves the directory loadable.
+class CheckpointManager {
+ public:
+  /// `keep_last` < 1 is treated as 1 (the newest snapshot is always kept).
+  explicit CheckpointManager(std::string dir, int keep_last = 3);
+
+  /// Snapshots `model` as epoch `epoch`, updates LATEST, then prunes all
+  /// but the newest `keep_last` snapshots. The snapshot itself and the
+  /// pointer update are atomic; pruning failures are ignored (stale files
+  /// are garbage, not corruption).
+  Status Save(const EhnaModel& model, uint64_t epoch);
+
+  /// Restores the most recent loadable snapshot: first the one LATEST
+  /// names, then — if that file is missing or fails validation — every
+  /// older snapshot in descending epoch order. Returns NotFound when the
+  /// directory holds no loadable snapshot (the caller starts fresh), and
+  /// the last validation error when snapshots exist but all are corrupt.
+  Status RestoreLatest(EhnaModel* model) const;
+
+  /// Snapshot filenames present in the directory, ascending by epoch.
+  std::vector<std::string> ListSnapshots() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string PathFor(const std::string& filename) const;
+
+  std::string dir_;
+  int keep_last_;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_CORE_CHECKPOINT_H_

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace ehna {
 
@@ -81,6 +82,17 @@ struct EhnaConfig {
   /// streams so results are reproducible per (seed, num_threads). See
   /// README "Parallelism & determinism".
   int num_threads = 1;
+
+  /// Crash-safe checkpointing (see DESIGN.md §7 and README "Checkpointing
+  /// & resume"). When `checkpoint_dir` is non-empty, Train() snapshots the
+  /// complete training state (parameters, embedding table, dense and sparse
+  /// Adam moments, BatchNorm running statistics, RNG stream state) into the
+  /// directory every `checkpoint_every` completed epochs, atomically, with
+  /// keep-last-N rotation and a last-good pointer file. A run restored from
+  /// such a snapshot continues bitwise-identically to one that never died.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  int checkpoint_keep = 3;
 
   uint64_t seed = 1;
 };

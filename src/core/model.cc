@@ -4,6 +4,7 @@
 #include <numeric>
 #include <thread>
 
+#include "core/checkpoint.h"
 #include "nn/ops.h"
 #include "util/timer.h"
 
@@ -281,12 +282,33 @@ EhnaModel::EpochStats EhnaModel::TrainEpochParallel() {
 std::vector<EhnaModel::EpochStats> EhnaModel::Train(
     int epochs,
     const std::function<void(int, const EpochStats&)>& progress) {
-  const int total = epochs > 0 ? epochs : config_.epochs;
+  const uint64_t total =
+      static_cast<uint64_t>(epochs > 0 ? epochs : config_.epochs);
+  std::unique_ptr<CheckpointManager> checkpoints;
+  if (!config_.checkpoint_dir.empty()) {
+    checkpoints = std::make_unique<CheckpointManager>(config_.checkpoint_dir,
+                                                      config_.checkpoint_keep);
+  }
+  const uint64_t every =
+      static_cast<uint64_t>(std::max(1, config_.checkpoint_every));
   std::vector<EpochStats> history;
-  history.reserve(total);
-  for (int e = 0; e < total; ++e) {
+  if (epoch_index_ < total) history.reserve(total - epoch_index_);
+  // `total` counts *completed* epochs (including ones restored from a
+  // checkpoint), so a resumed run finishes exactly the epochs the
+  // uninterrupted run would have.
+  while (epoch_index_ < total) {
     history.push_back(TrainEpoch());
-    if (progress) progress(e, history.back());
+    if (progress) {
+      progress(static_cast<int>(epoch_index_) - 1, history.back());
+    }
+    if (checkpoints != nullptr &&
+        (epoch_index_ % every == 0 || epoch_index_ == total)) {
+      const Status st = checkpoints->Save(*this, epoch_index_);
+      if (!st.ok()) {
+        EHNA_LOG(Warning) << "checkpoint save failed at epoch "
+                          << epoch_index_ << ": " << st;
+      }
+    }
   }
   return history;
 }

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/aggregator.h"
@@ -46,8 +47,14 @@ class EhnaModel {
   /// One pass over (a shuffled sample of) the training edges.
   EpochStats TrainEpoch();
 
-  /// Runs `config.epochs` epochs (or `epochs` if > 0). `progress`, when
-  /// set, is invoked after each epoch.
+  /// Trains until `config.epochs` (or `epochs` if > 0) epochs have been
+  /// *completed*, counting epochs restored from a checkpoint — so a model
+  /// resumed at epoch k runs exactly the remaining epochs and lands on the
+  /// same final state as an uninterrupted run. `progress`, when set, is
+  /// invoked after each epoch with its zero-based index. When
+  /// `config.checkpoint_dir` is non-empty, a snapshot is written every
+  /// `config.checkpoint_every` completed epochs (and after the final one),
+  /// with keep-last-N rotation; snapshot failures are logged, not fatal.
   std::vector<EpochStats> Train(
       int epochs = 0,
       const std::function<void(int epoch, const EpochStats&)>& progress = {});
@@ -68,6 +75,25 @@ class EhnaModel {
   /// The resolved worker count: `config.num_threads`, with 0 mapped to the
   /// hardware concurrency (at least 1).
   int num_threads() const;
+
+  /// Serializes the complete training state — aggregator parameters, dense
+  /// Adam moments and step counter, BatchNorm running statistics, the
+  /// embedding table with its sparse per-row Adam state, the RNG stream
+  /// state, and the completed-epoch counter — to `path` atomically (temp
+  /// file + rename). Implemented in checkpoint.cc; format in checkpoint.h.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Restores a snapshot written by SaveCheckpoint. The model must have
+  /// been constructed over the same graph shape and config fingerprint
+  /// (seed, dim, variant, LSTM depth). On any validation failure —
+  /// truncation, corruption, or fingerprint mismatch — the model is left
+  /// unmodified and the Status describes the rejection.
+  Status RestoreCheckpoint(const std::string& path);
+
+  /// Epochs completed so far; restored by RestoreCheckpoint, and what
+  /// Train() counts toward its target, so a resumed run finishes exactly
+  /// the epochs an uninterrupted run would have.
+  uint64_t completed_epochs() const { return epoch_index_; }
 
   const Tensor& embedding_table() const { return embedding_.table(); }
   Embedding* embedding() { return &embedding_; }

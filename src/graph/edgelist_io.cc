@@ -1,11 +1,40 @@
 #include "graph/edgelist_io.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
+#include "util/atomic_file.h"
+
 namespace ehna {
+
+namespace {
+
+Status LineError(const std::string& what, const std::string& path,
+                 size_t lineno) {
+  return Status::InvalidArgument(what + " at " + path + ":" +
+                                 std::to_string(lineno));
+}
+
+/// Strict double parse of one whitespace-delimited token: the whole token
+/// must be consumed and the value must be finite. `operator>>` alone accepts
+/// "nan"/"inf" (which corrupt the chronologically-sorted adjacency and its
+/// binary searches) and stops silently at the first bad character.
+bool ParseFiniteDouble(const std::string& token, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || token.empty()) return false;
+  if (errno == ERANGE || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
 
 Result<std::vector<TemporalEdge>> ReadEdgeList(const std::string& path) {
   std::ifstream in(path);
@@ -19,18 +48,31 @@ Result<std::vector<TemporalEdge>> ReadEdgeList(const std::string& path) {
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream ls(line);
     long long src = -1, dst = -1;
-    double time = 0.0;
-    double weight = 1.0;
-    if (!(ls >> src >> dst >> time)) {
-      return Status::InvalidArgument("malformed edge at " + path + ":" +
-                                     std::to_string(lineno));
+    std::string time_tok;
+    if (!(ls >> src >> dst >> time_tok)) {
+      return LineError("malformed edge", path, lineno);
     }
-    ls >> weight;  // optional; leaves 1.0 if absent.
+    double time = 0.0;
+    if (!ParseFiniteDouble(time_tok, &time)) {
+      return LineError("non-finite or malformed timestamp '" + time_tok + "'",
+                       path, lineno);
+    }
+    double weight = 1.0;  // optional fourth column.
+    std::string weight_tok;
+    if (ls >> weight_tok) {
+      if (!ParseFiniteDouble(weight_tok, &weight)) {
+        return LineError("non-finite or malformed weight '" + weight_tok + "'",
+                         path, lineno);
+      }
+      std::string junk;
+      if (ls >> junk) {
+        return LineError("trailing garbage '" + junk + "'", path, lineno);
+      }
+    }
     if (src < 0 || dst < 0 ||
         src > static_cast<long long>(kInvalidNode) - 1 ||
         dst > static_cast<long long>(kInvalidNode) - 1) {
-      return Status::InvalidArgument("node id out of range at " + path + ":" +
-                                     std::to_string(lineno));
+      return LineError("node id out of range", path, lineno);
     }
     edges.push_back(TemporalEdge{static_cast<NodeId>(src),
                                  static_cast<NodeId>(dst), time,
@@ -41,13 +83,15 @@ Result<std::vector<TemporalEdge>> ReadEdgeList(const std::string& path) {
 
 Status WriteEdgeList(const std::string& path,
                      const std::vector<TemporalEdge>& edges) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  for (const auto& e : edges) {
-    out << e.src << " " << e.dst << " " << e.time << " " << e.weight << "\n";
-  }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, [&edges](std::ostream& out) -> Status {
+    // Full precision so written timestamps/weights read back exactly.
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
+    for (const auto& e : edges) {
+      out << e.src << " " << e.dst << " " << e.time << " " << e.weight
+          << "\n";
+    }
+    return Status::OK();
+  });
 }
 
 Result<TemporalGraph> LoadTemporalGraph(const std::string& path,

@@ -13,6 +13,11 @@ namespace ehna {
 /// non-comment ('#' or '%') line is `src dst time [weight]`. This matches the
 /// common format of the SNAP / KONECT temporal datasets the paper uses, so a
 /// user with the real Digg/DBLP dumps can load them directly.
+///
+/// Input is validated strictly: timestamps and weights must be finite (a
+/// NaN time would corrupt the chronologically-sorted adjacency and every
+/// binary search over it) and any trailing token after the optional weight
+/// is rejected. Errors carry the offending `path:line`.
 Result<std::vector<TemporalEdge>> ReadEdgeList(const std::string& path);
 
 /// Writes edges as `src dst time weight` lines.

@@ -112,4 +112,28 @@ void Embedding::AccumulateSparse(const SparseRowGrads& grads) {
 
 void Embedding::ClearGradients() { grad_map_.clear(); }
 
+Status Embedding::SetState(const Tensor& table, int64_t adam_step,
+                           std::unordered_map<int64_t, Tensor> adam_m,
+                           std::unordered_map<int64_t, Tensor> adam_v) {
+  if (!table.SameShape(table_)) {
+    return Status::InvalidArgument("embedding table shape mismatch");
+  }
+  if (adam_step < 0) {
+    return Status::InvalidArgument("negative embedding Adam step count");
+  }
+  for (const auto* moments : {&adam_m, &adam_v}) {
+    for (const auto& [row, m] : *moments) {
+      if (row < 0 || row >= num_rows() || m.numel() != dim()) {
+        return Status::InvalidArgument("embedding Adam moment mismatch");
+      }
+    }
+  }
+  table_ = table;
+  adam_step_ = adam_step;
+  adam_m_ = std::move(adam_m);
+  adam_v_ = std::move(adam_v);
+  grad_map_.clear();
+  return Status::OK();
+}
+
 }  // namespace ehna

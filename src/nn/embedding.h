@@ -8,6 +8,7 @@
 
 #include "nn/autograd.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace ehna {
 
@@ -72,6 +73,20 @@ class Embedding {
 
   /// Rows with pending gradients (for tests/inspection).
   size_t num_pending_rows() const { return grad_map_.size(); }
+
+  /// Sparse-Adam state for checkpointing: the global step counter and the
+  /// lazily-allocated per-row first/second moments.
+  int64_t adam_step() const { return adam_step_; }
+  const std::unordered_map<int64_t, Tensor>& adam_m() const { return adam_m_; }
+  const std::unordered_map<int64_t, Tensor>& adam_v() const { return adam_v_; }
+
+  /// Restores checkpointed table values and sparse-Adam state. The table
+  /// must match this embedding's shape and every moment row must be a valid
+  /// row id with `dim` elements; returns InvalidArgument on mismatch
+  /// without mutating anything.
+  Status SetState(const Tensor& table, int64_t adam_step,
+                  std::unordered_map<int64_t, Tensor> adam_m,
+                  std::unordered_map<int64_t, Tensor> adam_v);
 
  private:
   Tensor table_;  // [N, dim]

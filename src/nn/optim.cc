@@ -72,6 +72,27 @@ void Adam::Step() {
   }
 }
 
+Status Adam::SetState(int64_t step_count, std::vector<Tensor> m,
+                      std::vector<Tensor> v) {
+  if (step_count < 0) {
+    return Status::InvalidArgument("negative Adam step count");
+  }
+  if (m.size() != params_.size() || v.size() != params_.size()) {
+    return Status::InvalidArgument("Adam moment count mismatch");
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const int64_t n = params_[i].value().numel();
+    if ((m[i].numel() != 0 && m[i].numel() != n) ||
+        (v[i].numel() != 0 && v[i].numel() != n)) {
+      return Status::InvalidArgument("Adam moment shape mismatch");
+    }
+  }
+  t_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::OK();
+}
+
 float ClipGradNorm(const std::vector<Var>& params, float max_norm) {
   double total = 0.0;
   for (const Var& p : params) {

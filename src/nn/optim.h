@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "nn/autograd.h"
+#include "util/status.h"
 
 namespace ehna {
 
@@ -51,6 +52,19 @@ class Adam : public Optimizer {
 
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
+
+  /// Optimizer state for checkpointing. The moment vectors are positionally
+  /// aligned with params(); entries for parameters never touched by a
+  /// gradient are empty tensors.
+  int64_t step_count() const { return t_; }
+  const std::vector<Tensor>& first_moments() const { return m_; }
+  const std::vector<Tensor>& second_moments() const { return v_; }
+
+  /// Restores checkpointed state. `m` and `v` must have one entry per
+  /// parameter; each non-empty entry must match its parameter's element
+  /// count. Returns InvalidArgument on mismatch without mutating anything.
+  Status SetState(int64_t step_count, std::vector<Tensor> m,
+                  std::vector<Tensor> v);
 
  private:
   float lr_;

@@ -2,32 +2,42 @@
 
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 #include <vector>
+
+#include "util/atomic_file.h"
 
 namespace ehna {
 
 namespace {
 constexpr char kMagic[4] = {'E', 'H', 'N', 'T'};
 constexpr uint32_t kVersion = 1;
+// magic + version + rows + cols.
+constexpr uint64_t kBinaryHeaderBytes = 4 + 4 + 8 + 8;
 }  // namespace
 
 Status WriteTensorText(const std::string& path, const Tensor& t) {
   if (t.rank() != 2) {
     return Status::InvalidArgument("text serialization expects a matrix");
   }
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out << t.rows() << " " << t.cols() << "\n";
-  for (int64_t i = 0; i < t.rows(); ++i) {
-    out << i;
-    const float* row = t.Row(i);
-    for (int64_t j = 0; j < t.cols(); ++j) out << " " << row[j];
-    out << "\n";
-  }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, [&t](std::ostream& out) -> Status {
+    // max_digits10 makes the decimal rendering round-trip bit-exactly back
+    // to float32; the default 6 significant digits silently lose the low
+    // mantissa bits, so text-checkpointed embeddings diverge from memory.
+    out << std::setprecision(std::numeric_limits<float>::max_digits10);
+    out << t.rows() << " " << t.cols() << "\n";
+    for (int64_t i = 0; i < t.rows(); ++i) {
+      out << i;
+      const float* row = t.Row(i);
+      for (int64_t j = 0; j < t.cols(); ++j) out << " " << row[j];
+      out << "\n";
+    }
+    return Status::OK();
+  });
 }
 
 Result<Tensor> ReadTensorText(const std::string& path) {
@@ -62,23 +72,28 @@ Status WriteTensorBinary(const std::string& path, const Tensor& t) {
   if (t.rank() != 2) {
     return Status::InvalidArgument("binary serialization expects a matrix");
   }
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out.write(kMagic, sizeof(kMagic));
-  const uint32_t version = kVersion;
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  const int64_t rows = t.rows(), cols = t.cols();
-  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
-  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-  out.write(reinterpret_cast<const char*>(t.data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFile(
+      path,
+      [&t](std::ostream& out) -> Status {
+        out.write(kMagic, sizeof(kMagic));
+        const uint32_t version = kVersion;
+        out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+        const int64_t rows = t.rows(), cols = t.cols();
+        out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+        out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+        out.write(reinterpret_cast<const char*>(t.data()),
+                  static_cast<std::streamsize>(t.numel() * sizeof(float)));
+        return Status::OK();
+      },
+      /*binary=*/true);
 }
 
 Result<Tensor> ReadTensorBinary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open: " + path);
+  std::error_code ec;
+  const uint64_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IoError("cannot stat: " + path);
   char magic[4];
   uint32_t version = 0;
   int64_t rows = 0, cols = 0;
@@ -92,9 +107,18 @@ Result<Tensor> ReadTensorBinary(const std::string& path) {
   if (version != kVersion) {
     return Status::InvalidArgument("unsupported tensor version");
   }
-  if (rows <= 0 || cols <= 0 || rows > (int64_t{1} << 32) ||
-      cols > (int64_t{1} << 24)) {
-    return Status::InvalidArgument("implausible tensor shape");
+  // Validate the declared shape against the actual file size *before*
+  // allocating: a hostile or corrupt header may otherwise declare up to
+  // 2^56 elements and escape as std::bad_alloc instead of a Status.
+  if (rows <= 0 || cols <= 0 ||
+      rows > std::numeric_limits<int64_t>::max() / cols) {
+    return Status::InvalidArgument("implausible tensor shape in " + path);
+  }
+  const int64_t numel = rows * cols;
+  if (numel > std::numeric_limits<int64_t>::max() / 4 ||
+      file_size != kBinaryHeaderBytes + static_cast<uint64_t>(numel) * 4) {
+    return Status::InvalidArgument(
+        "tensor payload size does not match declared shape in " + path);
   }
   Tensor t(rows, cols);
   in.read(reinterpret_cast<char*>(t.data()),

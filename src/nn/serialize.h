@@ -10,8 +10,9 @@ namespace ehna {
 
 /// Writes `t` as a text embedding file in the word2vec convention: a
 /// header line "rows cols", then one row per line ("row_index v0 v1 ...").
-/// The format round-trips through ReadTensorText and is directly loadable
-/// by downstream tooling.
+/// Values are written with float32 max_digits10 precision, so the file
+/// round-trips through ReadTensorText bit-exactly. The write is atomic
+/// (temp file + rename); readers never observe a partial file.
 Status WriteTensorText(const std::string& path, const Tensor& t);
 
 /// Reads a text tensor written by WriteTensorText. Row indices must form
@@ -23,7 +24,9 @@ Result<Tensor> ReadTensorText(const std::string& path);
 Status WriteTensorBinary(const std::string& path, const Tensor& t);
 
 /// Reads a binary tensor written by WriteTensorBinary, validating the
-/// magic, version and payload size.
+/// magic, version, and that the declared shape matches the file size
+/// before any allocation (a corrupt header yields a Status, never
+/// std::bad_alloc).
 Result<Tensor> ReadTensorBinary(const std::string& path);
 
 }  // namespace ehna

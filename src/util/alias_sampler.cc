@@ -56,7 +56,11 @@ void AliasSampler::Build(const std::vector<double>& weights) {
 }
 
 size_t AliasSampler::Sample(Rng* rng) const {
-  EHNA_DCHECK(!prob_.empty());
+  // Hard check even in Release: a sampler built from empty or all-zero
+  // weights has no outcomes, and indexing prob_ here would be UB. Callers
+  // must test empty() before drawing from a possibly-degenerate sampler.
+  EHNA_CHECK(!prob_.empty())
+      << "AliasSampler::Sample on an empty/degenerate sampler";
   const size_t i = static_cast<size_t>(rng->UniformInt(prob_.size()));
   return rng->Uniform() < prob_[i] ? i : alias_[i];
 }

@@ -27,7 +27,10 @@ class AliasSampler {
 
   bool empty() const { return prob_.empty(); }
 
-  /// Draws one index in [0, size()). Requires size() > 0.
+  /// Draws one index in [0, size()). Requires size() > 0: sampling from an
+  /// empty/degenerate sampler (unbuilt, empty weights, or all-zero weights)
+  /// aborts with a checked error in all build types. Callers holding a
+  /// possibly-degenerate sampler must test empty() first.
   size_t Sample(Rng* rng) const;
 
  private:

@@ -1,0 +1,69 @@
+#include "util/atomic_file.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#ifdef _WIN32
+#include <process.h>
+#define EHNA_GETPID _getpid
+#else
+#include <unistd.h>
+#define EHNA_GETPID getpid
+#endif
+
+namespace ehna {
+
+namespace {
+
+/// A per-process counter keeps concurrent writers (threads targeting the
+/// same destination) from colliding on one temp name.
+std::string TempPathFor(const std::string& path) {
+  static std::atomic<uint64_t> counter{0};
+  return path + ".tmp." + std::to_string(EHNA_GETPID()) + "." +
+         std::to_string(counter.fetch_add(1));
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::function<Status(std::ostream&)>& write_fn,
+                       bool binary) {
+  const std::string tmp = TempPathFor(path);
+  {
+    std::ofstream out(tmp, binary ? std::ios::binary | std::ios::trunc
+                                  : std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open temporary for write: " + tmp);
+    }
+    Status st = write_fn(out);
+    if (st.ok()) {
+      out.flush();
+      if (!out) st = Status::IoError("write failed: " + tmp);
+    }
+    if (!st.ok()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return st;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& content,
+                       bool binary) {
+  return AtomicWriteFile(
+      path,
+      [&content](std::ostream& out) -> Status {
+        out.write(content.data(),
+                  static_cast<std::streamsize>(content.size()));
+        return Status::OK();
+      },
+      binary);
+}
+
+}  // namespace ehna

@@ -1,0 +1,33 @@
+#ifndef EHNA_UTIL_ATOMIC_FILE_H_
+#define EHNA_UTIL_ATOMIC_FILE_H_
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "util/status.h"
+
+namespace ehna {
+
+/// Writes a file atomically: `write_fn` streams the full content into a
+/// uniquely-named temporary file in the same directory as `path`, which is
+/// then `rename()`d over `path`. POSIX rename is atomic within a filesystem,
+/// so a reader (or a process that crashes mid-write) either sees the old
+/// complete file or the new complete file — never a truncated hybrid.
+///
+/// On any failure — the temporary cannot be opened, `write_fn` returns an
+/// error, the stream enters a failed state, or the rename itself fails — the
+/// destination is left untouched and the temporary is removed. This is the
+/// single write path for every on-disk artifact the library produces
+/// (tensors, edge lists, TSV tables, training checkpoints).
+Status AtomicWriteFile(const std::string& path,
+                       const std::function<Status(std::ostream&)>& write_fn,
+                       bool binary = false);
+
+/// Convenience: atomically replaces `path` with `content` (binary-safe).
+Status AtomicWriteFile(const std::string& path, const std::string& content,
+                       bool binary = false);
+
+}  // namespace ehna
+
+#endif  // EHNA_UTIL_ATOMIC_FILE_H_

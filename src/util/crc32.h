@@ -1,0 +1,18 @@
+#ifndef EHNA_UTIL_CRC32_H_
+#define EHNA_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ehna {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `size` bytes.
+/// `seed` is the running value for incremental computation: feed the previous
+/// return value to continue a checksum across multiple buffers; the default
+/// starts a fresh one. Used to detect bit-level corruption in checkpoint
+/// payloads, where a truncation check alone cannot.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace ehna
+
+#endif  // EHNA_UTIL_CRC32_H_

@@ -138,6 +138,20 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 
 Rng Rng::Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
 
+Rng::State Rng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.has_spare_normal = has_spare_normal_;
+  st.spare_normal = spare_normal_;
+  return st;
+}
+
+void Rng::set_state(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_spare_normal_ = state.has_spare_normal;
+  spare_normal_ = state.spare_normal;
+}
+
 Rng Rng::Stream(uint64_t seed, uint64_t stream) {
   // Key the splitmix64 state on both inputs; the +1 keeps stream 0 from
   // collapsing onto the bare seed, and the constructor runs the result

@@ -73,6 +73,19 @@ class Rng {
   /// are scheduled across threads.
   static Rng Stream(uint64_t seed, uint64_t stream);
 
+  /// The complete generator state (xoshiro lanes plus the Box-Muller spare
+  /// cache). Snapshotting and restoring this makes a resumed computation
+  /// continue the exact draw sequence of the original — the basis of the
+  /// trainer's resume-determinism guarantee.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_spare_normal = false;
+    double spare_normal = 0.0;
+  };
+
+  State state() const;
+  void set_state(const State& state);
+
  private:
   uint64_t s_[4];
   bool has_spare_normal_ = false;

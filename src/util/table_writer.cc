@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <iomanip>
 #include <sstream>
+
+#include "util/atomic_file.h"
 
 namespace ehna {
 
@@ -55,22 +56,21 @@ void TableWriter::Print(std::ostream& os) const {
 }
 
 Status TableWriter::WriteTsv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    if (c) out << "\t";
-    out << columns_[c];
-  }
-  out << "\n";
-  for (const auto& row : rows_) {
-    for (size_t c = 0; c < row.size(); ++c) {
+  return AtomicWriteFile(path, [this](std::ostream& out) -> Status {
+    for (size_t c = 0; c < columns_.size(); ++c) {
       if (c) out << "\t";
-      out << row[c];
+      out << columns_[c];
     }
     out << "\n";
-  }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c) out << "\t";
+        out << row[c];
+      }
+      out << "\n";
+    }
+    return Status::OK();
+  });
 }
 
 }  // namespace ehna

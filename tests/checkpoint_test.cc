@@ -1,0 +1,281 @@
+// Fault-injection and resume-determinism tests for the checkpoint
+// subsystem (ISSUE 2 tentpole): every truncation and every byte-level
+// corruption of a snapshot must be rejected with a clean Status (no crash,
+// no std::bad_alloc, model left untouched); a training run killed after a
+// snapshot and resumed must produce bitwise-identical final embeddings to
+// an uninterrupted run; and the directory manager must rotate snapshots
+// and fall back to the last good one.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/model.h"
+#include "graph/generators/generators.h"
+
+namespace ehna {
+namespace {
+
+namespace fs = std::filesystem;
+
+TemporalGraph TinyGraph() {
+  auto g = MakePaperDataset(PaperDataset::kDblp, 0.02, 9);
+  EHNA_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+/// Deliberately tiny: the fault-injection tests walk every byte of the
+/// snapshot, so the snapshot should be a few tens of KB at most.
+EhnaConfig TinyConfig() {
+  EhnaConfig cfg;
+  cfg.dim = 4;
+  cfg.num_walks = 2;
+  cfg.walk_length = 3;
+  cfg.num_negatives = 1;
+  cfg.batch_edges = 8;
+  cfg.lstm_layers = 1;
+  cfg.epochs = 4;
+  cfg.max_edges_per_epoch = 24;
+  cfg.learning_rate = 5e-3f;
+  cfg.seed = 3;
+  return cfg;
+}
+
+/// A scratch directory unique to the calling test, wiped on entry.
+std::string FreshDir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ------------------------------------------------------------- round trip
+
+TEST(CheckpointTest, SaveRestoreRoundTripsFullState) {
+  TemporalGraph g = TinyGraph();
+  const EhnaConfig cfg = TinyConfig();
+  const std::string dir = FreshDir("ehna_ckpt_roundtrip");
+  const std::string path = dir + "/snap.ehnc";
+
+  EhnaModel model(&g, cfg);
+  model.Train(2);
+  ASSERT_TRUE(model.SaveCheckpoint(path).ok());
+
+  EhnaModel restored(&g, cfg);
+  ASSERT_TRUE(restored.RestoreCheckpoint(path).ok());
+  EXPECT_EQ(restored.completed_epochs(), 2u);
+  EXPECT_EQ(restored.embedding_table(), model.embedding_table());
+
+  // A snapshot of the restored model is byte-identical to the original
+  // snapshot: nothing was lost or reordered in the round trip.
+  const std::string path2 = dir + "/snap2.ehnc";
+  ASSERT_TRUE(restored.SaveCheckpoint(path2).ok());
+  EXPECT_EQ(ReadBytes(path), ReadBytes(path2));
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointTest, RejectsMismatchedModelFingerprint) {
+  TemporalGraph g = TinyGraph();
+  const std::string dir = FreshDir("ehna_ckpt_mismatch");
+  const std::string path = dir + "/snap.ehnc";
+  EhnaConfig cfg = TinyConfig();
+  EhnaModel model(&g, cfg);
+  ASSERT_TRUE(model.SaveCheckpoint(path).ok());
+
+  EhnaConfig other = cfg;
+  other.dim = 8;
+  EhnaModel wrong_dim(&g, other);
+  const Status st = wrong_dim.RestoreCheckpoint(path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+
+  EhnaConfig reseeded = cfg;
+  reseeded.seed = 99;
+  EhnaModel wrong_seed(&g, reseeded);
+  EXPECT_FALSE(wrong_seed.RestoreCheckpoint(path).ok());
+  fs::remove_all(dir);
+}
+
+// -------------------------------------------------------- fault injection
+
+TEST(CheckpointTest, EveryTruncationRejectedCleanly) {
+  TemporalGraph g = TinyGraph();
+  const EhnaConfig cfg = TinyConfig();
+  const std::string dir = FreshDir("ehna_ckpt_trunc");
+  const std::string path = dir + "/snap.ehnc";
+
+  EhnaModel model(&g, cfg);
+  model.Train(1);
+  ASSERT_TRUE(model.SaveCheckpoint(path).ok());
+  const uint64_t size = fs::file_size(path);
+  ASSERT_GT(size, 0u);
+
+  EhnaModel victim(&g, cfg);
+  const Tensor before = victim.embedding_table();
+  // Shrink in place one byte at a time: every prefix of the snapshot must
+  // be rejected with a Status — never a crash or bad_alloc.
+  for (uint64_t len = size; len-- > 0;) {
+    fs::resize_file(path, len);
+    const Status st = victim.RestoreCheckpoint(path);
+    ASSERT_FALSE(st.ok()) << "truncation to " << len << " bytes accepted";
+  }
+  // And every rejection left the model untouched.
+  EXPECT_EQ(victim.embedding_table(), before);
+  EXPECT_EQ(victim.completed_epochs(), 0u);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointTest, EveryByteCorruptionRejectedCleanly) {
+  TemporalGraph g = TinyGraph();
+  const EhnaConfig cfg = TinyConfig();
+  const std::string dir = FreshDir("ehna_ckpt_flip");
+  const std::string path = dir + "/snap.ehnc";
+
+  EhnaModel model(&g, cfg);
+  model.Train(1);
+  ASSERT_TRUE(model.SaveCheckpoint(path).ok());
+  const std::string good = ReadBytes(path);
+  ASSERT_FALSE(good.empty());
+
+  EhnaModel victim(&g, cfg);
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  for (size_t i = 0; i < good.size(); ++i) {
+    const char flipped = static_cast<char>(good[i] ^ 0xFF);
+    f.seekp(static_cast<std::streamoff>(i));
+    f.put(flipped);
+    f.flush();
+    const Status st = victim.RestoreCheckpoint(path);
+    ASSERT_FALSE(st.ok()) << "flipped byte " << i << " accepted";
+    f.seekp(static_cast<std::streamoff>(i));
+    f.put(good[i]);
+  }
+  f.flush();
+  // The pristine file still loads after all that surgery.
+  EXPECT_TRUE(victim.RestoreCheckpoint(path).ok());
+  fs::remove_all(dir);
+}
+
+// ------------------------------------------------------ resume determinism
+
+void ExpectResumeMatchesUninterrupted(int num_threads) {
+  TemporalGraph g = TinyGraph();
+  EhnaConfig cfg = TinyConfig();
+  cfg.num_threads = num_threads;
+
+  // Reference: 4 epochs straight through, no checkpointing.
+  EhnaModel uninterrupted(&g, cfg);
+  uninterrupted.Train(4);
+
+  // "Killed" run: checkpointing enabled, stopped after 2 epochs, model
+  // destroyed (the in-process equivalent of SIGKILL — nothing outlives the
+  // object but the snapshot directory).
+  EhnaConfig ckpt_cfg = cfg;
+  ckpt_cfg.checkpoint_dir =
+      FreshDir("ehna_ckpt_resume_t" + std::to_string(num_threads));
+  {
+    EhnaModel killed(&g, ckpt_cfg);
+    killed.Train(2);
+  }
+
+  // Resumed run: fresh process state, restore, finish the remaining epochs.
+  EhnaModel resumed(&g, ckpt_cfg);
+  CheckpointManager manager(ckpt_cfg.checkpoint_dir, ckpt_cfg.checkpoint_keep);
+  ASSERT_TRUE(manager.RestoreLatest(&resumed).ok());
+  ASSERT_EQ(resumed.completed_epochs(), 2u);
+  const auto history = resumed.Train(4);
+  EXPECT_EQ(history.size(), 2u);  // only the missing epochs ran.
+
+  // Bitwise identical: both the raw trained table and the §IV.D finalized
+  // embeddings.
+  EXPECT_EQ(resumed.embedding_table(), uninterrupted.embedding_table());
+  EXPECT_EQ(resumed.FinalizeEmbeddings(), uninterrupted.FinalizeEmbeddings());
+  fs::remove_all(ckpt_cfg.checkpoint_dir);
+}
+
+TEST(CheckpointTest, ResumeMatchesUninterruptedSerial) {
+  ExpectResumeMatchesUninterrupted(1);
+}
+
+TEST(CheckpointTest, ResumeMatchesUninterruptedParallel) {
+  ExpectResumeMatchesUninterrupted(2);
+}
+
+// --------------------------------------------------------- dir management
+
+TEST(CheckpointManagerTest, RotationKeepsLastNWithLatestPointer) {
+  TemporalGraph g = TinyGraph();
+  EhnaConfig cfg = TinyConfig();
+  cfg.checkpoint_dir = FreshDir("ehna_ckpt_rotate");
+  cfg.checkpoint_keep = 2;
+  EhnaModel model(&g, cfg);
+  model.Train(4);  // snapshots after every epoch.
+
+  CheckpointManager manager(cfg.checkpoint_dir, cfg.checkpoint_keep);
+  const auto names = manager.ListSnapshots();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "ckpt-00000000000000000003.ehnc");
+  EXPECT_EQ(names[1], "ckpt-00000000000000000004.ehnc");
+
+  std::ifstream latest(cfg.checkpoint_dir + "/LATEST");
+  std::string pointed;
+  ASSERT_TRUE(static_cast<bool>(latest >> pointed));
+  EXPECT_EQ(pointed, names[1]);
+  fs::remove_all(cfg.checkpoint_dir);
+}
+
+TEST(CheckpointManagerTest, FallsBackToLastGoodSnapshot) {
+  TemporalGraph g = TinyGraph();
+  EhnaConfig cfg = TinyConfig();
+  cfg.checkpoint_dir = FreshDir("ehna_ckpt_fallback");
+  EhnaModel model(&g, cfg);
+  model.Train(3);
+
+  CheckpointManager manager(cfg.checkpoint_dir, cfg.checkpoint_keep);
+  auto names = manager.ListSnapshots();
+  ASSERT_EQ(names.size(), 3u);
+  // Corrupt the newest snapshot the way a torn disk would: truncate it.
+  fs::resize_file(cfg.checkpoint_dir + "/" + names.back(),
+                  fs::file_size(cfg.checkpoint_dir + "/" + names.back()) / 2);
+
+  EhnaModel resumed(&g, cfg);
+  ASSERT_TRUE(manager.RestoreLatest(&resumed).ok());
+  // The corrupt epoch-3 snapshot was skipped; epoch 2 is the last good one.
+  EXPECT_EQ(resumed.completed_epochs(), 2u);
+
+  // A garbage LATEST pointer must not prevent recovery either.
+  WriteBytes(cfg.checkpoint_dir + "/LATEST", "no-such-snapshot\n");
+  EhnaModel resumed2(&g, cfg);
+  ASSERT_TRUE(manager.RestoreLatest(&resumed2).ok());
+  EXPECT_EQ(resumed2.completed_epochs(), 2u);
+  fs::remove_all(cfg.checkpoint_dir);
+}
+
+TEST(CheckpointManagerTest, EmptyDirReportsNotFound) {
+  TemporalGraph g = TinyGraph();
+  const EhnaConfig cfg = TinyConfig();
+  EhnaModel model(&g, cfg);
+  CheckpointManager manager(FreshDir("ehna_ckpt_empty"), 3);
+  const Status st = manager.RestoreLatest(&model);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  fs::remove_all(manager.dir());
+}
+
+}  // namespace
+}  // namespace ehna

@@ -198,6 +198,57 @@ TEST(EdgeListIoTest, MalformedLineFails) {
   std::filesystem::remove(path);
 }
 
+TEST(EdgeListIoTest, RejectsNonFiniteTimestampsAndWeights) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ehna_io_nonfinite.txt")
+          .string();
+  for (const char* bad : {"0 1 nan\n", "0 1 inf\n", "0 1 -inf\n",
+                          "0 1 1e999\n", "0 1 1.0 nan\n", "0 1 1.0 inf\n"}) {
+    {
+      std::ofstream out(path);
+      out << "0 1 1.0\n" << bad;
+    }
+    auto r = ReadEdgeList(path);
+    ASSERT_FALSE(r.ok()) << "accepted: " << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    // The error names the offending line (line 2 here).
+    EXPECT_NE(r.status().message().find(":2"), std::string::npos)
+        << r.status().message();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(EdgeListIoTest, RejectsPartiallyNumericTokensAndTrailingGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ehna_io_garbage.txt")
+          .string();
+  for (const char* bad :
+       {"0 1 3.5x\n", "0 1 3.5 1.0x\n", "0 1 3.5 1.0 surprise\n"}) {
+    {
+      std::ofstream out(path);
+      out << bad;
+    }
+    auto r = ReadEdgeList(path);
+    ASSERT_FALSE(r.ok()) << "accepted: " << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(EdgeListIoTest, WriteReadRoundTripIsExact) {
+  // max_digits10 output makes write/read lossless even for timestamps with
+  // no short decimal form.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ehna_io_exact.txt").string();
+  std::vector<TemporalEdge> edges{{0, 1, 1.0 / 3.0, 0.1f},
+                                  {2, 3, 1234567890.123456, 2.5f}};
+  ASSERT_TRUE(WriteEdgeList(path, edges).ok());
+  auto read = ReadEdgeList(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), edges);
+  std::filesystem::remove(path);
+}
+
 TEST(EdgeListIoTest, MissingFileFails) {
   auto r = ReadEdgeList("/nonexistent_zzz/edges.txt");
   ASSERT_FALSE(r.ok());

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 
@@ -85,6 +87,66 @@ TEST(SerializeTest, TextRejectsDuplicateRowIndex) {
     out << "2 2\n0 1 2\n0 3 4\n";
   }
   EXPECT_FALSE(ReadTensorText(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, TextRoundTripIsBitExact) {
+  // max_digits10 precision makes the text format lossless: values with no
+  // short decimal representation survive write/read bit-for-bit.
+  Tensor t = Tensor::FromVector(
+      2, 3,
+      {1.0f / 3.0f, 0.1f, 3.14159274f, std::nextafter(1.0f, 2.0f), -0.0f,
+       1.17549435e-38f});
+  const std::string path = TempPath("ehna_ser_text_exact.txt");
+  ASSERT_TRUE(WriteTensorText(path, t).ok());
+  auto back = ReadTensorText(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), t);  // bit-exact, not just NEAR.
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, BinaryRejectsOversizedHeaderBeforeAllocating) {
+  // A header declaring a huge tensor over a tiny payload must be rejected
+  // by the size check — not by attempting (and possibly dying on) a
+  // multi-terabyte allocation.
+  const std::string path = TempPath("ehna_huge_header.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("EHNT", 4);
+    const uint32_t version = 1;
+    const int64_t rows = int64_t{1} << 40, cols = int64_t{1} << 20;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out << "tiny";
+  }
+  auto r = ReadTensorBinary(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // rows * cols overflowing int64 must also fail cleanly.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write("EHNT", 4);
+    const uint32_t version = 1;
+    const int64_t rows = int64_t{1} << 62, cols = int64_t{1} << 62;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  }
+  EXPECT_FALSE(ReadTensorBinary(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, BinaryRejectsTrailingBytes) {
+  Tensor t(2, 2);
+  const std::string path = TempPath("ehna_trailing.bin");
+  ASSERT_TRUE(WriteTensorBinary(path, t).ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "extra";
+  }
+  EXPECT_FALSE(ReadTensorBinary(path).ok());
   std::filesystem::remove(path);
 }
 

@@ -8,6 +8,8 @@
 #include <sstream>
 
 #include "util/alias_sampler.h"
+#include "util/atomic_file.h"
+#include "util/crc32.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/table_writer.h"
@@ -348,6 +350,118 @@ TEST(TableWriterTest, WritesTsv) {
 TEST(TableWriterTest, TsvToMissingDirectoryFails) {
   TableWriter tw("T", {"a"});
   EXPECT_FALSE(tw.WriteTsv("/nonexistent_dir_zzz/file.tsv").ok());
+}
+
+// ------------------------------------------------------------ RNG state
+
+TEST(RngStateTest, SnapshotRestoreContinuesExactSequence) {
+  Rng rng(42);
+  for (int i = 0; i < 100; ++i) rng.Next();
+  rng.Normal();  // leaves a cached Box-Muller spare in the state.
+  const Rng::State snapshot = rng.state();
+
+  std::vector<double> expected;
+  for (int i = 0; i < 50; ++i) expected.push_back(rng.Normal());
+
+  Rng other(7);  // arbitrary diverged generator.
+  other.set_state(snapshot);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(other.Normal(), expected[i]);
+}
+
+// ---------------------------------------------------------------- CRC-32
+
+TEST(Crc32Test, KnownVectorAndIncrementalEquivalence) {
+  // The canonical IEEE test vector.
+  const char kCheck[] = "123456789";
+  EXPECT_EQ(Crc32(kCheck, 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  // Incremental over a split buffer matches one shot.
+  const uint32_t part = Crc32(kCheck, 4);
+  EXPECT_EQ(Crc32(kCheck + 4, 5, part), 0xCBF43926u);
+  // A single flipped bit changes the sum.
+  const char kFlipped[] = "123456788";
+  EXPECT_NE(Crc32(kFlipped, 9), 0xCBF43926u);
+}
+
+// ----------------------------------------------------------- Atomic write
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Temp files share the destination's directory and name prefix; any left
+/// behind would start with "<name>.tmp.".
+size_t CountTempFiles(const std::string& dir, const std::string& name) {
+  size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind(name + ".tmp.", 0) == 0) ++n;
+  }
+  return n;
+}
+
+TEST(AtomicFileTest, WritesContentAndReplacesExisting) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path = (dir / "ehna_atomic_ok.txt").string();
+  ASSERT_TRUE(AtomicWriteFile(path, std::string("first")).ok());
+  EXPECT_EQ(Slurp(path), "first");
+  ASSERT_TRUE(AtomicWriteFile(path, std::string("second")).ok());
+  EXPECT_EQ(Slurp(path), "second");
+  EXPECT_EQ(CountTempFiles(dir.string(), "ehna_atomic_ok.txt"), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicFileTest, WriterErrorLeavesDestinationUntouched) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path = (dir / "ehna_atomic_err.txt").string();
+  ASSERT_TRUE(AtomicWriteFile(path, std::string("precious")).ok());
+  // The writer streams half its output and then reports failure —
+  // simulating a crash/abort mid-write. The destination must keep its old
+  // complete content, never a truncated hybrid, and the temp must be gone.
+  const Status st = AtomicWriteFile(path, [](std::ostream& out) -> Status {
+    out << "partial garbage";
+    return Status::IoError("simulated mid-write failure");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(Slurp(path), "precious");
+  EXPECT_EQ(CountTempFiles(dir.string(), "ehna_atomic_err.txt"), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicFileTest, FailedRenameCleansUpTempAndReportsError) {
+  const auto dir = std::filesystem::temp_directory_path();
+  // A directory at the destination makes the final rename itself fail
+  // after a fully successful temp write.
+  const std::string path = (dir / "ehna_atomic_dir_dest").string();
+  std::filesystem::create_directories(path);
+  std::filesystem::create_directories(path + "/occupant");  // non-empty.
+  const Status st = AtomicWriteFile(path, std::string("content"));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_TRUE(std::filesystem::is_directory(path));
+  EXPECT_EQ(CountTempFiles(dir.string(), "ehna_atomic_dir_dest"), 0u);
+  std::filesystem::remove_all(path);
+}
+
+TEST(AtomicFileTest, UnwritableTemporaryFails) {
+  EXPECT_FALSE(
+      AtomicWriteFile("/nonexistent_dir_zzz/file", std::string("x")).ok());
+}
+
+// -------------------------------------------- AliasSampler degenerate use
+
+TEST(AliasSamplerDeathTest, SampleFromDegenerateSamplerAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Rng rng(1);
+  AliasSampler empty;
+  EXPECT_DEATH(empty.Sample(&rng), "degenerate");
+  // All-zero weights build an empty sampler: also a checked, hard error in
+  // Release builds (previously UB guarded only by a DCHECK).
+  AliasSampler zeros(std::vector<double>{0.0, 0.0, 0.0});
+  EXPECT_TRUE(zeros.empty());
+  EXPECT_DEATH(zeros.Sample(&rng), "degenerate");
 }
 
 }  // namespace
