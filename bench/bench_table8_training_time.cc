@@ -18,6 +18,7 @@
 #include "bench/paper_reference.h"
 #include "core/checkpoint.h"
 #include "core/model.h"
+#include "util/metrics.h"
 #include "util/table_writer.h"
 
 namespace {
@@ -159,6 +160,127 @@ void BM_Table8_CheckpointOverhead(benchmark::State& state) {
 BENCHMARK(BM_Table8_CheckpointOverhead)
     ->Iterations(1)
     ->Unit(benchmark::kSecond);
+
+// Where an EHNA epoch's time actually goes (the breakdown Table VIII's
+// headline number hides): per-phase seconds from the observability layer
+// (util/metrics.h, DESIGN.md §8) for a serial and a multi-threaded run on
+// Digg, with checkpointing enabled so every phase appears. Also measures the
+// telemetry tax itself — the same epoch with recording disabled — which the
+// acceptance bar caps at 2%. Dumps the full snapshot to
+// metrics_table8.{tsv,json} beside the process for offline inspection.
+void BM_Table8_PhaseBreakdown(benchmark::State& state) {
+  const ehna::TemporalGraph graph = BuildDataset(PaperDataset::kDigg);
+  const int threads = BenchThreads();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ehna_bench_phase_ckpt")
+          .string();
+  ehna::MetricsRegistry& registry = ehna::MetricsRegistry::Global();
+
+  struct PhaseRow {
+    const char* label;
+    const char* metric;
+  };
+  const std::vector<PhaseRow> phases{
+      {"walk sampling (within fwd+bwd)", "train.phase.walk_sampling"},
+      {"forward + backward", "train.phase.forward_backward"},
+      {"gradient reduction", "train.phase.grad_reduce"},
+      {"optimizer step", "train.phase.optimizer_step"},
+      {"checkpoint save", "train.phase.checkpoint_save"},
+  };
+
+  for (auto _ : state) {
+    ehna::EhnaConfig cfg =
+        ehna::bench::BenchEhnaConfigFor(PaperDataset::kDigg, /*seed=*/5);
+    cfg.epochs = 1;
+    cfg.checkpoint_dir = dir;
+    cfg.checkpoint_every = 1;
+
+    TableWriter table(
+        "Table VIII companion — EHNA epoch phase breakdown (Digg, seconds)",
+        {"Phase", "serial", std::to_string(threads) + " threads"});
+    std::map<std::string, std::vector<std::string>> cells;
+    double epoch_serial_s = 0.0;
+
+    for (const int nt : {1, threads}) {
+      std::filesystem::remove_all(dir);
+      registry.Reset();
+      cfg.num_threads = nt;
+      ehna::EhnaModel model(&graph, cfg);
+      const auto stats = model.Train(1);
+      const ehna::MetricsSnapshot snap = registry.Snapshot();
+      if (nt == 1) epoch_serial_s = stats.back().seconds;
+
+      for (const PhaseRow& row : phases) {
+        cells[row.metric].push_back(
+            TableWriter::FormatDouble(snap.PhaseSeconds(row.metric), 3));
+      }
+      cells["epoch"].push_back(
+          TableWriter::FormatDouble(stats.back().seconds, 3));
+      cells["walks_per_sec"].push_back(
+          TableWriter::FormatDouble(snap.GaugeValue("train.walks_per_sec"), 0));
+      cells["edges_per_sec"].push_back(
+          TableWriter::FormatDouble(snap.GaugeValue("train.edges_per_sec"), 1));
+
+      if (nt == threads) {
+        // The multi-threaded run's full snapshot is the richer one; export
+        // it in both formats next to the binary.
+        const ehna::Status tsv = snap.WriteTsv("metrics_table8.tsv");
+        const ehna::Status json = snap.WriteJson("metrics_table8.json");
+        if (!tsv.ok() || !json.ok()) {
+          std::cerr << "metrics export failed: " << (tsv.ok() ? json : tsv)
+                    << "\n";
+        }
+        state.counters["fwd_bwd_s"] =
+            snap.PhaseSeconds("train.phase.forward_backward");
+        state.counters["grad_reduce_s"] =
+            snap.PhaseSeconds("train.phase.grad_reduce");
+        state.counters["optimizer_s"] =
+            snap.PhaseSeconds("train.phase.optimizer_step");
+        state.counters["ckpt_save_s"] =
+            snap.PhaseSeconds("train.phase.checkpoint_save");
+        state.counters["walk_sampling_s"] =
+            snap.PhaseSeconds("train.phase.walk_sampling");
+      }
+    }
+
+    for (const PhaseRow& row : phases) {
+      table.AddRow({row.label, cells[row.metric][0], cells[row.metric][1]});
+    }
+    table.AddRow({"whole epoch", cells["epoch"][0], cells["epoch"][1]});
+    table.AddRow({"walks/sec", cells["walks_per_sec"][0],
+                  cells["walks_per_sec"][1]});
+    table.AddRow({"edges/sec", cells["edges_per_sec"][0],
+                  cells["edges_per_sec"][1]});
+    table.Print(std::cout);
+
+    // Telemetry tax: the identical serial epoch with recording off. Both
+    // runs include checkpointing, so the only difference is the counters,
+    // histogram records, and clock reads the instrumentation performs.
+    std::filesystem::remove_all(dir);
+    cfg.num_threads = 1;
+    ehna::MetricsRegistry::SetEnabled(false);
+    ehna::EhnaModel dark(&graph, cfg);
+    const auto dark_stats = dark.Train(1);
+    ehna::MetricsRegistry::SetEnabled(true);
+    const double dark_s = dark_stats.back().seconds;
+    const double overhead_pct =
+        dark_s > 0.0 ? (epoch_serial_s - dark_s) / dark_s * 100.0 : 0.0;
+
+    TableWriter tax("Telemetry overhead (EHNA serial epoch, Digg)",
+                    {"Metric", "Value"});
+    tax.AddRow({"epoch, metrics on (s)",
+                TableWriter::FormatDouble(epoch_serial_s, 3)});
+    tax.AddRow({"epoch, metrics off (s)", TableWriter::FormatDouble(dark_s, 3)});
+    tax.AddRow({"overhead (%)", TableWriter::FormatDouble(overhead_pct, 2)});
+    tax.Print(std::cout);
+
+    state.counters["epoch_metrics_on_s"] = epoch_serial_s;
+    state.counters["epoch_metrics_off_s"] = dark_s;
+    state.counters["overhead_pct"] = overhead_pct;
+    std::filesystem::remove_all(dir);
+  }
+}
+BENCHMARK(BM_Table8_PhaseBreakdown)->Iterations(1)->Unit(benchmark::kSecond);
 
 }  // namespace
 

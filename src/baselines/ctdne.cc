@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/noise_distribution.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -55,6 +56,10 @@ Tensor CtdneEmbedder::Fit(const TemporalGraph& graph) {
     }
     done += walks_per_epoch;
     epoch_seconds_.push_back(timer.ElapsedSeconds());
+    static StreamingHistogram* const epoch_hist =
+        MetricsRegistry::Global().GetHistogram("baseline.ctdne.epoch");
+    epoch_hist->Record(
+        static_cast<uint64_t>(epoch_seconds_.back() * 1e9));
   }
   return trainer.embeddings();
 }

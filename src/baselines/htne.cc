@@ -6,6 +6,7 @@
 #include "graph/noise_distribution.h"
 #include "nn/embedding.h"
 #include "nn/ops.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace ehna {
@@ -126,6 +127,10 @@ Tensor HtneEmbedder::Fit(const TemporalGraph& graph) {
       delta_raw.ApplyAdam(config_.learning_rate);
     }
     epoch_seconds_.push_back(timer.ElapsedSeconds());
+    static StreamingHistogram* const epoch_hist =
+        MetricsRegistry::Global().GetHistogram("baseline.htne.epoch");
+    epoch_hist->Record(
+        static_cast<uint64_t>(epoch_seconds_.back() * 1e9));
   }
   return emb.table();
 }

@@ -6,6 +6,7 @@
 #include "graph/noise_distribution.h"
 #include "nn/init.h"
 #include "util/alias_sampler.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -91,6 +92,10 @@ Tensor LineEmbedder::Fit(const TemporalGraph& graph) {
       train_pair(second, context, u, v, lr, false);
     }
     epoch_seconds_.push_back(timer.ElapsedSeconds());
+    static StreamingHistogram* const epoch_hist =
+        MetricsRegistry::Global().GetHistogram("baseline.line.epoch");
+    epoch_hist->Record(
+        static_cast<uint64_t>(epoch_seconds_.back() * 1e9));
   }
 
   // Concatenate (and L2-normalize each half, as the authors do before

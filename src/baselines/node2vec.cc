@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "graph/noise_distribution.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace ehna {
@@ -58,6 +59,10 @@ Tensor Node2VecEmbedder::Fit(const TemporalGraph& graph) {
       }
     }
     epoch_seconds_.push_back(timer.ElapsedSeconds());
+    static StreamingHistogram* const epoch_hist =
+        MetricsRegistry::Global().GetHistogram("baseline.node2vec.epoch");
+    epoch_hist->Record(
+        static_cast<uint64_t>(epoch_seconds_.back() * 1e9));
   }
   return trainer.embeddings();
 }

@@ -5,6 +5,7 @@
 
 #include "nn/init.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace ehna {
 
@@ -59,6 +60,14 @@ void SgnsTrainer::TrainPair(NodeId center, NodeId context,
 void SgnsTrainer::TrainWalk(const std::vector<NodeId>& walk,
                             const NoiseDistribution& noise, Rng* rng,
                             float lr) {
+  // Pair throughput telemetry, accumulated locally and flushed once per
+  // walk so the (hogwild-hot) pair loop sees no atomics.
+  static Counter* const walks_total =
+      MetricsRegistry::Global().GetCounter("sgns.walks");
+  static Counter* const pairs_total =
+      MetricsRegistry::Global().GetCounter("sgns.pairs");
+  uint64_t pairs = 0;
+
   const int n = static_cast<int>(walk.size());
   for (int i = 0; i < n; ++i) {
     const int lo = std::max(0, i - config_.window);
@@ -66,8 +75,11 @@ void SgnsTrainer::TrainWalk(const std::vector<NodeId>& walk,
     for (int j = lo; j <= hi; ++j) {
       if (j == i || walk[j] == walk[i]) continue;
       TrainPair(walk[i], walk[j], noise, rng, lr);
+      ++pairs;
     }
   }
+  walks_total->Add(1);
+  pairs_total->Add(pairs);
 }
 
 }  // namespace ehna

@@ -5,6 +5,7 @@
 
 #include "core/attention.h"
 #include "nn/ops.h"
+#include "util/metrics.h"
 
 namespace ehna {
 
@@ -246,9 +247,22 @@ Var EhnaAggregator::Fuse(const Var& neighborhood,
 
 Var EhnaAggregator::Aggregate(NodeId target, Timestamp ref_time, bool training,
                               Rng* rng) {
+  static Counter* const aggregations =
+      MetricsRegistry::Global().GetCounter("agg.aggregations");
+  static Counter* const fallbacks =
+      MetricsRegistry::Global().GetCounter("agg.fallbacks");
+  aggregations->Add(1);
+
   Var e_x = embedding_->GatherRow(target, grad_sink_);
-  std::vector<Walk> walks = SampleWalks(target, ref_time, rng);
+  std::vector<Walk> walks;
+  {
+    // Separates neighborhood sampling cost from the neural forward pass in
+    // the Table VIII phase breakdown (nested inside forward_backward).
+    EHNA_TRACE_PHASE("train.phase.walk_sampling");
+    walks = SampleWalks(target, ref_time, rng);
+  }
   if (walks.empty()) {
+    fallbacks->Add(1);  // no historical neighborhood: GraphSAGE-style path.
     return Fuse(FallbackNeighborhood(target, ref_time, rng), e_x);
   }
   if (config_.variant == EhnaVariant::kSingleLayer) {

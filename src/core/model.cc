@@ -6,6 +6,7 @@
 
 #include "core/checkpoint.h"
 #include "nn/ops.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace ehna {
@@ -168,9 +169,39 @@ Var EhnaModel::EdgeLossOn(EhnaAggregator* aggregator, const TemporalEdge& edge,
 }
 
 EhnaModel::EpochStats EhnaModel::TrainEpoch() {
+  // Epoch-level telemetry (DESIGN.md §8): completed epochs/edges, the last
+  // epoch's loss, and walks/sec + edges/sec throughput derived from the
+  // walk engine's own counter.
+  static Counter* const epochs_total =
+      MetricsRegistry::Global().GetCounter("train.epochs");
+  static Counter* const edges_total =
+      MetricsRegistry::Global().GetCounter("train.edges");
+  static Counter* const walks_counter =
+      MetricsRegistry::Global().GetCounter("walk.temporal.walks");
+  static Gauge* const loss_gauge =
+      MetricsRegistry::Global().GetGauge("train.last_epoch_loss");
+  static Gauge* const edges_per_sec =
+      MetricsRegistry::Global().GetGauge("train.edges_per_sec");
+  static Gauge* const walks_per_sec =
+      MetricsRegistry::Global().GetGauge("train.walks_per_sec");
+  static StreamingHistogram* const epoch_hist =
+      MetricsRegistry::Global().GetHistogram("train.phase.epoch");
+
+  const uint64_t walks_before = walks_counter->Total();
   EpochStats stats =
       num_threads() > 1 ? TrainEpochParallel() : TrainEpochSerial();
   ++epoch_index_;
+
+  epochs_total->Add(1);
+  edges_total->Add(stats.edges);
+  loss_gauge->Set(stats.avg_loss);
+  epoch_hist->Record(static_cast<uint64_t>(stats.seconds * 1e9));
+  if (stats.seconds > 0.0) {
+    edges_per_sec->Set(static_cast<double>(stats.edges) / stats.seconds);
+    walks_per_sec->Set(
+        static_cast<double>(walks_counter->Total() - walks_before) /
+        stats.seconds);
+  }
   return stats;
 }
 
@@ -192,16 +223,20 @@ EhnaModel::EpochStats EhnaModel::TrainEpochSerial() {
   while (i < order.size()) {
     Var batch_loss;
     int batch_count = 0;
-    for (; batch_count < batch && i < order.size(); ++i, ++batch_count) {
-      Var loss = EdgeLoss(edges[order[i]], /*training=*/true);
-      batch_loss = batch_loss.defined() ? ag::Add(batch_loss, loss) : loss;
+    {
+      EHNA_TRACE_PHASE("train.phase.forward_backward");
+      for (; batch_count < batch && i < order.size(); ++i, ++batch_count) {
+        Var loss = EdgeLoss(edges[order[i]], /*training=*/true);
+        batch_loss = batch_loss.defined() ? ag::Add(batch_loss, loss) : loss;
+      }
+      if (!batch_loss.defined()) break;
+      Var mean_loss =
+          ag::ScalarMul(batch_loss, 1.0f / static_cast<float>(batch_count));
+      loss_sum += mean_loss.value()[0] * batch_count;
+      Backward(mean_loss);
     }
-    if (!batch_loss.defined()) break;
-    Var mean_loss =
-        ag::ScalarMul(batch_loss, 1.0f / static_cast<float>(batch_count));
-    loss_sum += mean_loss.value()[0] * batch_count;
 
-    Backward(mean_loss);
+    EHNA_TRACE_PHASE("train.phase.optimizer_step");
     ClipGradNorm(optimizer_.params(), config_.grad_clip);
     optimizer_.Step();
     optimizer_.ZeroGrad();
@@ -242,31 +277,38 @@ EhnaModel::EpochStats EhnaModel::TrainEpochParallel() {
     // 1/count scale makes the reduced gradient equal the serial batch-mean
     // gradient.
     const float inv_count = 1.0f / static_cast<float>(count);
-    pool_->ParallelForShards(
-        count, used, [&](size_t shard, size_t a, size_t b) {
-          Worker& worker = *workers_[shard];
-          worker.loss_sum = 0.0;
-          worker.edges = 0;
-          for (size_t j = a; j < b; ++j) {
-            const size_t pos = begin + j;
-            Rng edge_rng = Rng::Stream(config_.seed ^ kTrainStreamSalt,
-                                       TrainStream(epoch_index_, pos));
-            Var loss = EdgeLossOn(&worker.aggregator, edges[order[pos]],
-                                  /*training=*/true, &edge_rng);
-            worker.loss_sum += loss.value()[0];
-            ++worker.edges;
-            Backward(ag::ScalarMul(loss, inv_count));
-          }
-        });
-
-    // Deterministic reduction: workers merge in shard order, so the result
-    // depends only on (seed, num_threads), not on scheduling.
-    for (size_t w = 0; w < used; ++w) {
-      loss_sum += workers_[w]->loss_sum;
-      ReduceWorkerGrads(workers_[w].get());
+    {
+      EHNA_TRACE_PHASE("train.phase.forward_backward");
+      pool_->ParallelForShards(
+          count, used, [&](size_t shard, size_t a, size_t b) {
+            Worker& worker = *workers_[shard];
+            worker.loss_sum = 0.0;
+            worker.edges = 0;
+            for (size_t j = a; j < b; ++j) {
+              const size_t pos = begin + j;
+              Rng edge_rng = Rng::Stream(config_.seed ^ kTrainStreamSalt,
+                                         TrainStream(epoch_index_, pos));
+              Var loss = EdgeLossOn(&worker.aggregator, edges[order[pos]],
+                                    /*training=*/true, &edge_rng);
+              worker.loss_sum += loss.value()[0];
+              ++worker.edges;
+              Backward(ag::ScalarMul(loss, inv_count));
+            }
+          });
     }
-    MergeWorkerBatchNormStats(used);
 
+    {
+      // Deterministic reduction: workers merge in shard order, so the result
+      // depends only on (seed, num_threads), not on scheduling.
+      EHNA_TRACE_PHASE("train.phase.grad_reduce");
+      for (size_t w = 0; w < used; ++w) {
+        loss_sum += workers_[w]->loss_sum;
+        ReduceWorkerGrads(workers_[w].get());
+      }
+      MergeWorkerBatchNormStats(used);
+    }
+
+    EHNA_TRACE_PHASE("train.phase.optimizer_step");
     ClipGradNorm(optimizer_.params(), config_.grad_clip);
     optimizer_.Step();
     optimizer_.ZeroGrad();
@@ -303,6 +345,7 @@ std::vector<EhnaModel::EpochStats> EhnaModel::Train(
     }
     if (checkpoints != nullptr &&
         (epoch_index_ % every == 0 || epoch_index_ == total)) {
+      EHNA_TRACE_PHASE("train.phase.checkpoint_save");
       const Status st = checkpoints->Save(*this, epoch_index_);
       if (!st.ok()) {
         EHNA_LOG(Warning) << "checkpoint save failed at epoch "

@@ -5,6 +5,8 @@
 #include <queue>
 #include <string>
 
+#include "util/metrics.h"
+
 namespace ehna {
 
 namespace {
@@ -52,6 +54,7 @@ Result<std::vector<Neighbor>> TopKNeighbors(const Tensor& embeddings,
                               " outside embedding matrix");
   }
   if (k == 0) return std::vector<Neighbor>{};
+  EHNA_TRACE_PHASE("eval.phase.knn_query");
 
   const int64_t d = embeddings.cols();
   const float* q = embeddings.Row(query);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/metrics.h"
+
 namespace ehna {
 
 Result<double> AreaUnderRoc(const std::vector<double>& scores,
@@ -23,6 +25,7 @@ Result<double> AreaUnderRoc(const std::vector<double>& scores,
   if (pos == 0 || neg == 0) {
     return Status::InvalidArgument("AUC needs both classes present");
   }
+  EHNA_TRACE_PHASE("eval.phase.auc");
 
   // Average ranks with tie handling.
   std::vector<size_t> idx(n);

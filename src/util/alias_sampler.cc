@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace ehna {
 
@@ -61,8 +62,15 @@ size_t AliasSampler::Sample(Rng* rng) const {
   // must test empty() before drawing from a possibly-degenerate sampler.
   EHNA_CHECK(!prob_.empty())
       << "AliasSampler::Sample on an empty/degenerate sampler";
+  static Counter* const samples_total =
+      MetricsRegistry::Global().GetCounter("alias.samples");
+  static Counter* const alias_hits =
+      MetricsRegistry::Global().GetCounter("alias.alias_hits");
+  samples_total->Add(1);
   const size_t i = static_cast<size_t>(rng->UniformInt(prob_.size()));
-  return rng->Uniform() < prob_[i] ? i : alias_[i];
+  if (rng->Uniform() < prob_[i]) return i;
+  alias_hits->Add(1);  // redirected through the alias slot.
+  return alias_[i];
 }
 
 }  // namespace ehna

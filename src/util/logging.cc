@@ -1,9 +1,12 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
+#include <string>
 
 namespace ehna {
 
@@ -30,6 +33,39 @@ LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 void SetLogLevel(LogLevel level) {
   g_log_level.store(static_cast<int>(level));
 }
+
+bool SetLogLevelFromString(const char* spec) {
+  if (spec == nullptr) return false;
+  std::string lower(spec);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "0") {
+    SetLogLevel(LogLevel::kDebug);
+  } else if (lower == "info" || lower == "1") {
+    SetLogLevel(LogLevel::kInfo);
+  } else if (lower == "warning" || lower == "warn" || lower == "2") {
+    SetLogLevel(LogLevel::kWarning);
+  } else if (lower == "error" || lower == "3") {
+    SetLogLevel(LogLevel::kError);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void InitLogLevelFromEnv() {
+  SetLogLevelFromString(std::getenv("EHNA_LOG_LEVEL"));
+}
+
+namespace {
+// Runs InitLogLevelFromEnv before main() so EHNA_LOG_LEVEL=debug (or
+// =error, to silence benches) works without code changes.
+[[maybe_unused]] const bool g_env_init = [] {
+  InitLogLevelFromEnv();
+  return true;
+}();
+}  // namespace
 
 namespace internal {
 

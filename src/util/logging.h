@@ -11,9 +11,21 @@ namespace ehna {
 /// Severity levels for the lightweight logger.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Global minimum level; messages below it are suppressed. Defaults to Info.
+/// Global minimum level; messages below it are suppressed. Defaults to
+/// Info. Stored in a std::atomic, so Get/Set are safe from any thread
+/// (worker pools log concurrently with a main thread adjusting verbosity).
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Sets the level from a spelling: a name ("debug", "info", "warning",
+/// "error", case-insensitive) or a numeric level ("0".."3"). Returns false
+/// (level unchanged) for null/unrecognized input.
+bool SetLogLevelFromString(const char* spec);
+
+/// Applies the EHNA_LOG_LEVEL environment variable, if set and valid.
+/// Invoked automatically before main() (and harmless to call again, e.g.
+/// after a setenv in tests).
+void InitLogLevelFromEnv();
 
 namespace internal {
 

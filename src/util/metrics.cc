@@ -1,0 +1,345 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/atomic_file.h"
+#include "util/logging.h"
+#include "util/table_writer.h"
+
+namespace ehna {
+
+namespace metrics_internal {
+
+std::atomic<bool> g_enabled{true};
+
+size_t CurrentShard() {
+  static std::atomic<size_t> next_slot{0};
+  thread_local const size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+}  // namespace metrics_internal
+
+// ---------------------------------------------------------- HistogramData
+
+HistogramData::HistogramData() : buckets_(kNumBuckets, 0) {}
+
+size_t HistogramData::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  const int exp = 63 - std::countl_zero(value);  // floor(log2), >= kSubBucketBits
+  const uint64_t sub =
+      (value >> (exp - kSubBucketBits)) & (kSubBuckets - 1);
+  return static_cast<size_t>(exp - kSubBucketBits + 1) * kSubBuckets +
+         static_cast<size_t>(sub);
+}
+
+uint64_t HistogramData::BucketLowerBound(size_t index) {
+  EHNA_DCHECK(index < kNumBuckets);
+  if (index < kSubBuckets) return index;
+  const uint64_t octave = index >> kSubBucketBits;  // >= 1
+  const uint64_t sub = index & (kSubBuckets - 1);
+  return (kSubBuckets + sub) << (octave - 1);
+}
+
+uint64_t HistogramData::BucketUpperBound(size_t index) {
+  EHNA_DCHECK(index < kNumBuckets);
+  if (index < kSubBuckets) return index;
+  const uint64_t octave = index >> kSubBucketBits;
+  const uint64_t width = uint64_t{1} << (octave - 1);
+  return BucketLowerBound(index) + (width - 1);
+}
+
+void HistogramData::Record(uint64_t value, uint64_t repeat) {
+  if (repeat == 0) return;
+  buckets_[BucketIndex(value)] += repeat;
+  count_ += repeat;
+  sum_ += value * repeat;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void HistogramData::Merge(const HistogramData& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double HistogramData::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  rank = std::clamp<uint64_t>(rank, 1, count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      // The rank-th smallest sample lies in bucket i, so its upper bound
+      // (clamped by the recorded max) is >= the true quantile and within
+      // the bucket's relative width of it.
+      return static_cast<double>(std::min(BucketUpperBound(i), max_));
+    }
+  }
+  return static_cast<double>(max_);  // unreachable when counts are coherent
+}
+
+bool HistogramData::operator==(const HistogramData& other) const {
+  return count_ == other.count_ && sum_ == other.sum_ &&
+         min_ == other.min_ && max_ == other.max_ &&
+         buckets_ == other.buckets_;
+}
+
+// ----------------------------------------------------- StreamingHistogram
+
+StreamingHistogram::StreamingHistogram()
+    : shards_(new Shard[metrics_internal::kShards]) {}
+
+void StreamingHistogram::Record(uint64_t value) {
+  if (!MetricsEnabled()) return;
+  Shard& shard = shards_[metrics_internal::CurrentShard()];
+  shard.buckets[HistogramData::BucketIndex(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = shard.min.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !shard.min.compare_exchange_weak(seen, value,
+                                          std::memory_order_relaxed)) {
+  }
+  seen = shard.max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !shard.max.compare_exchange_weak(seen, value,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+HistogramData StreamingHistogram::Merged() const {
+  HistogramData out;
+  for (size_t s = 0; s < metrics_internal::kShards; ++s) {
+    const Shard& shard = shards_[s];
+    for (size_t i = 0; i < HistogramData::kNumBuckets; ++i) {
+      out.buckets_[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    out.count_ += shard.count.load(std::memory_order_relaxed);
+    out.sum_ += shard.sum.load(std::memory_order_relaxed);
+    out.min_ = std::min(out.min_, shard.min.load(std::memory_order_relaxed));
+    out.max_ = std::max(out.max_, shard.max.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void StreamingHistogram::Reset() {
+  for (size_t s = 0; s < metrics_internal::kShards; ++s) {
+    Shard& shard = shards_[s];
+    for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.min.store(UINT64_MAX, std::memory_order_relaxed);
+    shard.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------- Snapshot
+
+namespace {
+
+std::string FormatJsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string EscapeJsonString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string HistogramJson(const HistogramData& h) {
+  std::ostringstream os;
+  os << "{\"count\": " << h.count() << ", \"sum\": " << h.sum()
+     << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+     << ", \"mean\": " << FormatJsonDouble(h.Mean())
+     << ", \"p50\": " << FormatJsonDouble(h.Quantile(0.5))
+     << ", \"p90\": " << FormatJsonDouble(h.Quantile(0.9))
+     << ", \"p99\": " << FormatJsonDouble(h.Quantile(0.99)) << "}";
+  return os.str();
+}
+
+}  // namespace
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const CounterEntry& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::GaugeValue(std::string_view name) const {
+  for (const GaugeEntry& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0.0;
+}
+
+const HistogramData* MetricsSnapshot::Histogram(std::string_view name) const {
+  for (const HistogramEntry& h : histograms) {
+    if (h.name == name) return &h.data;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::PhaseSeconds(std::string_view name) const {
+  const HistogramData* h = Histogram(name);
+  return h == nullptr ? 0.0 : static_cast<double>(h->sum()) * 1e-9;
+}
+
+TableWriter MetricsSnapshot::ToTable() const {
+  TableWriter table("Metrics snapshot",
+                    {"metric", "type", "value", "count", "mean", "p50",
+                     "p90", "p99", "min", "max"});
+  for (const CounterEntry& c : counters) {
+    table.AddRow({c.name, "counter", std::to_string(c.value)});
+  }
+  for (const GaugeEntry& g : gauges) {
+    table.AddRow({g.name, "gauge", TableWriter::FormatDouble(g.value, 6)});
+  }
+  for (const HistogramEntry& h : histograms) {
+    table.AddRow({h.name, "histogram", std::to_string(h.data.sum()),
+                  std::to_string(h.data.count()),
+                  TableWriter::FormatDouble(h.data.Mean(), 1),
+                  TableWriter::FormatDouble(h.data.Quantile(0.5), 0),
+                  TableWriter::FormatDouble(h.data.Quantile(0.9), 0),
+                  TableWriter::FormatDouble(h.data.Quantile(0.99), 0),
+                  std::to_string(h.data.min()),
+                  std::to_string(h.data.max())});
+  }
+  return table;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    "
+       << EscapeJsonString(counters[i].name) << ": " << counters[i].value;
+  }
+  os << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    "
+       << EscapeJsonString(gauges[i].name) << ": "
+       << FormatJsonDouble(gauges[i].value);
+  }
+  os << (gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    "
+       << EscapeJsonString(histograms[i].name) << ": "
+       << HistogramJson(histograms[i].data);
+  }
+  os << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+Status MetricsSnapshot::WriteTsv(const std::string& path) const {
+  return ToTable().WriteTsv(path);
+}
+
+Status MetricsSnapshot::WriteJson(const std::string& path) const {
+  return AtomicWriteFile(path, ToJson());
+}
+
+// ---------------------------------------------------------------- Registry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked: hot paths cache metric pointers in function-local statics, and
+  // those must stay valid for the whole process lifetime.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+StreamingHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<StreamingHistogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->Total()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.push_back({name, hist->Merged()});
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& kv : counters_) kv.second->Reset();
+  for (const auto& kv : gauges_) kv.second->Reset();
+  for (const auto& kv : histograms_) kv.second->Reset();
+}
+
+}  // namespace ehna

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace ehna {
 
@@ -30,6 +31,13 @@ CtdneWalkSampler::CtdneWalkSampler(const TemporalGraph* graph,
 }
 
 std::vector<NodeId> CtdneWalkSampler::SampleWalk(Rng* rng) const {
+  static Counter* const walks_total =
+      MetricsRegistry::Global().GetCounter("walk.ctdne.walks");
+  static Counter* const steps_total =
+      MetricsRegistry::Global().GetCounter("walk.ctdne.steps");
+  static Counter* const dead_ends =
+      MetricsRegistry::Global().GetCounter("walk.ctdne.dead_ends");
+
   std::vector<NodeId> walk;
   if (graph_->num_edges() == 0) return walk;
 
@@ -44,12 +52,17 @@ std::vector<NodeId> CtdneWalkSampler::SampleWalk(Rng* rng) const {
   Timestamp now = first.time;
   for (int step = 2; step <= config_.walk_length; ++step) {
     auto candidates = NeighborsAfter(*graph_, current, now);
-    if (candidates.empty()) break;
+    if (candidates.empty()) {
+      dead_ends->Add(1);  // temporal frontier exhausted before full length.
+      break;
+    }
     const AdjEntry& next = candidates[rng->UniformInt(candidates.size())];
     walk.push_back(next.neighbor);
     current = next.neighbor;
     now = next.time;
   }
+  walks_total->Add(1);
+  steps_total->Add(walk.size() - 1);
   return walk;
 }
 

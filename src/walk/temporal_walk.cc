@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace ehna {
 
@@ -41,6 +42,20 @@ double TemporalWalkSampler::TransitionWeight(NodeId prev, Timestamp prev_time,
 
 Walk TemporalWalkSampler::SampleWalk(NodeId start, Timestamp ref_time,
                                      Rng* rng) const {
+  // Corpus telemetry (DESIGN.md §8). Counts accumulate locally and flush
+  // once per walk, so the per-step hot loop stays untouched.
+  static Counter* const walks_total =
+      MetricsRegistry::Global().GetCounter("walk.temporal.walks");
+  static Counter* const steps_total =
+      MetricsRegistry::Global().GetCounter("walk.temporal.steps");
+  static Counter* const early_total =
+      MetricsRegistry::Global().GetCounter("walk.temporal.early_terminations");
+  static Counter* const rejected_total =
+      MetricsRegistry::Global().GetCounter("walk.temporal.rejected_steps");
+  uint64_t steps_taken = 0;
+  bool terminated_early = false;
+  bool rejected = false;
+
   Walk walk;
   walk.reserve(config_.walk_length + 1);
   walk.push_back(WalkStep{start, 0.0, 0.0f});
@@ -54,7 +69,10 @@ Walk TemporalWalkSampler::SampleWalk(NodeId start, Timestamp ref_time,
     // Relevance constraint (Definition 2): only historical edges no newer
     // than the edge we just traversed (or the target edge, on step one).
     auto candidates = graph_->NeighborsBefore(current, frontier_time);
-    if (candidates.empty()) break;  // early termination (§IV.A).
+    if (candidates.empty()) {  // early termination (§IV.A).
+      terminated_early = true;
+      break;
+    }
 
     weights.resize(candidates.size());
     double total = 0.0;
@@ -63,7 +81,10 @@ Walk TemporalWalkSampler::SampleWalk(NodeId start, Timestamp ref_time,
                                     candidates[i], ref_time);
       total += weights[i];
     }
-    if (total <= 0.0) break;  // all moves forbidden (e.g. p = inf dead end).
+    if (total <= 0.0) {  // all moves forbidden (e.g. p = inf dead end).
+      rejected = true;
+      break;
+    }
 
     double pick = rng->Uniform() * total;
     size_t chosen = candidates.size() - 1;
@@ -80,7 +101,13 @@ Walk TemporalWalkSampler::SampleWalk(NodeId start, Timestamp ref_time,
     prev = current;
     current = next.neighbor;
     frontier_time = next.time;
+    ++steps_taken;
   }
+
+  walks_total->Add(1);
+  steps_total->Add(steps_taken);
+  if (terminated_early) early_total->Add(1);
+  if (rejected) rejected_total->Add(1);
   return walk;
 }
 
@@ -98,6 +125,7 @@ std::vector<Walk> TemporalWalkSampler::SampleWalks(NodeId start,
 std::vector<std::vector<Walk>> TemporalWalkSampler::SampleWalksBatch(
     const std::vector<Anchor>& anchors, uint64_t seed,
     ThreadPool* pool) const {
+  EHNA_TRACE_PHASE("walk.phase.sample_batch");
   std::vector<std::vector<Walk>> out(anchors.size());
   const auto sample_one = [&](size_t i) {
     Rng rng = Rng::Stream(seed, static_cast<uint64_t>(i));

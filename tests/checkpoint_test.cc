@@ -16,6 +16,7 @@
 #include "core/checkpoint.h"
 #include "core/model.h"
 #include "graph/generators/generators.h"
+#include "util/metrics.h"
 
 namespace ehna {
 namespace {
@@ -214,6 +215,50 @@ TEST(CheckpointTest, ResumeMatchesUninterruptedSerial) {
 
 TEST(CheckpointTest, ResumeMatchesUninterruptedParallel) {
   ExpectResumeMatchesUninterrupted(2);
+}
+
+// ------------------------------------------- instrumentation determinism
+
+/// The observability layer's core contract (util/metrics.h): recording
+/// counters and phase timings must not perturb training. Train the same
+/// config with metrics enabled and disabled; the checkpoint files — a full
+/// serialization of embeddings, parameters, optimizer moments, BN stats,
+/// and RNG state — must be byte-identical, as must the final embeddings.
+void ExpectMetricsOnOffBitwiseIdentical(int num_threads) {
+  TemporalGraph g = TinyGraph();
+  EhnaConfig cfg = TinyConfig();
+  cfg.num_threads = num_threads;
+  const std::string tag = "t" + std::to_string(num_threads);
+
+  auto run = [&](bool metrics_enabled, const std::string& dir) {
+    MetricsRegistry::SetEnabled(metrics_enabled);
+    EhnaModel model(&g, cfg);
+    model.Train(2);
+    const std::string path = dir + "/snap.ehnc";
+    EHNA_CHECK(model.SaveCheckpoint(path).ok());
+    Tensor final = model.FinalizeEmbeddings();
+    MetricsRegistry::SetEnabled(true);
+    return std::make_pair(ReadBytes(path), std::move(final));
+  };
+
+  const std::string dir_on = FreshDir("ehna_ckpt_metrics_on_" + tag);
+  const std::string dir_off = FreshDir("ehna_ckpt_metrics_off_" + tag);
+  const auto [bytes_on, final_on] = run(/*metrics_enabled=*/true, dir_on);
+  const auto [bytes_off, final_off] = run(/*metrics_enabled=*/false, dir_off);
+
+  ASSERT_FALSE(bytes_on.empty());
+  EXPECT_EQ(bytes_on, bytes_off) << "instrumentation changed training bytes";
+  EXPECT_EQ(final_on, final_off);
+  fs::remove_all(dir_on);
+  fs::remove_all(dir_off);
+}
+
+TEST(CheckpointTest, MetricsOnOffBitwiseIdenticalSerial) {
+  ExpectMetricsOnOffBitwiseIdentical(1);
+}
+
+TEST(CheckpointTest, MetricsOnOffBitwiseIdenticalParallel) {
+  ExpectMetricsOnOffBitwiseIdentical(4);
 }
 
 // --------------------------------------------------------- dir management

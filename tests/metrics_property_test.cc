@@ -1,0 +1,235 @@
+// Parameterized properties of the log-linear streaming histogram
+// (util/metrics.h): merge associativity and commutativity over random
+// partitions, the quantile rank-error bound against exact order statistics,
+// bucket index/bound round-trips across the full uint64 range, and
+// empty/single-sample edge cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/rng.h"
+
+namespace ehna {
+namespace {
+
+// ------------------------------------------------- Bucket index geometry
+
+TEST(HistogramBucketTest, IndexIsMonotoneAndBoundsRoundTrip) {
+  // Representative values across the whole range, including every
+  // power-of-two boundary.
+  std::vector<uint64_t> values{0, 1, 2, 3, 15, 16, 17, 31, 32, 33};
+  for (int e = 6; e < 64; ++e) {
+    const uint64_t p = uint64_t{1} << e;
+    values.push_back(p - 1);
+    values.push_back(p);
+    if (e < 63) values.push_back(p + p / 3);
+  }
+  values.push_back(UINT64_MAX);
+
+  size_t prev_index = 0;
+  std::sort(values.begin(), values.end());
+  for (uint64_t v : values) {
+    const size_t idx = HistogramData::BucketIndex(v);
+    ASSERT_LT(idx, HistogramData::kNumBuckets) << "value " << v;
+    EXPECT_GE(idx, prev_index) << "value " << v;  // monotone in value.
+    // The value lands inside its own bucket's bounds.
+    EXPECT_GE(v, HistogramData::BucketLowerBound(idx)) << "value " << v;
+    EXPECT_LE(v, HistogramData::BucketUpperBound(idx)) << "value " << v;
+    prev_index = idx;
+  }
+}
+
+TEST(HistogramBucketTest, BucketWidthBoundedByMaxRelativeError) {
+  // For any non-zero value, upper/lower bucket bounds differ by at most
+  // MaxRelativeError() of the lower bound — the source of the quantile
+  // error guarantee.
+  Rng rng(21);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = rng.Next() >> (rng.Next() % 40);  // spread magnitudes.
+    if (v == 0) continue;
+    const size_t idx = HistogramData::BucketIndex(v);
+    const uint64_t lo = HistogramData::BucketLowerBound(idx);
+    const uint64_t hi = HistogramData::BucketUpperBound(idx);
+    ASSERT_GE(hi, lo);
+    EXPECT_LE(static_cast<double>(hi - lo),
+              HistogramData::MaxRelativeError() * static_cast<double>(lo) +
+                  1.0)
+        << "value " << v << " bucket [" << lo << ", " << hi << "]";
+  }
+}
+
+// ----------------------------------------------------------- Edge cases
+
+TEST(HistogramEdgeCaseTest, EmptyHistogramIsAllZero) {
+  HistogramData h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramEdgeCaseTest, MergeWithEmptyIsIdentity) {
+  HistogramData h;
+  h.Record(7);
+  h.Record(1000);
+  HistogramData empty;
+  HistogramData left = h;
+  left.Merge(empty);
+  EXPECT_TRUE(left == h);
+  HistogramData right = empty;
+  right.Merge(h);
+  EXPECT_TRUE(right == h);
+}
+
+TEST(HistogramEdgeCaseTest, SingleSampleQuantilesCollapseToIt) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{12345},
+                     uint64_t{1} << 40}) {
+    HistogramData h;
+    h.Record(v);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), v);
+    EXPECT_EQ(h.max(), v);
+    EXPECT_EQ(h.Mean(), static_cast<double>(v));
+    // Every quantile of a one-point distribution is that point (the
+    // min/max clamp makes this exact, not just within bucket error).
+    for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+      EXPECT_EQ(h.Quantile(q), static_cast<double>(v)) << "q=" << q;
+    }
+  }
+}
+
+TEST(HistogramEdgeCaseTest, RepeatCountEquivalentToRepeatedRecords) {
+  HistogramData a, b;
+  a.Record(42, 1000);
+  for (int i = 0; i < 1000; ++i) b.Record(42);
+  EXPECT_TRUE(a == b);
+}
+
+// ------------------------------------------- Merge algebra (parameterized)
+
+/// (number of parts, samples per part, value-magnitude shift).
+class HistogramMergeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(HistogramMergeProperty, MergeIsAssociativeAndCommutative) {
+  const auto [parts, per_part, shift] = GetParam();
+  Rng rng(1000 + parts * 31 + per_part * 7 + shift);
+  std::vector<HistogramData> h(parts);
+  for (int p = 0; p < parts; ++p) {
+    for (int i = 0; i < per_part; ++i) {
+      h[p].Record(rng.Next() >> shift);
+    }
+  }
+
+  // Left fold in order.
+  HistogramData forward;
+  for (const HistogramData& part : h) forward.Merge(part);
+
+  // Reverse order.
+  HistogramData reverse;
+  for (int p = parts - 1; p >= 0; --p) reverse.Merge(h[p]);
+  EXPECT_TRUE(forward == reverse);
+
+  // Arbitrary parenthesization: pairwise tree reduction.
+  std::vector<HistogramData> tree = h;
+  while (tree.size() > 1) {
+    std::vector<HistogramData> next;
+    for (size_t i = 0; i + 1 < tree.size(); i += 2) {
+      HistogramData merged = tree[i];
+      merged.Merge(tree[i + 1]);
+      next.push_back(merged);
+    }
+    if (tree.size() % 2 == 1) next.push_back(tree.back());
+    tree = std::move(next);
+  }
+  EXPECT_TRUE(forward == tree[0]);
+
+  // A random shuffle of the parts.
+  std::vector<size_t> order(h.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+  HistogramData shuffled;
+  for (size_t i : order) shuffled.Merge(h[i]);
+  EXPECT_TRUE(forward == shuffled);
+
+  EXPECT_EQ(forward.count(),
+            static_cast<uint64_t>(parts) * static_cast<uint64_t>(per_part));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Partitions, HistogramMergeProperty,
+    ::testing::Combine(::testing::Values(2, 3, 7, 16),
+                       ::testing::Values(1, 64, 500),
+                       ::testing::Values(0, 24, 48)));
+
+// -------------------------------------- Quantile bound (parameterized)
+
+/// (sample count, magnitude shift): quantile estimates must bracket the
+/// exact order statistic within MaxRelativeError().
+class HistogramQuantileProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HistogramQuantileProperty, EstimateWithinRelativeErrorOfExact) {
+  const auto [n, shift] = GetParam();
+  Rng rng(500 + n * 13 + shift);
+  std::vector<uint64_t> samples;
+  samples.reserve(n);
+  HistogramData h;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = rng.Next() >> shift;
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+
+  for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    // The estimate's contract: never below the true rank-q sample, and at
+    // most MaxRelativeError() above it.
+    const size_t rank = std::min<size_t>(
+        samples.size() - 1,
+        q <= 0.0 ? 0
+                 : static_cast<size_t>(
+                       std::ceil(q * static_cast<double>(n))) -
+                       1);
+    const double exact = static_cast<double>(samples[rank]);
+    const double est = h.Quantile(q);
+    EXPECT_GE(est, exact) << "q=" << q << " n=" << n;
+    EXPECT_LE(est, exact * (1.0 + HistogramData::MaxRelativeError()) + 1e-9)
+        << "q=" << q << " n=" << n << " exact=" << exact;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Samples, HistogramQuantileProperty,
+    ::testing::Combine(::testing::Values(1, 2, 10, 1000, 20000),
+                       ::testing::Values(0, 32, 52)));
+
+// ------------------------------------- Streaming vs value-type agreement
+
+TEST(StreamingHistogramPropertyTest, MergedMatchesDirectHistogramData) {
+  // Recording the same samples through the sharded concurrent histogram and
+  // the plain value type must produce identical results.
+  Rng rng(77);
+  StreamingHistogram* s =
+      MetricsRegistry::Global().GetHistogram("test.prop.stream_vs_value");
+  s->Reset();
+  HistogramData direct;
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t v = rng.Next() >> (i % 50);
+    s->Record(v);
+    direct.Record(v);
+  }
+  EXPECT_TRUE(s->Merged() == direct);
+}
+
+}  // namespace
+}  // namespace ehna

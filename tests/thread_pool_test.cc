@@ -14,6 +14,7 @@
 
 #include "core/model.h"
 #include "graph/generators/generators.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "walk/temporal_walk.h"
@@ -208,6 +209,68 @@ TEST(ParallelTrainingTest, ParallelTrainingStaysCloseToSerial) {
   const double serial_vs_other = mean_cosine(es, other.FinalizeEmbeddings());
   EXPECT_LT(serial_vs_other + 0.2, serial_vs_parallel)
       << "control cosine " << serial_vs_other;
+}
+
+void ExpectMetricsDoNotPerturbTraining(int num_threads) {
+  // Instrumentation determinism (util/metrics.h): an identically seeded run
+  // with metric recording disabled must produce bitwise-identical losses
+  // and embeddings to one with it enabled — recording never touches an Rng
+  // or any model state. (checkpoint_test.cc extends this to the serialized
+  // checkpoint bytes.)
+  TemporalGraph g = SmallGraph();
+  MetricsRegistry::SetEnabled(true);
+  EhnaModel with_metrics(&g, SmallTrainConfig(num_threads));
+  const auto h_on = with_metrics.Train();
+  const Tensor e_on = with_metrics.FinalizeEmbeddings();
+
+  MetricsRegistry::SetEnabled(false);
+  EhnaModel without_metrics(&g, SmallTrainConfig(num_threads));
+  const auto h_off = without_metrics.Train();
+  const Tensor e_off = without_metrics.FinalizeEmbeddings();
+  MetricsRegistry::SetEnabled(true);
+
+  ASSERT_EQ(h_on.size(), h_off.size());
+  for (size_t e = 0; e < h_on.size(); ++e) {
+    EXPECT_EQ(h_on[e].avg_loss, h_off[e].avg_loss) << "epoch " << e;
+  }
+  EXPECT_TRUE(e_on == e_off);
+}
+
+TEST(ParallelTrainingTest, MetricsOnOffIdenticalSerial) {
+  ExpectMetricsDoNotPerturbTraining(1);
+}
+
+TEST(ParallelTrainingTest, MetricsOnOffIdenticalParallel) {
+  ExpectMetricsDoNotPerturbTraining(4);
+}
+
+TEST(ParallelTrainingTest, TrainingPopulatesTelemetry) {
+  // The instrumented hot paths actually feed the registry: after a real
+  // training run the walk counters, epoch histogram, and throughput gauges
+  // are all non-trivial.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Reset();
+  TemporalGraph g = SmallGraph();
+  EhnaModel model(&g, SmallTrainConfig(2));
+  model.Train();
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("train.epochs"), 2u);
+  EXPECT_GT(snap.CounterValue("train.edges"), 0u);
+  EXPECT_GT(snap.CounterValue("walk.temporal.walks"), 0u);
+  EXPECT_GT(snap.CounterValue("agg.aggregations"), 0u);
+  EXPECT_GT(snap.GaugeValue("train.edges_per_sec"), 0.0);
+  const HistogramData* epochs = snap.Histogram("train.phase.epoch");
+  ASSERT_NE(epochs, nullptr);
+  EXPECT_EQ(epochs->count(), 2u);
+  // Phase accounting: forward+backward and the optimizer both ran, and the
+  // nested walk-sampling phase is a fraction of forward+backward.
+  EXPECT_GT(snap.PhaseSeconds("train.phase.forward_backward"), 0.0);
+  EXPECT_GT(snap.PhaseSeconds("train.phase.optimizer_step"), 0.0);
+  EXPECT_GT(snap.PhaseSeconds("train.phase.grad_reduce"), 0.0);
+  EXPECT_GT(snap.PhaseSeconds("train.phase.walk_sampling"), 0.0);
+  EXPECT_LT(snap.PhaseSeconds("train.phase.walk_sampling"),
+            snap.PhaseSeconds("train.phase.forward_backward"));
 }
 
 TEST(ParallelTrainingTest, ZeroResolvesToHardwareConcurrency) {
