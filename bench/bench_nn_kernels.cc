@@ -1,0 +1,260 @@
+// Micro-benchmarks of the blocked nn kernel layer (src/nn/kernels.h,
+// DESIGN.md §9): GEMM/GEMV GFLOP/s for the naive triple-loop formulation
+// vs the blocked kernels, and per-step LSTM latency for the pre-refactor
+// op-by-op graph chain vs the fused LstmPreact/LstmGates pair (with and
+// without the tape arena). Results print as TableWriter tables plus the
+// kernel-call counters from the observability layer.
+//
+// EHNA_BENCH_SMOKE=1 shrinks the shapes and timing windows so the whole
+// binary finishes in a couple of seconds — that mode runs in CI as a
+// regression tripwire (the assertions that kernel paths match the naive
+// reference still execute), while the default mode produces the numbers
+// recorded in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "nn/arena.h"
+#include "nn/init.h"
+#include "nn/kernels.h"
+#include "nn/ops.h"
+#include "util/metrics.h"
+#include "util/table_writer.h"
+
+namespace {
+
+using ehna::Rng;
+using ehna::TableWriter;
+using ehna::Tensor;
+using ehna::TensorArena;
+using ehna::UniformInit;
+using ehna::Var;
+
+bool SmokeMode() {
+  const char* s = std::getenv("EHNA_BENCH_SMOKE");
+  return s != nullptr && s[0] != '\0' && s[0] != '0';
+}
+
+/// Repeats `fn` until the wall-clock window elapses (at least once) and
+/// returns seconds per call.
+double TimePerCall(const std::function<void()>& fn, double window_s) {
+  fn();  // warm-up, also faults in pages.
+  int iters = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::chrono::duration<double> elapsed{0.0};
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::steady_clock::now() - t0;
+  } while (elapsed.count() < window_s);
+  return elapsed.count() / iters;
+}
+
+/// Reference triple-loop GEMM: the formulation the op layer used before the
+/// kernel refactor. Kept here both as the "scalar path" baseline and as a
+/// correctness oracle for the blocked kernel.
+void NaiveGemm(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+               float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[kk * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void NaiveGemv(int64_t m, int64_t n, const float* a, const float* x,
+               float* y) {
+  for (int64_t i = 0; i < m; ++i) {
+    float acc = 0.0f;
+    for (int64_t j = 0; j < n; ++j) acc += a[i * n + j] * x[j];
+    y[i] = acc;
+  }
+}
+
+double MaxAbsDiff(const float* a, const float* b, int64_t n) {
+  double max_diff = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    max_diff = std::max(max_diff, std::abs(static_cast<double>(a[i]) - b[i]));
+  }
+  return max_diff;
+}
+
+// GEMM + GEMV throughput, naive vs blocked, one table row per shape.
+void BM_KernelGemmGemv(benchmark::State& state) {
+  const bool smoke = SmokeMode();
+  const double window = smoke ? 0.02 : 0.25;
+  const std::vector<int64_t> gemm_sizes =
+      smoke ? std::vector<int64_t>{32, 64} : std::vector<int64_t>{64, 128, 256};
+  const std::vector<int64_t> gemv_sizes =
+      smoke ? std::vector<int64_t>{64} : std::vector<int64_t>{256, 1024};
+  Rng rng(11);
+
+  for (auto _ : state) {
+    TableWriter table("nn kernels — GEMM/GEMV throughput (GFLOP/s)",
+                      {"Kernel", "Shape", "naive", "blocked", "speedup"});
+    double last_gemm_speedup = 0.0;
+
+    for (const int64_t n : gemm_sizes) {
+      Tensor a(n, n), b(n, n), c_naive(n, n), c_kernel(n, n);
+      UniformInit(&a, -1, 1, &rng);
+      UniformInit(&b, -1, 1, &rng);
+      const double flops = 2.0 * static_cast<double>(n) * n * n;
+
+      const double naive_s = TimePerCall(
+          [&] { NaiveGemm(n, n, n, a.data(), b.data(), c_naive.data()); },
+          window);
+      const double kernel_s = TimePerCall(
+          [&] {
+            ehna::kernels::GemmNN(n, n, n, a.data(), b.data(), c_kernel.data(),
+                                  /*accumulate=*/false);
+          },
+          window);
+      // Same fixed accumulation order contract aside, the two paths must
+      // agree to float tolerance — this doubles as a correctness check.
+      const double diff = MaxAbsDiff(c_naive.data(), c_kernel.data(), n * n);
+      EHNA_CHECK_LT(diff, 1e-3 * n);
+
+      last_gemm_speedup = naive_s / kernel_s;
+      table.AddRow({"GemmNN", std::to_string(n) + "^3",
+                    TableWriter::FormatDouble(flops / naive_s / 1e9, 2),
+                    TableWriter::FormatDouble(flops / kernel_s / 1e9, 2),
+                    TableWriter::FormatDouble(last_gemm_speedup, 2)});
+    }
+
+    double last_gemv_speedup = 0.0;
+    for (const int64_t n : gemv_sizes) {
+      Tensor a(n, n), x(n), y_naive(n), y_kernel(n);
+      UniformInit(&a, -1, 1, &rng);
+      UniformInit(&x, -1, 1, &rng);
+      const double flops = 2.0 * static_cast<double>(n) * n;
+
+      const double naive_s = TimePerCall(
+          [&] { NaiveGemv(n, n, a.data(), x.data(), y_naive.data()); }, window);
+      const double kernel_s = TimePerCall(
+          [&] {
+            ehna::kernels::Gemv(n, n, a.data(), x.data(), y_kernel.data(),
+                                /*accumulate=*/false);
+          },
+          window);
+      EHNA_CHECK_LT(MaxAbsDiff(y_naive.data(), y_kernel.data(), n), 1e-3);
+
+      last_gemv_speedup = naive_s / kernel_s;
+      table.AddRow({"Gemv", std::to_string(n) + "x" + std::to_string(n),
+                    TableWriter::FormatDouble(flops / naive_s / 1e9, 2),
+                    TableWriter::FormatDouble(flops / kernel_s / 1e9, 2),
+                    TableWriter::FormatDouble(last_gemv_speedup, 2)});
+    }
+    table.Print(std::cout);
+    state.counters["gemm_speedup"] = last_gemm_speedup;
+    state.counters["gemv_speedup"] = last_gemv_speedup;
+  }
+}
+BENCHMARK(BM_KernelGemmGemv)->Iterations(1)->Unit(benchmark::kSecond);
+
+// One LSTM cell step (forward + backward through the tape), three ways:
+//  - "op chain":   the pre-refactor graph — MatMul/Add/AddRowBroadcast,
+//                  four SliceCols + activations, Mul/Add cell update
+//                  (~14 graph nodes per step);
+//  - "fused":      LstmPreact + LstmGates (2 nodes), heap tensors;
+//  - "fused+arena": same with the tape arena active, as the trainer runs it.
+void BM_LstmStepLatency(benchmark::State& state) {
+  const bool smoke = SmokeMode();
+  const double window = smoke ? 0.05 : 0.5;
+  const int64_t batch = smoke ? 4 : 8;
+  const int64_t in = smoke ? 16 : 64;
+  const int64_t h = smoke ? 16 : 64;
+  Rng rng(13);
+
+  Tensor x0(batch, in), wi0(in, 4 * h), h0(batch, h), wh0(h, 4 * h),
+      bias0(4 * h), c0(batch, h);
+  for (Tensor* t : {&x0, &wi0, &h0, &wh0, &bias0, &c0}) {
+    UniformInit(t, -0.5, 0.5, &rng);
+  }
+
+  Var wi = Var::Leaf(wi0, true), wh = Var::Leaf(wh0, true);
+  Var bias = Var::Leaf(bias0, true);
+  const auto zero_grads = [&] {
+    wi.ZeroGrad();
+    wh.ZeroGrad();
+    bias.ZeroGrad();
+  };
+
+  const auto chain_step = [&] {
+    Var x = Var::Leaf(x0), hp = Var::Leaf(h0), c = Var::Leaf(c0);
+    Var gates = ehna::ag::AddRowBroadcast(
+        ehna::ag::Add(ehna::ag::MatMul(x, wi), ehna::ag::MatMul(hp, wh)),
+        bias);
+    Var ig = ehna::ag::Sigmoid(ehna::ag::SliceCols(gates, 0, h));
+    Var fg = ehna::ag::Sigmoid(ehna::ag::SliceCols(gates, h, h));
+    Var gg = ehna::ag::Tanh(ehna::ag::SliceCols(gates, 2 * h, h));
+    Var og = ehna::ag::Sigmoid(ehna::ag::SliceCols(gates, 3 * h, h));
+    Var cn = ehna::ag::Add(ehna::ag::Mul(fg, c), ehna::ag::Mul(ig, gg));
+    Var hn = ehna::ag::Mul(og, ehna::ag::Tanh(cn));
+    Backward(ehna::ag::Sum(hn));
+    zero_grads();
+  };
+  const auto fused_step = [&] {
+    Var x = Var::Leaf(x0), hp = Var::Leaf(h0), c = Var::Leaf(c0);
+    Var hc = ehna::ag::LstmGates(ehna::ag::LstmPreact(x, wi, hp, wh, bias), c);
+    Backward(ehna::ag::Sum(ehna::ag::SliceCols(hc, 0, h)));
+    zero_grads();
+  };
+
+  for (auto _ : state) {
+    const double chain_s = TimePerCall(chain_step, window);
+    const double fused_s = TimePerCall(fused_step, window);
+    TensorArena arena;
+    const double fused_arena_s = TimePerCall(
+        [&] {
+          {
+            TensorArena::Scope scope(&arena);
+            fused_step();
+          }
+          arena.Reset();
+        },
+        window);
+
+    TableWriter table("nn kernels — LSTM step forward+backward latency (us)",
+                      {"Path", "us/step", "speedup vs chain"});
+    table.AddRow({"op chain (pre-refactor)",
+                  TableWriter::FormatDouble(chain_s * 1e6, 1),
+                  TableWriter::FormatDouble(1.0, 2)});
+    table.AddRow({"fused kernels", TableWriter::FormatDouble(fused_s * 1e6, 1),
+                  TableWriter::FormatDouble(chain_s / fused_s, 2)});
+    table.AddRow({"fused kernels + arena",
+                  TableWriter::FormatDouble(fused_arena_s * 1e6, 1),
+                  TableWriter::FormatDouble(chain_s / fused_arena_s, 2)});
+    table.Print(std::cout);
+
+    // The kernel-call counters (DESIGN.md §9) accumulated over this whole
+    // process — a quick sanity read on what the paths above dispatched.
+    const ehna::MetricsSnapshot snap =
+        ehna::MetricsRegistry::Global().Snapshot();
+    TableWriter counters("nn kernels — call counters (this process)",
+                         {"Counter", "Value"});
+    for (const char* name :
+         {"kernels.gemm.calls", "kernels.gemm.flops", "kernels.gemv.calls",
+          "kernels.lstm_gate.calls", "kernels.attention.calls"}) {
+      counters.AddRow({name, std::to_string(static_cast<long long>(
+                                 snap.CounterValue(name)))});
+    }
+    counters.Print(std::cout);
+
+    state.counters["chain_us"] = chain_s * 1e6;
+    state.counters["fused_us"] = fused_s * 1e6;
+    state.counters["fused_arena_us"] = fused_arena_s * 1e6;
+    state.counters["lstm_speedup"] = chain_s / fused_arena_s;
+  }
+}
+BENCHMARK(BM_LstmStepLatency)->Iterations(1)->Unit(benchmark::kSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

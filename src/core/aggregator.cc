@@ -119,12 +119,11 @@ Var EhnaAggregator::NodeLevel(const std::vector<Walk>& walks,
       const std::vector<float> coeffs = NodeAttentionCoefficients(
           walk, graph_->min_time(), graph_->TimeSpan());
       (*walk_coeffs)[i] = WalkAttentionCoefficient(coeffs);
-      // logits_j = -c_j * ||e_x - e_vj||^2, softmax over the walk.
-      Var diff = ag::SubRowBroadcast(emb, target_embedding);
-      Var dist = ag::RowSumSquares(diff);  // [L_i]
-      Tensor neg_coeffs(static_cast<int64_t>(coeffs.size()));
-      for (size_t j = 0; j < coeffs.size(); ++j) neg_coeffs[j] = -coeffs[j];
-      Var alpha = ag::Softmax(ag::MulConst(dist, neg_coeffs));
+      // alpha_j = softmax_j(-c_j * ||e_x - e_vj||^2), one fused graph node
+      // (kernels::AttentionSoftmaxForward) instead of the former
+      // subtract/square/scale/softmax chain.
+      Var alpha = ag::AttentionSoftmax(emb, target_embedding,
+                                       NegatedCoefficients(coeffs));
       weighted.push_back(ag::ScaleRows(emb, alpha));
     } else {
       weighted.push_back(emb);
@@ -168,12 +167,9 @@ Var EhnaAggregator::WalkLevel(const Var& walk_reprs,
   const int64_t k = walk_reprs.value().rows();
   Var weighted = walk_reprs;
   if (use_attention_ && k > 1) {
-    // beta_r = softmax_r(-a_r * ||e_x - h_r||^2)  (Eq. 4).
-    Var diff = ag::SubRowBroadcast(walk_reprs, target_embedding);
-    Var dist = ag::RowSumSquares(diff);  // [k]
-    Tensor neg_coeffs(k);
-    for (int64_t i = 0; i < k; ++i) neg_coeffs[i] = -walk_coeffs[i];
-    Var beta = ag::Softmax(ag::MulConst(dist, neg_coeffs));
+    // beta_r = softmax_r(-a_r * ||e_x - h_r||^2)  (Eq. 4), fused.
+    Var beta = ag::AttentionSoftmax(walk_reprs, target_embedding,
+                                    NegatedCoefficients(walk_coeffs));
     weighted = ag::ScaleRows(walk_reprs, beta);
   }
 

@@ -44,4 +44,10 @@ float WalkAttentionCoefficient(const std::vector<float>& node_coeffs) {
   return static_cast<float>(total / static_cast<double>(node_coeffs.size()));
 }
 
+Tensor NegatedCoefficients(const std::vector<float>& coeffs) {
+  Tensor out = Tensor::Uninit(static_cast<int64_t>(coeffs.size()));
+  for (size_t i = 0; i < coeffs.size(); ++i) out[i] = -coeffs[i];
+  return out;
+}
+
 }  // namespace ehna

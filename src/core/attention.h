@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/temporal_graph.h"
+#include "nn/tensor.h"
 #include "walk/walk.h"
 
 namespace ehna {
@@ -28,6 +29,10 @@ std::vector<float> NodeAttentionCoefficients(const Walk& walk,
 /// The walk-level temporal coefficient of Eq. 4:
 ///   a_r = (1/|r|) * sum over positions of the node-level coefficients.
 float WalkAttentionCoefficient(const std::vector<float>& node_coeffs);
+
+/// Packs coefficients into the negated form consumed by the fused
+/// ag::AttentionSoftmax op: out[i] = -coeffs[i].
+Tensor NegatedCoefficients(const std::vector<float>& coeffs);
 
 }  // namespace ehna
 

@@ -39,6 +39,10 @@ struct EhnaModel::Worker {
   std::shared_ptr<SparseRowGrads> sink;
   EhnaAggregator aggregator;
   std::vector<Var> params;
+  /// Per-replica tape arena: activated on the shard's pool thread for the
+  /// batch's forward/backward, Reset by the main thread after the shard's
+  /// gradients (which live in it) have been reduced into the master.
+  TensorArena arena;
   double loss_sum = 0.0;
   size_t edges = 0;
 
@@ -152,20 +156,21 @@ Var EhnaModel::EdgeLossOn(EhnaAggregator* aggregator, const TemporalEdge& edge,
   Var d_pos = ag::SumSquares(ag::Sub(zx, zy));
 
   const NodeId exclude[] = {edge.src, edge.dst};
-  Var loss;
+  std::vector<Var> terms;
+  terms.reserve(static_cast<size_t>(config_.num_negatives) *
+                (config_.bidirectional_negatives ? 2 : 1));
   auto add_negative_terms = [&](const Var& anchor) {
     for (int q = 0; q < config_.num_negatives; ++q) {
       const NodeId v = noise_.SampleExcluding(exclude, rng);
       Var zv = aggregator->Aggregate(v, t, training, rng);
       Var d_neg = ag::SumSquares(ag::Sub(anchor, zv));
-      Var term =
-          ag::Hinge(ag::AddScalar(ag::Sub(d_pos, d_neg), config_.margin));
-      loss = loss.defined() ? ag::Add(loss, term) : term;
+      terms.push_back(
+          ag::Hinge(ag::AddScalar(ag::Sub(d_pos, d_neg), config_.margin)));
     }
   };
   add_negative_terms(zx);                                   // Eq. 6.
   if (config_.bidirectional_negatives) add_negative_terms(zy);  // Eq. 7.
-  return loss;
+  return terms.empty() ? Var() : ag::SumN(terms);
 }
 
 EhnaModel::EpochStats EhnaModel::TrainEpoch() {
@@ -221,26 +226,40 @@ EhnaModel::EpochStats EhnaModel::TrainEpochSerial() {
   const int batch = std::max(1, config_.batch_edges);
   size_t i = 0;
   while (i < order.size()) {
-    Var batch_loss;
-    int batch_count = 0;
+    bool batch_empty = true;
     {
+      // The whole batch tape — every forward value, stashed intermediate,
+      // and backward gradient — bump-allocates from arena_. Long-lived
+      // state (parameters, Adam moments, BN running stats, the sparse
+      // embedding accumulator) stays heap-backed; see DESIGN.md §9.
       EHNA_TRACE_PHASE("train.phase.forward_backward");
-      for (; batch_count < batch && i < order.size(); ++i, ++batch_count) {
+      TensorArena::Scope tape_scope(&arena_);
+      std::vector<Var> losses;
+      losses.reserve(batch);
+      for (int b = 0; b < batch && i < order.size(); ++i, ++b) {
         Var loss = EdgeLoss(edges[order[i]], /*training=*/true);
-        batch_loss = batch_loss.defined() ? ag::Add(batch_loss, loss) : loss;
+        if (loss.defined()) losses.push_back(loss);
       }
-      if (!batch_loss.defined()) break;
-      Var mean_loss =
-          ag::ScalarMul(batch_loss, 1.0f / static_cast<float>(batch_count));
-      loss_sum += mean_loss.value()[0] * batch_count;
-      Backward(mean_loss);
+      if (!losses.empty()) {
+        batch_empty = false;
+        const auto count = static_cast<float>(losses.size());
+        Var mean_loss = ag::ScalarMul(ag::SumN(losses), 1.0f / count);
+        loss_sum += mean_loss.value()[0] * count;
+        Backward(mean_loss);
+      }
     }
+    if (batch_empty) break;
 
-    EHNA_TRACE_PHASE("train.phase.optimizer_step");
-    ClipGradNorm(optimizer_.params(), config_.grad_clip);
-    optimizer_.Step();
-    optimizer_.ZeroGrad();
-    embedding_.ApplyAdam(config_.learning_rate * config_.embedding_lr_multiplier);
+    {
+      EHNA_TRACE_PHASE("train.phase.optimizer_step");
+      ClipGradNorm(optimizer_.params(), config_.grad_clip);
+      optimizer_.Step();
+      optimizer_.ZeroGrad();
+      embedding_.ApplyAdam(config_.learning_rate *
+                           config_.embedding_lr_multiplier);
+    }
+    // Gradients were consumed by the step above; the tape is dead.
+    arena_.Reset();
   }
 
   stats.edges = order.size();
@@ -282,6 +301,10 @@ EhnaModel::EpochStats EhnaModel::TrainEpochParallel() {
       pool_->ParallelForShards(
           count, used, [&](size_t shard, size_t a, size_t b) {
             Worker& worker = *workers_[shard];
+            // The shard's tapes (and its replica parameter gradients, which
+            // accumulate across the shard's edges) live in the worker's
+            // arena; it is Reset by the main thread after reduction.
+            TensorArena::Scope tape_scope(&worker.arena);
             worker.loss_sum = 0.0;
             worker.edges = 0;
             for (size_t j = a; j < b; ++j) {
@@ -306,13 +329,19 @@ EhnaModel::EpochStats EhnaModel::TrainEpochParallel() {
         ReduceWorkerGrads(workers_[w].get());
       }
       MergeWorkerBatchNormStats(used);
+      // Replica gradients and sinks have been drained into the master (all
+      // heap-backed); the worker tapes are dead.
+      for (size_t w = 0; w < used; ++w) workers_[w]->arena.Reset();
     }
 
-    EHNA_TRACE_PHASE("train.phase.optimizer_step");
-    ClipGradNorm(optimizer_.params(), config_.grad_clip);
-    optimizer_.Step();
-    optimizer_.ZeroGrad();
-    embedding_.ApplyAdam(config_.learning_rate * config_.embedding_lr_multiplier);
+    {
+      EHNA_TRACE_PHASE("train.phase.optimizer_step");
+      ClipGradNorm(optimizer_.params(), config_.grad_clip);
+      optimizer_.Step();
+      optimizer_.ZeroGrad();
+      embedding_.ApplyAdam(config_.learning_rate *
+                           config_.embedding_lr_multiplier);
+    }
   }
 
   stats.edges = order.size();

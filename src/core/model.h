@@ -10,6 +10,7 @@
 #include "core/ehna_config.h"
 #include "graph/noise_distribution.h"
 #include "graph/temporal_graph.h"
+#include "nn/arena.h"
 #include "nn/optim.h"
 #include "util/thread_pool.h"
 
@@ -139,6 +140,11 @@ class EhnaModel {
   EhnaAggregator aggregator_;
   NoiseDistribution noise_;
   Adam optimizer_;
+
+  /// Bump allocator for the serial trainer's per-batch tapes. Active (via
+  /// TensorArena::Scope) around each batch's forward/backward, and Reset
+  /// once the optimizer step has consumed the gradients (DESIGN.md §9).
+  TensorArena arena_;
 
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<Worker>> workers_;

@@ -1,0 +1,79 @@
+#include "nn/arena.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ehna {
+
+namespace {
+
+constexpr size_t kAlignment = 64;
+
+thread_local TensorArena* tls_current = nullptr;
+
+size_t AlignUp(size_t n) { return (n + kAlignment - 1) & ~(kAlignment - 1); }
+
+}  // namespace
+
+TensorArena::TensorArena(size_t initial_bytes)
+    : next_block_bytes_(std::max<size_t>(AlignUp(initial_bytes), kAlignment)) {
+}
+
+TensorArena::~TensorArena() = default;
+
+TensorArena* TensorArena::Current() { return tls_current; }
+
+TensorArena::Block& TensorArena::AddBlock(size_t min_bytes) {
+  size_t size = std::max(next_block_bytes_, AlignUp(min_bytes));
+  Block block;
+  // Over-allocate by the alignment so the bump pointer can start aligned
+  // regardless of where operator new[] placed the block.
+  block.data = std::make_unique<char[]>(size + kAlignment);
+  block.size = size;
+  block.used = 0;
+  blocks_.push_back(std::move(block));
+  bytes_reserved_ += size;
+  next_block_bytes_ = size * 2;
+  return blocks_.back();
+}
+
+float* TensorArena::Allocate(int64_t n) {
+  EHNA_DCHECK(n >= 0);
+  const size_t bytes = AlignUp(static_cast<size_t>(n) * sizeof(float));
+  // Find room, advancing through existing blocks before growing.
+  while (current_ < blocks_.size() &&
+         blocks_[current_].used + bytes > blocks_[current_].size) {
+    ++current_;
+  }
+  if (current_ >= blocks_.size()) {
+    AddBlock(bytes);
+    current_ = blocks_.size() - 1;
+  }
+  Block& block = blocks_[current_];
+  const uintptr_t base = reinterpret_cast<uintptr_t>(block.data.get());
+  const uintptr_t aligned = (base + kAlignment - 1) & ~(kAlignment - 1);
+  float* ptr = reinterpret_cast<float*>(aligned + block.used);
+  block.used += bytes;
+  bytes_in_use_ += bytes;
+  high_water_bytes_ = std::max(high_water_bytes_, bytes_in_use_);
+  return ptr;
+}
+
+void TensorArena::Reset() {
+  for (Block& b : blocks_) b.used = 0;
+  current_ = 0;
+  bytes_in_use_ = 0;
+}
+
+TensorArena::Scope::Scope(TensorArena* arena) : prev_(tls_current) {
+  tls_current = arena;
+}
+
+TensorArena::Scope::~Scope() { tls_current = prev_; }
+
+TensorArena::Bypass::Bypass() : prev_(tls_current) { tls_current = nullptr; }
+
+TensorArena::Bypass::~Bypass() { tls_current = prev_; }
+
+}  // namespace ehna

@@ -1,7 +1,6 @@
 #include "nn/autograd.h"
 
-#include <unordered_map>
-#include <unordered_set>
+#include <atomic>
 
 namespace ehna {
 
@@ -66,6 +65,11 @@ void Var::AccumulateGrad(const Tensor& g) const {
   }
 }
 
+void Var::ScaleGrad(float alpha) const {
+  EHNA_CHECK(defined());
+  if (impl_->grad_defined) impl_->grad.ScaleInPlace(alpha);
+}
+
 const char* Var::name() const {
   EHNA_CHECK(defined());
   return impl_->name;
@@ -73,21 +77,25 @@ const char* Var::name() const {
 
 namespace {
 
+/// Monotonic traversal-id source. Worker threads run Backward concurrently
+/// on disjoint replica tapes; the atomic only hands out distinct tags, it
+/// never synchronizes node state (no node is shared between live tapes).
+std::atomic<uint64_t> traversal_counter{0};
+
 /// Marks every node whose subtree reaches a grad-requiring leaf (or a leaf
-/// with a gradient hook). Returns the memoized flag for `node`.
-bool ComputeNeedsGrad(VarImpl* node,
-                      std::unordered_map<VarImpl*, bool>* memo) {
-  auto it = memo->find(node);
-  if (it != memo->end()) return it->second;
-  // Insert a provisional false to stop cycles (graphs are DAGs by
-  // construction, but defensive).
-  (*memo)[node] = false;
+/// with a gradient hook). Memoized intrusively under `tag`.
+bool ComputeNeedsGrad(VarImpl* node, uint64_t tag) {
+  if (node->needs_tag == tag) return node->needs_grad_cached;
+  // Provisional false stops cycles (graphs are DAGs by construction, but
+  // defensive).
+  node->needs_tag = tag;
+  node->needs_grad_cached = false;
   bool needs = node->requires_grad ||
                (node->parents.empty() && static_cast<bool>(node->backward));
   for (const Var& p : node->parents) {
-    needs = ComputeNeedsGrad(p.impl(), memo) || needs;
+    needs = ComputeNeedsGrad(p.impl(), tag) || needs;
   }
-  (*memo)[node] = needs;
+  node->needs_grad_cached = needs;
   return needs;
 }
 
@@ -97,26 +105,27 @@ void Backward(const Var& root) {
   EHNA_CHECK(root.defined());
   EHNA_CHECK_EQ(root.value().numel(), 1);
 
-  std::unordered_map<VarImpl*, bool> needs;
-  if (!ComputeNeedsGrad(root.impl(), &needs)) return;  // nothing to do.
+  const uint64_t tag =
+      traversal_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!ComputeNeedsGrad(root.impl(), tag)) return;  // nothing to do.
 
   // Iterative DFS post-order: parents land before children; reversed, every
   // node is processed after all nodes that feed gradient into it.
   std::vector<VarImpl*> order;
-  std::unordered_set<VarImpl*> visited;
   struct Frame {
     VarImpl* node;
     size_t next_parent;
   };
   std::vector<Frame> stack;
   stack.push_back({root.impl(), 0});
-  visited.insert(root.impl());
+  root.impl()->visited_tag = tag;
   while (!stack.empty()) {
     Frame& f = stack.back();
     if (f.next_parent < f.node->parents.size()) {
       VarImpl* p = f.node->parents[f.next_parent++].impl();
-      if (!visited.count(p) && needs[p]) {
-        visited.insert(p);
+      if (p->visited_tag != tag && p->needs_tag == tag &&
+          p->needs_grad_cached) {
+        p->visited_tag = tag;
         stack.push_back({p, 0});
       }
     } else {

@@ -58,6 +58,11 @@ class Var {
   /// backward closures call this on their parents.
   void AccumulateGrad(const Tensor& g) const;
 
+  /// Scales the accumulated gradient in place (no-op if no gradient has
+  /// reached this node). Used by gradient clipping to avoid re-allocating
+  /// every gradient tensor.
+  void ScaleGrad(float alpha) const;
+
   /// Op name for debugging.
   const char* name() const;
 
@@ -83,6 +88,15 @@ struct VarImpl {
   const char* name = "leaf";
   std::vector<Var> parents;
   std::function<void(const Tensor&, const Tensor&)> backward;
+
+  // Intrusive traversal state for Backward(). Each traversal draws a fresh
+  // tag from a global counter; a field matching the current tag means "seen
+  // this traversal". This replaces per-Backward hash maps (which dominated
+  // traversal cost on LSTM-depth graphs) with two branch-predictable
+  // compares per visit. Tags start at 1, so the zero init never collides.
+  uint64_t needs_tag = 0;        // memo validity for needs_grad_cached.
+  bool needs_grad_cached = false;
+  uint64_t visited_tag = 0;      // DFS membership for the current traversal.
 };
 }  // namespace internal
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/kernels.h"
 #include "nn/ops.h"
 
 namespace ehna {
@@ -16,6 +17,26 @@ BatchNorm1d::BatchNorm1d(int64_t features, float momentum, float eps)
   beta_ = Var::Leaf(Tensor(features), /*requires_grad=*/true);
 }
 
+namespace {
+
+/// Batch mean and (biased) variance over the rows of `in`, via kernels.
+void BatchStats(const Tensor& in, Tensor* mean, Tensor* var) {
+  const int64_t batch = in.rows();
+  const int64_t f = in.cols();
+  for (int64_t i = 0; i < batch; ++i) {
+    kernels::Axpy(f, 1.0f, in.Row(i), mean->data());
+  }
+  kernels::Scale(f, 1.0f / static_cast<float>(batch), mean->data());
+  Tensor diff = Tensor::Uninit(f);
+  for (int64_t i = 0; i < batch; ++i) {
+    kernels::Sub(f, in.Row(i), mean->data(), diff.data());
+    kernels::MulAdd(f, diff.data(), diff.data(), var->data(), var->data());
+  }
+  kernels::Scale(f, 1.0f / static_cast<float>(batch), var->data());
+}
+
+}  // namespace
+
 Var BatchNorm1d::ForwardWithStats(const Var& x, const Tensor& mean,
                                   const Tensor& inv_std,
                                   bool batch_stats) const {
@@ -23,15 +44,11 @@ Var BatchNorm1d::ForwardWithStats(const Var& x, const Tensor& mean,
   const int64_t batch = in.rows();
   const int64_t f = features_;
 
-  Tensor out(batch, f);
+  Tensor out = Tensor::Uninit(batch, f);
   for (int64_t i = 0; i < batch; ++i) {
-    const float* xr = in.Row(i);
-    float* orow = out.Row(i);
-    const float* gm = gamma_.value().data();
-    const float* bt = beta_.value().data();
-    for (int64_t j = 0; j < f; ++j) {
-      orow[j] = gm[j] * (xr[j] - mean[j]) * inv_std[j] + bt[j];
-    }
+    kernels::BatchNormApplyRow(f, in.Row(i), mean.data(), inv_std.data(),
+                               gamma_.value().data(), beta_.value().data(),
+                               out.Row(i));
   }
 
   Var gamma = gamma_;
@@ -48,60 +65,44 @@ Var BatchNorm1d::ForwardWithStats(const Var& x, const Tensor& mean,
         const float* gm = gamma.value().data();
 
         // Recompute x_hat.
-        Tensor xhat(batch, f);
+        Tensor xhat = Tensor::Uninit(batch, f);
         for (int64_t i = 0; i < batch; ++i) {
-          const float* xr = in.Row(i);
-          float* hr = xhat.Row(i);
-          for (int64_t j = 0; j < f; ++j) {
-            hr[j] = (xr[j] - mean_c[j]) * inv_std_c[j];
-          }
+          kernels::NormalizeRow(f, in.Row(i), mean_c.data(), inv_std_c.data(),
+                                xhat.Row(i));
         }
 
         Tensor dgamma(f), dbeta(f);
         for (int64_t i = 0; i < batch; ++i) {
-          const float* grow = g.Row(i);
-          const float* hr = xhat.Row(i);
-          for (int64_t j = 0; j < f; ++j) {
-            dgamma[j] += grow[j] * hr[j];
-            dbeta[j] += grow[j];
-          }
+          kernels::MulAdd(f, g.Row(i), xhat.Row(i), dgamma.data(),
+                          dgamma.data());
+          kernels::Axpy(f, 1.0f, g.Row(i), dbeta.data());
         }
         gamma.AccumulateGrad(dgamma);
         beta.AccumulateGrad(dbeta);
 
-        Tensor dx(batch, f);
+        Tensor dx = Tensor::Uninit(batch, f);
         if (!batch_stats) {
           // Statistics are constants: a per-feature affine map.
           for (int64_t i = 0; i < batch; ++i) {
-            const float* grow = g.Row(i);
-            float* dr = dx.Row(i);
-            for (int64_t j = 0; j < f; ++j) {
-              dr[j] = grow[j] * gm[j] * inv_std_c[j];
-            }
+            kernels::Mul(f, g.Row(i), gm, dx.Row(i));
+            kernels::Mul(f, dx.Row(i), inv_std_c.data(), dx.Row(i));
           }
         } else {
           // Full backward through the batch mean and variance.
           Tensor sum_dxhat(f), sum_dxhat_xhat(f);
+          Tensor dxh = Tensor::Uninit(f);
           for (int64_t i = 0; i < batch; ++i) {
-            const float* grow = g.Row(i);
-            const float* hr = xhat.Row(i);
-            for (int64_t j = 0; j < f; ++j) {
-              const float dxh = grow[j] * gm[j];
-              sum_dxhat[j] += dxh;
-              sum_dxhat_xhat[j] += dxh * hr[j];
-            }
+            kernels::Mul(f, g.Row(i), gm, dxh.data());
+            kernels::Axpy(f, 1.0f, dxh.data(), sum_dxhat.data());
+            kernels::MulAdd(f, dxh.data(), xhat.Row(i),
+                            sum_dxhat_xhat.data(), sum_dxhat_xhat.data());
           }
           const float inv_b = 1.0f / static_cast<float>(batch);
           for (int64_t i = 0; i < batch; ++i) {
-            const float* grow = g.Row(i);
-            const float* hr = xhat.Row(i);
-            float* dr = dx.Row(i);
-            for (int64_t j = 0; j < f; ++j) {
-              const float dxh = grow[j] * gm[j];
-              dr[j] = inv_std_c[j] * inv_b *
-                      (static_cast<float>(batch) * dxh - sum_dxhat[j] -
-                       hr[j] * sum_dxhat_xhat[j]);
-            }
+            kernels::BatchNormBackwardRow(
+                f, static_cast<float>(batch), inv_b, g.Row(i), gm,
+                xhat.Row(i), inv_std_c.data(), sum_dxhat.data(),
+                sum_dxhat_xhat.data(), dx.Row(i));
           }
         }
         x.AccumulateGrad(dx);
@@ -117,36 +118,22 @@ Var BatchNorm1d::ForwardPopulation(const Var& x, bool update_stats) {
 
   if (update_stats && batch >= 1) {
     Tensor mean(features_), var(features_);
-    for (int64_t i = 0; i < batch; ++i) {
-      const float* xr = in.Row(i);
-      for (int64_t j = 0; j < features_; ++j) mean[j] += xr[j];
-    }
-    mean.ScaleInPlace(1.0f / static_cast<float>(batch));
-    for (int64_t i = 0; i < batch; ++i) {
-      const float* xr = in.Row(i);
-      for (int64_t j = 0; j < features_; ++j) {
-        const float d = xr[j] - mean[j];
-        var[j] += d * d;
-      }
-    }
-    var.ScaleInPlace(1.0f / static_cast<float>(batch));
+    BatchStats(in, &mean, &var);
     if (!stats_initialized_) {
+      // Same-numel copy-assign reuses the heap buffers of the running
+      // statistics, so they stay off the batch arena.
       running_mean_ = mean;
       running_var_ = var;
       stats_initialized_ = true;
     } else {
-      for (int64_t j = 0; j < features_; ++j) {
-        running_mean_[j] =
-            (1.0f - momentum_) * running_mean_[j] + momentum_ * mean[j];
-        running_var_[j] =
-            (1.0f - momentum_) * running_var_[j] + momentum_ * var[j];
-      }
+      kernels::Scale(features_, 1.0f - momentum_, running_mean_.data());
+      kernels::Axpy(features_, momentum_, mean.data(), running_mean_.data());
+      kernels::Scale(features_, 1.0f - momentum_, running_var_.data());
+      kernels::Axpy(features_, momentum_, var.data(), running_var_.data());
     }
   }
-  Tensor inv_std(features_);
-  for (int64_t j = 0; j < features_; ++j) {
-    inv_std[j] = 1.0f / std::sqrt(running_var_[j] + eps_);
-  }
+  Tensor inv_std = Tensor::Uninit(features_);
+  kernels::InvSqrt(features_, running_var_.data(), eps_, inv_std.data());
   return ForwardWithStats(x, running_mean_, inv_std, /*batch_stats=*/false);
 }
 
@@ -159,41 +146,24 @@ Var BatchNorm1d::Forward(const Var& x, bool training) {
   const bool use_batch_stats = training && batch > 1;
   Tensor mean(features_), var(features_);
   if (use_batch_stats) {
-    for (int64_t i = 0; i < batch; ++i) {
-      const float* xr = in.Row(i);
-      for (int64_t j = 0; j < features_; ++j) mean[j] += xr[j];
-    }
-    mean.ScaleInPlace(1.0f / static_cast<float>(batch));
-    for (int64_t i = 0; i < batch; ++i) {
-      const float* xr = in.Row(i);
-      for (int64_t j = 0; j < features_; ++j) {
-        const float d = xr[j] - mean[j];
-        var[j] += d * d;
-      }
-    }
-    var.ScaleInPlace(1.0f / static_cast<float>(batch));
-
+    BatchStats(in, &mean, &var);
     if (!stats_initialized_) {
       running_mean_ = mean;
       running_var_ = var;
       stats_initialized_ = true;
     } else {
-      for (int64_t j = 0; j < features_; ++j) {
-        running_mean_[j] =
-            (1.0f - momentum_) * running_mean_[j] + momentum_ * mean[j];
-        running_var_[j] =
-            (1.0f - momentum_) * running_var_[j] + momentum_ * var[j];
-      }
+      kernels::Scale(features_, 1.0f - momentum_, running_mean_.data());
+      kernels::Axpy(features_, momentum_, mean.data(), running_mean_.data());
+      kernels::Scale(features_, 1.0f - momentum_, running_var_.data());
+      kernels::Axpy(features_, momentum_, var.data(), running_var_.data());
     }
   } else {
     mean = running_mean_;
     var = running_var_;
   }
 
-  Tensor inv_std(features_);
-  for (int64_t j = 0; j < features_; ++j) {
-    inv_std[j] = 1.0f / std::sqrt(var[j] + eps_);
-  }
+  Tensor inv_std = Tensor::Uninit(features_);
+  kernels::InvSqrt(features_, var.data(), eps_, inv_std.data());
   return ForwardWithStats(x, mean, inv_std, use_batch_stats);
 }
 

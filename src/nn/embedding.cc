@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "nn/arena.h"
 #include "nn/init.h"
+#include "nn/kernels.h"
 
 namespace ehna {
 
@@ -20,12 +22,10 @@ Var Embedding::Gather(const std::vector<int64_t>& ids,
                       const std::shared_ptr<SparseRowGrads>& sink) {
   EHNA_CHECK(!ids.empty());
   const int64_t d = dim();
-  Tensor out(static_cast<int64_t>(ids.size()), d);
+  Tensor out = Tensor::Uninit(static_cast<int64_t>(ids.size()), d);
   for (size_t i = 0; i < ids.size(); ++i) {
     EHNA_DCHECK(ids[i] >= 0 && ids[i] < num_rows());
-    const float* src = table_.Row(ids[i]);
-    float* dst = out.Row(static_cast<int64_t>(i));
-    for (int64_t j = 0; j < d; ++j) dst[j] = src[j];
+    kernels::Copy(table_.Row(ids[i]), out.Row(static_cast<int64_t>(i)), d);
   }
   auto map = sink ? sink : grad_map_ptr_;
   std::vector<int64_t> ids_copy = ids;
@@ -33,11 +33,15 @@ Var Embedding::Gather(const std::vector<int64_t>& ids,
   // the incoming gradient rows into the sparse accumulator.
   return Var::Op(std::move(out), {},
                  [map, ids_copy, d](const Tensor& g, const Tensor&) {
+                   // The accumulator outlives the tape (it is consumed by
+                   // the sparse optimizer after backward); never allocate
+                   // its rows from the batch arena.
+                   TensorArena::Bypass no_arena;
                    for (size_t i = 0; i < ids_copy.size(); ++i) {
                      Tensor& acc = (*map)[ids_copy[i]];
                      if (acc.numel() == 0) acc = Tensor(d);
-                     const float* src = g.Row(static_cast<int64_t>(i));
-                     for (int64_t j = 0; j < d; ++j) acc[j] += src[j];
+                     kernels::Axpy(d, 1.0f, g.Row(static_cast<int64_t>(i)),
+                                   acc.data());
                    }
                  },
                  "embedding_gather");
@@ -47,27 +51,27 @@ Var Embedding::GatherRow(int64_t id,
                          const std::shared_ptr<SparseRowGrads>& sink) {
   EHNA_CHECK(id >= 0 && id < num_rows());
   const int64_t d = dim();
-  Tensor out(d);
-  const float* src = table_.Row(id);
-  for (int64_t j = 0; j < d; ++j) out[j] = src[j];
+  Tensor out = Tensor::Uninit(d);
+  kernels::Copy(table_.Row(id), out.data(), d);
   auto map = sink ? sink : grad_map_ptr_;
   return Var::Op(std::move(out), {},
                  [map, id, d](const Tensor& g, const Tensor&) {
+                   TensorArena::Bypass no_arena;
                    Tensor& acc = (*map)[id];
                    if (acc.numel() == 0) acc = Tensor(d);
-                   for (int64_t j = 0; j < d; ++j) acc[j] += g[j];
+                   kernels::Axpy(d, 1.0f, g.data(), acc.data());
                  },
                  "embedding_gather_row");
 }
 
 void Embedding::SetRow(int64_t id, const float* values) {
   EHNA_CHECK(id >= 0 && id < num_rows());
-  float* dst = table_.Row(id);
-  for (int64_t j = 0; j < dim(); ++j) dst[j] = values[j];
+  kernels::Copy(values, table_.Row(id), dim());
 }
 
 void Embedding::ApplyAdam(float lr, float beta1, float beta2, float eps) {
   if (grad_map_.empty()) return;
+  TensorArena::Bypass no_arena;  // Adam moments persist across batches.
   ++adam_step_;
   const float bc1 =
       1.0f - std::pow(beta1, static_cast<float>(adam_step_));
@@ -79,15 +83,8 @@ void Embedding::ApplyAdam(float lr, float beta1, float beta2, float eps) {
     Tensor& v = adam_v_[row];
     if (m.numel() == 0) m = Tensor(d);
     if (v.numel() == 0) v = Tensor(d);
-    float* trow = table_.Row(row);
-    for (int64_t j = 0; j < d; ++j) {
-      const float gj = grad[j];
-      m[j] = beta1 * m[j] + (1.0f - beta1) * gj;
-      v[j] = beta2 * v[j] + (1.0f - beta2) * gj * gj;
-      const float mhat = m[j] / bc1;
-      const float vhat = v[j] / bc2;
-      trow[j] -= lr * mhat / (std::sqrt(vhat) + eps);
-    }
+    kernels::AdamUpdate(d, lr, beta1, beta2, eps, bc1, bc2, grad.data(),
+                        m.data(), v.data(), table_.Row(row));
   }
   grad_map_.clear();
 }
@@ -95,13 +92,13 @@ void Embedding::ApplyAdam(float lr, float beta1, float beta2, float eps) {
 void Embedding::ApplySgd(float lr) {
   const int64_t d = dim();
   for (auto& [row, grad] : grad_map_) {
-    float* trow = table_.Row(row);
-    for (int64_t j = 0; j < d; ++j) trow[j] -= lr * grad[j];
+    kernels::Axpy(d, -lr, grad.data(), table_.Row(row));
   }
   grad_map_.clear();
 }
 
 void Embedding::AccumulateSparse(const SparseRowGrads& grads) {
+  TensorArena::Bypass no_arena;  // the master accumulator is long-lived.
   const int64_t d = dim();
   for (const auto& [row, grad] : grads) {
     Tensor& acc = grad_map_[row];

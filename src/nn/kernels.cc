@@ -1,0 +1,466 @@
+#include "nn/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/metrics.h"
+
+namespace ehna::kernels {
+
+namespace {
+
+// Cache-blocking panel sizes (floats). kNc column panels of B and C stay
+// resident in L1 across the k sweep; kKc bounds the k panel so a row of A
+// plus the B panel fit in L2. The model's typical operands (dims 16-256)
+// fit in a single panel, where the blocked loops degenerate to the plain
+// ikj order with zero overhead.
+constexpr int64_t kNc = 256;
+constexpr int64_t kKc = 256;
+// Register tile: rows of A processed together so each loaded B row feeds
+// kMr output rows.
+constexpr int64_t kMr = 4;
+
+Counter* GemmCalls() {
+  static Counter* const c =
+      MetricsRegistry::Global().GetCounter("kernels.gemm.calls");
+  return c;
+}
+Counter* GemmFlops() {
+  static Counter* const c =
+      MetricsRegistry::Global().GetCounter("kernels.gemm.flops");
+  return c;
+}
+Counter* GemvCalls() {
+  static Counter* const c =
+      MetricsRegistry::Global().GetCounter("kernels.gemv.calls");
+  return c;
+}
+Counter* LstmGateCalls() {
+  static Counter* const c =
+      MetricsRegistry::Global().GetCounter("kernels.lstm_gate.calls");
+  return c;
+}
+Counter* AttentionCalls() {
+  static Counter* const c =
+      MetricsRegistry::Global().GetCounter("kernels.attention.calls");
+  return c;
+}
+
+inline void CountGemm(int64_t m, int64_t n, int64_t k) {
+  GemmCalls()->Add(1);
+  GemmFlops()->Add(static_cast<uint64_t>(2 * m * n * k));
+}
+
+}  // namespace
+
+void GemmNN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+            float* c, bool accumulate) {
+  CountGemm(m, n, k);
+  if (!accumulate) Fill(c, m * n, 0.0f);
+  for (int64_t jc = 0; jc < n; jc += kNc) {
+    const int64_t jend = std::min(jc + kNc, n);
+    for (int64_t kc = 0; kc < k; kc += kKc) {
+      const int64_t kend = std::min(kc + kKc, k);
+      int64_t i = 0;
+      // kMr-row register tile: every B row loaded once updates kMr output
+      // rows. Per output element the k index still ascends monotonically.
+      for (; i + kMr <= m; i += kMr) {
+        const float* __restrict a0 = a + (i + 0) * k;
+        const float* __restrict a1 = a + (i + 1) * k;
+        const float* __restrict a2 = a + (i + 2) * k;
+        const float* __restrict a3 = a + (i + 3) * k;
+        float* __restrict c0 = c + (i + 0) * n;
+        float* __restrict c1 = c + (i + 1) * n;
+        float* __restrict c2 = c + (i + 2) * n;
+        float* __restrict c3 = c + (i + 3) * n;
+        for (int64_t kk = kc; kk < kend; ++kk) {
+          const float* __restrict brow = b + kk * n;
+          const float v0 = a0[kk], v1 = a1[kk], v2 = a2[kk], v3 = a3[kk];
+          for (int64_t j = jc; j < jend; ++j) {
+            const float bj = brow[j];
+            c0[j] += v0 * bj;
+            c1[j] += v1 * bj;
+            c2[j] += v2 * bj;
+            c3[j] += v3 * bj;
+          }
+        }
+      }
+      for (; i < m; ++i) {
+        const float* __restrict arow = a + i * k;
+        float* __restrict crow = c + i * n;
+        for (int64_t kk = kc; kk < kend; ++kk) {
+          const float* __restrict brow = b + kk * n;
+          const float v = arow[kk];
+          for (int64_t j = jc; j < jend; ++j) crow[j] += v * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void GemmNT(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+            float* c, bool accumulate) {
+  CountGemm(m, n, k);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* __restrict arow = a + i * k;
+    float* __restrict crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float dot = Dot(arow, b + j * k, k);
+      crow[j] = accumulate ? crow[j] + dot : dot;
+    }
+  }
+}
+
+void GemmTN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+            float* c, bool accumulate) {
+  CountGemm(m, n, k);
+  if (!accumulate) Fill(c, m * n, 0.0f);
+  // Rank-1 updates in ascending k; i/j panels keep the updated C tile hot.
+  for (int64_t ic = 0; ic < m; ic += kNc) {
+    const int64_t iend = std::min(ic + kNc, m);
+    for (int64_t jc = 0; jc < n; jc += kNc) {
+      const int64_t jend = std::min(jc + kNc, n);
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float* __restrict arow = a + kk * m;
+        const float* __restrict brow = b + kk * n;
+        for (int64_t i = ic; i < iend; ++i) {
+          const float v = arow[i];
+          float* __restrict crow = c + i * n;
+          for (int64_t j = jc; j < jend; ++j) crow[j] += v * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void Gemv(int64_t m, int64_t n, const float* a, const float* x, float* y,
+          bool accumulate) {
+  GemvCalls()->Add(1);
+  for (int64_t i = 0; i < m; ++i) {
+    const float dot = Dot(a + i * n, x, n);
+    y[i] = accumulate ? y[i] + dot : dot;
+  }
+}
+
+void GemvT(int64_t m, int64_t n, const float* a, const float* x, float* y,
+           bool accumulate) {
+  GemvCalls()->Add(1);
+  if (!accumulate) Fill(y, n, 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    Axpy(n, x[i], a + i * n, y);
+  }
+}
+
+float Dot(const float* x, const float* y, int64_t n) {
+  // Fixed 16-lane vertical accumulation: lane l sums x[i+l]*y[i+l] over the
+  // 16-element strips, then the lanes combine in a fixed pairwise tree
+  // (8, 4, 2, 1). The vertical form maps 1:1 onto SIMD FMAs — the compiler
+  // widens the independent lanes without reassociating any of them — and
+  // the tree plus the ascending-order tail makes the result bit-identical
+  // run-to-run regardless of vector width.
+  constexpr int64_t kLanes = 16;
+  float acc[kLanes] = {0.0f};
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (int64_t l = 0; l < kLanes; ++l) acc[l] += x[i + l] * y[i + l];
+  }
+  for (int64_t width = kLanes / 2; width > 0; width /= 2) {
+    for (int64_t l = 0; l < width; ++l) acc[l] += acc[l + width];
+  }
+  float s = acc[0];
+  for (; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void Fill(float* x, int64_t n, float value) {
+  if (value == 0.0f) {
+    std::memset(x, 0, static_cast<size_t>(n) * sizeof(float));
+  } else {
+    for (int64_t i = 0; i < n; ++i) x[i] = value;
+  }
+}
+
+void Copy(const float* src, float* dst, int64_t n) {
+  std::memcpy(dst, src, static_cast<size_t>(n) * sizeof(float));
+}
+
+void Axpy(int64_t n, float alpha, const float* __restrict x,
+          float* __restrict y) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Scale(int64_t n, float alpha, float* x) {
+  for (int64_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void ScaledCopy(int64_t n, float alpha, const float* x, float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = alpha * x[i];
+}
+
+void Lerp(int64_t n, float w, const float* a, const float* b, float* out) {
+  const float wb = 1.0f - w;
+  for (int64_t i = 0; i < n; ++i) out[i] = w * a[i] + wb * b[i];
+}
+
+void InvSqrt(int64_t n, const float* x, float eps, float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = 1.0f / std::sqrt(x[i] + eps);
+}
+
+void BatchNormApplyRow(int64_t f, const float* x, const float* mean,
+                       const float* inv_std, const float* gamma,
+                       const float* beta, float* out) {
+  for (int64_t j = 0; j < f; ++j) {
+    out[j] = gamma[j] * (x[j] - mean[j]) * inv_std[j] + beta[j];
+  }
+}
+
+void NormalizeRow(int64_t f, const float* x, const float* mean,
+                  const float* inv_std, float* xhat) {
+  for (int64_t j = 0; j < f; ++j) xhat[j] = (x[j] - mean[j]) * inv_std[j];
+}
+
+void BatchNormBackwardRow(int64_t f, float batch, float inv_b, const float* g,
+                          const float* gamma, const float* xhat,
+                          const float* inv_std, const float* sum_dxhat,
+                          const float* sum_dxhat_xhat, float* dx) {
+  for (int64_t j = 0; j < f; ++j) {
+    const float dxh = g[j] * gamma[j];
+    dx[j] = inv_std[j] * inv_b *
+            (batch * dxh - sum_dxhat[j] - xhat[j] * sum_dxhat_xhat[j]);
+  }
+}
+
+void AdamUpdate(int64_t n, float lr, float beta1, float beta2, float eps,
+                float bc1, float bc2, const float* g, float* m, float* v,
+                float* p) {
+  for (int64_t j = 0; j < n; ++j) {
+    m[j] = beta1 * m[j] + (1.0f - beta1) * g[j];
+    v[j] = beta2 * v[j] + (1.0f - beta2) * g[j] * g[j];
+    const float mhat = m[j] / bc1;
+    const float vhat = v[j] / bc2;
+    p[j] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+void Add(int64_t n, const float* a, const float* b, float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void Sub(int64_t n, const float* a, const float* b, float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void Mul(int64_t n, const float* a, const float* b, float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void MulAdd(int64_t n, const float* a, const float* b, const float* c,
+            float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] * b[i] + c[i];
+}
+
+void AddScalar(int64_t n, const float* x, float value, float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = x[i] + value;
+}
+
+float Sum(const float* x, int64_t n) {
+  float s = 0.0f;
+  for (int64_t i = 0; i < n; ++i) s += x[i];
+  return s;
+}
+
+double SumSquares(const float* x, int64_t n) {
+  double s = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    s += static_cast<double>(x[i]) * x[i];
+  }
+  return s;
+}
+
+void SigmoidForward(int64_t n, const float* x, float* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  }
+}
+
+void SigmoidBackward(int64_t n, const float* g, const float* y, float* gx) {
+  for (int64_t i = 0; i < n; ++i) gx[i] = g[i] * y[i] * (1.0f - y[i]);
+}
+
+void TanhForward(int64_t n, const float* x, float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = std::tanh(x[i]);
+}
+
+void TanhBackward(int64_t n, const float* g, const float* y, float* gx) {
+  for (int64_t i = 0; i < n; ++i) gx[i] = g[i] * (1.0f - y[i] * y[i]);
+}
+
+void ReluForward(int64_t n, const float* x, float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void ReluBackward(int64_t n, const float* g, const float* y, float* gx) {
+  for (int64_t i = 0; i < n; ++i) gx[i] = y[i] > 0.0f ? g[i] : 0.0f;
+}
+
+void ExpForward(int64_t n, const float* x, float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = std::exp(x[i]);
+}
+
+void ExpBackward(int64_t n, const float* g, const float* y, float* gx) {
+  for (int64_t i = 0; i < n; ++i) gx[i] = g[i] * y[i];
+}
+
+void LogForward(int64_t n, const float* x, float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = std::log(x[i]);
+}
+
+void LogBackward(int64_t n, const float* g, const float* x, float* gx) {
+  for (int64_t i = 0; i < n; ++i) gx[i] = g[i] / x[i];
+}
+
+void LogSigmoidForward(int64_t n, const float* x, float* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    // log sigmoid(x) = -softplus(-x) = min(x,0) - log(1 + exp(-|x|)).
+    const float v = x[i];
+    out[i] = std::min(v, 0.0f) - std::log1p(std::exp(-std::abs(v)));
+  }
+}
+
+void LogSigmoidBackward(int64_t n, const float* g, const float* x,
+                        float* gx) {
+  for (int64_t i = 0; i < n; ++i) {
+    // d/dx log sigmoid(x) = sigmoid(-x), in the overflow-safe branch form.
+    const float v = x[i];
+    const float s = v >= 0.0f ? std::exp(-v) / (1.0f + std::exp(-v))
+                              : 1.0f / (1.0f + std::exp(v));
+    gx[i] = g[i] * s;
+  }
+}
+
+void SoftmaxForward(int64_t n, const float* x, float* out) {
+  float mx = x[0];
+  for (int64_t i = 1; i < n; ++i) mx = std::max(mx, x[i]);
+  float total = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = std::exp(x[i] - mx);
+    total += out[i];
+  }
+  Scale(n, 1.0f / total, out);
+}
+
+void SoftmaxBackward(int64_t n, const float* g, const float* y, float* gx) {
+  const float dot = Dot(g, y, n);
+  for (int64_t i = 0; i < n; ++i) gx[i] = y[i] * (g[i] - dot);
+}
+
+void LstmGateForward(int64_t b, int64_t h, const float* z,
+                     const float* c_prev, float* ifgo, float* tanh_c,
+                     float* hc) {
+  LstmGateCalls()->Add(1);
+  for (int64_t r = 0; r < b; ++r) {
+    const float* __restrict zr = z + r * 4 * h;
+    const float* __restrict cp = c_prev + r * h;
+    float* __restrict ar = ifgo + r * 4 * h;
+    float* __restrict tc = tanh_c + r * h;
+    float* __restrict hr = hc + r * 2 * h;
+    float* __restrict cr = hr + h;
+    for (int64_t j = 0; j < h; ++j) {
+      const float iv = 1.0f / (1.0f + std::exp(-zr[j]));
+      const float fv = 1.0f / (1.0f + std::exp(-zr[h + j]));
+      const float gv = std::tanh(zr[2 * h + j]);
+      const float ov = 1.0f / (1.0f + std::exp(-zr[3 * h + j]));
+      const float cv = fv * cp[j] + iv * gv;
+      const float tv = std::tanh(cv);
+      ar[j] = iv;
+      ar[h + j] = fv;
+      ar[2 * h + j] = gv;
+      ar[3 * h + j] = ov;
+      tc[j] = tv;
+      cr[j] = cv;
+      hr[j] = ov * tv;
+    }
+  }
+}
+
+void LstmGateBackward(int64_t b, int64_t h, const float* ghc,
+                      const float* ifgo, const float* tanh_c,
+                      const float* c_prev, float* gz, float* gc_prev) {
+  for (int64_t r = 0; r < b; ++r) {
+    const float* __restrict gh = ghc + r * 2 * h;
+    const float* __restrict gc = gh + h;
+    const float* __restrict ar = ifgo + r * 4 * h;
+    const float* __restrict tc = tanh_c + r * h;
+    const float* __restrict cp = c_prev + r * h;
+    float* __restrict gzr = gz + r * 4 * h;
+    float* __restrict gcp = gc_prev + r * h;
+    for (int64_t j = 0; j < h; ++j) {
+      const float iv = ar[j];
+      const float fv = ar[h + j];
+      const float gv = ar[2 * h + j];
+      const float ov = ar[3 * h + j];
+      const float tv = tc[j];
+      // Total cell gradient: direct dc' plus dh' through o * tanh(c').
+      const float dc = gc[j] + gh[j] * ov * (1.0f - tv * tv);
+      const float do_ = gh[j] * tv;
+      gzr[j] = dc * gv * iv * (1.0f - iv);
+      gzr[h + j] = dc * cp[j] * fv * (1.0f - fv);
+      gzr[2 * h + j] = dc * iv * (1.0f - gv * gv);
+      gzr[3 * h + j] = do_ * ov * (1.0f - ov);
+      gcp[j] = dc * fv;
+    }
+  }
+}
+
+void AttentionSoftmaxForward(int64_t l, int64_t d, const float* emb,
+                             const float* target, const float* neg_coeffs,
+                             float* alpha) {
+  AttentionCalls()->Add(1);
+  // Pass 1: logits_i = neg_coeffs[i] * ||emb_i - target||^2 into alpha.
+  for (int64_t i = 0; i < l; ++i) {
+    const float* __restrict er = emb + i * d;
+    float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+    int64_t j = 0;
+    for (; j + 4 <= d; j += 4) {
+      const float d0 = er[j + 0] - target[j + 0];
+      const float d1 = er[j + 1] - target[j + 1];
+      const float d2 = er[j + 2] - target[j + 2];
+      const float d3 = er[j + 3] - target[j + 3];
+      s0 += d0 * d0;
+      s1 += d1 * d1;
+      s2 += d2 * d2;
+      s3 += d3 * d3;
+    }
+    float s = (s0 + s1) + (s2 + s3);
+    for (; j < d; ++j) {
+      const float dj = er[j] - target[j];
+      s += dj * dj;
+    }
+    alpha[i] = neg_coeffs[i] * s;
+  }
+  // Pass 2: stable softmax in place.
+  SoftmaxForward(l, alpha, alpha);
+}
+
+void AttentionSoftmaxBackward(int64_t l, int64_t d, const float* g,
+                              const float* alpha, const float* emb,
+                              const float* target, const float* neg_coeffs,
+                              float* gemb, float* gtarget) {
+  const float dot = Dot(g, alpha, l);
+  for (int64_t i = 0; i < l; ++i) {
+    // Through the softmax, then the coefficient scale, then the squared
+    // distance: ddist_i = alpha_i * (g_i - <g, alpha>) * neg_coeffs[i].
+    const float ddist = alpha[i] * (g[i] - dot) * neg_coeffs[i];
+    const float two_ddist = 2.0f * ddist;
+    const float* __restrict er = emb + i * d;
+    float* __restrict ger = gemb + i * d;
+    for (int64_t j = 0; j < d; ++j) {
+      const float diff = er[j] - target[j];
+      ger[j] += two_ddist * diff;
+      gtarget[j] -= two_ddist * diff;
+    }
+  }
+}
+
+}  // namespace ehna::kernels

@@ -28,16 +28,13 @@ LstmCell::State LstmCell::InitialState(int64_t batch) const {
 
 LstmCell::State LstmCell::Forward(const Var& x, const State& state) const {
   EHNA_CHECK_EQ(x.value().cols(), input_dim_);
-  Var gates = ag::AddRowBroadcast(
-      ag::Add(ag::MatMul(x, w_ih_), ag::MatMul(state.h, w_hh_)), bias_);
-  const int64_t h = hidden_dim_;
-  Var i = ag::Sigmoid(ag::SliceCols(gates, 0, h));
-  Var f = ag::Sigmoid(ag::SliceCols(gates, h, h));
-  Var g = ag::Tanh(ag::SliceCols(gates, 2 * h, h));
-  Var o = ag::Sigmoid(ag::SliceCols(gates, 3 * h, h));
-  Var c_new = ag::Add(ag::Mul(f, state.c), ag::Mul(i, g));
-  Var h_new = ag::Mul(o, ag::Tanh(c_new));
-  return State{h_new, c_new};
+  // Two fused graph nodes per step: the packed pre-activation GEMM and the
+  // gate/cell-update kernel (replaces the former 16-node slice/activate/
+  // combine chain).
+  Var z = ag::LstmPreact(x, w_ih_, state.h, w_hh_, bias_);
+  Var hc = ag::LstmGates(z, state.c);
+  return State{ag::SliceCols(hc, 0, hidden_dim_),
+               ag::SliceCols(hc, hidden_dim_, hidden_dim_)};
 }
 
 std::vector<Var> LstmCell::Parameters() const { return {w_ih_, w_hh_, bias_}; }

@@ -1,23 +1,34 @@
 #include "nn/ops.h"
 
 #include <cmath>
+#include <memory>
+#include <utility>
+
+#include "nn/kernels.h"
+#include "util/metrics.h"
 
 namespace ehna::ag {
 
+// Every dense loop below routes through nn/kernels.h (DESIGN.md §9); op
+// code only does shape checks, graph wiring, and kernel dispatch. Outputs
+// that a kernel fully overwrites are created with Tensor::Uninit so arena
+// allocation stays a pure pointer bump.
+
 namespace {
 
-/// Builds a zero tensor with the same shape as `like`.
-Tensor ZerosLike(const Tensor& like) {
-  return like.rank() == 1 ? Tensor(like.rows())
-                          : Tensor(like.rows(), like.cols());
+/// Uninitialized tensor with the same shape as `like` (about to be fully
+/// overwritten by a kernel).
+Tensor UninitLike(const Tensor& like) {
+  return like.rank() == 1 ? Tensor::Uninit(like.rows())
+                          : Tensor::Uninit(like.rows(), like.cols());
 }
 
 }  // namespace
 
 Var Add(const Var& a, const Var& b) {
   EHNA_CHECK(a.value().SameShape(b.value()));
-  Tensor out = a.value();
-  out.AddInPlace(b.value());
+  Tensor out = UninitLike(a.value());
+  kernels::Add(out.numel(), a.value().data(), b.value().data(), out.data());
   return Var::Op(std::move(out), {a, b},
                  [a, b](const Tensor& g, const Tensor&) {
                    a.AccumulateGrad(g);
@@ -26,23 +37,39 @@ Var Add(const Var& a, const Var& b) {
                  "add");
 }
 
+Var SumN(const std::vector<Var>& terms) {
+  EHNA_CHECK(!terms.empty());
+  if (terms.size() == 1) return terms[0];
+  const Tensor& first = terms[0].value();
+  for (const Var& t : terms) EHNA_CHECK(t.value().SameShape(first));
+  Tensor out = UninitLike(first);
+  kernels::Copy(first.data(), out.data(), out.numel());
+  for (size_t i = 1; i < terms.size(); ++i) {
+    kernels::Add(out.numel(), out.data(), terms[i].value().data(), out.data());
+  }
+  std::vector<Var> parents = terms;
+  return Var::Op(std::move(out), std::move(parents),
+                 [terms](const Tensor& g, const Tensor&) {
+                   for (const Var& t : terms) t.AccumulateGrad(g);
+                 },
+                 "sum_n");
+}
+
 Var AddRowBroadcast(const Var& mat, const Var& row) {
   const Tensor& m = mat.value();
   const Tensor& r = row.value();
   EHNA_CHECK_EQ(r.rank(), 1);
   EHNA_CHECK_EQ(m.cols(), r.rows());
-  Tensor out = m;
+  Tensor out = Tensor::Uninit(m.rows(), m.cols());
   for (int64_t i = 0; i < m.rows(); ++i) {
-    float* orow = out.Row(i);
-    for (int64_t j = 0; j < m.cols(); ++j) orow[j] += r[j];
+    kernels::Add(m.cols(), m.Row(i), r.data(), out.Row(i));
   }
   return Var::Op(std::move(out), {mat, row},
                  [mat, row](const Tensor& g, const Tensor&) {
                    mat.AccumulateGrad(g);
                    Tensor gr(row.value().rows());
                    for (int64_t i = 0; i < g.rows(); ++i) {
-                     const float* grow = g.Row(i);
-                     for (int64_t j = 0; j < g.cols(); ++j) gr[j] += grow[j];
+                     kernels::Axpy(g.cols(), 1.0f, g.Row(i), gr.data());
                    }
                    row.AccumulateGrad(gr);
                  },
@@ -51,13 +78,13 @@ Var AddRowBroadcast(const Var& mat, const Var& row) {
 
 Var Sub(const Var& a, const Var& b) {
   EHNA_CHECK(a.value().SameShape(b.value()));
-  Tensor out = a.value();
-  out.Axpy(-1.0f, b.value());
+  Tensor out = UninitLike(a.value());
+  kernels::Sub(out.numel(), a.value().data(), b.value().data(), out.data());
   return Var::Op(std::move(out), {a, b},
                  [a, b](const Tensor& g, const Tensor&) {
                    a.AccumulateGrad(g);
-                   Tensor gb = g;
-                   gb.ScaleInPlace(-1.0f);
+                   Tensor gb = UninitLike(g);
+                   kernels::ScaledCopy(g.numel(), -1.0f, g.data(), gb.data());
                    b.AccumulateGrad(gb);
                  },
                  "sub");
@@ -68,18 +95,16 @@ Var SubRowBroadcast(const Var& mat, const Var& row) {
   const Tensor& r = row.value();
   EHNA_CHECK_EQ(r.rank(), 1);
   EHNA_CHECK_EQ(m.cols(), r.rows());
-  Tensor out = m;
+  Tensor out = Tensor::Uninit(m.rows(), m.cols());
   for (int64_t i = 0; i < m.rows(); ++i) {
-    float* orow = out.Row(i);
-    for (int64_t j = 0; j < m.cols(); ++j) orow[j] -= r[j];
+    kernels::Sub(m.cols(), m.Row(i), r.data(), out.Row(i));
   }
   return Var::Op(std::move(out), {mat, row},
                  [mat, row](const Tensor& g, const Tensor&) {
                    mat.AccumulateGrad(g);
                    Tensor gr(row.value().rows());
                    for (int64_t i = 0; i < g.rows(); ++i) {
-                     const float* grow = g.Row(i);
-                     for (int64_t j = 0; j < g.cols(); ++j) gr[j] -= grow[j];
+                     kernels::Axpy(g.cols(), -1.0f, g.Row(i), gr.data());
                    }
                    row.AccumulateGrad(gr);
                  },
@@ -88,55 +113,48 @@ Var SubRowBroadcast(const Var& mat, const Var& row) {
 
 Var Mul(const Var& a, const Var& b) {
   EHNA_CHECK(a.value().SameShape(b.value()));
-  Tensor out = a.value();
-  const float* bd = b.value().data();
-  float* od = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) od[i] *= bd[i];
+  Tensor out = UninitLike(a.value());
+  kernels::Mul(out.numel(), a.value().data(), b.value().data(), out.data());
   return Var::Op(std::move(out), {a, b},
                  [a, b](const Tensor& g, const Tensor&) {
-                   Tensor ga = g;
-                   {
-                     const float* bd = b.value().data();
-                     float* d = ga.data();
-                     for (int64_t i = 0; i < ga.numel(); ++i) d[i] *= bd[i];
-                   }
+                   Tensor ga = UninitLike(g);
+                   kernels::Mul(g.numel(), g.data(), b.value().data(),
+                                ga.data());
                    a.AccumulateGrad(ga);
-                   Tensor gb = g;
-                   {
-                     const float* ad = a.value().data();
-                     float* d = gb.data();
-                     for (int64_t i = 0; i < gb.numel(); ++i) d[i] *= ad[i];
-                   }
+                   Tensor gb = UninitLike(g);
+                   kernels::Mul(g.numel(), g.data(), a.value().data(),
+                                gb.data());
                    b.AccumulateGrad(gb);
                  },
                  "mul");
 }
 
 Var ScalarMul(const Var& a, float c) {
-  Tensor out = a.value();
-  out.ScaleInPlace(c);
+  Tensor out = UninitLike(a.value());
+  kernels::ScaledCopy(out.numel(), c, a.value().data(), out.data());
   return Var::Op(std::move(out), {a},
                  [a, c](const Tensor& g, const Tensor&) {
-                   Tensor ga = g;
-                   ga.ScaleInPlace(c);
+                   Tensor ga = UninitLike(g);
+                   kernels::ScaledCopy(g.numel(), c, g.data(), ga.data());
                    a.AccumulateGrad(ga);
                  },
                  "scalar_mul");
 }
 
 Var AddScalar(const Var& a, float c) {
-  Tensor out = a.value();
-  float* d = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) d[i] += c;
+  Tensor out = UninitLike(a.value());
+  kernels::AddScalar(out.numel(), a.value().data(), c, out.data());
   return Var::Op(std::move(out), {a},
                  [a](const Tensor& g, const Tensor&) { a.AccumulateGrad(g); },
                  "add_scalar");
 }
 
 Var MatMul(const Var& a, const Var& b) {
+  EHNA_TRACE_PHASE("kernels.phase.gemm");
   Tensor out = ehna::MatMul(a.value(), b.value());
   return Var::Op(std::move(out), {a, b},
                  [a, b](const Tensor& g, const Tensor&) {
+                   EHNA_TRACE_PHASE("kernels.phase.gemm");
                    a.AccumulateGrad(MatMulTransposeB(g, b.value()));
                    b.AccumulateGrad(MatMulTransposeA(a.value(), g));
                  },
@@ -148,29 +166,23 @@ Var MatVec(const Var& mat, const Var& vec) {
   const Tensor& v = vec.value();
   EHNA_CHECK_EQ(v.rank(), 1);
   EHNA_CHECK_EQ(m.cols(), v.rows());
-  Tensor out(m.rows());
-  for (int64_t i = 0; i < m.rows(); ++i) {
-    const float* row = m.Row(i);
-    float acc = 0.0f;
-    for (int64_t j = 0; j < m.cols(); ++j) acc += row[j] * v[j];
-    out[i] = acc;
-  }
+  EHNA_TRACE_PHASE("kernels.phase.gemm");
+  Tensor out = Tensor::Uninit(m.rows());
+  kernels::Gemv(m.rows(), m.cols(), m.data(), v.data(), out.data(),
+                /*accumulate=*/false);
   return Var::Op(
       std::move(out), {mat, vec},
       [mat, vec](const Tensor& g, const Tensor&) {
+        EHNA_TRACE_PHASE("kernels.phase.gemm");
         const Tensor& m = mat.value();
         const Tensor& v = vec.value();
-        Tensor gm(m.rows(), m.cols());
-        Tensor gv(v.rows());
+        Tensor gm = Tensor::Uninit(m.rows(), m.cols());
         for (int64_t i = 0; i < m.rows(); ++i) {
-          const float gi = g[i];
-          float* gmrow = gm.Row(i);
-          const float* mrow = m.Row(i);
-          for (int64_t j = 0; j < m.cols(); ++j) {
-            gmrow[j] = gi * v[j];
-            gv[j] += gi * mrow[j];
-          }
+          kernels::ScaledCopy(m.cols(), g[i], v.data(), gm.Row(i));
         }
+        Tensor gv = Tensor::Uninit(v.rows());
+        kernels::GemvT(m.rows(), m.cols(), m.data(), g.data(), gv.data(),
+                       /*accumulate=*/false);
         mat.AccumulateGrad(gm);
         vec.AccumulateGrad(gv);
       },
@@ -178,86 +190,65 @@ Var MatVec(const Var& mat, const Var& vec) {
 }
 
 Var Sigmoid(const Var& a) {
-  Tensor out = a.value();
-  float* d = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    d[i] = 1.0f / (1.0f + std::exp(-d[i]));
-  }
+  Tensor out = UninitLike(a.value());
+  kernels::SigmoidForward(out.numel(), a.value().data(), out.data());
   return Var::Op(std::move(out), {a},
                  [a](const Tensor& g, const Tensor& y) {
-                   Tensor ga = g;
-                   const float* yd = y.data();
-                   float* d = ga.data();
-                   for (int64_t i = 0; i < ga.numel(); ++i) {
-                     d[i] *= yd[i] * (1.0f - yd[i]);
-                   }
+                   Tensor ga = UninitLike(g);
+                   kernels::SigmoidBackward(g.numel(), g.data(), y.data(),
+                                            ga.data());
                    a.AccumulateGrad(ga);
                  },
                  "sigmoid");
 }
 
 Var Tanh(const Var& a) {
-  Tensor out = a.value();
-  float* d = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) d[i] = std::tanh(d[i]);
+  Tensor out = UninitLike(a.value());
+  kernels::TanhForward(out.numel(), a.value().data(), out.data());
   return Var::Op(std::move(out), {a},
                  [a](const Tensor& g, const Tensor& y) {
-                   Tensor ga = g;
-                   const float* yd = y.data();
-                   float* d = ga.data();
-                   for (int64_t i = 0; i < ga.numel(); ++i) {
-                     d[i] *= 1.0f - yd[i] * yd[i];
-                   }
+                   Tensor ga = UninitLike(g);
+                   kernels::TanhBackward(g.numel(), g.data(), y.data(),
+                                         ga.data());
                    a.AccumulateGrad(ga);
                  },
                  "tanh");
 }
 
 Var Relu(const Var& a) {
-  Tensor out = a.value();
-  float* d = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+  Tensor out = UninitLike(a.value());
+  kernels::ReluForward(out.numel(), a.value().data(), out.data());
   return Var::Op(std::move(out), {a},
                  [a](const Tensor& g, const Tensor& y) {
-                   Tensor ga = g;
-                   const float* yd = y.data();
-                   float* d = ga.data();
-                   for (int64_t i = 0; i < ga.numel(); ++i) {
-                     if (yd[i] <= 0.0f) d[i] = 0.0f;
-                   }
+                   Tensor ga = UninitLike(g);
+                   kernels::ReluBackward(g.numel(), g.data(), y.data(),
+                                         ga.data());
                    a.AccumulateGrad(ga);
                  },
                  "relu");
 }
 
 Var Exp(const Var& a) {
-  Tensor out = a.value();
-  float* d = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) d[i] = std::exp(d[i]);
+  Tensor out = UninitLike(a.value());
+  kernels::ExpForward(out.numel(), a.value().data(), out.data());
   return Var::Op(std::move(out), {a},
                  [a](const Tensor& g, const Tensor& y) {
-                   Tensor ga = g;
-                   const float* yd = y.data();
-                   float* d = ga.data();
-                   for (int64_t i = 0; i < ga.numel(); ++i) d[i] *= yd[i];
+                   Tensor ga = UninitLike(g);
+                   kernels::ExpBackward(g.numel(), g.data(), y.data(),
+                                        ga.data());
                    a.AccumulateGrad(ga);
                  },
                  "exp");
 }
 
 Var Log(const Var& a) {
-  Tensor out = a.value();
-  float* d = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    EHNA_DCHECK(d[i] > 0.0f);
-    d[i] = std::log(d[i]);
-  }
+  Tensor out = UninitLike(a.value());
+  kernels::LogForward(out.numel(), a.value().data(), out.data());
   return Var::Op(std::move(out), {a},
                  [a](const Tensor& g, const Tensor&) {
-                   Tensor ga = g;
-                   const float* xd = a.value().data();
-                   float* d = ga.data();
-                   for (int64_t i = 0; i < ga.numel(); ++i) d[i] /= xd[i];
+                   Tensor ga = UninitLike(g);
+                   kernels::LogBackward(g.numel(), g.data(), a.value().data(),
+                                        ga.data());
                    a.AccumulateGrad(ga);
                  },
                  "log");
@@ -266,24 +257,13 @@ Var Log(const Var& a) {
 Var Softmax(const Var& vec) {
   const Tensor& x = vec.value();
   EHNA_CHECK_EQ(x.rank(), 1);
-  Tensor out = x;
-  float mx = out[0];
-  for (int64_t i = 1; i < out.numel(); ++i) mx = std::max(mx, out[i]);
-  float total = 0.0f;
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    out[i] = std::exp(out[i] - mx);
-    total += out[i];
-  }
-  out.ScaleInPlace(1.0f / total);
+  Tensor out = Tensor::Uninit(x.rows());
+  kernels::SoftmaxForward(x.numel(), x.data(), out.data());
   return Var::Op(std::move(out), {vec},
                  [vec](const Tensor& g, const Tensor& y) {
-                   // dx = y * (g - <g, y>)
-                   float dot = 0.0f;
-                   for (int64_t i = 0; i < y.numel(); ++i) dot += g[i] * y[i];
-                   Tensor gx(y.rows());
-                   for (int64_t i = 0; i < y.numel(); ++i) {
-                     gx[i] = y[i] * (g[i] - dot);
-                   }
+                   Tensor gx = Tensor::Uninit(y.rows());
+                   kernels::SoftmaxBackward(y.numel(), g.data(), y.data(),
+                                            gx.data());
                    vec.AccumulateGrad(gx);
                  },
                  "softmax");
@@ -291,11 +271,11 @@ Var Softmax(const Var& vec) {
 
 Var Sum(const Var& a) {
   Tensor out(1);
-  out[0] = a.value().Sum();
+  out[0] = kernels::Sum(a.value().data(), a.value().numel());
   return Var::Op(std::move(out), {a},
                  [a](const Tensor& g, const Tensor&) {
-                   Tensor ga = ZerosLike(a.value());
-                   ga.Fill(g[0]);
+                   Tensor ga = UninitLike(a.value());
+                   kernels::Fill(ga.data(), ga.numel(), g[0]);
                    a.AccumulateGrad(ga);
                  },
                  "sum");
@@ -305,11 +285,12 @@ Var Mean(const Var& a) {
   const int64_t n = a.value().numel();
   EHNA_CHECK_GT(n, 0);
   Tensor out(1);
-  out[0] = a.value().Sum() / static_cast<float>(n);
+  out[0] = kernels::Sum(a.value().data(), n) / static_cast<float>(n);
   return Var::Op(std::move(out), {a},
                  [a, n](const Tensor& g, const Tensor&) {
-                   Tensor ga = ZerosLike(a.value());
-                   ga.Fill(g[0] / static_cast<float>(n));
+                   Tensor ga = UninitLike(a.value());
+                   kernels::Fill(ga.data(), ga.numel(),
+                                 g[0] / static_cast<float>(n));
                    a.AccumulateGrad(ga);
                  },
                  "mean");
@@ -318,16 +299,12 @@ Var Mean(const Var& a) {
 Var SumSquares(const Var& a) {
   const Tensor& x = a.value();
   Tensor out(1);
-  double acc = 0.0;
-  const float* d = x.data();
-  for (int64_t i = 0; i < x.numel(); ++i) {
-    acc += static_cast<double>(d[i]) * d[i];
-  }
-  out[0] = static_cast<float>(acc);
+  out[0] = static_cast<float>(kernels::SumSquares(x.data(), x.numel()));
   return Var::Op(std::move(out), {a},
                  [a](const Tensor& g, const Tensor&) {
-                   Tensor ga = a.value();
-                   ga.ScaleInPlace(2.0f * g[0]);
+                   Tensor ga = UninitLike(a.value());
+                   kernels::ScaledCopy(ga.numel(), 2.0f * g[0],
+                                       a.value().data(), ga.data());
                    a.AccumulateGrad(ga);
                  },
                  "sum_squares");
@@ -336,24 +313,17 @@ Var SumSquares(const Var& a) {
 Var RowSumSquares(const Var& mat) {
   const Tensor& m = mat.value();
   EHNA_CHECK_EQ(m.rank(), 2);
-  Tensor out(m.rows());
+  Tensor out = Tensor::Uninit(m.rows());
   for (int64_t i = 0; i < m.rows(); ++i) {
-    const float* row = m.Row(i);
-    float acc = 0.0f;
-    for (int64_t j = 0; j < m.cols(); ++j) acc += row[j] * row[j];
-    out[i] = acc;
+    out[i] = kernels::Dot(m.Row(i), m.Row(i), m.cols());
   }
   return Var::Op(std::move(out), {mat},
                  [mat](const Tensor& g, const Tensor&) {
                    const Tensor& m = mat.value();
-                   Tensor gm(m.rows(), m.cols());
+                   Tensor gm = Tensor::Uninit(m.rows(), m.cols());
                    for (int64_t i = 0; i < m.rows(); ++i) {
-                     const float* row = m.Row(i);
-                     float* grow = gm.Row(i);
-                     const float gi = 2.0f * g[i];
-                     for (int64_t j = 0; j < m.cols(); ++j) {
-                       grow[j] = gi * row[j];
-                     }
+                     kernels::ScaledCopy(m.cols(), 2.0f * g[i], m.Row(i),
+                                         gm.Row(i));
                    }
                    mat.AccumulateGrad(gm);
                  },
@@ -366,16 +336,16 @@ Var Dot(const Var& a, const Var& b) {
   EHNA_CHECK_EQ(x.rank(), 1);
   EHNA_CHECK(x.SameShape(y));
   Tensor out(1);
-  float acc = 0.0f;
-  for (int64_t i = 0; i < x.numel(); ++i) acc += x[i] * y[i];
-  out[0] = acc;
+  out[0] = kernels::Dot(x.data(), y.data(), x.numel());
   return Var::Op(std::move(out), {a, b},
                  [a, b](const Tensor& g, const Tensor&) {
-                   Tensor ga = b.value();
-                   ga.ScaleInPlace(g[0]);
+                   Tensor ga = UninitLike(b.value());
+                   kernels::ScaledCopy(ga.numel(), g[0], b.value().data(),
+                                       ga.data());
                    a.AccumulateGrad(ga);
-                   Tensor gb = a.value();
-                   gb.ScaleInPlace(g[0]);
+                   Tensor gb = UninitLike(a.value());
+                   kernels::ScaledCopy(gb.numel(), g[0], a.value().data(),
+                                       gb.data());
                    b.AccumulateGrad(gb);
                  },
                  "dot");
@@ -385,15 +355,13 @@ Var Row(const Var& mat, int64_t i) {
   const Tensor& m = mat.value();
   EHNA_CHECK_EQ(m.rank(), 2);
   EHNA_CHECK(i >= 0 && i < m.rows());
-  Tensor out(m.cols());
-  const float* row = m.Row(i);
-  for (int64_t j = 0; j < m.cols(); ++j) out[j] = row[j];
+  Tensor out = Tensor::Uninit(m.cols());
+  kernels::Copy(m.Row(i), out.data(), m.cols());
   return Var::Op(std::move(out), {mat},
                  [mat, i](const Tensor& g, const Tensor&) {
                    const Tensor& m = mat.value();
                    Tensor gm(m.rows(), m.cols());
-                   float* grow = gm.Row(i);
-                   for (int64_t j = 0; j < m.cols(); ++j) grow[j] = g[j];
+                   kernels::Copy(g.data(), gm.Row(i), m.cols());
                    mat.AccumulateGrad(gm);
                  },
                  "row");
@@ -406,19 +374,17 @@ Var ConcatRows(const std::vector<Var>& rows) {
     EHNA_CHECK_EQ(r.value().rank(), 1);
     EHNA_CHECK_EQ(r.value().numel(), n);
   }
-  Tensor out(static_cast<int64_t>(rows.size()), n);
+  Tensor out = Tensor::Uninit(static_cast<int64_t>(rows.size()), n);
   for (size_t i = 0; i < rows.size(); ++i) {
-    const float* src = rows[i].value().data();
-    float* dst = out.Row(static_cast<int64_t>(i));
-    for (int64_t j = 0; j < n; ++j) dst[j] = src[j];
+    kernels::Copy(rows[i].value().data(), out.Row(static_cast<int64_t>(i)), n);
   }
   std::vector<Var> parents = rows;
   return Var::Op(std::move(out), std::move(parents),
                  [rows, n](const Tensor& g, const Tensor&) {
                    for (size_t i = 0; i < rows.size(); ++i) {
-                     Tensor gr(n);
-                     const float* src = g.Row(static_cast<int64_t>(i));
-                     for (int64_t j = 0; j < n; ++j) gr[j] = src[j];
+                     Tensor gr = Tensor::Uninit(n);
+                     kernels::Copy(g.Row(static_cast<int64_t>(i)), gr.data(),
+                                   n);
                      rows[i].AccumulateGrad(gr);
                    }
                  },
@@ -430,17 +396,17 @@ Var Concat(const Var& a, const Var& b) {
   const Tensor& y = b.value();
   EHNA_CHECK_EQ(x.rank(), 1);
   EHNA_CHECK_EQ(y.rank(), 1);
-  Tensor out(x.numel() + y.numel());
-  for (int64_t i = 0; i < x.numel(); ++i) out[i] = x[i];
-  for (int64_t i = 0; i < y.numel(); ++i) out[x.numel() + i] = y[i];
+  Tensor out = Tensor::Uninit(x.numel() + y.numel());
+  kernels::Copy(x.data(), out.data(), x.numel());
+  kernels::Copy(y.data(), out.data() + x.numel(), y.numel());
   const int64_t na = x.numel();
   return Var::Op(std::move(out), {a, b},
                  [a, b, na](const Tensor& g, const Tensor&) {
-                   Tensor ga(na);
-                   for (int64_t i = 0; i < na; ++i) ga[i] = g[i];
+                   Tensor ga = Tensor::Uninit(na);
+                   kernels::Copy(g.data(), ga.data(), na);
                    a.AccumulateGrad(ga);
-                   Tensor gb(g.numel() - na);
-                   for (int64_t i = 0; i < gb.numel(); ++i) gb[i] = g[na + i];
+                   Tensor gb = Tensor::Uninit(g.numel() - na);
+                   kernels::Copy(g.data() + na, gb.data(), g.numel() - na);
                    b.AccumulateGrad(gb);
                  },
                  "concat");
@@ -450,20 +416,16 @@ Var SliceCols(const Var& mat, int64_t start, int64_t len) {
   const Tensor& m = mat.value();
   EHNA_CHECK_EQ(m.rank(), 2);
   EHNA_CHECK(start >= 0 && len > 0 && start + len <= m.cols());
-  Tensor out(m.rows(), len);
+  Tensor out = Tensor::Uninit(m.rows(), len);
   for (int64_t i = 0; i < m.rows(); ++i) {
-    const float* src = m.Row(i) + start;
-    float* dst = out.Row(i);
-    for (int64_t j = 0; j < len; ++j) dst[j] = src[j];
+    kernels::Copy(m.Row(i) + start, out.Row(i), len);
   }
   return Var::Op(std::move(out), {mat},
                  [mat, start, len](const Tensor& g, const Tensor&) {
                    const Tensor& m = mat.value();
                    Tensor gm(m.rows(), m.cols());
                    for (int64_t i = 0; i < m.rows(); ++i) {
-                     const float* src = g.Row(i);
-                     float* dst = gm.Row(i) + start;
-                     for (int64_t j = 0; j < len; ++j) dst[j] = src[j];
+                     kernels::Copy(g.Row(i), gm.Row(i) + start, len);
                    }
                    mat.AccumulateGrad(gm);
                  },
@@ -476,28 +438,20 @@ Var ScaleRows(const Var& mat, const Var& scale) {
   EHNA_CHECK_EQ(m.rank(), 2);
   EHNA_CHECK_EQ(s.rank(), 1);
   EHNA_CHECK_EQ(m.rows(), s.rows());
-  Tensor out = m;
+  Tensor out = Tensor::Uninit(m.rows(), m.cols());
   for (int64_t i = 0; i < m.rows(); ++i) {
-    float* row = out.Row(i);
-    for (int64_t j = 0; j < m.cols(); ++j) row[j] *= s[i];
+    kernels::ScaledCopy(m.cols(), s[i], m.Row(i), out.Row(i));
   }
   return Var::Op(
       std::move(out), {mat, scale},
       [mat, scale](const Tensor& g, const Tensor&) {
         const Tensor& m = mat.value();
         const Tensor& s = scale.value();
-        Tensor gm(m.rows(), m.cols());
-        Tensor gs(s.rows());
+        Tensor gm = Tensor::Uninit(m.rows(), m.cols());
+        Tensor gs = Tensor::Uninit(s.rows());
         for (int64_t i = 0; i < m.rows(); ++i) {
-          const float* grow = g.Row(i);
-          const float* mrow = m.Row(i);
-          float* gmrow = gm.Row(i);
-          float acc = 0.0f;
-          for (int64_t j = 0; j < m.cols(); ++j) {
-            gmrow[j] = grow[j] * s[i];
-            acc += grow[j] * mrow[j];
-          }
-          gs[i] = acc;
+          kernels::ScaledCopy(m.cols(), s[i], g.Row(i), gm.Row(i));
+          gs[i] = kernels::Dot(g.Row(i), m.Row(i), m.cols());
         }
         mat.AccumulateGrad(gm);
         scale.AccumulateGrad(gs);
@@ -510,22 +464,18 @@ Var ScaleRowsConst(const Var& mat, const Tensor& scale) {
   EHNA_CHECK_EQ(m.rank(), 2);
   EHNA_CHECK_EQ(scale.rank(), 1);
   EHNA_CHECK_EQ(m.rows(), scale.rows());
-  Tensor out = m;
+  Tensor out = Tensor::Uninit(m.rows(), m.cols());
   for (int64_t i = 0; i < m.rows(); ++i) {
-    float* row = out.Row(i);
-    for (int64_t j = 0; j < m.cols(); ++j) row[j] *= scale[i];
+    kernels::ScaledCopy(m.cols(), scale[i], m.Row(i), out.Row(i));
   }
   Tensor scale_copy = scale;
   return Var::Op(std::move(out), {mat},
                  [mat, scale_copy](const Tensor& g, const Tensor&) {
                    const Tensor& m = mat.value();
-                   Tensor gm(m.rows(), m.cols());
+                   Tensor gm = Tensor::Uninit(m.rows(), m.cols());
                    for (int64_t i = 0; i < m.rows(); ++i) {
-                     const float* grow = g.Row(i);
-                     float* gmrow = gm.Row(i);
-                     for (int64_t j = 0; j < m.cols(); ++j) {
-                       gmrow[j] = grow[j] * scale_copy[i];
-                     }
+                     kernels::ScaledCopy(m.cols(), scale_copy[i], g.Row(i),
+                                         gm.Row(i));
                    }
                    mat.AccumulateGrad(gm);
                  },
@@ -539,32 +489,21 @@ Var MaskRows(const Var& a, const Var& b, const Tensor& mask) {
   EHNA_CHECK_EQ(x.rank(), 2);
   EHNA_CHECK_EQ(mask.rank(), 1);
   EHNA_CHECK_EQ(mask.rows(), x.rows());
-  Tensor out(x.rows(), x.cols());
+  Tensor out = Tensor::Uninit(x.rows(), x.cols());
   for (int64_t i = 0; i < x.rows(); ++i) {
-    const float mi = mask[i];
-    const float* xr = x.Row(i);
-    const float* yr = y.Row(i);
-    float* orow = out.Row(i);
-    for (int64_t j = 0; j < x.cols(); ++j) {
-      orow[j] = mi * xr[j] + (1.0f - mi) * yr[j];
-    }
+    kernels::Lerp(x.cols(), mask[i], x.Row(i), y.Row(i), out.Row(i));
   }
   Tensor mask_copy = mask;
   return Var::Op(
       std::move(out), {a, b},
       [a, b, mask_copy](const Tensor& g, const Tensor&) {
         const Tensor& x = a.value();
-        Tensor ga(x.rows(), x.cols());
-        Tensor gb(x.rows(), x.cols());
+        Tensor ga = Tensor::Uninit(x.rows(), x.cols());
+        Tensor gb = Tensor::Uninit(x.rows(), x.cols());
         for (int64_t i = 0; i < x.rows(); ++i) {
           const float mi = mask_copy[i];
-          const float* grow = g.Row(i);
-          float* gar = ga.Row(i);
-          float* gbr = gb.Row(i);
-          for (int64_t j = 0; j < x.cols(); ++j) {
-            gar[j] = mi * grow[j];
-            gbr[j] = (1.0f - mi) * grow[j];
-          }
+          kernels::ScaledCopy(x.cols(), mi, g.Row(i), ga.Row(i));
+          kernels::ScaledCopy(x.cols(), 1.0f - mi, g.Row(i), gb.Row(i));
         }
         a.AccumulateGrad(ga);
         b.AccumulateGrad(gb);
@@ -578,24 +517,21 @@ Var L2Normalize(const Var& vec, float eps) {
   const float norm = x.Norm();
   const bool degenerate = norm < eps;
   const float denom = degenerate ? eps : norm;
-  Tensor out = x;
-  out.ScaleInPlace(1.0f / denom);
+  Tensor out = Tensor::Uninit(x.rows());
+  kernels::ScaledCopy(x.numel(), 1.0f / denom, x.data(), out.data());
   return Var::Op(std::move(out), {vec},
                  [vec, denom, degenerate](const Tensor& g, const Tensor& y) {
-                   Tensor gx(y.rows());
+                   Tensor gx = Tensor::Uninit(y.rows());
                    if (degenerate) {
                      // Below the clamp the map is linear: y = x / eps.
-                     for (int64_t i = 0; i < y.numel(); ++i) {
-                       gx[i] = g[i] / denom;
-                     }
+                     kernels::ScaledCopy(y.numel(), 1.0f / denom, g.data(),
+                                         gx.data());
                    } else {
-                     float dot = 0.0f;
-                     for (int64_t i = 0; i < y.numel(); ++i) {
-                       dot += g[i] * y[i];
-                     }
-                     for (int64_t i = 0; i < y.numel(); ++i) {
-                       gx[i] = (g[i] - y[i] * dot) / denom;
-                     }
+                     const float dot = kernels::Dot(g.data(), y.data(),
+                                                    y.numel());
+                     kernels::Copy(g.data(), gx.data(), y.numel());
+                     kernels::Axpy(y.numel(), -dot, y.data(), gx.data());
+                     kernels::Scale(y.numel(), 1.0f / denom, gx.data());
                    }
                    vec.AccumulateGrad(gx);
                  },
@@ -608,26 +544,13 @@ Var Hinge(const Var& scalar) {
 }
 
 Var LogSigmoid(const Var& a) {
-  Tensor out = a.value();
-  float* d = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    // log sigmoid(x) = -softplus(-x) = min(x,0) - log(1 + exp(-|x|)).
-    const float x = d[i];
-    d[i] = std::min(x, 0.0f) - std::log1p(std::exp(-std::abs(x)));
-  }
+  Tensor out = UninitLike(a.value());
+  kernels::LogSigmoidForward(out.numel(), a.value().data(), out.data());
   return Var::Op(std::move(out), {a},
                  [a](const Tensor& g, const Tensor&) {
-                   // d/dx log sigmoid(x) = 1 - sigmoid(x) = sigmoid(-x).
-                   Tensor ga = g;
-                   const float* xd = a.value().data();
-                   float* d = ga.data();
-                   for (int64_t i = 0; i < ga.numel(); ++i) {
-                     const float x = xd[i];
-                     const float s = x >= 0.0f
-                                         ? std::exp(-x) / (1.0f + std::exp(-x))
-                                         : 1.0f / (1.0f + std::exp(x));
-                     d[i] *= s;
-                   }
+                   Tensor ga = UninitLike(g);
+                   kernels::LogSigmoidBackward(g.numel(), g.data(),
+                                               a.value().data(), ga.data());
                    a.AccumulateGrad(ga);
                  },
                  "log_sigmoid");
@@ -640,7 +563,7 @@ Var BroadcastScalar(const Var& scalar, int64_t n) {
   return Var::Op(std::move(out), {scalar},
                  [scalar](const Tensor& g, const Tensor&) {
                    Tensor gs(1);
-                   gs[0] = g.Sum();
+                   gs[0] = kernels::Sum(g.data(), g.numel());
                    scalar.AccumulateGrad(gs);
                  },
                  "broadcast_scalar");
@@ -648,17 +571,13 @@ Var BroadcastScalar(const Var& scalar, int64_t n) {
 
 Var MulConst(const Var& a, const Tensor& c) {
   EHNA_CHECK(a.value().SameShape(c));
-  Tensor out = a.value();
-  const float* cd = c.data();
-  float* od = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) od[i] *= cd[i];
+  Tensor out = UninitLike(a.value());
+  kernels::Mul(out.numel(), a.value().data(), c.data(), out.data());
   Tensor c_copy = c;
   return Var::Op(std::move(out), {a},
                  [a, c_copy](const Tensor& g, const Tensor&) {
-                   Tensor ga = g;
-                   const float* cd = c_copy.data();
-                   float* d = ga.data();
-                   for (int64_t i = 0; i < ga.numel(); ++i) d[i] *= cd[i];
+                   Tensor ga = UninitLike(g);
+                   kernels::Mul(g.numel(), g.data(), c_copy.data(), ga.data());
                    a.AccumulateGrad(ga);
                  },
                  "mul_const");
@@ -670,20 +589,17 @@ Var ColMean(const Var& mat) {
   EHNA_CHECK_GT(m.rows(), 0);
   Tensor out(m.cols());
   for (int64_t i = 0; i < m.rows(); ++i) {
-    const float* row = m.Row(i);
-    for (int64_t j = 0; j < m.cols(); ++j) out[j] += row[j];
+    kernels::Axpy(m.cols(), 1.0f, m.Row(i), out.data());
   }
-  out.ScaleInPlace(1.0f / static_cast<float>(m.rows()));
+  kernels::Scale(m.cols(), 1.0f / static_cast<float>(m.rows()), out.data());
   return Var::Op(std::move(out), {mat},
                  [mat](const Tensor& g, const Tensor&) {
                    const Tensor& m = mat.value();
                    const float inv = 1.0f / static_cast<float>(m.rows());
-                   Tensor gm(m.rows(), m.cols());
-                   for (int64_t i = 0; i < m.rows(); ++i) {
-                     float* grow = gm.Row(i);
-                     for (int64_t j = 0; j < m.cols(); ++j) {
-                       grow[j] = g[j] * inv;
-                     }
+                   Tensor gm = Tensor::Uninit(m.rows(), m.cols());
+                   kernels::ScaledCopy(m.cols(), inv, g.data(), gm.Row(0));
+                   for (int64_t i = 1; i < m.rows(); ++i) {
+                     kernels::Copy(gm.Row(0), gm.Row(i), m.cols());
                    }
                    mat.AccumulateGrad(gm);
                  },
@@ -696,8 +612,8 @@ Var AsMatrix(const Var& vec) {
   Tensor out = x.Reshape(1, x.numel());
   return Var::Op(std::move(out), {vec},
                  [vec](const Tensor& g, const Tensor&) {
-                   Tensor gv(g.numel());
-                   for (int64_t i = 0; i < g.numel(); ++i) gv[i] = g.data()[i];
+                   Tensor gv = Tensor::Uninit(g.numel());
+                   kernels::Copy(g.data(), gv.data(), g.numel());
                    vec.AccumulateGrad(gv);
                  },
                  "as_matrix");
@@ -707,14 +623,147 @@ Var AsVector(const Var& mat) {
   const Tensor& x = mat.value();
   EHNA_CHECK_EQ(x.rank(), 2);
   EHNA_CHECK_EQ(x.rows(), 1);
-  Tensor out(x.cols());
-  for (int64_t i = 0; i < x.cols(); ++i) out[i] = x.data()[i];
+  Tensor out = Tensor::Uninit(x.cols());
+  kernels::Copy(x.data(), out.data(), x.cols());
   return Var::Op(std::move(out), {mat},
                  [mat](const Tensor& g, const Tensor&) {
                    Tensor gm = g.Reshape(1, g.numel());
                    mat.AccumulateGrad(gm);
                  },
                  "as_vector");
+}
+
+// ---------------------------------------------------------------- fused ops
+
+Var LstmPreact(const Var& x, const Var& w_ih, const Var& h, const Var& w_hh,
+               const Var& bias) {
+  const Tensor& xv = x.value();
+  const Tensor& wi = w_ih.value();
+  const Tensor& hv = h.value();
+  const Tensor& wh = w_hh.value();
+  const Tensor& bv = bias.value();
+  EHNA_CHECK_EQ(xv.rank(), 2);
+  EHNA_CHECK_EQ(hv.rank(), 2);
+  EHNA_CHECK_EQ(xv.rows(), hv.rows());
+  EHNA_CHECK_EQ(xv.cols(), wi.rows());
+  EHNA_CHECK_EQ(hv.cols(), wh.rows());
+  EHNA_CHECK_EQ(wi.cols(), wh.cols());
+  EHNA_CHECK_EQ(bv.rank(), 1);
+  EHNA_CHECK_EQ(bv.rows(), wi.cols());
+  EHNA_TRACE_PHASE("kernels.phase.lstm_step");
+  const int64_t b = xv.rows();
+  const int64_t four_h = wi.cols();
+  Tensor out = Tensor::Uninit(b, four_h);
+  kernels::GemmNN(b, four_h, xv.cols(), xv.data(), wi.data(), out.data(),
+                  /*accumulate=*/false);
+  kernels::GemmNN(b, four_h, hv.cols(), hv.data(), wh.data(), out.data(),
+                  /*accumulate=*/true);
+  for (int64_t i = 0; i < b; ++i) {
+    kernels::Add(four_h, out.Row(i), bv.data(), out.Row(i));
+  }
+  return Var::Op(
+      std::move(out), {x, w_ih, h, w_hh, bias},
+      [x, w_ih, h, w_hh, bias](const Tensor& g, const Tensor&) {
+        EHNA_TRACE_PHASE("kernels.phase.lstm_step");
+        const Tensor& xv = x.value();
+        const Tensor& wi = w_ih.value();
+        const Tensor& hv = h.value();
+        const Tensor& wh = w_hh.value();
+        const int64_t b = g.rows();
+        const int64_t four_h = g.cols();
+        Tensor gx = Tensor::Uninit(xv.rows(), xv.cols());
+        kernels::GemmNT(b, xv.cols(), four_h, g.data(), wi.data(), gx.data(),
+                        /*accumulate=*/false);
+        x.AccumulateGrad(gx);
+        Tensor gwi = Tensor::Uninit(wi.rows(), wi.cols());
+        kernels::GemmTN(wi.rows(), four_h, b, xv.data(), g.data(), gwi.data(),
+                        /*accumulate=*/false);
+        w_ih.AccumulateGrad(gwi);
+        Tensor gh = Tensor::Uninit(hv.rows(), hv.cols());
+        kernels::GemmNT(b, hv.cols(), four_h, g.data(), wh.data(), gh.data(),
+                        /*accumulate=*/false);
+        h.AccumulateGrad(gh);
+        Tensor gwh = Tensor::Uninit(wh.rows(), wh.cols());
+        kernels::GemmTN(wh.rows(), four_h, b, hv.data(), g.data(), gwh.data(),
+                        /*accumulate=*/false);
+        w_hh.AccumulateGrad(gwh);
+        Tensor gb(four_h);
+        for (int64_t i = 0; i < b; ++i) {
+          kernels::Axpy(four_h, 1.0f, g.Row(i), gb.data());
+        }
+        bias.AccumulateGrad(gb);
+      },
+      "lstm_preact");
+}
+
+Var LstmGates(const Var& z, const Var& c_prev) {
+  const Tensor& zv = z.value();
+  const Tensor& cv = c_prev.value();
+  EHNA_CHECK_EQ(zv.rank(), 2);
+  EHNA_CHECK_EQ(cv.rank(), 2);
+  EHNA_CHECK_EQ(zv.rows(), cv.rows());
+  EHNA_CHECK_EQ(zv.cols(), 4 * cv.cols());
+  EHNA_TRACE_PHASE("kernels.phase.lstm_step");
+  const int64_t b = zv.rows();
+  const int64_t hsize = cv.cols();
+  // Stashed forward intermediates the fused backward kernel needs. The
+  // shared_ptr keeps them alive exactly as long as the graph node.
+  struct Stash {
+    Tensor ifgo;
+    Tensor tanh_c;
+  };
+  auto stash = std::make_shared<Stash>();
+  stash->ifgo = Tensor::Uninit(b, 4 * hsize);
+  stash->tanh_c = Tensor::Uninit(b, hsize);
+  Tensor hc = Tensor::Uninit(b, 2 * hsize);
+  kernels::LstmGateForward(b, hsize, zv.data(), cv.data(), stash->ifgo.data(),
+                           stash->tanh_c.data(), hc.data());
+  return Var::Op(
+      std::move(hc), {z, c_prev},
+      [z, c_prev, stash, b, hsize](const Tensor& g, const Tensor&) {
+        EHNA_TRACE_PHASE("kernels.phase.lstm_step");
+        Tensor gz = Tensor::Uninit(b, 4 * hsize);
+        Tensor gc = Tensor::Uninit(b, hsize);
+        kernels::LstmGateBackward(b, hsize, g.data(), stash->ifgo.data(),
+                                  stash->tanh_c.data(), c_prev.value().data(),
+                                  gz.data(), gc.data());
+        z.AccumulateGrad(gz);
+        c_prev.AccumulateGrad(gc);
+      },
+      "lstm_gates");
+}
+
+Var AttentionSoftmax(const Var& emb, const Var& target,
+                     const Tensor& neg_coeffs) {
+  const Tensor& e = emb.value();
+  const Tensor& t = target.value();
+  EHNA_CHECK_EQ(e.rank(), 2);
+  EHNA_CHECK_EQ(t.rank(), 1);
+  EHNA_CHECK_EQ(e.cols(), t.rows());
+  EHNA_CHECK_EQ(neg_coeffs.rank(), 1);
+  EHNA_CHECK_EQ(neg_coeffs.rows(), e.rows());
+  EHNA_TRACE_PHASE("kernels.phase.attention");
+  const int64_t l = e.rows();
+  const int64_t d = e.cols();
+  Tensor alpha = Tensor::Uninit(l);
+  kernels::AttentionSoftmaxForward(l, d, e.data(), t.data(),
+                                   neg_coeffs.data(), alpha.data());
+  Tensor nc_copy = neg_coeffs;
+  return Var::Op(
+      std::move(alpha), {emb, target},
+      [emb, target, nc_copy, l, d](const Tensor& g, const Tensor& y) {
+        EHNA_TRACE_PHASE("kernels.phase.attention");
+        Tensor ge(l, d);
+        Tensor gt(d);
+        kernels::AttentionSoftmaxBackward(l, d, g.data(), y.data(),
+                                          emb.value().data(),
+                                          target.value().data(),
+                                          nc_copy.data(), ge.data(),
+                                          gt.data());
+        emb.AccumulateGrad(ge);
+        target.AccumulateGrad(gt);
+      },
+      "attention_softmax");
 }
 
 }  // namespace ehna::ag

@@ -14,6 +14,12 @@ namespace ehna::ag {
 /// Elementwise a + b (same shape).
 Var Add(const Var& a, const Var& b);
 
+/// Σ terms[i] over n same-shape terms in a single graph node. Replaces
+/// O(n)-deep chains of Add for batch-loss accumulation: one node, one
+/// backward closure, and a left-to-right accumulation order identical to
+/// the chained form.
+Var SumN(const std::vector<Var>& terms);
+
 /// mat [m,n] + row-broadcast vec [n] (bias add).
 Var AddRowBroadcast(const Var& mat, const Var& row);
 
@@ -111,6 +117,30 @@ Var AsMatrix(const Var& vec);
 
 /// Reinterprets a single-row matrix [1,n] as a rank-1 [n].
 Var AsVector(const Var& mat);
+
+// ------------------------------------------------------------- fused ops
+// Thin autodiff wrappers over the fused kernels in nn/kernels.h. These
+// collapse what used to be 10+ graph nodes per LSTM step / attention head
+// into one node each, with a single allocation-light backward closure.
+
+/// Fused LSTM pre-activation: x @ w_ih + h @ w_hh + bias (row-broadcast).
+/// x [b,in], w_ih [in,4h], h [b,h], w_hh [h,4h], bias [4h] -> [b,4h].
+Var LstmPreact(const Var& x, const Var& w_ih, const Var& h, const Var& w_hh,
+               const Var& bias);
+
+/// Fused LSTM gate + cell update over pre-activations z [b,4h] (column
+/// blocks i|f|g|o) and c_prev [b,h]. Returns [b,2h] packing the new hidden
+/// state h' in columns [0,h) and the new cell state c' in [h,2h); extract
+/// with SliceCols. The activated gates and tanh(c') are stashed for the
+/// backward pass, which is a single fused kernel call.
+Var LstmGates(const Var& z, const Var& c_prev);
+
+/// Fused attention weights (Eqs. 3-4): softmax over
+/// neg_coeffs[i] * ||emb_i - target||^2 for the l rows of emb [l,d].
+/// `neg_coeffs` (the negated temporal coefficients) is constant — no
+/// gradient flows to it. Returns the weights alpha [l].
+Var AttentionSoftmax(const Var& emb, const Var& target,
+                     const Tensor& neg_coeffs);
 
 }  // namespace ehna::ag
 

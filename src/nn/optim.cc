@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "nn/arena.h"
+#include "nn/kernels.h"
+
 namespace ehna {
 
 void Optimizer::ZeroGrad() {
@@ -14,6 +17,9 @@ Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
 }
 
 void Sgd::Step() {
+  // Optimizer state (velocity) outlives every batch; never arena-allocate
+  // it even if a caller leaves an arena scope active.
+  TensorArena::Bypass no_arena;
   for (size_t i = 0; i < params_.size(); ++i) {
     Var& p = params_[i];
     const Tensor& g = p.grad();
@@ -44,6 +50,8 @@ Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
 }
 
 void Adam::Step() {
+  // Moment tensors persist across batches; keep them heap-backed.
+  TensorArena::Bypass no_arena;
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
@@ -58,17 +66,9 @@ void Adam::Step() {
       m.ScaleInPlace(0.0f);
       v = m;
     }
-    float* md = m.data();
-    float* vd = v.data();
-    const float* gd = g.data();
-    float* pd = p.mutable_value().data();
-    for (int64_t j = 0; j < g.numel(); ++j) {
-      md[j] = beta1_ * md[j] + (1.0f - beta1_) * gd[j];
-      vd[j] = beta2_ * vd[j] + (1.0f - beta2_) * gd[j] * gd[j];
-      const float mhat = md[j] / bc1;
-      const float vhat = vd[j] / bc2;
-      pd[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
+    kernels::AdamUpdate(g.numel(), lr_, beta1_, beta2_, eps_, bc1, bc2,
+                        g.data(), m.data(), v.data(),
+                        p.mutable_value().data());
   }
 }
 
@@ -103,13 +103,7 @@ float ClipGradNorm(const std::vector<Var>& params, float max_norm) {
   const float norm = static_cast<float>(std::sqrt(total));
   if (norm > max_norm && norm > 0.0f) {
     const float scale = max_norm / norm;
-    for (const Var& p : params) {
-      if (p.grad().numel() == 0) continue;
-      Tensor scaled = p.grad();
-      scaled.ScaleInPlace(scale);
-      p.ZeroGrad();
-      p.AccumulateGrad(scaled);
-    }
+    for (const Var& p : params) p.ScaleGrad(scale);
   }
   return norm;
 }

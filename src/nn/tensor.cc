@@ -2,82 +2,176 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
+
+#include "nn/kernels.h"
 
 namespace ehna {
 
-Tensor Tensor::FromVector(std::vector<float> values) {
+void Tensor::AllocateRaw(int64_t n) {
+  EHNA_DCHECK(data_ == nullptr);
+  numel_ = n;
+  if (n == 0) return;
+  if (TensorArena* arena = TensorArena::Current()) {
+    data_ = arena->Allocate(n);
+    arena_ = true;
+  } else {
+    data_ = new float[n];
+    arena_ = false;
+  }
+}
+
+void Tensor::AllocateZeroed(int64_t n) {
+  AllocateRaw(n);
+  if (n > 0) std::memset(data_, 0, static_cast<size_t>(n) * sizeof(float));
+}
+
+void Tensor::Release() {
+  if (data_ != nullptr && !arena_) delete[] data_;
+  data_ = nullptr;
+  numel_ = 0;
+  arena_ = false;
+}
+
+Tensor::Tensor(const Tensor& other)
+    : rows_(other.rows_), cols_(other.cols_), rank_(other.rank_) {
+  AllocateRaw(other.numel_);
+  if (numel_ > 0) kernels::Copy(other.data_, data_, numel_);
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  // Same element count: reuse the existing buffer. This is what keeps
+  // long-lived state heap-backed when assigned from arena-backed sources
+  // (BatchNorm running stats, replica parameter syncs) — the destination's
+  // storage class is preserved.
+  if (numel_ != other.numel_) {
+    Release();
+    AllocateRaw(other.numel_);
+  }
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  rank_ = other.rank_;
+  if (numel_ > 0) kernels::Copy(other.data_, data_, numel_);
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      rank_(other.rank_),
+      numel_(other.numel_),
+      data_(other.data_),
+      arena_(other.arena_) {
+  other.data_ = nullptr;
+  other.numel_ = 0;
+  other.arena_ = false;
+  other.rows_ = 0;
+  other.cols_ = 1;
+  other.rank_ = 1;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  Release();
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  rank_ = other.rank_;
+  numel_ = other.numel_;
+  data_ = other.data_;
+  arena_ = other.arena_;
+  other.data_ = nullptr;
+  other.numel_ = 0;
+  other.arena_ = false;
+  other.rows_ = 0;
+  other.cols_ = 1;
+  other.rank_ = 1;
+  return *this;
+}
+
+Tensor Tensor::Uninit(int64_t n) {
+  EHNA_CHECK_GE(n, 0);
   Tensor t;
-  t.rows_ = static_cast<int64_t>(values.size());
+  t.rows_ = n;
   t.cols_ = 1;
   t.rank_ = 1;
-  t.data_ = std::move(values);
+  t.AllocateRaw(n);
   return t;
 }
 
-Tensor Tensor::FromVector(int64_t rows, int64_t cols,
-                          std::vector<float> values) {
-  EHNA_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+Tensor Tensor::Uninit(int64_t rows, int64_t cols) {
+  EHNA_CHECK_GE(rows, 0);
+  EHNA_CHECK_GE(cols, 0);
   Tensor t;
   t.rows_ = rows;
   t.cols_ = cols;
   t.rank_ = 2;
-  t.data_ = std::move(values);
+  t.AllocateRaw(rows * cols);
+  return t;
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& values) {
+  Tensor t = Uninit(static_cast<int64_t>(values.size()));
+  if (!values.empty()) kernels::Copy(values.data(), t.data_, t.numel_);
+  return t;
+}
+
+Tensor Tensor::FromVector(int64_t rows, int64_t cols,
+                          const std::vector<float>& values) {
+  EHNA_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+  Tensor t = Uninit(rows, cols);
+  if (!values.empty()) kernels::Copy(values.data(), t.data_, t.numel_);
   return t;
 }
 
 Tensor Tensor::Full(int64_t n, float value) {
-  Tensor t(n);
+  Tensor t = Uninit(n);
   t.Fill(value);
   return t;
 }
 
 Tensor Tensor::Full(int64_t rows, int64_t cols, float value) {
-  Tensor t(rows, cols);
+  Tensor t = Uninit(rows, cols);
   t.Fill(value);
   return t;
 }
 
-void Tensor::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
-}
+void Tensor::Fill(float value) { kernels::Fill(data_, numel_, value); }
 
 void Tensor::AddInPlace(const Tensor& other) {
   EHNA_CHECK(SameShape(other));
-  const float* src = other.data();
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += src[i];
+  kernels::Add(numel_, data_, other.data_, data_);
 }
 
 void Tensor::Axpy(float alpha, const Tensor& other) {
   EHNA_CHECK(SameShape(other));
-  const float* src = other.data();
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * src[i];
+  kernels::Axpy(numel_, alpha, other.data_, data_);
 }
 
 void Tensor::ScaleInPlace(float alpha) {
-  for (float& x : data_) x *= alpha;
+  kernels::Scale(numel_, alpha, data_);
 }
 
-float Tensor::Sum() const {
-  float s = 0.0f;
-  for (float x : data_) s += x;
-  return s;
-}
+float Tensor::Sum() const { return kernels::Sum(data_, numel_); }
 
 float Tensor::Norm() const {
-  double s = 0.0;
-  for (float x : data_) s += static_cast<double>(x) * x;
-  return static_cast<float>(std::sqrt(s));
+  return static_cast<float>(std::sqrt(kernels::SumSquares(data_, numel_)));
 }
 
 Tensor Tensor::Reshape(int64_t rows, int64_t cols) const {
   EHNA_CHECK_EQ(rows * cols, numel());
-  Tensor t;
-  t.rows_ = rows;
-  t.cols_ = cols;
-  t.rank_ = 2;
-  t.data_ = data_;
+  Tensor t = Uninit(rows, cols);
+  if (numel_ > 0) kernels::Copy(data_, t.data_, numel_);
   return t;
+}
+
+bool Tensor::operator==(const Tensor& other) const {
+  if (!SameShape(other)) return false;
+  for (int64_t i = 0; i < numel_; ++i) {
+    if (data_[i] != other.data_[i]) return false;
+  }
+  return true;
 }
 
 std::string Tensor::ToString(int max_elems) const {
@@ -99,59 +193,31 @@ std::string Tensor::ToString(int max_elems) const {
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   EHNA_CHECK_EQ(a.cols(), b.rows());
-  Tensor out(a.rows(), b.cols());
-  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  // i-k-j loop order: unit-stride inner loop over the output row.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* orow = out.Row(i);
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = arow[kk];
-      if (aik == 0.0f) continue;
-      const float* brow = b.Row(kk);
-      for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
-    }
-  }
+  Tensor out = Tensor::Uninit(a.rows(), b.cols());
+  kernels::GemmNN(a.rows(), b.cols(), a.cols(), a.data(), b.data(),
+                  out.data(), /*accumulate=*/false);
   return out;
 }
 
 Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
   EHNA_CHECK_EQ(a.cols(), b.cols());
-  Tensor out(a.rows(), b.rows());
-  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* orow = out.Row(i);
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b.Row(j);
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      orow[j] = acc;
-    }
-  }
+  Tensor out = Tensor::Uninit(a.rows(), b.rows());
+  kernels::GemmNT(a.rows(), b.rows(), a.cols(), a.data(), b.data(),
+                  out.data(), /*accumulate=*/false);
   return out;
 }
 
 Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
   EHNA_CHECK_EQ(a.rows(), b.rows());
-  Tensor out(a.cols(), b.cols());
-  const int64_t m = a.cols(), k = a.rows(), n = b.cols();
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = a.Row(kk);
-    const float* brow = b.Row(kk);
-    for (int64_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* orow = out.Row(i);
-      for (int64_t j = 0; j < n; ++j) orow[j] += aki * brow[j];
-    }
-  }
+  Tensor out = Tensor::Uninit(a.cols(), b.cols());
+  kernels::GemmTN(a.cols(), b.cols(), a.rows(), a.data(), b.data(),
+                  out.data(), /*accumulate=*/false);
   return out;
 }
 
 Tensor Transpose(const Tensor& a) {
   EHNA_CHECK_EQ(a.rank(), 2);
-  Tensor out(a.cols(), a.rows());
+  Tensor out = Tensor::Uninit(a.cols(), a.rows());
   for (int64_t i = 0; i < a.rows(); ++i) {
     for (int64_t j = 0; j < a.cols(); ++j) out.at(j, i) = a.at(i, j);
   }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/arena.h"
 #include "util/logging.h"
 
 namespace ehna {
@@ -12,31 +13,53 @@ namespace ehna {
 /// A dense, row-major float32 tensor of rank 1 or 2. This is the numeric
 /// workhorse under the autograd layer; it deliberately supports only the
 /// shapes the EHNA model needs (vectors and matrices) in exchange for
-/// simple, auditable kernels.
+/// simple, auditable kernels (src/nn/kernels.h).
+///
+/// Memory: each tensor owns its buffer. When a TensorArena is active on
+/// the constructing thread the buffer is bump-allocated from the arena
+/// (destruction is then a no-op — the trainer reclaims whole tapes at
+/// batch boundaries); otherwise it lives on the heap. Copy-assignment
+/// into an existing tensor of identical numel reuses the destination
+/// buffer, which keeps long-lived state (running statistics, synced
+/// replica parameters) out of the arena even when the source is
+/// arena-backed. See DESIGN.md §9 for the lifetime rules.
 class Tensor {
  public:
   /// Empty (rank-1, zero-length) tensor.
   Tensor() = default;
 
   /// 1-D tensor of `n` zeros.
-  explicit Tensor(int64_t n) : rows_(n), cols_(1), rank_(1), data_(n, 0.0f) {
+  explicit Tensor(int64_t n) : rows_(n), cols_(1), rank_(1) {
     EHNA_CHECK_GE(n, 0);
+    AllocateZeroed(n);
   }
 
   /// 2-D tensor of zeros.
-  Tensor(int64_t rows, int64_t cols)
-      : rows_(rows), cols_(cols), rank_(2), data_(rows * cols, 0.0f) {
+  Tensor(int64_t rows, int64_t cols) : rows_(rows), cols_(cols), rank_(2) {
     EHNA_CHECK_GE(rows, 0);
     EHNA_CHECK_GE(cols, 0);
+    AllocateZeroed(rows * cols);
   }
 
+  ~Tensor() { Release(); }
+
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+
+  /// 1-D / 2-D tensors with uninitialized contents, for outputs every
+  /// element of which is about to be overwritten by a kernel.
+  static Tensor Uninit(int64_t n);
+  static Tensor Uninit(int64_t rows, int64_t cols);
+
   /// 1-D tensor from values.
-  static Tensor FromVector(std::vector<float> values);
+  static Tensor FromVector(const std::vector<float>& values);
 
   /// 2-D tensor from row-major values; `values.size()` must equal
   /// rows * cols.
   static Tensor FromVector(int64_t rows, int64_t cols,
-                           std::vector<float> values);
+                           const std::vector<float>& values);
 
   /// 1-D or 2-D filled with `value`.
   static Tensor Full(int64_t n, float value);
@@ -45,8 +68,10 @@ class Tensor {
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
   int rank() const { return rank_; }
-  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
-  bool empty() const { return data_.empty(); }
+  int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+  /// True when the buffer is arena-backed (diagnostics/tests).
+  bool arena_backed() const { return arena_; }
 
   /// True if shapes (rank and dims) match.
   bool SameShape(const Tensor& other) const {
@@ -54,8 +79,8 @@ class Tensor {
            cols_ == other.cols_;
   }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
 
   /// 1-D element access.
   float& operator[](int64_t i) {
@@ -78,8 +103,8 @@ class Tensor {
   }
 
   /// Pointer to the start of row `i` (2-D).
-  float* Row(int64_t i) { return data_.data() + i * cols_; }
-  const float* Row(int64_t i) const { return data_.data() + i * cols_; }
+  float* Row(int64_t i) { return data_ + i * cols_; }
+  const float* Row(int64_t i) const { return data_ + i * cols_; }
 
   /// Sets every element to `value`.
   void Fill(float value);
@@ -109,15 +134,21 @@ class Tensor {
   /// Debug rendering, e.g. "[2x3]{1, 2, 3, ...}".
   std::string ToString(int max_elems = 8) const;
 
-  bool operator==(const Tensor& other) const {
-    return SameShape(other) && data_ == other.data_;
-  }
+  bool operator==(const Tensor& other) const;
 
  private:
+  /// Binds a fresh buffer of `n` floats from the active arena (if any) or
+  /// the heap. Requires the tensor to currently own no buffer.
+  void AllocateRaw(int64_t n);
+  void AllocateZeroed(int64_t n);
+  void Release();
+
   int64_t rows_ = 0;
   int64_t cols_ = 1;
   int rank_ = 1;
-  std::vector<float> data_;
+  int64_t numel_ = 0;
+  float* data_ = nullptr;
+  bool arena_ = false;
 };
 
 /// out = a @ b for a [m,k] and b [k,n]. Shapes checked.

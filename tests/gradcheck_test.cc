@@ -1,0 +1,414 @@
+// Per-op finite-difference gradient checks for every differentiable op in
+// nn/ops.h, including the fused LSTM pre-activation / gate kernels and the
+// fused attention softmax. Each op is exercised in isolation (scalarized
+// through a fixed weighted sum), with central differences evaluated at the
+// same leaves the analytic backward saw. The acceptance bar is a relative
+// error of at most 1e-3 per element (relative to max(1, |analytic|,
+// |numeric|)), which fp32 forward passes meet comfortably at eps = 1e-2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "nn/autograd.h"
+#include "nn/ops.h"
+
+namespace ehna {
+namespace {
+
+constexpr double kTol = 1e-3;
+
+/// Deterministic smooth filler: values in offset ± scale, no two elements
+/// equal, no dependence on any RNG.
+void FillPattern(Tensor* t, float scale, float offset, int phase = 0) {
+  float* d = t->data();
+  for (int64_t i = 0; i < t->numel(); ++i) {
+    d[i] = offset + scale * std::sin(1.7f * static_cast<float>(i + phase) +
+                                     0.3f);
+  }
+}
+
+Var Leaf1d(int64_t n, float scale = 0.8f, float offset = 0.0f,
+           int phase = 0) {
+  Tensor t(n);
+  FillPattern(&t, scale, offset, phase);
+  return Var::Leaf(std::move(t), /*requires_grad=*/true);
+}
+
+Var Leaf2d(int64_t rows, int64_t cols, float scale = 0.8f,
+           float offset = 0.0f, int phase = 0) {
+  Tensor t(rows, cols);
+  FillPattern(&t, scale, offset, phase);
+  return Var::Leaf(std::move(t), /*requires_grad=*/true);
+}
+
+/// Scalarizes an op output with fixed, element-distinct weights so every
+/// output element contributes a distinct gradient signal.
+Var WeightedSum(const Var& out) {
+  if (out.value().numel() == 1) return out;
+  Tensor w = out.value();
+  FillPattern(&w, 0.5f, 0.7f, /*phase=*/23);
+  return ag::Sum(ag::Mul(out, Var::Leaf(std::move(w))));
+}
+
+double RelErr(double a, double n) {
+  return std::abs(a - n) / std::max({1.0, std::abs(a), std::abs(n)});
+}
+
+/// Runs one analytic backward through `build`, then probes every element of
+/// every input with central differences and asserts the per-element
+/// relative error bound.
+void CheckGrads(const char* op, std::vector<Var> inputs,
+                const std::function<Var()>& build, float eps = 1e-2f) {
+  Var loss = build();
+  ASSERT_EQ(loss.value().numel(), 1) << op;
+  Backward(loss);
+  double max_rel = 0.0;
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    Var& in = inputs[k];
+    const Tensor& g = in.grad();
+    ASSERT_EQ(g.numel(), in.value().numel()) << op << " input " << k;
+    for (int64_t i = 0; i < in.value().numel(); ++i) {
+      float* slot = in.mutable_value().data() + i;
+      const float orig = *slot;
+      *slot = orig + eps;
+      const double up = build().value()[0];
+      *slot = orig - eps;
+      const double down = build().value()[0];
+      *slot = orig;
+      const double numeric = (up - down) / (2.0 * static_cast<double>(eps));
+      const double analytic = g.data()[i];
+      const double rel = RelErr(analytic, numeric);
+      max_rel = std::max(max_rel, rel);
+      EXPECT_LE(rel, kTol) << op << " input " << k << " element " << i
+                           << ": analytic " << analytic << " vs numeric "
+                           << numeric;
+    }
+  }
+  ::testing::Test::RecordProperty("max_rel_err", std::to_string(max_rel));
+}
+
+TEST(GradCheckOps, Add) {
+  Var a = Leaf2d(3, 4), b = Leaf2d(3, 4, 0.8f, 0.0f, 7);
+  CheckGrads("add", {a, b}, [&] { return WeightedSum(ag::Add(a, b)); });
+}
+
+TEST(GradCheckOps, SumN) {
+  Var a = Leaf2d(2, 3), b = Leaf2d(2, 3, 0.8f, 0.0f, 5);
+  Var c = Leaf2d(2, 3, 0.6f, 0.1f, 11);
+  // `a` appears twice: SumN must accumulate 2x its gradient.
+  CheckGrads("sum_n", {a, b, c},
+             [&] { return WeightedSum(ag::SumN({a, b, a, c})); });
+}
+
+TEST(GradCheckOps, AddRowBroadcast) {
+  Var m = Leaf2d(3, 4), r = Leaf1d(4, 0.8f, 0.0f, 3);
+  CheckGrads("add_row_broadcast", {m, r},
+             [&] { return WeightedSum(ag::AddRowBroadcast(m, r)); });
+}
+
+TEST(GradCheckOps, Sub) {
+  Var a = Leaf2d(3, 4), b = Leaf2d(3, 4, 0.8f, 0.0f, 7);
+  CheckGrads("sub", {a, b}, [&] { return WeightedSum(ag::Sub(a, b)); });
+}
+
+TEST(GradCheckOps, SubRowBroadcast) {
+  Var m = Leaf2d(3, 4), r = Leaf1d(4, 0.8f, 0.0f, 3);
+  CheckGrads("sub_row_broadcast", {m, r},
+             [&] { return WeightedSum(ag::SubRowBroadcast(m, r)); });
+}
+
+TEST(GradCheckOps, Mul) {
+  Var a = Leaf2d(3, 4), b = Leaf2d(3, 4, 0.8f, 0.0f, 7);
+  CheckGrads("mul", {a, b}, [&] { return WeightedSum(ag::Mul(a, b)); });
+}
+
+TEST(GradCheckOps, ScalarMul) {
+  Var a = Leaf2d(3, 4);
+  CheckGrads("scalar_mul", {a},
+             [&] { return WeightedSum(ag::ScalarMul(a, 1.7f)); });
+}
+
+TEST(GradCheckOps, AddScalar) {
+  Var a = Leaf2d(3, 4);
+  CheckGrads("add_scalar", {a},
+             [&] { return WeightedSum(ag::AddScalar(a, 0.4f)); });
+}
+
+TEST(GradCheckOps, MatMul) {
+  Var a = Leaf2d(3, 4), b = Leaf2d(4, 2, 0.8f, 0.0f, 9);
+  CheckGrads("matmul", {a, b},
+             [&] { return WeightedSum(ag::MatMul(a, b)); });
+}
+
+TEST(GradCheckOps, MatVec) {
+  Var m = Leaf2d(3, 4), v = Leaf1d(4, 0.8f, 0.0f, 9);
+  CheckGrads("matvec", {m, v},
+             [&] { return WeightedSum(ag::MatVec(m, v)); });
+}
+
+TEST(GradCheckOps, Sigmoid) {
+  Var a = Leaf2d(3, 4, 1.5f);
+  CheckGrads("sigmoid", {a}, [&] { return WeightedSum(ag::Sigmoid(a)); });
+}
+
+TEST(GradCheckOps, Tanh) {
+  Var a = Leaf2d(3, 4, 1.5f);
+  CheckGrads("tanh", {a}, [&] { return WeightedSum(ag::Tanh(a)); });
+}
+
+TEST(GradCheckOps, Relu) {
+  // Values bounded away from the kink at 0 so finite differences are valid.
+  Var a = Leaf2d(3, 4, 0.6f, 0.9f);        // strictly positive.
+  Var b = Leaf2d(3, 4, 0.6f, -0.9f, 13);   // strictly negative.
+  CheckGrads("relu", {a, b}, [&] {
+    return ag::Add(WeightedSum(ag::Relu(a)), WeightedSum(ag::Relu(b)));
+  });
+}
+
+TEST(GradCheckOps, Exp) {
+  Var a = Leaf2d(3, 4, 0.7f);
+  CheckGrads("exp", {a}, [&] { return WeightedSum(ag::Exp(a)); });
+}
+
+TEST(GradCheckOps, Log) {
+  Var a = Leaf2d(3, 4, 0.4f, 1.0f);  // values in [0.6, 1.4].
+  CheckGrads("log", {a}, [&] { return WeightedSum(ag::Log(a)); });
+}
+
+TEST(GradCheckOps, Softmax) {
+  Var a = Leaf1d(6, 1.2f);
+  CheckGrads("softmax", {a}, [&] { return WeightedSum(ag::Softmax(a)); });
+}
+
+TEST(GradCheckOps, Sum) {
+  Var a = Leaf2d(3, 4);
+  CheckGrads("sum", {a}, [&] { return ag::Sum(a); });
+}
+
+TEST(GradCheckOps, Mean) {
+  Var a = Leaf2d(3, 4);
+  CheckGrads("mean", {a}, [&] { return ag::Mean(a); });
+}
+
+TEST(GradCheckOps, SumSquares) {
+  Var a = Leaf2d(3, 4);
+  CheckGrads("sum_squares", {a}, [&] { return ag::SumSquares(a); });
+}
+
+TEST(GradCheckOps, RowSumSquares) {
+  Var m = Leaf2d(3, 4);
+  CheckGrads("row_sum_squares", {m},
+             [&] { return WeightedSum(ag::RowSumSquares(m)); });
+}
+
+TEST(GradCheckOps, Dot) {
+  Var a = Leaf1d(5), b = Leaf1d(5, 0.8f, 0.0f, 9);
+  CheckGrads("dot", {a, b}, [&] { return ag::Dot(a, b); });
+}
+
+TEST(GradCheckOps, RowAndConcatRows) {
+  Var m = Leaf2d(3, 4);
+  Var r0 = Leaf1d(4, 0.8f, 0.0f, 3), r1 = Leaf1d(4, 0.8f, 0.0f, 5);
+  CheckGrads("row/concat_rows", {m, r0, r1}, [&] {
+    return WeightedSum(ag::ConcatRows({ag::Row(m, 1), r0, r1, ag::Row(m, 0)}));
+  });
+}
+
+TEST(GradCheckOps, Concat) {
+  Var a = Leaf1d(3), b = Leaf1d(5, 0.8f, 0.0f, 9);
+  CheckGrads("concat", {a, b},
+             [&] { return WeightedSum(ag::Concat(a, b)); });
+}
+
+TEST(GradCheckOps, SliceCols) {
+  Var m = Leaf2d(3, 6);
+  CheckGrads("slice_cols", {m},
+             [&] { return WeightedSum(ag::SliceCols(m, 2, 3)); });
+}
+
+TEST(GradCheckOps, ScaleRows) {
+  Var m = Leaf2d(3, 4);
+  Var s = Leaf1d(3, 0.5f, 1.0f, 6);
+  CheckGrads("scale_rows", {m, s},
+             [&] { return WeightedSum(ag::ScaleRows(m, s)); });
+}
+
+TEST(GradCheckOps, ScaleRowsConst) {
+  Var m = Leaf2d(3, 4);
+  Tensor s(3);
+  FillPattern(&s, 0.5f, 1.0f, 6);
+  CheckGrads("scale_rows_const", {m},
+             [&] { return WeightedSum(ag::ScaleRowsConst(m, s)); });
+}
+
+TEST(GradCheckOps, MaskRows) {
+  Var a = Leaf2d(3, 4), b = Leaf2d(3, 4, 0.8f, 0.0f, 7);
+  Tensor mask = Tensor::FromVector({1.0f, 0.0f, 1.0f});
+  CheckGrads("mask_rows", {a, b},
+             [&] { return WeightedSum(ag::MaskRows(a, b, mask)); });
+}
+
+TEST(GradCheckOps, L2Normalize) {
+  Var v = Leaf1d(5, 0.5f, 1.0f);  // norm well above the eps clamp.
+  CheckGrads("l2_normalize", {v},
+             [&] { return WeightedSum(ag::L2Normalize(v)); });
+}
+
+TEST(GradCheckOps, Hinge) {
+  Var a = Leaf1d(1, 0.0f, 0.7f);   // active side of the hinge.
+  Var b = Leaf1d(1, 0.0f, -0.7f);  // clamped side: zero gradient.
+  CheckGrads("hinge", {a, b},
+             [&] { return ag::Add(ag::Hinge(a), ag::Hinge(b)); });
+}
+
+TEST(GradCheckOps, LogSigmoid) {
+  Var a = Leaf2d(3, 4, 1.5f);
+  CheckGrads("log_sigmoid", {a},
+             [&] { return WeightedSum(ag::LogSigmoid(a)); });
+}
+
+TEST(GradCheckOps, BroadcastScalar) {
+  Var s = Leaf1d(1, 0.0f, 0.6f);
+  CheckGrads("broadcast_scalar", {s},
+             [&] { return WeightedSum(ag::BroadcastScalar(s, 5)); });
+}
+
+TEST(GradCheckOps, MulConst) {
+  Var a = Leaf2d(3, 4);
+  Tensor c(3, 4);
+  FillPattern(&c, 0.6f, 0.4f, 17);
+  CheckGrads("mul_const", {a},
+             [&] { return WeightedSum(ag::MulConst(a, c)); });
+}
+
+TEST(GradCheckOps, ColMean) {
+  Var m = Leaf2d(4, 3);
+  CheckGrads("col_mean", {m},
+             [&] { return WeightedSum(ag::ColMean(m)); });
+}
+
+TEST(GradCheckOps, AsMatrixAsVector) {
+  Var v = Leaf1d(4);
+  CheckGrads("as_matrix/as_vector", {v}, [&] {
+    return WeightedSum(ag::AsVector(ag::AsMatrix(v)));
+  });
+}
+
+// ------------------------------------------------------------- fused ops
+
+TEST(GradCheckFused, LstmPreact) {
+  const int64_t b = 2, in = 3, h = 2;
+  Var x = Leaf2d(b, in);
+  Var w_ih = Leaf2d(in, 4 * h, 0.6f, 0.0f, 5);
+  Var hs = Leaf2d(b, h, 0.8f, 0.0f, 9);
+  Var w_hh = Leaf2d(h, 4 * h, 0.6f, 0.0f, 13);
+  Var bias = Leaf1d(4 * h, 0.4f, 0.0f, 17);
+  CheckGrads("lstm_preact", {x, w_ih, hs, w_hh, bias}, [&] {
+    return WeightedSum(ag::LstmPreact(x, w_ih, hs, w_hh, bias));
+  });
+}
+
+TEST(GradCheckFused, LstmGates) {
+  const int64_t b = 2, h = 3;
+  Var z = Leaf2d(b, 4 * h, 1.2f);
+  Var c = Leaf2d(b, h, 0.8f, 0.0f, 7);
+  CheckGrads("lstm_gates", {z, c},
+             [&] { return WeightedSum(ag::LstmGates(z, c)); });
+}
+
+TEST(GradCheckFused, LstmFusedMatchesUnfusedChain) {
+  // The fused pair must agree (forward and backward) with the op-by-op
+  // formulation it replaced.
+  const int64_t b = 2, in = 3, h = 2;
+  Tensor x0(b, in), wi0(in, 4 * h), h0(b, h), wh0(h, 4 * h), bias0(4 * h);
+  FillPattern(&x0, 0.8f, 0.0f, 1);
+  FillPattern(&wi0, 0.6f, 0.0f, 5);
+  FillPattern(&h0, 0.8f, 0.0f, 9);
+  FillPattern(&wh0, 0.6f, 0.0f, 13);
+  FillPattern(&bias0, 0.4f, 0.0f, 17);
+  Tensor c0(b, h);
+  FillPattern(&c0, 0.7f, 0.0f, 21);
+
+  auto run = [&](bool fused, Tensor* gx_out) -> std::pair<Tensor, Tensor> {
+    Var x = Var::Leaf(x0, true), wi = Var::Leaf(wi0, true);
+    Var hprev = Var::Leaf(h0, true), wh = Var::Leaf(wh0, true);
+    Var bias = Var::Leaf(bias0, true), c = Var::Leaf(c0, true);
+    Var hn, cn;
+    if (fused) {
+      Var hc = ag::LstmGates(ag::LstmPreact(x, wi, hprev, wh, bias), c);
+      hn = ag::SliceCols(hc, 0, h);
+      cn = ag::SliceCols(hc, h, h);
+    } else {
+      Var gates = ag::AddRowBroadcast(
+          ag::Add(ag::MatMul(x, wi), ag::MatMul(hprev, wh)), bias);
+      Var ig = ag::Sigmoid(ag::SliceCols(gates, 0, h));
+      Var fg = ag::Sigmoid(ag::SliceCols(gates, h, h));
+      Var gg = ag::Tanh(ag::SliceCols(gates, 2 * h, h));
+      Var og = ag::Sigmoid(ag::SliceCols(gates, 3 * h, h));
+      cn = ag::Add(ag::Mul(fg, c), ag::Mul(ig, gg));
+      hn = ag::Mul(og, ag::Tanh(cn));
+    }
+    Backward(ag::Add(WeightedSum(hn), ag::ScalarMul(WeightedSum(cn), 0.5f)));
+    *gx_out = x.grad();
+    return {hn.value(), cn.value()};
+  };
+
+  Tensor gx_fused, gx_chain;
+  auto [h_fused, c_fused] = run(true, &gx_fused);
+  auto [h_chain, c_chain] = run(false, &gx_chain);
+  for (int64_t i = 0; i < h_fused.numel(); ++i) {
+    EXPECT_NEAR(h_fused.data()[i], h_chain.data()[i], 1e-5f) << i;
+    EXPECT_NEAR(c_fused.data()[i], c_chain.data()[i], 1e-5f) << i;
+  }
+  for (int64_t i = 0; i < gx_fused.numel(); ++i) {
+    EXPECT_NEAR(gx_fused.data()[i], gx_chain.data()[i], 1e-4f) << i;
+  }
+}
+
+TEST(GradCheckFused, AttentionSoftmax) {
+  const int64_t l = 4, d = 3;
+  Var emb = Leaf2d(l, d);
+  Var target = Leaf1d(d, 0.8f, 0.0f, 11);
+  Tensor neg_coeffs(l);
+  FillPattern(&neg_coeffs, 0.4f, -1.0f, 3);  // strictly negative coeffs.
+  CheckGrads("attention_softmax", {emb, target}, [&] {
+    return WeightedSum(ag::AttentionSoftmax(emb, target, neg_coeffs));
+  });
+}
+
+TEST(GradCheckFused, AttentionFusedMatchesUnfusedChain) {
+  const int64_t l = 4, d = 3;
+  Tensor e0(l, d), t0(d), nc(l);
+  FillPattern(&e0, 0.8f, 0.0f, 1);
+  FillPattern(&t0, 0.8f, 0.0f, 11);
+  FillPattern(&nc, 0.4f, -1.0f, 3);
+
+  auto run = [&](bool fused, Tensor* ge_out) -> Tensor {
+    Var emb = Var::Leaf(e0, true), target = Var::Leaf(t0, true);
+    Var alpha;
+    if (fused) {
+      alpha = ag::AttentionSoftmax(emb, target, nc);
+    } else {
+      Var dist = ag::RowSumSquares(ag::SubRowBroadcast(emb, target));
+      alpha = ag::Softmax(ag::MulConst(dist, nc));
+    }
+    Backward(WeightedSum(alpha));
+    *ge_out = emb.grad();
+    return alpha.value();
+  };
+
+  Tensor ge_fused, ge_chain;
+  Tensor a_fused = run(true, &ge_fused);
+  Tensor a_chain = run(false, &ge_chain);
+  for (int64_t i = 0; i < a_fused.numel(); ++i) {
+    EXPECT_NEAR(a_fused.data()[i], a_chain.data()[i], 1e-6f) << i;
+  }
+  for (int64_t i = 0; i < ge_fused.numel(); ++i) {
+    EXPECT_NEAR(ge_fused.data()[i], ge_chain.data()[i], 1e-5f) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ehna
