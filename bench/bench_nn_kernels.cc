@@ -255,6 +255,124 @@ void BM_LstmStepLatency(benchmark::State& state) {
 }
 BENCHMARK(BM_LstmStepLatency)->Iterations(1)->Unit(benchmark::kSecond);
 
+// The packed-aggregation LSTM step (DESIGN.md §10): several row-blocks
+// ("aggregations") either run one cell step each on their own tape, or
+// share one packed step over the concatenated rows, with the weight
+// gradients replayed per row-slice afterwards — exactly the shape of the
+// minibatch-packed trainer hot path. Doubles as a correctness oracle: the
+// packed forward rows and the replayed per-slice weight gradients must be
+// BITWISE identical to the per-block run (row-local kernels + slice-local
+// GemmTN), which is the property the batched trainer's bitwise equivalence
+// rests on. The oracle asserts in smoke mode too, so CI trips on any
+// kernel change that breaks row locality.
+void BM_PackedLstmStep(benchmark::State& state) {
+  const bool smoke = SmokeMode();
+  const double window = smoke ? 0.05 : 0.5;
+  const int64_t in = smoke ? 16 : 64;
+  const int64_t h = in;
+  const std::vector<int64_t> block_rows = {2, 3, 4};  // ragged pack.
+  int64_t total_rows = 0;
+  for (int64_t k : block_rows) total_rows += k;
+  Rng rng(17);
+
+  Tensor x0(total_rows, in), h0(total_rows, h), c0(total_rows, h);
+  Tensor wi0(in, 4 * h), wh0(h, 4 * h), bias0(4 * h);
+  for (Tensor* t : {&x0, &h0, &c0, &wi0, &wh0, &bias0}) {
+    UniformInit(t, -0.5, 0.5, &rng);
+  }
+  Var wi = Var::Leaf(wi0, true), wh = Var::Leaf(wh0, true);
+  Var bias = Var::Leaf(bias0, true);
+
+  // Runs one LstmPreactNoWeightGrad+LstmGates step over rows
+  // [row_off, row_off + rows), then replays the weight gradients from the
+  // retained pre-activation grad the way the aggregation sentinel does:
+  // slice-local GemmTN into a fresh tensor, Axpy into the accumulator.
+  const auto step_block = [&](int64_t row_off, int64_t rows, Tensor* h_out,
+                              Tensor* gwi_acc, Tensor* gwh_acc) {
+    Tensor xb = Tensor::Uninit(rows, in), hb = Tensor::Uninit(rows, h),
+           cb = Tensor::Uninit(rows, h);
+    ehna::kernels::Copy(x0.Row(row_off), xb.data(), rows * in);
+    ehna::kernels::Copy(h0.Row(row_off), hb.data(), rows * h);
+    ehna::kernels::Copy(c0.Row(row_off), cb.data(), rows * h);
+    // The inputs require grad (as the real pack's embedding-derived rows
+    // do), so gradient reaches z and the replay below has a gz to read.
+    Var x = Var::Leaf(std::move(xb), /*requires_grad=*/true);
+    Var hp = Var::Leaf(std::move(hb), /*requires_grad=*/true);
+    Var c = Var::Leaf(std::move(cb), /*requires_grad=*/true);
+    Var z = ehna::ag::LstmPreactNoWeightGrad(x, hp, wi, wh, bias);
+    Var hc = ehna::ag::LstmGates(z, c);
+    Var hn = ehna::ag::SliceCols(hc, 0, h);
+    if (h_out != nullptr) *h_out = hn.value();
+    Backward(ehna::ag::Sum(hn));
+    const Tensor& gz = z.grad();
+    for (int64_t b = 0; b < rows; ++b) {  // each slice replays separately.
+      Tensor gwi_s(in, 4 * h), gwh_s(h, 4 * h);
+      ehna::kernels::GemmTN(in, 4 * h, 1, x.value().Row(b), gz.Row(b),
+                            gwi_s.data(), /*accumulate=*/false);
+      ehna::kernels::GemmTN(h, 4 * h, 1, hp.value().Row(b), gz.Row(b),
+                            gwh_s.data(), /*accumulate=*/false);
+      if (gwi_acc != nullptr) {
+        ehna::kernels::Axpy(gwi_s.numel(), 1.0f, gwi_s.data(),
+                            gwi_acc->data());
+        ehna::kernels::Axpy(gwh_s.numel(), 1.0f, gwh_s.data(),
+                            gwh_acc->data());
+      }
+    }
+  };
+
+  // Correctness oracle: per-block vs one packed step, bitwise.
+  Tensor h_blocks(total_rows, h), gwi_blocks(in, 4 * h), gwh_blocks(h, 4 * h);
+  {
+    int64_t off = 0;
+    for (int64_t rows : block_rows) {
+      Tensor hb;
+      step_block(off, rows, &hb, &gwi_blocks, &gwh_blocks);
+      ehna::kernels::Copy(hb.data(), h_blocks.Row(off), rows * h);
+      off += rows;
+    }
+  }
+  Tensor h_packed, gwi_packed(in, 4 * h), gwh_packed(h, 4 * h);
+  step_block(0, total_rows, &h_packed, &gwi_packed, &gwh_packed);
+  EHNA_CHECK_EQ(MaxAbsDiff(h_blocks.data(), h_packed.data(), total_rows * h),
+                0.0);
+  EHNA_CHECK_EQ(
+      MaxAbsDiff(gwi_blocks.data(), gwi_packed.data(), gwi_packed.numel()),
+      0.0);
+  EHNA_CHECK_EQ(
+      MaxAbsDiff(gwh_blocks.data(), gwh_packed.data(), gwh_packed.numel()),
+      0.0);
+
+  for (auto _ : state) {
+    const double per_block_s = TimePerCall(
+        [&] {
+          int64_t off = 0;
+          for (int64_t rows : block_rows) {
+            step_block(off, rows, nullptr, nullptr, nullptr);
+            off += rows;
+          }
+        },
+        window);
+    const double packed_s = TimePerCall(
+        [&] { step_block(0, total_rows, nullptr, nullptr, nullptr); }, window);
+
+    TableWriter table(
+        "nn kernels — packed LSTM step forward+backward latency (us)",
+        {"Path", "us/step", "speedup"});
+    table.AddRow({"per-aggregation tapes",
+                  TableWriter::FormatDouble(per_block_s * 1e6, 1),
+                  TableWriter::FormatDouble(1.0, 2)});
+    table.AddRow({"one packed tape",
+                  TableWriter::FormatDouble(packed_s * 1e6, 1),
+                  TableWriter::FormatDouble(per_block_s / packed_s, 2)});
+    table.Print(std::cout);
+
+    state.counters["per_block_us"] = per_block_s * 1e6;
+    state.counters["packed_us"] = packed_s * 1e6;
+    state.counters["packed_speedup"] = per_block_s / packed_s;
+  }
+}
+BENCHMARK(BM_PackedLstmStep)->Iterations(1)->Unit(benchmark::kSecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

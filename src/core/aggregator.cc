@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "core/attention.h"
+#include "nn/kernels.h"
 #include "nn/ops.h"
 #include "util/metrics.h"
 
@@ -29,6 +30,93 @@ Node2VecWalkConfig MakeStaticWalkConfig(const EhnaConfig& c) {
   w.walk_length = c.walk_length;
   w.walks_per_node = c.num_walks;
   return w;
+}
+
+// ----------------------------------------------------------------------
+// Packed-aggregation replay machinery (DESIGN.md §10).
+//
+// The replay sentinel must not strongly hold any in-graph Var: the tethered
+// leaves' parent lists hold the sentinel, so a strong capture would create a
+// shared_ptr cycle and leak the whole tape. In-graph nodes are recorded as
+// raw VarImpl pointers instead; the loss root keeps them alive for the full
+// lifetime of Backward, which is the only time the sentinel runs.
+
+struct RawStep {
+  internal::VarImpl* x = nullptr;
+  internal::VarImpl* h_prev = nullptr;
+  internal::VarImpl* z = nullptr;
+};
+using RawTrace = std::vector<std::vector<RawStep>>;  // [T][num_layers]
+
+RawTrace ToRaw(const PackedLstmTrace& t) {
+  RawTrace raw(t.steps.size());
+  for (size_t i = 0; i < t.steps.size(); ++i) {
+    raw[i].reserve(t.steps[i].size());
+    for (const PackedLstmStep& s : t.steps[i]) {
+      raw[i].push_back(RawStep{s.x.impl(), s.h_prev.impl(), s.z.impl()});
+    }
+  }
+  return raw;
+}
+
+// Everything the sentinel needs to replay one aggregation's deferred
+// parameter/embedding accumulations from its row slice of the packed tape.
+struct AggReplay {
+  bool fallback = false;
+  bool single_layer = false;
+  NodeId target = 0;
+  // Node-level pack placement: rows [row_off, row_off + k) of every step
+  // t < T tensor belong to this aggregation.
+  int64_t row_off = 0;
+  int64_t k = 0;
+  size_t T = 0;
+  // Walk-level pack placement (standard variants): one row per step.
+  int64_t walk_pos = 0;
+  // Per-walk gathers (standard variants).
+  std::vector<std::vector<int64_t>> walk_ids;
+  std::vector<internal::VarImpl*> walk_leaves;
+  std::vector<std::shared_ptr<Tensor>> node_gtargets;  // per-walk Eq. 3 e_x grads
+  std::shared_ptr<Tensor> walk_gtarget;                // Eq. 4 e_x grad
+  // Flattened gather (EHNA-SL) or fallback-neighborhood gather.
+  std::vector<int64_t> flat_ids;
+  internal::VarImpl* flat_leaf = nullptr;
+  // Target embedding.
+  internal::VarImpl* ex_leaf = nullptr;
+  std::shared_ptr<Tensor> concat_b;  // e_x grad from the fuse concat
+  // Deferred BatchNorm gamma/beta gradients.
+  std::shared_ptr<Tensor> node_dg, node_db, walk_dg, walk_db;
+  // Fuse projection: z = cmat @ W. gw replays from cmat's value and the
+  // matmul node's retained gradient.
+  internal::VarImpl* cmat = nullptr;
+  internal::VarImpl* mm = nullptr;
+};
+
+// Rebuilds one (aggregation, layer, step) LSTM weight-gradient unit from
+// the aggregation's contiguous row slice. The slice spans the tensors' full
+// width, so the GemmTN operates on exactly the same contiguous memory a
+// per-aggregation pack would present — bitwise-identical contributions no
+// matter how many aggregations share the pack.
+void ReplayLstmUnit(const RawStep& st, int64_t row_off, int64_t k,
+                    const LstmCell& cell) {
+  if (!st.z->grad_defined) return;
+  EHNA_TRACE_PHASE("kernels.phase.lstm_step");
+  const Tensor& xv = st.x->value;
+  const Tensor& hv = st.h_prev->value;
+  const Tensor& gz = st.z->grad;
+  const int64_t four_h = gz.cols();
+  Tensor gwi = Tensor::Uninit(xv.cols(), four_h);
+  kernels::GemmTN(xv.cols(), four_h, k, xv.Row(row_off), gz.Row(row_off),
+                  gwi.data(), /*accumulate=*/false);
+  cell.w_ih().AccumulateGrad(gwi);
+  Tensor gwh = Tensor::Uninit(hv.cols(), four_h);
+  kernels::GemmTN(hv.cols(), four_h, k, hv.Row(row_off), gz.Row(row_off),
+                  gwh.data(), /*accumulate=*/false);
+  cell.w_hh().AccumulateGrad(gwh);
+  Tensor gb(four_h);
+  for (int64_t r = 0; r < k; ++r) {
+    kernels::Axpy(four_h, 1.0f, gz.Row(row_off + r), gb.data());
+  }
+  cell.bias().AccumulateGrad(gb);
 }
 
 }  // namespace
@@ -268,6 +356,369 @@ Var EhnaAggregator::Aggregate(NodeId target, Timestamp ref_time, bool training,
   Var walk_reprs = NodeLevel(walks, e_x, &walk_coeffs, training);
   Var h = WalkLevel(walk_reprs, e_x, walk_coeffs, training);
   return Fuse(h, e_x);
+}
+
+void EhnaAggregator::PlanAggregation(NodeId target, Timestamp ref_time,
+                                     Rng* rng, AggregationPlan* plan) {
+  static Counter* const aggregations =
+      MetricsRegistry::Global().GetCounter("agg.aggregations");
+  static Counter* const fallbacks =
+      MetricsRegistry::Global().GetCounter("agg.fallbacks");
+  aggregations->Add(1);
+
+  plan->target = target;
+  plan->ref_time = ref_time;
+  plan->fallback_ids.clear();
+  {
+    EHNA_TRACE_PHASE("train.phase.walk_sampling");
+    plan->walks = SampleWalks(target, ref_time, rng);
+  }
+  if (!plan->walks.empty()) return;
+
+  // Replicate FallbackNeighborhood's draws (same order, same counts).
+  fallbacks->Add(1);
+  auto hist = graph_->NeighborsBefore(target, ref_time);
+  std::span<const AdjEntry> pool =
+      hist.empty() ? graph_->Neighbors(target) : hist;
+  if (pool.empty()) return;  // isolated: zero neighborhood summary.
+  const size_t want = static_cast<size_t>(config_.fallback_samples);
+  for (size_t idx : rng->SampleWithoutReplacement(pool.size(), want)) {
+    const NodeId nbr = pool[idx].neighbor;
+    plan->fallback_ids.push_back(nbr);
+    auto second = graph_->Neighbors(nbr);
+    if (!second.empty()) {
+      plan->fallback_ids.push_back(
+          second[rng->UniformInt(second.size())].neighbor);
+    }
+  }
+}
+
+std::vector<Var> EhnaAggregator::AggregateBatch(
+    const std::vector<AggregationPlan>& plans, bool training) {
+  EHNA_CHECK(!plans.empty());
+  const int64_t dim = config_.dim;
+  const size_t P = plans.size();
+  const bool single_layer = config_.variant == EhnaVariant::kSingleLayer;
+
+  auto replays = std::make_shared<std::vector<AggReplay>>(P);
+  std::vector<Var> ex_leaves(P);
+  std::vector<Var> tether_leaves;  // every deferred-gather leaf
+  std::vector<std::vector<Var>> weighted(P);  // node-pack sources per walk
+  std::vector<std::vector<float>> walk_coeffs(P);
+  std::vector<Var> flat_emb(P);  // EHNA-SL flattened gather per plan
+  std::vector<Var> H(P);         // neighborhood summary per plan
+
+  // ---- Per-plan leaves, node-level attention weights (plan order). ----
+  for (size_t p = 0; p < P; ++p) {
+    const AggregationPlan& plan = plans[p];
+    AggReplay& rep = (*replays)[p];
+    rep.target = plan.target;
+    rep.concat_b = std::make_shared<Tensor>(dim);
+    Var e_x = embedding_->GatherRowDeferred(plan.target);
+    ex_leaves[p] = e_x;
+    tether_leaves.push_back(e_x);
+    rep.ex_leaf = e_x.impl();
+
+    if (plan.walks.empty()) {
+      rep.fallback = true;
+      rep.flat_ids.assign(plan.fallback_ids.begin(), plan.fallback_ids.end());
+      if (rep.flat_ids.empty()) {
+        // Isolated node: the summary is zero; z depends only on e_x.
+        H[p] = Var::Leaf(Tensor(dim));
+      } else {
+        Var emb = embedding_->GatherDeferred(rep.flat_ids);
+        tether_leaves.push_back(emb);
+        rep.flat_leaf = emb.impl();
+        H[p] = ag::ColMean(emb);
+      }
+      continue;
+    }
+
+    if (single_layer) {
+      rep.single_layer = true;
+      for (const Walk& w : plan.walks) {
+        for (const WalkStep& s : w) rep.flat_ids.push_back(s.node);
+      }
+      Var emb = embedding_->GatherDeferred(rep.flat_ids);
+      tether_leaves.push_back(emb);
+      rep.flat_leaf = emb.impl();
+      flat_emb[p] = emb;
+      rep.T = rep.flat_ids.size();
+      rep.k = 1;
+      continue;
+    }
+
+    const size_t k = plan.walks.size();
+    rep.k = static_cast<int64_t>(k);
+    walk_coeffs[p].assign(k, 1.0f);
+    weighted[p].reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      const Walk& walk = plan.walks[i];
+      rep.T = std::max(rep.T, walk.size());
+      std::vector<int64_t> ids;
+      ids.reserve(walk.size());
+      for (const WalkStep& s : walk) ids.push_back(s.node);
+      Var emb = embedding_->GatherDeferred(ids);
+      tether_leaves.push_back(emb);
+      rep.walk_leaves.push_back(emb.impl());
+      rep.walk_ids.push_back(std::move(ids));
+      if (use_attention_) {
+        const std::vector<float> coeffs = NodeAttentionCoefficients(
+            walk, graph_->min_time(), graph_->TimeSpan());
+        walk_coeffs[p][i] = WalkAttentionCoefficient(coeffs);
+        auto gt = std::make_shared<Tensor>(dim);
+        rep.node_gtargets.push_back(gt);
+        Var alpha = ag::AttentionSoftmaxDeferredTarget(
+            emb, e_x.value(), NegatedCoefficients(coeffs), gt, e_x);
+        weighted[p].push_back(ag::ScaleRows(emb, alpha));
+      } else {
+        weighted[p].push_back(emb);
+      }
+    }
+  }
+
+  // ---- Node-level pack: sequences sorted by descending padded length so
+  // whole plans drop off the tail as steps proceed. ----
+  std::vector<size_t> node_order;
+  for (size_t p = 0; p < P; ++p) {
+    if (!(*replays)[p].fallback) node_order.push_back(p);
+  }
+  std::stable_sort(node_order.begin(), node_order.end(),
+                   [&](size_t a, size_t b) {
+                     return (*replays)[a].T > (*replays)[b].T;
+                   });
+  int64_t row_off = 0;
+  size_t max_t = 0;
+  for (size_t p : node_order) {
+    (*replays)[p].row_off = row_off;
+    row_off += (*replays)[p].k;
+    max_t = std::max(max_t, (*replays)[p].T);
+  }
+
+  PackedLstmTrace node_trace;
+  if (!node_order.empty()) {
+    std::vector<Var> inputs;
+    std::vector<Tensor> masks;
+    inputs.reserve(max_t);
+    if (!single_layer) masks.reserve(max_t);
+    for (size_t t = 0; t < max_t; ++t) {
+      std::vector<Var> sources;
+      std::vector<ag::PackedRowRef> refs;
+      int64_t n_t = 0;
+      for (size_t p : node_order) {
+        if (t >= (*replays)[p].T) break;  // sorted: the tail is done too.
+        n_t += (*replays)[p].k;
+      }
+      sources.reserve(n_t);
+      refs.reserve(n_t);
+      Tensor mask(n_t);
+      for (size_t p : node_order) {
+        if (t >= (*replays)[p].T) break;
+        if (single_layer) {
+          refs.push_back({static_cast<int32_t>(sources.size()),
+                          static_cast<int32_t>(t)});
+          sources.push_back(flat_emb[p]);
+        } else {
+          for (size_t i = 0; i < plans[p].walks.size(); ++i) {
+            const int32_t src = static_cast<int32_t>(sources.size());
+            sources.push_back(weighted[p][i]);
+            if (t < plans[p].walks[i].size()) {
+              mask[static_cast<int64_t>(refs.size())] = 1.0f;
+              refs.push_back({src, static_cast<int32_t>(t)});
+            } else {
+              refs.push_back({-1, 0});  // padded row inside the plan's block
+            }
+          }
+        }
+      }
+      inputs.push_back(ag::PackRows(sources, refs, dim));
+      if (!single_layer) masks.push_back(std::move(mask));
+    }
+    node_trace = node_lstm_.ForwardPacked(inputs, masks);
+  }
+
+  // ---- Node-level readouts -> BN -> ReLU, in plan order so each
+  // BatchNorm object sees exactly the per-call input sequence (and hence
+  // running-statistic updates) the per-edge path would produce. ----
+  std::vector<Var> relu_reprs(P);
+  for (size_t p = 0; p < P; ++p) {
+    AggReplay& rep = (*replays)[p];
+    if (rep.fallback) continue;
+    Var h = ag::SegmentRows(node_trace.top_h[rep.T - 1], rep.row_off, rep.k);
+    rep.node_dg = std::make_shared<Tensor>(dim);
+    rep.node_db = std::make_shared<Tensor>(dim);
+    Var normed = config_.population_batchnorm
+                     ? node_bn_.ForwardPopulationDeferred(h, training,
+                                                          rep.node_dg,
+                                                          rep.node_db)
+                     : node_bn_.ForwardDeferred(h, training, rep.node_dg,
+                                                rep.node_db);
+    Var relu = ag::Relu(normed);
+    if (single_layer) {
+      H[p] = ag::AsVector(relu);
+    } else {
+      relu_reprs[p] = relu;
+    }
+  }
+
+  // ---- Walk-level stage (standard variants): attention, then one packed
+  // pass with one sequence (of its k walk representations) per plan. ----
+  PackedLstmTrace walk_trace;
+  if (!single_layer) {
+    std::vector<Var> weighted_w(P);
+    std::vector<size_t> walk_order;
+    for (size_t p = 0; p < P; ++p) {
+      AggReplay& rep = (*replays)[p];
+      if (rep.fallback) continue;
+      Var wr = relu_reprs[p];
+      if (use_attention_ && rep.k > 1) {
+        rep.walk_gtarget = std::make_shared<Tensor>(dim);
+        Var beta = ag::AttentionSoftmaxDeferredTarget(
+            wr, ex_leaves[p].value(), NegatedCoefficients(walk_coeffs[p]),
+            rep.walk_gtarget, ex_leaves[p]);
+        weighted_w[p] = ag::ScaleRows(wr, beta);
+      } else {
+        weighted_w[p] = wr;
+      }
+      walk_order.push_back(p);
+    }
+    std::stable_sort(walk_order.begin(), walk_order.end(),
+                     [&](size_t a, size_t b) {
+                       return (*replays)[a].k > (*replays)[b].k;
+                     });
+    if (!walk_order.empty()) {
+      for (size_t pos = 0; pos < walk_order.size(); ++pos) {
+        (*replays)[walk_order[pos]].walk_pos = static_cast<int64_t>(pos);
+      }
+      const int64_t max_k = (*replays)[walk_order[0]].k;
+      std::vector<Var> inputs;
+      inputs.reserve(max_k);
+      for (int64_t i = 0; i < max_k; ++i) {
+        std::vector<Var> sources;
+        std::vector<ag::PackedRowRef> refs;
+        for (size_t p : walk_order) {
+          if (i >= (*replays)[p].k) break;
+          refs.push_back({static_cast<int32_t>(sources.size()),
+                          static_cast<int32_t>(i)});
+          sources.push_back(weighted_w[p]);
+        }
+        inputs.push_back(ag::PackRows(sources, refs, dim));
+      }
+      walk_trace = walk_lstm_.ForwardPacked(inputs, {});
+    }
+    for (size_t p = 0; p < P; ++p) {
+      AggReplay& rep = (*replays)[p];
+      if (rep.fallback) continue;
+      Var hw =
+          ag::SegmentRows(walk_trace.top_h[rep.k - 1], rep.walk_pos, 1);
+      rep.walk_dg = std::make_shared<Tensor>(dim);
+      rep.walk_db = std::make_shared<Tensor>(dim);
+      Var normed = config_.population_batchnorm
+                       ? walk_bn_.ForwardPopulationDeferred(hw, training,
+                                                            rep.walk_dg,
+                                                            rep.walk_db)
+                       : walk_bn_.ForwardDeferred(hw, training, rep.walk_dg,
+                                                  rep.walk_db);
+      H[p] = ag::AsVector(normed);
+    }
+  }
+
+  // ---- Fuse + L2-normalize per plan (plan order). ----
+  std::vector<Var> outputs(P);
+  for (size_t p = 0; p < P; ++p) {
+    AggReplay& rep = (*replays)[p];
+    Var concat = ag::ConcatDeferredB(H[p], ex_leaves[p].value(), rep.concat_b,
+                                     ex_leaves[p]);
+    Var cmat = ag::AsMatrix(concat);
+    Var mm = ag::MatMulNoWeightGrad(cmat, fuse_.weight());
+    rep.cmat = cmat.impl();
+    rep.mm = mm.impl();
+    outputs[p] = ag::L2Normalize(ag::AsVector(mm));
+  }
+
+  // ---- Replay sentinel: a parentless hooked node, pre-seeded so the
+  // engine runs it, tethered under every deferred-gather leaf so it is the
+  // earliest post-order node of the region — i.e. the LAST closure to
+  // execute. It rebuilds all order-sensitive accumulations in canonical
+  // reverse-plan order, making gradients independent of pack width. ----
+  RawTrace node_raw = ToRaw(node_trace);
+  RawTrace walk_raw = ToRaw(walk_trace);
+  std::shared_ptr<SparseRowGrads> sink = grad_sink_;
+  EhnaAggregator* self = this;
+  Var sentinel = Var::Op(
+      Tensor(1), {},
+      [self, replays, node_raw, walk_raw, sink](const Tensor&,
+                                                const Tensor&) {
+        const int num_node_layers = self->node_lstm_.num_layers();
+        const int num_walk_layers = self->walk_lstm_.num_layers();
+        for (size_t pi = replays->size(); pi-- > 0;) {
+          const AggReplay& rep = (*replays)[pi];
+          // Every path out of an aggregation runs through its fuse matmul,
+          // so an undefined gradient there means no loss term consumed this
+          // plan's output — nothing in its region executed, and a per-edge
+          // pack would never have replayed it either.
+          if (rep.mm == nullptr || !rep.mm->grad_defined) continue;
+          if (!rep.fallback) {
+            // (a) Node-level LSTM weight units: layer-descending, then
+            // step-descending, mirroring reverse execution order of the
+            // forward tape.
+            for (int l = num_node_layers - 1; l >= 0; --l) {
+              for (int64_t t = static_cast<int64_t>(rep.T) - 1; t >= 0; --t) {
+                ReplayLstmUnit(node_raw[t][l], rep.row_off, rep.k,
+                               self->node_lstm_.cell(l));
+              }
+            }
+            // (b) Walk-level LSTM weight units (not in EHNA-SL).
+            if (!rep.single_layer) {
+              for (int l = num_walk_layers - 1; l >= 0; --l) {
+                for (int64_t i = rep.k - 1; i >= 0; --i) {
+                  ReplayLstmUnit(walk_raw[i][l], rep.walk_pos, 1,
+                                 self->walk_lstm_.cell(l));
+                }
+              }
+            }
+            // (c) BatchNorm gamma/beta from the deferred buffers.
+            self->node_bn_.gamma().AccumulateGrad(*rep.node_dg);
+            self->node_bn_.beta().AccumulateGrad(*rep.node_db);
+            if (!rep.single_layer) {
+              self->walk_bn_.gamma().AccumulateGrad(*rep.walk_dg);
+              self->walk_bn_.beta().AccumulateGrad(*rep.walk_db);
+            }
+          }
+          // (d) Fuse projection weight: gW = cmat^T @ g_mm.
+          {
+            EHNA_TRACE_PHASE("kernels.phase.gemm");
+            self->fuse_.weight().AccumulateGrad(
+                MatMulTransposeA(rep.cmat->value, rep.mm->grad));
+          }
+          // (e) Sparse embedding scatter, exactly as the Gather hooks
+          // would, in walk-ascending order.
+          if (rep.flat_leaf != nullptr && rep.flat_leaf->grad_defined) {
+            self->embedding_->ScatterGrads(rep.flat_ids, rep.flat_leaf->grad,
+                                           sink);
+          }
+          for (size_t w = 0; w < rep.walk_leaves.size(); ++w) {
+            if (rep.walk_leaves[w]->grad_defined) {
+              self->embedding_->ScatterGrads(rep.walk_ids[w],
+                                             rep.walk_leaves[w]->grad, sink);
+            }
+          }
+          // (f) e_x: sum the deferred buffers in fixed order (fuse concat,
+          // walk-level attention, node-level attention walk-ascending) and
+          // scatter once, as the GatherRow hook would.
+          Tensor gex = *rep.concat_b;
+          if (rep.walk_gtarget) gex.AddInPlace(*rep.walk_gtarget);
+          for (const auto& gt : rep.node_gtargets) gex.AddInPlace(*gt);
+          self->embedding_->ScatterRowGrad(rep.target, gex, sink);
+        }
+      },
+      "agg_replay");
+  sentinel.impl()->grad = Tensor(1);
+  sentinel.impl()->grad_defined = true;
+  for (const Var& leaf : tether_leaves) {
+    leaf.impl()->parents.push_back(sentinel);
+  }
+  return outputs;
 }
 
 std::vector<Var> EhnaAggregator::Parameters() const {

@@ -16,6 +16,20 @@
 
 namespace ehna {
 
+/// Everything one Aggregate call would have drawn from the RNG, captured up
+/// front so a batch of aggregations can run through one packed tape
+/// (DESIGN.md §10). Produced by EhnaAggregator::PlanAggregation, which
+/// consumes the RNG in exactly the order Aggregate would.
+struct AggregationPlan {
+  NodeId target = 0;
+  Timestamp ref_time = 0;
+  /// Sampled walks; empty selects the GraphSAGE-style fallback.
+  std::vector<Walk> walks;
+  /// Fallback: pre-sampled 2-hop neighborhood ids (empty for an isolated
+  /// node, whose neighborhood summary is the zero vector).
+  std::vector<NodeId> fallback_ids;
+};
+
 /// The historical-neighborhood aggregation network of Algorithm 1: samples
 /// temporal random walks from a target node, applies node-level attention
 /// (Eq. 3) + a stacked LSTM + BatchNorm + ReLU per walk, walk-level
@@ -35,6 +49,26 @@ class EhnaAggregator {
   /// analyzing history strictly before-or-at `ref_time`. `training` selects
   /// BatchNorm statistics mode.
   Var Aggregate(NodeId target, Timestamp ref_time, bool training, Rng* rng);
+
+  /// Captures the walk/fallback sampling for one aggregation, consuming
+  /// `rng` in exactly the order Aggregate(target, ref_time, ..., rng)
+  /// would. Counters (agg.aggregations / agg.fallbacks) and the
+  /// train.phase.walk_sampling trace region fire here, as they would in
+  /// Aggregate.
+  void PlanAggregation(NodeId target, Timestamp ref_time, Rng* rng,
+                       AggregationPlan* plan);
+
+  /// Computes every plan's z on ONE packed tape: all walk sequences run
+  /// through a single length-bucketed masked LSTM pack per level, and every
+  /// accumulation whose float order could depend on how many aggregations
+  /// share the tape (LSTM/fuse weight grads, BatchNorm gamma/beta, the
+  /// sparse embedding scatter) is deferred to a replay sentinel that fires
+  /// once per call, in canonical reverse-plan order. Consequently losses
+  /// and gradients are bitwise identical whether a caller packs one edge
+  /// per call or a whole batch/shard per call. Returns one rank-1 [dim] Var
+  /// per plan, in plan order. See DESIGN.md §10.
+  std::vector<Var> AggregateBatch(const std::vector<AggregationPlan>& plans,
+                                  bool training);
 
   /// All trainable dense parameters (LSTMs, BatchNorms, output projection).
   /// The embedding table updates sparsely through its own optimizer.

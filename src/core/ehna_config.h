@@ -75,6 +75,17 @@ struct EhnaConfig {
   /// neighborhood: number of neighbors sampled per hop.
   int fallback_samples = 10;
 
+  /// When true (the default), the trainer packs every aggregation a batch
+  /// (or, data-parallel, a worker shard) of edges needs — both endpoints
+  /// plus all negatives — into one cross-edge tape: walks are sampled up
+  /// front in the exact legacy RNG order, their sequences run through one
+  /// length-bucketed, masked, multi-sequence LSTM pack, and order-sensitive
+  /// parameter accumulations are deferred to a canonical replay so losses,
+  /// gradients, and checkpoints are bitwise identical to the per-edge
+  /// path. See DESIGN.md §10. False restores one aggregation pack per
+  /// aggregation call (the equivalence-test reference).
+  bool batched_aggregation = true;
+
   /// Worker threads for training and inference. 1 (the default) runs the
   /// exact legacy serial path; 0 resolves to the hardware concurrency; N >
   /// 1 trains data-parallel (per-worker tapes, gradients reduced into one

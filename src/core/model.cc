@@ -173,6 +173,45 @@ Var EhnaModel::EdgeLossOn(EhnaAggregator* aggregator, const TemporalEdge& edge,
   return terms.empty() ? Var() : ag::SumN(terms);
 }
 
+void EhnaModel::PlanEdge(EhnaAggregator* aggregator, const TemporalEdge& edge,
+                         Rng* rng, std::vector<AggregationPlan>* plans) {
+  const Timestamp t = edge.time;
+  plans->emplace_back();
+  aggregator->PlanAggregation(edge.src, t, rng, &plans->back());
+  plans->emplace_back();
+  aggregator->PlanAggregation(edge.dst, t, rng, &plans->back());
+  const NodeId exclude[] = {edge.src, edge.dst};
+  const int rounds = config_.bidirectional_negatives ? 2 : 1;
+  for (int r = 0; r < rounds; ++r) {
+    for (int q = 0; q < config_.num_negatives; ++q) {
+      const NodeId v = noise_.SampleExcluding(exclude, rng);
+      plans->emplace_back();
+      aggregator->PlanAggregation(v, t, rng, &plans->back());
+    }
+  }
+}
+
+Var EhnaModel::EdgeLossFromZ(const std::vector<Var>& z, size_t base) {
+  const Var& zx = z[base];
+  const Var& zy = z[base + 1];
+  Var d_pos = ag::SumSquares(ag::Sub(zx, zy));
+
+  std::vector<Var> terms;
+  terms.reserve(static_cast<size_t>(config_.num_negatives) *
+                (config_.bidirectional_negatives ? 2 : 1));
+  size_t idx = base + 2;
+  auto add_negative_terms = [&](const Var& anchor) {
+    for (int q = 0; q < config_.num_negatives; ++q) {
+      Var d_neg = ag::SumSquares(ag::Sub(anchor, z[idx++]));
+      terms.push_back(
+          ag::Hinge(ag::AddScalar(ag::Sub(d_pos, d_neg), config_.margin)));
+    }
+  };
+  add_negative_terms(zx);                                       // Eq. 6.
+  if (config_.bidirectional_negatives) add_negative_terms(zy);  // Eq. 7.
+  return terms.empty() ? Var() : ag::SumN(terms);
+}
+
 EhnaModel::EpochStats EhnaModel::TrainEpoch() {
   // Epoch-level telemetry (DESIGN.md §8): completed epochs/edges, the last
   // epoch's loss, and walks/sec + edges/sec throughput derived from the
@@ -236,9 +275,38 @@ EhnaModel::EpochStats EhnaModel::TrainEpochSerial() {
       TensorArena::Scope tape_scope(&arena_);
       std::vector<Var> losses;
       losses.reserve(batch);
-      for (int b = 0; b < batch && i < order.size(); ++i, ++b) {
-        Var loss = EdgeLoss(edges[order[i]], /*training=*/true);
-        if (loss.defined()) losses.push_back(loss);
+      if (config_.batched_aggregation) {
+        // Plan every aggregation the batch needs up front (consuming the
+        // master RNG in exactly the per-edge order), run them all through
+        // one packed tape, then assemble each edge's hinge terms from its
+        // z slice.
+        std::vector<AggregationPlan> plans;
+        std::vector<size_t> edge_base;
+        edge_base.reserve(batch);
+        for (int b = 0; b < batch && i < order.size(); ++i, ++b) {
+          edge_base.push_back(plans.size());
+          PlanEdge(&aggregator_, edges[order[i]], &rng_, &plans);
+        }
+        if (!plans.empty()) {
+          const std::vector<Var> z =
+              aggregator_.AggregateBatch(plans, /*training=*/true);
+          for (size_t base : edge_base) {
+            Var loss = EdgeLossFromZ(z, base);
+            if (loss.defined()) losses.push_back(loss);
+          }
+        }
+      } else {
+        // Reference mode: identical machinery, one pack per edge. Losses
+        // and gradients are bitwise identical to the batched mode by
+        // construction (DESIGN.md §10).
+        for (int b = 0; b < batch && i < order.size(); ++i, ++b) {
+          std::vector<AggregationPlan> plans;
+          PlanEdge(&aggregator_, edges[order[i]], &rng_, &plans);
+          const std::vector<Var> z =
+              aggregator_.AggregateBatch(plans, /*training=*/true);
+          Var loss = EdgeLossFromZ(z, 0);
+          if (loss.defined()) losses.push_back(loss);
+        }
       }
       if (!losses.empty()) {
         batch_empty = false;
@@ -307,15 +375,62 @@ EhnaModel::EpochStats EhnaModel::TrainEpochParallel() {
             TensorArena::Scope tape_scope(&worker.arena);
             worker.loss_sum = 0.0;
             worker.edges = 0;
-            for (size_t j = a; j < b; ++j) {
-              const size_t pos = begin + j;
-              Rng edge_rng = Rng::Stream(config_.seed ^ kTrainStreamSalt,
-                                         TrainStream(epoch_index_, pos));
-              Var loss = EdgeLossOn(&worker.aggregator, edges[order[pos]],
-                                    /*training=*/true, &edge_rng);
-              worker.loss_sum += loss.value()[0];
-              ++worker.edges;
-              Backward(ag::ScalarMul(loss, inv_count));
+            // Each edge keeps its own RNG stream (planning consumes it in
+            // the legacy per-edge order), but the shard's aggregations run
+            // on one packed tape with a single backward pass.
+            std::vector<AggregationPlan> plans;
+            std::vector<size_t> edge_base;
+            edge_base.reserve(b - a);
+            if (config_.batched_aggregation) {
+              for (size_t j = a; j < b; ++j) {
+                const size_t pos = begin + j;
+                Rng edge_rng = Rng::Stream(config_.seed ^ kTrainStreamSalt,
+                                           TrainStream(epoch_index_, pos));
+                edge_base.push_back(plans.size());
+                PlanEdge(&worker.aggregator, edges[order[pos]], &edge_rng,
+                         &plans);
+              }
+              std::vector<Var> shard_losses;
+              shard_losses.reserve(b - a);
+              if (!plans.empty()) {
+                const std::vector<Var> z = worker.aggregator.AggregateBatch(
+                    plans, /*training=*/true);
+                for (size_t base : edge_base) {
+                  Var loss = EdgeLossFromZ(z, base);
+                  if (loss.defined()) {
+                    worker.loss_sum += loss.value()[0];
+                    shard_losses.push_back(loss);
+                  }
+                  ++worker.edges;
+                }
+              }
+              if (!shard_losses.empty()) {
+                Backward(ag::ScalarMul(ag::SumN(shard_losses), inv_count));
+              }
+            } else {
+              // Reference mode: one pack per edge, same shard-level
+              // backward structure so the two modes stay bitwise equal.
+              std::vector<Var> shard_losses;
+              shard_losses.reserve(b - a);
+              for (size_t j = a; j < b; ++j) {
+                const size_t pos = begin + j;
+                Rng edge_rng = Rng::Stream(config_.seed ^ kTrainStreamSalt,
+                                           TrainStream(epoch_index_, pos));
+                std::vector<AggregationPlan> edge_plans;
+                PlanEdge(&worker.aggregator, edges[order[pos]], &edge_rng,
+                         &edge_plans);
+                const std::vector<Var> z = worker.aggregator.AggregateBatch(
+                    edge_plans, /*training=*/true);
+                Var loss = EdgeLossFromZ(z, 0);
+                if (loss.defined()) {
+                  worker.loss_sum += loss.value()[0];
+                  shard_losses.push_back(loss);
+                }
+                ++worker.edges;
+              }
+              if (!shard_losses.empty()) {
+                Backward(ag::ScalarMul(ag::SumN(shard_losses), inv_count));
+              }
             }
           });
     }

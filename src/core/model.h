@@ -112,6 +112,18 @@ class EhnaModel {
   Var EdgeLossOn(EhnaAggregator* aggregator, const TemporalEdge& edge,
                  bool training, Rng* rng);
 
+  /// Plans every aggregation one edge's loss needs — src, dst, then each
+  /// sampled negative — appending to `plans` while consuming `rng` in
+  /// exactly the order EdgeLossOn would (walk sampling, fallback draws and
+  /// negative sampling interleave identically). The edge's plan span is
+  /// [old plans->size(), plans->size()).
+  void PlanEdge(EhnaAggregator* aggregator, const TemporalEdge& edge,
+                Rng* rng, std::vector<AggregationPlan>* plans);
+
+  /// Assembles Eq. 6/7 from an edge's slice of packed-aggregation outputs
+  /// laid out [zx, zy, negatives...] starting at `base`.
+  Var EdgeLossFromZ(const std::vector<Var>& z, size_t base);
+
   EpochStats TrainEpochSerial();
   EpochStats TrainEpochParallel();
 

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "nn/kernels.h"
+
 namespace ehna {
 
 using internal::VarImpl;
@@ -63,6 +65,32 @@ void Var::AccumulateGrad(const Tensor& g) const {
   } else {
     impl_->grad.AddInPlace(g);
   }
+}
+
+void Var::AccumulateGradRows(int64_t row_start, const Tensor& g) const {
+  EHNA_CHECK(defined());
+  EHNA_CHECK_EQ(impl_->value.rank(), 2);
+  EHNA_CHECK_EQ(g.cols(), impl_->value.cols());
+  EHNA_CHECK_GE(row_start, 0);
+  EHNA_CHECK_LE(row_start + g.rows(), impl_->value.rows());
+  if (!impl_->grad_defined) {
+    impl_->grad = Tensor(impl_->value.rows(), impl_->value.cols());
+    impl_->grad_defined = true;
+  }
+  const int64_t cols = impl_->value.cols();
+  kernels::Axpy(g.rows() * cols, 1.0f, g.data(),
+                impl_->grad.Row(row_start));
+}
+
+void Var::AccumulateGradRow(int64_t row, const float* g_row) const {
+  EHNA_CHECK(defined());
+  EHNA_CHECK_EQ(impl_->value.rank(), 2);
+  EHNA_CHECK(row >= 0 && row < impl_->value.rows());
+  if (!impl_->grad_defined) {
+    impl_->grad = Tensor(impl_->value.rows(), impl_->value.cols());
+    impl_->grad_defined = true;
+  }
+  kernels::Axpy(impl_->value.cols(), 1.0f, g_row, impl_->grad.Row(row));
 }
 
 void Var::ScaleGrad(float alpha) const {

@@ -58,6 +58,17 @@ class Var {
   /// backward closures call this on their parents.
   void AccumulateGrad(const Tensor& g) const;
 
+  /// Adds `g` (a block of full-width rows) into rows [row_start,
+  /// row_start + g.rows()) of this node's gradient, allocating a zeroed
+  /// full-shape gradient on first use. Lets segment/pack ops route
+  /// row-disjoint contributions without materializing full-size zero
+  /// tensors per contribution.
+  void AccumulateGradRows(int64_t row_start, const Tensor& g) const;
+
+  /// Single-row raw-pointer variant of AccumulateGradRows: adds `g_row`
+  /// (this->value().cols() floats) into row `row` of the gradient.
+  void AccumulateGradRow(int64_t row, const float* g_row) const;
+
   /// Scales the accumulated gradient in place (no-op if no gradient has
   /// reached this node). Used by gradient clipping to avoid re-allocating
   /// every gradient tensor.

@@ -1,6 +1,7 @@
 #ifndef EHNA_NN_BATCHNORM_H_
 #define EHNA_NN_BATCHNORM_H_
 
+#include <memory>
 #include <vector>
 
 #include "nn/autograd.h"
@@ -30,6 +31,24 @@ class BatchNorm1d {
   /// subtract away). See DESIGN.md §2.
   Var ForwardPopulation(const Var& x, bool update_stats);
 
+  /// Deferred-parameter-gradient variants for the packed aggregation path
+  /// (DESIGN.md §10): identical forward math and running-statistics
+  /// updates, identical dL/dx, but dL/dgamma and dL/dbeta accumulate into
+  /// the caller-owned (pre-zeroed) buffers instead of the parameter Vars.
+  /// The pack's replay sentinel later feeds the buffers into gamma()/
+  /// beta() in a canonical order, so parameter gradients do not depend on
+  /// how many aggregations share one tape.
+  Var ForwardDeferred(const Var& x, bool training,
+                      std::shared_ptr<Tensor> dgamma,
+                      std::shared_ptr<Tensor> dbeta);
+  Var ForwardPopulationDeferred(const Var& x, bool update_stats,
+                                std::shared_ptr<Tensor> dgamma,
+                                std::shared_ptr<Tensor> dbeta);
+
+  /// Parameter leaves (for the deferred-gradient replay).
+  const Var& gamma() const { return gamma_; }
+  const Var& beta() const { return beta_; }
+
   std::vector<Var> Parameters() const;
 
   const Tensor& running_mean() const { return running_mean_; }
@@ -44,6 +63,15 @@ class BatchNorm1d {
  private:
   Var ForwardWithStats(const Var& x, const Tensor& mean,
                        const Tensor& inv_std, bool batch_stats) const;
+  Var ForwardWithStatsDeferred(const Var& x, const Tensor& mean,
+                               const Tensor& inv_std, bool batch_stats,
+                               std::shared_ptr<Tensor> dgamma,
+                               std::shared_ptr<Tensor> dbeta) const;
+
+  /// Folds the batch statistics of `in` into the running estimates with
+  /// the shared momentum/first-call rules (used by both the regular and
+  /// deferred forward variants).
+  void UpdateRunningStats(const Tensor& mean, const Tensor& var);
 
   int64_t features_;
   float momentum_;

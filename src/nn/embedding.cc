@@ -64,6 +64,50 @@ Var Embedding::GatherRow(int64_t id,
                  "embedding_gather_row");
 }
 
+Var Embedding::GatherDeferred(const std::vector<int64_t>& ids) const {
+  EHNA_CHECK(!ids.empty());
+  const int64_t d = dim();
+  Tensor out = Tensor::Uninit(static_cast<int64_t>(ids.size()), d);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EHNA_DCHECK(ids[i] >= 0 && ids[i] < num_rows());
+    kernels::Copy(table_.Row(ids[i]), out.Row(static_cast<int64_t>(i)), d);
+  }
+  return Var::Leaf(std::move(out), /*requires_grad=*/true);
+}
+
+Var Embedding::GatherRowDeferred(int64_t id) const {
+  EHNA_CHECK(id >= 0 && id < num_rows());
+  const int64_t d = dim();
+  Tensor out = Tensor::Uninit(d);
+  kernels::Copy(table_.Row(id), out.data(), d);
+  return Var::Leaf(std::move(out), /*requires_grad=*/true);
+}
+
+void Embedding::ScatterGrads(const std::vector<int64_t>& ids, const Tensor& g,
+                             const std::shared_ptr<SparseRowGrads>& sink) {
+  SparseRowGrads* map = sink ? sink.get() : grad_map_ptr_.get();
+  const int64_t d = dim();
+  EHNA_CHECK_EQ(g.rows(), static_cast<int64_t>(ids.size()));
+  EHNA_CHECK_EQ(g.cols(), d);
+  TensorArena::Bypass no_arena;  // mirror the Gather hook: rows outlive the tape
+  for (size_t i = 0; i < ids.size(); ++i) {
+    Tensor& acc = (*map)[ids[i]];
+    if (acc.numel() == 0) acc = Tensor(d);
+    kernels::Axpy(d, 1.0f, g.Row(static_cast<int64_t>(i)), acc.data());
+  }
+}
+
+void Embedding::ScatterRowGrad(int64_t id, const Tensor& g,
+                               const std::shared_ptr<SparseRowGrads>& sink) {
+  SparseRowGrads* map = sink ? sink.get() : grad_map_ptr_.get();
+  const int64_t d = dim();
+  EHNA_CHECK_EQ(g.numel(), d);
+  TensorArena::Bypass no_arena;
+  Tensor& acc = (*map)[id];
+  if (acc.numel() == 0) acc = Tensor(d);
+  kernels::Axpy(d, 1.0f, g.data(), acc.data());
+}
+
 void Embedding::SetRow(int64_t id, const float* values) {
   EHNA_CHECK(id >= 0 && id < num_rows());
   kernels::Copy(values, table_.Row(id), dim());

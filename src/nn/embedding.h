@@ -47,6 +47,23 @@ class Embedding {
   Var GatherRow(int64_t id,
                 const std::shared_ptr<SparseRowGrads>& sink = nullptr);
 
+  /// Hook-free gathers for the packed-aggregation path (DESIGN.md §10):
+  /// plain grad-requiring leaves whose gradients the pack's replay sentinel
+  /// scatters itself via ScatterGrads/ScatterRowGrad, in canonical
+  /// aggregation order — the scatter order into the sparse map (and hence
+  /// the float accumulation per row) then cannot depend on how many
+  /// aggregations share one tape.
+  Var GatherDeferred(const std::vector<int64_t>& ids) const;
+  Var GatherRowDeferred(int64_t id) const;
+
+  /// Replays the Gather backward hook for a deferred gather: scatters the
+  /// rows of `g` into `sink` (nullptr targets the internal accumulator)
+  /// exactly as the hook would — heap-allocated rows, ascending row order.
+  void ScatterGrads(const std::vector<int64_t>& ids, const Tensor& g,
+                    const std::shared_ptr<SparseRowGrads>& sink);
+  void ScatterRowGrad(int64_t id, const Tensor& g,
+                      const std::shared_ptr<SparseRowGrads>& sink);
+
   /// Merges a worker sink produced by sink-redirected gathers into the
   /// internal accumulator. Not thread-safe; call from the reducing thread.
   void AccumulateSparse(const SparseRowGrads& grads);

@@ -199,6 +199,17 @@ void ScaledCopy(int64_t n, float alpha, const float* x, float* out) {
 }
 
 void Lerp(int64_t n, float w, const float* a, const float* b, float* out) {
+  // Endpoint fast paths: mask rows blend with w ∈ {0, 1} almost always, and
+  // a straight copy is both faster and exact (no 0*x term that could
+  // perturb signed zeros differently between callers).
+  if (w == 1.0f) {
+    Copy(a, out, n);
+    return;
+  }
+  if (w == 0.0f) {
+    Copy(b, out, n);
+    return;
+  }
   const float wb = 1.0f - w;
   for (int64_t i = 0; i < n; ++i) out[i] = w * a[i] + wb * b[i];
 }

@@ -26,6 +26,10 @@ class Linear {
   int64_t in_dim() const { return in_dim_; }
   int64_t out_dim() const { return out_dim_; }
 
+  /// Weight leaf [in, out], exposed for the packed-aggregation replay
+  /// (which accumulates the weight gradient itself; DESIGN.md §10).
+  const Var& weight() const { return weight_; }
+
  private:
   int64_t in_dim_;
   int64_t out_dim_;

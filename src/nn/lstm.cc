@@ -76,6 +76,104 @@ Var StackedLstm::Forward(const std::vector<Var>& inputs,
   return states.back().h;
 }
 
+PackedLstmTrace StackedLstm::ForwardPacked(
+    const std::vector<Var>& inputs, const std::vector<Tensor>& masks) const {
+  EHNA_CHECK(!inputs.empty());
+  EHNA_CHECK(masks.empty() || masks.size() == inputs.size());
+  const size_t T = inputs.size();
+  const size_t L = cells_.size();
+  const bool masked = !masks.empty();
+
+  PackedLstmTrace trace;
+  trace.steps.resize(T);
+  trace.top_h.resize(T);
+
+  // Per-layer state plus the Var the next step's MaskRows b-side must
+  // consume (differs from `h` only when a FanInUses junction split the
+  // consumers).
+  struct PackState {
+    Var h;
+    Var h_for_mask;
+    Var c;
+  };
+  std::vector<PackState> states(L);
+  const int64_t n0 = inputs[0].value().rows();
+  for (size_t l = 0; l < L; ++l) {
+    LstmCell::State init = cells_[l].InitialState(n0);
+    states[l] = {init.h, init.h, init.c};
+  }
+
+  for (size_t t = 0; t < T; ++t) {
+    const int64_t n_t = inputs[t].value().rows();
+    EHNA_CHECK_EQ(states[0].h.value().rows(), n_t);
+    const int64_t n_next =
+        t + 1 < T ? inputs[t + 1].value().rows() : 0;
+    EHNA_CHECK(t + 1 >= T || n_next <= n_t);
+    const bool shrink = t + 1 < T && n_next < n_t;
+
+    Var layer_input = inputs[t];
+    trace.steps[t].resize(L);
+    for (size_t l = 0; l < L; ++l) {
+      const LstmCell& cell = cells_[l];
+      Var z = ag::LstmPreactNoWeightGrad(layer_input, states[l].h,
+                                         cell.w_ih(), cell.w_hh(),
+                                         cell.bias());
+      Var hc = ag::LstmGates(z, states[l].c);
+      Var h = ag::SliceCols(hc, 0, hidden_dim_);
+      Var c = ag::SliceCols(hc, hidden_dim_, hidden_dim_);
+      if (masked) {
+        h = ag::MaskRows(h, states[l].h_for_mask, masks[t]);
+        c = ag::MaskRows(c, states[l].c, masks[t]);
+      }
+      trace.steps[t][l] = PackedLstmStep{layer_input, states[l].h, z};
+
+      const bool is_top = l + 1 == L;
+      if (is_top) {
+        // Consumers of `h`: caller readouts for sequences ending here
+        // (rows >= n_next, AccumulateGradRows) and, when steps remain, the
+        // next step's state. At a shrink point the surviving prefix is
+        // sliced off (AccumulateGradRows on rows [0, n_next)) — row-
+        // disjoint with the readouts, so accumulation order cannot matter.
+        // Without shrink both next-step consumers (pre-activation h-input
+        // and MaskRows b-side) accumulate full-shape gradients, a
+        // commutative two-term fan-in.
+        trace.top_h[t] = h;
+        if (t + 1 < T) {
+          if (shrink) {
+            Var hp = ag::SegmentRows(h, 0, n_next);
+            states[l] = {hp, hp, ag::SegmentRows(c, 0, n_next)};
+          } else {
+            states[l] = {h, h, c};
+          }
+        }
+      } else if (t + 1 == T) {
+        // Only consumer is the next layer this step.
+        layer_input = h;
+      } else if (shrink) {
+        // `h` feeds the next layer (full-shape grad) and the surviving
+        // prefix slice (row-block grad) — mixed accumulation forms whose
+        // order the engine does not fix, so split them through a junction.
+        std::vector<Var> uses = ag::FanInUses(h, 2);
+        layer_input = uses[0];
+        Var hp = ag::SegmentRows(uses[1], 0, n_next);
+        states[l] = {hp, hp, ag::SegmentRows(c, 0, n_next)};
+      } else if (masked) {
+        // Three same-shape consumers (next layer x, next step h-input,
+        // next step MaskRows b-side) with one topologically unordered —
+        // a junction makes the sum slot-ordered.
+        std::vector<Var> uses = ag::FanInUses(h, 3);
+        layer_input = uses[0];
+        states[l] = {uses[1], uses[2], c};
+      } else {
+        // Maskless, no shrink: two full-shape consumers, commutative.
+        layer_input = h;
+        states[l] = {h, h, c};
+      }
+    }
+  }
+  return trace;
+}
+
 std::vector<Var> StackedLstm::Parameters() const {
   std::vector<Var> params;
   for (const auto& cell : cells_) {

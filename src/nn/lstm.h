@@ -32,12 +32,37 @@ class LstmCell {
   int64_t input_dim() const { return input_dim_; }
   int64_t hidden_dim() const { return hidden_dim_; }
 
+  /// Weight leaves, exposed for the packed-aggregation replay, which
+  /// computes the per-aggregation weight gradients itself (DESIGN.md §10).
+  const Var& w_ih() const { return w_ih_; }
+  const Var& w_hh() const { return w_hh_; }
+  const Var& bias() const { return bias_; }
+
  private:
   int64_t input_dim_;
   int64_t hidden_dim_;
   Var w_ih_;  // [input_dim, 4*hidden]
   Var w_hh_;  // [hidden, 4*hidden]
   Var bias_;  // [4*hidden]
+};
+
+/// One (layer, step) record of a packed multi-sequence LSTM forward. The
+/// replay sentinel of the packed aggregation path reads `x`/`h_prev`
+/// values and `z`'s retained gradient to rebuild each aggregation's weight
+/// gradients from its contiguous row slice (bitwise equal to the slices a
+/// per-aggregation pack would produce).
+struct PackedLstmStep {
+  Var x;       // cell input at this step [n_t, in]
+  Var h_prev;  // hidden-state input consumed by the pre-activation [n_t, h]
+  Var z;       // pre-activation node [n_t, 4h]
+};
+
+/// Full trace of a packed forward: per-step, per-layer records plus the
+/// post-mask top-layer hidden state of every step, from which the caller
+/// reads per-sequence finals with SegmentRows.
+struct PackedLstmTrace {
+  std::vector<std::vector<PackedLstmStep>> steps;  // [T][num_layers]
+  std::vector<Var> top_h;                          // [T]
 };
 
 /// A stack of LSTM layers (the paper's "stacked LSTM" aggregator; the
@@ -57,10 +82,28 @@ class StackedLstm {
   Var Forward(const std::vector<Var>& inputs,
               const std::vector<Tensor>& masks) const;
 
+  /// Packed multi-sequence forward (DESIGN.md §10): `inputs[t]` holds the
+  /// step-t rows of every sequence still running at step t, with a
+  /// non-increasing row count n_t (sequences sorted by descending length,
+  /// whole tail blocks dropping at shrink points); `masks[t]` (empty for a
+  /// maskless pack) freezes rows of ragged sequences padded inside their
+  /// block. Row r of every step-t tensor belongs to the same sequence, so
+  /// each sequence's forward is bitwise identical to running it through
+  /// `Forward` alone (all kernels on the path are row-local).
+  ///
+  /// Weight gradients are NOT produced by this path — the caller's replay
+  /// sentinel rebuilds them per aggregation row-slice from the returned
+  /// trace. State fan-ins whose accumulation order the engine does not
+  /// force are routed through FanInUses junctions, so input/state
+  /// gradients are also schedule-independent.
+  PackedLstmTrace ForwardPacked(const std::vector<Var>& inputs,
+                                const std::vector<Tensor>& masks) const;
+
   std::vector<Var> Parameters() const;
 
   int num_layers() const { return static_cast<int>(cells_.size()); }
   int64_t hidden_dim() const { return hidden_dim_; }
+  const LstmCell& cell(int l) const { return cells_[l]; }
 
  private:
   int64_t hidden_dim_;

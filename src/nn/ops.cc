@@ -766,4 +766,195 @@ Var AttentionSoftmax(const Var& emb, const Var& target,
       "attention_softmax");
 }
 
+// ---------------------------------------------------- packed/segment ops
+
+Var SegmentRows(const Var& mat, int64_t row_start, int64_t rows) {
+  const Tensor& m = mat.value();
+  EHNA_CHECK_EQ(m.rank(), 2);
+  EHNA_CHECK(row_start >= 0 && rows > 0 && row_start + rows <= m.rows());
+  Tensor out = Tensor::Uninit(rows, m.cols());
+  kernels::Copy(m.Row(row_start), out.data(), rows * m.cols());
+  return Var::Op(std::move(out), {mat},
+                 [mat, row_start](const Tensor& g, const Tensor&) {
+                   mat.AccumulateGradRows(row_start, g);
+                 },
+                 "segment_rows");
+}
+
+Var PackRows(const std::vector<Var>& sources,
+             const std::vector<PackedRowRef>& refs, int64_t cols) {
+  EHNA_CHECK(!refs.empty());
+  Tensor out = Tensor::Uninit(static_cast<int64_t>(refs.size()), cols);
+  for (size_t i = 0; i < refs.size(); ++i) {
+    const PackedRowRef& r = refs[i];
+    float* dst = out.Row(static_cast<int64_t>(i));
+    if (r.source < 0) {
+      kernels::Fill(dst, cols, 0.0f);
+    } else {
+      const Tensor& src = sources[r.source].value();
+      EHNA_DCHECK(src.cols() == cols && r.row >= 0 && r.row < src.rows());
+      kernels::Copy(src.Row(r.row), dst, cols);
+    }
+  }
+  std::vector<Var> parents = sources;
+  return Var::Op(std::move(out), std::move(parents),
+                 [sources, refs](const Tensor& g, const Tensor&) {
+                   for (size_t i = 0; i < refs.size(); ++i) {
+                     const PackedRowRef& r = refs[i];
+                     if (r.source < 0) continue;  // padding row.
+                     sources[r.source].AccumulateGradRow(
+                         r.row, g.Row(static_cast<int64_t>(i)));
+                   }
+                 },
+                 "pack_rows");
+}
+
+std::vector<Var> FanInUses(const Var& src, int n) {
+  EHNA_CHECK_GT(n, 1);
+  // Shared countdown: each use parks its gradient in a private slot; the
+  // last-executed use sums the slots in slot order, so the total fed to
+  // `src` is independent of the engine's closure schedule.
+  struct Junction {
+    std::vector<Tensor> slots;
+    int remaining;
+  };
+  auto junction = std::make_shared<Junction>();
+  junction->slots.resize(n);
+  junction->remaining = n;
+  std::vector<Var> uses;
+  uses.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Tensor value = src.value();  // alias-by-copy of the forward value.
+    uses.push_back(Var::Op(
+        std::move(value), {src},
+        [src, junction, i](const Tensor& g, const Tensor&) {
+          junction->slots[i] = g;
+          if (--junction->remaining > 0) return;
+          Tensor total = junction->slots[0];
+          for (size_t s = 1; s < junction->slots.size(); ++s) {
+            EHNA_CHECK(!junction->slots[s].empty());
+            total.AddInPlace(junction->slots[s]);
+          }
+          src.AccumulateGrad(total);
+        },
+        "fan_in_use"));
+  }
+  return uses;
+}
+
+Var LstmPreactNoWeightGrad(const Var& x, const Var& h, const Var& w_ih,
+                           const Var& w_hh, const Var& bias) {
+  const Tensor& xv = x.value();
+  const Tensor& wi = w_ih.value();
+  const Tensor& hv = h.value();
+  const Tensor& wh = w_hh.value();
+  const Tensor& bv = bias.value();
+  EHNA_CHECK_EQ(xv.rank(), 2);
+  EHNA_CHECK_EQ(hv.rank(), 2);
+  EHNA_CHECK_EQ(xv.rows(), hv.rows());
+  EHNA_CHECK_EQ(xv.cols(), wi.rows());
+  EHNA_CHECK_EQ(hv.cols(), wh.rows());
+  EHNA_CHECK_EQ(wi.cols(), wh.cols());
+  EHNA_CHECK_EQ(bv.rank(), 1);
+  EHNA_CHECK_EQ(bv.rows(), wi.cols());
+  EHNA_TRACE_PHASE("kernels.phase.lstm_step");
+  const int64_t b = xv.rows();
+  const int64_t four_h = wi.cols();
+  Tensor out = Tensor::Uninit(b, four_h);
+  kernels::GemmNN(b, four_h, xv.cols(), xv.data(), wi.data(), out.data(),
+                  /*accumulate=*/false);
+  kernels::GemmNN(b, four_h, hv.cols(), hv.data(), wh.data(), out.data(),
+                  /*accumulate=*/true);
+  for (int64_t i = 0; i < b; ++i) {
+    kernels::Add(four_h, out.Row(i), bv.data(), out.Row(i));
+  }
+  return Var::Op(
+      std::move(out), {x, h},
+      [x, h, w_ih, w_hh](const Tensor& g, const Tensor&) {
+        EHNA_TRACE_PHASE("kernels.phase.lstm_step");
+        const Tensor& xv = x.value();
+        const Tensor& wi = w_ih.value();
+        const Tensor& hv = h.value();
+        const Tensor& wh = w_hh.value();
+        const int64_t b = g.rows();
+        const int64_t four_h = g.cols();
+        Tensor gx = Tensor::Uninit(xv.rows(), xv.cols());
+        kernels::GemmNT(b, xv.cols(), four_h, g.data(), wi.data(), gx.data(),
+                        /*accumulate=*/false);
+        x.AccumulateGrad(gx);
+        Tensor gh = Tensor::Uninit(hv.rows(), hv.cols());
+        kernels::GemmNT(b, hv.cols(), four_h, g.data(), wh.data(), gh.data(),
+                        /*accumulate=*/false);
+        h.AccumulateGrad(gh);
+      },
+      "lstm_preact_nwg");
+}
+
+Var MatMulNoWeightGrad(const Var& a, const Var& w) {
+  EHNA_TRACE_PHASE("kernels.phase.gemm");
+  Tensor out = ehna::MatMul(a.value(), w.value());
+  return Var::Op(std::move(out), {a},
+                 [a, w](const Tensor& g, const Tensor&) {
+                   EHNA_TRACE_PHASE("kernels.phase.gemm");
+                   a.AccumulateGrad(MatMulTransposeB(g, w.value()));
+                 },
+                 "matmul_nwg");
+}
+
+Var ConcatDeferredB(const Var& a, const Tensor& b_value,
+                    std::shared_ptr<Tensor> b_grad, const Var& order_tether) {
+  const Tensor& x = a.value();
+  EHNA_CHECK_EQ(x.rank(), 1);
+  EHNA_CHECK_EQ(b_value.rank(), 1);
+  EHNA_CHECK(b_grad != nullptr);
+  Tensor out = Tensor::Uninit(x.numel() + b_value.numel());
+  kernels::Copy(x.data(), out.data(), x.numel());
+  kernels::Copy(b_value.data(), out.data() + x.numel(), b_value.numel());
+  const int64_t na = x.numel();
+  // `order_tether` only forces the traversal to reach the replay sentinel
+  // through this node's subtree; no gradient is routed to it here.
+  return Var::Op(std::move(out), {a, order_tether},
+                 [a, b_grad, na](const Tensor& g, const Tensor&) {
+                   Tensor ga = Tensor::Uninit(na);
+                   kernels::Copy(g.data(), ga.data(), na);
+                   a.AccumulateGrad(ga);
+                   kernels::Axpy(g.numel() - na, 1.0f, g.data() + na,
+                                 b_grad->data());
+                 },
+                 "concat_deferred_b");
+}
+
+Var AttentionSoftmaxDeferredTarget(const Var& emb, const Tensor& target_value,
+                                   const Tensor& neg_coeffs,
+                                   std::shared_ptr<Tensor> gtarget,
+                                   const Var& order_tether) {
+  const Tensor& e = emb.value();
+  EHNA_CHECK_EQ(e.rank(), 2);
+  EHNA_CHECK_EQ(target_value.rank(), 1);
+  EHNA_CHECK_EQ(e.cols(), target_value.rows());
+  EHNA_CHECK_EQ(neg_coeffs.rank(), 1);
+  EHNA_CHECK_EQ(neg_coeffs.rows(), e.rows());
+  EHNA_CHECK(gtarget != nullptr);
+  EHNA_TRACE_PHASE("kernels.phase.attention");
+  const int64_t l = e.rows();
+  const int64_t d = e.cols();
+  Tensor alpha = Tensor::Uninit(l);
+  kernels::AttentionSoftmaxForward(l, d, e.data(), target_value.data(),
+                                   neg_coeffs.data(), alpha.data());
+  Tensor t_copy = target_value;
+  Tensor nc_copy = neg_coeffs;
+  return Var::Op(
+      std::move(alpha), {emb, order_tether},
+      [emb, t_copy, nc_copy, gtarget, l, d](const Tensor& g, const Tensor& y) {
+        EHNA_TRACE_PHASE("kernels.phase.attention");
+        Tensor ge(l, d);
+        kernels::AttentionSoftmaxBackward(l, d, g.data(), y.data(),
+                                          emb.value().data(), t_copy.data(),
+                                          nc_copy.data(), ge.data(),
+                                          gtarget->data());
+        emb.AccumulateGrad(ge);
+      },
+      "attention_softmax_dt");
+}
+
 }  // namespace ehna::ag

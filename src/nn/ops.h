@@ -1,6 +1,7 @@
 #ifndef EHNA_NN_OPS_H_
 #define EHNA_NN_OPS_H_
 
+#include <memory>
 #include <vector>
 
 #include "nn/autograd.h"
@@ -141,6 +142,73 @@ Var LstmGates(const Var& z, const Var& c_prev);
 /// gradient flows to it. Returns the weights alpha [l].
 Var AttentionSoftmax(const Var& emb, const Var& target,
                      const Tensor& neg_coeffs);
+
+// ----------------------------------------------------- packed/segment ops
+// Ops for the minibatch-packed aggregation path (DESIGN.md §10). They route
+// row-block gradients with AccumulateGradRows/AccumulateGradRow instead of
+// materializing full-size zero tensors, and several variants defer
+// order-sensitive parameter accumulations to a replay sentinel so the
+// packed path produces bitwise-identical gradients regardless of how many
+// aggregations share one tape.
+
+/// Rows [row_start, row_start + rows) of mat -> [rows, cols]. The backward
+/// routes the block gradient into the matching rows of `mat`'s gradient.
+Var SegmentRows(const Var& mat, int64_t row_start, int64_t rows);
+
+/// One row of a packed timestep input: which source matrix (index into the
+/// `sources` of PackRows) and which row of it. `source == -1` emits a zero
+/// row (padding past the end of a short walk).
+struct PackedRowRef {
+  int32_t source = -1;
+  int32_t row = 0;
+};
+
+/// Gathers rows from several source matrices (all with `cols` columns) into
+/// one [refs.size(), cols] pack. Backward scatters row gradients back in
+/// ascending output-row order via AccumulateGradRow; padding rows drop
+/// their gradient.
+Var PackRows(const std::vector<Var>& sources,
+             const std::vector<PackedRowRef>& refs, int64_t cols);
+
+/// Deterministic n-way fan-in junction. Returns n "use" nodes that all
+/// alias `src`'s value. Each use's backward parks its incoming gradient in
+/// a private slot; the last-executed use sums the slots in slot order and
+/// feeds one AccumulateGrad into `src`. This makes the total gradient
+/// independent of the engine's closure schedule when three or more
+/// consumers feed one node and their relative order is not topologically
+/// forced. Every returned use MUST be consumed by exactly one downstream
+/// op, or `src` never receives its gradient.
+std::vector<Var> FanInUses(const Var& src, int n);
+
+/// LstmPreact variant for the packed path: same forward, but the graph
+/// node's parents are {x, h} only and the backward computes just gx/gh.
+/// The weight gradients (order-sensitive GemmTN accumulations) are
+/// replayed later, per aggregation row-slice, by the pack's sentinel; the
+/// weight Vars are captured here only to read their values.
+Var LstmPreactNoWeightGrad(const Var& x, const Var& h, const Var& w_ih,
+                           const Var& w_hh, const Var& bias);
+
+/// MatMul variant whose node has parent {a} only; the backward computes
+/// just the input gradient dL/da = g @ w^T. The weight gradient is
+/// replayed by the pack's sentinel from this node's retained grad.
+Var MatMulNoWeightGrad(const Var& a, const Var& w);
+
+/// Concat of `a` with the constant vector `b_value`, with the b-side
+/// gradient written into `*b_grad` (pre-zeroed, owned by the caller's
+/// replay record) instead of a Var. `order_tether` is a traversal-ordering
+/// parent only (no gradient is routed to it): it guarantees the node's
+/// subtree reaches the replay sentinel even when `a` is a constant leaf.
+Var ConcatDeferredB(const Var& a, const Tensor& b_value,
+                    std::shared_ptr<Tensor> b_grad, const Var& order_tether);
+
+/// AttentionSoftmax variant whose target is the constant `target_value`;
+/// the target gradient accumulates into `*gtarget` (pre-zeroed, one buffer
+/// per call) for the replay sentinel to scatter later. `order_tether` is a
+/// traversal-ordering parent only, as in ConcatDeferredB.
+Var AttentionSoftmaxDeferredTarget(const Var& emb, const Tensor& target_value,
+                                   const Tensor& neg_coeffs,
+                                   std::shared_ptr<Tensor> gtarget,
+                                   const Var& order_tether);
 
 }  // namespace ehna::ag
 

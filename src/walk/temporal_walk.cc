@@ -1,11 +1,29 @@
 #include "walk/temporal_walk.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
 #include "util/metrics.h"
 
 namespace ehna {
+namespace {
+
+/// Degree above which candidate selection switches from a linear scan of
+/// the inclusive prefix sums to binary search. Below this the scan wins on
+/// branch predictability and cache residency.
+constexpr size_t kBinarySearchDegree = 16;
+
+/// Per-thread scratch for the transition-weight prefix sums. SampleWalk is
+/// on the trainer's per-edge hot path and runs concurrently from worker
+/// shards; a function-local vector would pay one allocation per call and
+/// serialize the workers on the allocator.
+std::vector<double>& PrefixScratch() {
+  static thread_local std::vector<double> scratch;
+  return scratch;
+}
+
+}  // namespace
 
 TemporalWalkSampler::TemporalWalkSampler(const TemporalGraph* graph,
                                          TemporalWalkConfig config)
@@ -64,7 +82,7 @@ Walk TemporalWalkSampler::SampleWalk(NodeId start, Timestamp ref_time,
   NodeId current = start;
   Timestamp frontier_time = ref_time;
 
-  std::vector<double> weights;
+  std::vector<double>& prefix = PrefixScratch();
   for (int step = 0; step < config_.walk_length; ++step) {
     // Relevance constraint (Definition 2): only historical edges no newer
     // than the edge we just traversed (or the target edge, on step one).
@@ -74,26 +92,42 @@ Walk TemporalWalkSampler::SampleWalk(NodeId start, Timestamp ref_time,
       break;
     }
 
-    weights.resize(candidates.size());
+    // Inclusive prefix sums of the transition weights: prefix[i] holds
+    // w_0 + ... + w_i accumulated left to right, so the final entry is the
+    // same `total` the plain running sum would produce (same add order).
+    prefix.resize(candidates.size());
     double total = 0.0;
     for (size_t i = 0; i < candidates.size(); ++i) {
-      weights[i] = TransitionWeight(prev, frontier_time, current,
-                                    candidates[i], ref_time);
-      total += weights[i];
+      total += TransitionWeight(prev, frontier_time, current, candidates[i],
+                                ref_time);
+      prefix[i] = total;
     }
     if (total <= 0.0) {  // all moves forbidden (e.g. p = inf dead end).
       rejected = true;
       break;
     }
 
-    double pick = rng->Uniform() * total;
-    size_t chosen = candidates.size() - 1;
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      pick -= weights[i];
-      if (pick <= 0.0) {
-        chosen = i;
-        break;
+    // The chosen candidate is the first i with prefix[i] >= pick (the
+    // prefix array is non-decreasing, so ties on zero-weight candidates
+    // resolve to the earliest index — lower_bound's first-occurrence
+    // semantics). Linear scan and binary search read the same array, so
+    // the selected index is identical on both sides of the degree cutoff.
+    const double pick = rng->Uniform() * total;
+    size_t chosen;
+    if (candidates.size() <= kBinarySearchDegree) {
+      chosen = candidates.size() - 1;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (prefix[i] >= pick) {
+          chosen = i;
+          break;
+        }
       }
+    } else {
+      chosen = static_cast<size_t>(
+          std::lower_bound(prefix.begin(),
+                           prefix.begin() + candidates.size(), pick) -
+          prefix.begin());
+      if (chosen >= candidates.size()) chosen = candidates.size() - 1;
     }
 
     const AdjEntry& next = candidates[chosen];

@@ -1,0 +1,271 @@
+// Equivalence tests for the minibatch-packed aggregation path (ISSUE 5
+// tentpole, DESIGN.md §10). Three contracts are enforced here:
+//
+//  1. Forward equivalence: AggregateBatch produces bitwise the same z as a
+//     sequence of legacy Aggregate calls driven by an identically seeded
+//     RNG, for every variant, for multi-plan packs with mixed walk
+//     lengths, and for the fallback / isolated-node paths.
+//  2. Training-mode equivalence: a run with `batched_aggregation = true`
+//     (one pack per batch/shard) is bitwise identical — checkpoint bytes
+//     and final embeddings — to a run with `batched_aggregation = false`
+//     (one pack per edge), serial and 4-threaded, metrics on and off.
+//  3. Gradient reach: one Backward through a packed batch populates every
+//     parameter group and the sparse embedding accumulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/aggregator.h"
+#include "core/model.h"
+#include "graph/generators/generators.h"
+#include "nn/ops.h"
+#include "util/metrics.h"
+
+namespace ehna {
+namespace {
+
+namespace fs = std::filesystem;
+
+TemporalGraph SmallGraph() {
+  auto g = MakePaperDataset(PaperDataset::kDigg, 0.05, 42);
+  EHNA_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+EhnaConfig SmallConfig() {
+  EhnaConfig cfg;
+  cfg.dim = 8;
+  cfg.num_walks = 3;
+  cfg.walk_length = 4;
+  cfg.lstm_layers = 2;
+  cfg.num_negatives = 1;
+  cfg.seed = 1;
+  return cfg;
+}
+
+std::string FreshDir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Element-exact comparison; any mismatch reports the first bad index.
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.numel(), b.numel()) << what;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << what << " diverges at element " << i;
+  }
+}
+
+/// Runs the same aggregation sequence through the legacy per-call path and
+/// through one AggregateBatch pack, from identically seeded state, and
+/// asserts bitwise-equal outputs. Exercising them in ONE sequence matters:
+/// BatchNorm running statistics evolve across calls, so equality here also
+/// proves the packed path updates them in the same order.
+void ExpectPackMatchesLegacy(const TemporalGraph& g, const EhnaConfig& cfg,
+                             const std::vector<NodeId>& targets,
+                             const std::vector<Timestamp>& times,
+                             bool training) {
+  Rng rng_a(7), rng_b(7);
+  Embedding emb_a(g.num_nodes(), cfg.dim, &rng_a);
+  Embedding emb_b(g.num_nodes(), cfg.dim, &rng_b);
+  EhnaAggregator agg_a(&g, &emb_a, cfg, &rng_a);
+  EhnaAggregator agg_b(&g, &emb_b, cfg, &rng_b);
+
+  std::vector<Var> legacy;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    legacy.push_back(agg_a.Aggregate(targets[i], times[i], training, &rng_a));
+  }
+
+  std::vector<AggregationPlan> plans(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    agg_b.PlanAggregation(targets[i], times[i], &rng_b, &plans[i]);
+  }
+  std::vector<Var> packed = agg_b.AggregateBatch(plans, training);
+
+  ASSERT_EQ(packed.size(), legacy.size());
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    ExpectBitwiseEqual(legacy[i].value(), packed[i].value(),
+                       EhnaVariantName(cfg.variant) + std::string(" plan ") +
+                           std::to_string(i));
+  }
+  emb_a.ClearGradients();
+  emb_b.ClearGradients();
+}
+
+TEST(AggregatorBatchTest, SinglePlanMatchesLegacyAllVariants) {
+  TemporalGraph g = SmallGraph();
+  for (EhnaVariant variant :
+       {EhnaVariant::kFull, EhnaVariant::kNoAttention,
+        EhnaVariant::kStaticWalk, EhnaVariant::kSingleLayer}) {
+    EhnaConfig cfg = SmallConfig();
+    cfg.variant = variant;
+    for (bool training : {true, false}) {
+      ExpectPackMatchesLegacy(g, cfg, {2}, {g.max_time() + 1.0}, training);
+    }
+  }
+}
+
+TEST(AggregatorBatchTest, MultiPlanPackMatchesLegacySequenceAllVariants) {
+  TemporalGraph g = SmallGraph();
+  // Mixed targets force ragged walk lengths (tail plans drop out of the
+  // pack mid-sequence) and the fallback path (ref_time before any edge)
+  // inside the same pack as standard plans.
+  const std::vector<NodeId> targets = {0, 5, 3, 17, 1};
+  const std::vector<Timestamp> times = {
+      g.max_time() + 1.0, g.max_time() + 1.0, g.min_time() - 1.0,
+      g.max_time() + 1.0, g.max_time() + 1.0};
+  for (EhnaVariant variant :
+       {EhnaVariant::kFull, EhnaVariant::kNoAttention,
+        EhnaVariant::kStaticWalk, EhnaVariant::kSingleLayer}) {
+    EhnaConfig cfg = SmallConfig();
+    cfg.variant = variant;
+    ExpectPackMatchesLegacy(g, cfg, targets, times, /*training=*/true);
+  }
+}
+
+TEST(AggregatorBatchTest, IsolatedNodeInPackMatchesLegacy) {
+  auto made = TemporalGraph::FromEdges({{0, 1, 1.0, 1.0f}}, /*num_nodes=*/5);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  // Node 4 is isolated: its fallback pool is empty and its neighborhood
+  // summary is the zero vector; packing it next to a connected node must
+  // not disturb either output.
+  ExpectPackMatchesLegacy(g, SmallConfig(), {4, 0}, {10.0, 10.0},
+                          /*training=*/true);
+}
+
+TEST(AggregatorBatchTest, GradientsReachAllParameterGroups) {
+  TemporalGraph g = SmallGraph();
+  Rng rng(4);
+  EhnaConfig cfg = SmallConfig();
+  Embedding emb(g.num_nodes(), cfg.dim, &rng);
+  EhnaAggregator agg(&g, &emb, cfg, &rng);
+  std::vector<AggregationPlan> plans(3);
+  agg.PlanAggregation(1, g.max_time() + 1.0, &rng, &plans[0]);
+  agg.PlanAggregation(2, g.max_time() + 1.0, &rng, &plans[1]);
+  agg.PlanAggregation(7, g.max_time() + 1.0, &rng, &plans[2]);
+  std::vector<Var> z = agg.AggregateBatch(plans, /*training=*/true);
+  std::vector<Var> terms;
+  for (const Var& zi : z) terms.push_back(ag::SumSquares(zi));
+  Backward(ag::SumN(terms));
+  int with_grad = 0;
+  for (const Var& p : agg.Parameters()) with_grad += p.grad().numel() > 0;
+  EXPECT_GE(with_grad, 8);
+  EXPECT_GT(emb.num_pending_rows(), 0u);
+  emb.ClearGradients();
+}
+
+// ---------------------------------------------------- training equivalence
+
+TemporalGraph TinyGraph() {
+  auto g = MakePaperDataset(PaperDataset::kDblp, 0.02, 9);
+  EHNA_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+EhnaConfig TinyTrainConfig() {
+  EhnaConfig cfg;
+  cfg.dim = 4;
+  cfg.num_walks = 2;
+  cfg.walk_length = 3;
+  cfg.lstm_layers = 2;
+  cfg.num_negatives = 1;
+  cfg.batch_edges = 8;
+  cfg.epochs = 2;
+  cfg.max_edges_per_epoch = 24;
+  cfg.learning_rate = 5e-3f;
+  cfg.seed = 3;
+  return cfg;
+}
+
+/// Trains `cfg` for its configured epochs and returns {checkpoint bytes,
+/// finalized embeddings}.
+std::pair<std::string, Tensor> TrainAndSnapshot(const TemporalGraph& g,
+                                                EhnaConfig cfg,
+                                                const std::string& dir,
+                                                const std::string& tag) {
+  EhnaModel model(&g, cfg);
+  model.Train();
+  const std::string path = dir + "/" + tag + ".ehnc";
+  EHNA_CHECK(model.SaveCheckpoint(path).ok());
+  Tensor final_emb = model.FinalizeEmbeddings();
+  return {ReadBytes(path), std::move(final_emb)};
+}
+
+/// The tentpole contract: `batched_aggregation` on/off must be bitwise
+/// indistinguishable after training — same checkpoint bytes (parameters,
+/// Adam moments, BN statistics, RNG state) and same final embeddings.
+void ExpectModesBitwiseIdentical(EhnaConfig cfg, int num_threads,
+                                 bool metrics_enabled,
+                                 const std::string& dir_tag) {
+  TemporalGraph g = TinyGraph();
+  cfg.num_threads = num_threads;
+  const std::string dir = FreshDir(dir_tag);
+  const bool metrics_before = MetricsEnabled();
+  MetricsRegistry::SetEnabled(metrics_enabled);
+
+  EhnaConfig per_edge = cfg;
+  per_edge.batched_aggregation = false;
+  auto [bytes_a, emb_a] = TrainAndSnapshot(g, per_edge, dir, "per_edge");
+
+  EhnaConfig batched = cfg;
+  batched.batched_aggregation = true;
+  auto [bytes_b, emb_b] = TrainAndSnapshot(g, batched, dir, "batched");
+
+  MetricsRegistry::SetEnabled(metrics_before);
+  EXPECT_EQ(bytes_a, bytes_b)
+      << dir_tag << ": checkpoint bytes differ between per-edge and "
+      << "batched aggregation";
+  ExpectBitwiseEqual(emb_a, emb_b, dir_tag + ": final embeddings");
+  fs::remove_all(dir);
+}
+
+TEST(AggregatorBatchTest, TrainingModesBitwiseIdenticalSerial) {
+  ExpectModesBitwiseIdentical(TinyTrainConfig(), /*num_threads=*/1,
+                              /*metrics_enabled=*/true,
+                              "ehna_aggbatch_serial");
+}
+
+TEST(AggregatorBatchTest, TrainingModesBitwiseIdenticalFourThreads) {
+  ExpectModesBitwiseIdentical(TinyTrainConfig(), /*num_threads=*/4,
+                              /*metrics_enabled=*/true,
+                              "ehna_aggbatch_4t");
+}
+
+TEST(AggregatorBatchTest, TrainingModesBitwiseIdenticalMetricsOff) {
+  ExpectModesBitwiseIdentical(TinyTrainConfig(), /*num_threads=*/4,
+                              /*metrics_enabled=*/false,
+                              "ehna_aggbatch_nometrics");
+}
+
+TEST(AggregatorBatchTest, TrainingModesBitwiseIdenticalAcrossVariants) {
+  for (EhnaVariant variant :
+       {EhnaVariant::kNoAttention, EhnaVariant::kStaticWalk,
+        EhnaVariant::kSingleLayer}) {
+    EhnaConfig cfg = TinyTrainConfig();
+    cfg.variant = variant;
+    cfg.epochs = 1;
+    ExpectModesBitwiseIdentical(cfg, /*num_threads=*/1,
+                                /*metrics_enabled=*/true,
+                                std::string("ehna_aggbatch_") +
+                                    EhnaVariantName(variant));
+  }
+}
+
+}  // namespace
+}  // namespace ehna

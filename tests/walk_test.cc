@@ -160,6 +160,47 @@ TEST(TemporalWalkTest, WithoutDecayFollowsWeights) {
   EXPECT_NEAR(old_edge / static_cast<double>(n), 0.5, 0.05);
 }
 
+TEST(TemporalWalkTest, HighDegreeSelectionFollowsWeightsAndIsDeterministic) {
+  // Degree 24 pushes candidate selection onto the binary-search side of
+  // the prefix-sum cutoff. One hub neighbor carries half the total weight;
+  // the empirical pick frequency must track it, the picks must all be real
+  // temporal neighbors, and a re-seeded sampler must replay the exact same
+  // walks (same Uniform draw -> same prefix index).
+  std::vector<TemporalEdge> edges;
+  for (NodeId v = 1; v <= 24; ++v) {
+    edges.push_back({0, v, 1.0, v == 1 ? 23.0f : 1.0f});
+  }
+  auto made = TemporalGraph::FromEdges(edges);
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  TemporalWalkConfig cfg;
+  cfg.walk_length = 1;
+  cfg.use_time_decay = false;
+  TemporalWalkSampler sampler(&g, cfg);
+
+  Rng rng(11);
+  int hub_hits = 0;
+  std::vector<NodeId> picks;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    Walk w = sampler.SampleWalk(0, 10.0, &rng);
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_GE(w[1].node, 1u);
+    EXPECT_LE(w[1].node, 24u);
+    hub_hits += w[1].node == 1u;
+    picks.push_back(w[1].node);
+  }
+  // Neighbor 1 holds 23/46 = 50% of the mass; 2000 trials keep the
+  // binomial noise well inside +-5 points.
+  EXPECT_NEAR(static_cast<double>(hub_hits) / trials, 0.5, 0.05);
+
+  Rng replay(11);
+  for (int i = 0; i < trials; ++i) {
+    Walk w = sampler.SampleWalk(0, 10.0, &replay);
+    ASSERT_EQ(w[1].node, picks[static_cast<size_t>(i)]) << "trial " << i;
+  }
+}
+
 TEST(TemporalWalkTest, SampleWalksReturnsConfiguredCount) {
   TemporalGraph g = MakePathGraph();
   TemporalWalkConfig cfg;
