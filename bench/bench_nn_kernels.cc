@@ -10,16 +10,31 @@
 // regression tripwire (the assertions that kernel paths match the naive
 // reference still execute), while the default mode produces the numbers
 // recorded in EXPERIMENTS.md.
+// With the ISA dispatch layer (nn/cpu_dispatch.h) the binary also times the
+// scalar and AVX2 kernel tables side by side — calling the tables directly,
+// so one process measures both ISAs regardless of what the dispatcher
+// picked — and asserts their outputs bitwise identical while at it.
+//
+// --json=PATH writes the per-ISA GFLOP/s records as a small JSON array
+// ({bench, shape, isa, metric, value}); CI uploads it as an artifact and
+// diffs it against bench/baselines/nn_kernels_ci.json
+// (bench/check_bench_regression.py).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <limits>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "nn/arena.h"
+#include "nn/cpu_dispatch.h"
 #include "nn/init.h"
 #include "nn/kernels.h"
 #include "nn/ops.h"
@@ -34,25 +49,73 @@ using ehna::Tensor;
 using ehna::TensorArena;
 using ehna::UniformInit;
 using ehna::Var;
+using ehna::kernels::KernelTable;
 
 bool SmokeMode() {
   const char* s = std::getenv("EHNA_BENCH_SMOKE");
   return s != nullptr && s[0] != '\0' && s[0] != '0';
 }
 
+// ------------------------------------------------------------- JSON output
+
+struct JsonRecord {
+  std::string bench;
+  std::string shape;
+  std::string isa;
+  std::string metric;
+  double value;
+};
+
+std::vector<JsonRecord>& JsonRecords() {
+  static std::vector<JsonRecord> records;
+  return records;
+}
+
+void AddJsonRecord(const std::string& bench, const std::string& shape,
+                   const std::string& isa, const std::string& metric,
+                   double value) {
+  JsonRecords().push_back({bench, shape, isa, metric, value});
+}
+
+void WriteJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_nn_kernels: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << "[\n";
+  const auto& records = JsonRecords();
+  for (size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    out << "  {\"bench\": \"" << r.bench << "\", \"shape\": \"" << r.shape
+        << "\", \"isa\": \"" << r.isa << "\", \"metric\": \"" << r.metric
+        << "\", \"value\": " << TableWriter::FormatDouble(r.value, 3) << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
 /// Repeats `fn` until the wall-clock window elapses (at least once) and
-/// returns seconds per call.
+/// returns seconds per call. Takes the fastest of three windows: a single
+/// averaging window is vulnerable to one scheduler hiccup, which at smoke
+/// window sizes is enough to trip the CI perf-regression gate on the
+/// smallest shapes.
 double TimePerCall(const std::function<void()>& fn, double window_s) {
   fn();  // warm-up, also faults in pages.
-  int iters = 0;
-  const auto t0 = std::chrono::steady_clock::now();
-  std::chrono::duration<double> elapsed{0.0};
-  do {
-    fn();
-    ++iters;
-    elapsed = std::chrono::steady_clock::now() - t0;
-  } while (elapsed.count() < window_s);
-  return elapsed.count() / iters;
+  constexpr int kRounds = 3;
+  double best = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < kRounds; ++round) {
+    int iters = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::chrono::duration<double> elapsed{0.0};
+    do {
+      fn();
+      ++iters;
+      elapsed = std::chrono::steady_clock::now() - t0;
+    } while (elapsed.count() < window_s);
+    best = std::min(best, elapsed.count() / iters);
+  }
+  return best;
 }
 
 /// Reference triple-loop GEMM: the formulation the op layer used before the
@@ -373,6 +436,223 @@ void BM_PackedLstmStep(benchmark::State& state) {
 }
 BENCHMARK(BM_PackedLstmStep)->Iterations(1)->Unit(benchmark::kSecond);
 
+// -------------------------------------------------- per-ISA kernel tables
+//
+// Times the scalar and AVX2 dispatch tables head to head by calling the
+// tables directly (no dispatcher involved), so a single process measures
+// both ISAs, and enforces the cross-ISA bitwise contract on every timed
+// shape before timing it — the CI regression run trips immediately if the
+// tables ever diverge by one bit.
+
+void ExpectBitwiseEqual(const char* what, const float* ref, const float* got,
+                        int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    if (std::memcmp(ref + i, got + i, sizeof(float)) != 0) {
+      std::cerr << "FATAL: scalar/avx2 bitwise mismatch in " << what << " at ["
+                << i << "]: scalar=" << ref[i] << " avx2=" << got[i] << "\n";
+      std::exit(1);
+    }
+  }
+}
+
+void BM_IsaKernelTables(benchmark::State& state) {
+  const bool smoke = SmokeMode();
+  const double window = smoke ? 0.02 : 0.25;
+  const KernelTable& scalar = ehna::kernels::ScalarKernels();
+  const KernelTable* avx2 = ehna::kernels::CpuSupportsAvx2Fma()
+                                ? ehna::kernels::Avx2KernelsOrNull()
+                                : nullptr;
+  if (avx2 == nullptr) {
+    std::cout << "bench: AVX2 table unavailable on this host — per-ISA rows "
+                 "cover scalar only\n";
+  }
+  Rng rng(19);
+
+  const std::vector<int64_t> gemm_sizes =
+      smoke ? std::vector<int64_t>{32, 64} : std::vector<int64_t>{64, 128, 256};
+
+  for (auto _ : state) {
+    TableWriter table("nn kernels — ISA dispatch tables (GFLOP/s)",
+                      {"Kernel", "Shape", "scalar", "avx2", "speedup"});
+    double last_gemm_speedup = 0.0;
+
+    struct GemmVariant {
+      const char* name;
+      void (*KernelTable::*fn)(int64_t, int64_t, int64_t, const float*,
+                               const float*, float*, bool);
+    };
+    const GemmVariant variants[] = {
+        {"gemm_nn", &KernelTable::gemm_nn},
+        {"gemm_nt", &KernelTable::gemm_nt},
+        {"gemm_tn", &KernelTable::gemm_tn},
+    };
+    for (const auto& variant : variants) {
+      for (const int64_t n : gemm_sizes) {
+        Tensor a(n, n), b(n, n), c_ref(n, n), c_avx(n, n);
+        UniformInit(&a, -1, 1, &rng);
+        UniformInit(&b, -1, 1, &rng);
+        const double flops = 2.0 * static_cast<double>(n) * n * n;
+        const std::string shape = std::to_string(n) + "^3";
+        auto scalar_fn = scalar.*(variant.fn);
+        const double scalar_s = TimePerCall(
+            [&] { scalar_fn(n, n, n, a.data(), b.data(), c_ref.data(), false); },
+            window);
+        AddJsonRecord(variant.name, shape, "scalar", "gflops",
+                      flops / scalar_s / 1e9);
+        std::string avx_cell = "-";
+        std::string speedup_cell = "-";
+        if (avx2 != nullptr) {
+          auto avx2_fn = avx2->*(variant.fn);
+          const double avx2_s = TimePerCall(
+              [&] {
+                avx2_fn(n, n, n, a.data(), b.data(), c_avx.data(), false);
+              },
+              window);
+          ExpectBitwiseEqual(variant.name, c_ref.data(), c_avx.data(), n * n);
+          AddJsonRecord(variant.name, shape, "avx2", "gflops",
+                        flops / avx2_s / 1e9);
+          avx_cell = TableWriter::FormatDouble(flops / avx2_s / 1e9, 2);
+          last_gemm_speedup = scalar_s / avx2_s;
+          speedup_cell = TableWriter::FormatDouble(last_gemm_speedup, 2);
+        }
+        table.AddRow({variant.name, shape,
+                      TableWriter::FormatDouble(flops / scalar_s / 1e9, 2),
+                      avx_cell, speedup_cell});
+      }
+    }
+
+    // Gemv / GemvT over a square operand.
+    for (const int64_t n : gemm_sizes) {
+      Tensor a(n, n), x(n), y_ref(n), y_avx(n);
+      UniformInit(&a, -1, 1, &rng);
+      UniformInit(&x, -1, 1, &rng);
+      const double flops = 2.0 * static_cast<double>(n) * n;
+      const std::string shape = std::to_string(n) + "x" + std::to_string(n);
+      for (const bool transposed : {false, true}) {
+        const char* name = transposed ? "gemv_t" : "gemv";
+        const auto run = [&](const KernelTable& t, float* y) {
+          if (transposed) {
+            t.gemv_t(n, n, a.data(), x.data(), y, false);
+          } else {
+            t.gemv(n, n, a.data(), x.data(), y, false);
+          }
+        };
+        const double scalar_s =
+            TimePerCall([&] { run(scalar, y_ref.data()); }, window);
+        AddJsonRecord(name, shape, "scalar", "gflops", flops / scalar_s / 1e9);
+        std::string avx_cell = "-";
+        std::string speedup_cell = "-";
+        if (avx2 != nullptr) {
+          const double avx2_s =
+              TimePerCall([&] { run(*avx2, y_avx.data()); }, window);
+          ExpectBitwiseEqual(name, y_ref.data(), y_avx.data(), n);
+          AddJsonRecord(name, shape, "avx2", "gflops", flops / avx2_s / 1e9);
+          avx_cell = TableWriter::FormatDouble(flops / avx2_s / 1e9, 2);
+          speedup_cell = TableWriter::FormatDouble(scalar_s / avx2_s, 2);
+        }
+        table.AddRow({name, shape,
+                      TableWriter::FormatDouble(flops / scalar_s / 1e9, 2),
+                      avx_cell, speedup_cell});
+      }
+    }
+
+    // Fused-LSTM tile: the trainer's per-step kernel sequence — input and
+    // recurrent GEMMs, the fused gate forward/backward, then the four
+    // backward GEMMs — all through one ISA table. GFLOP/s over the GEMM
+    // flops (identical divisor for both ISAs, so the ratio is honest).
+    struct LstmTile {
+      int64_t b, in, h;
+    };
+    const std::vector<LstmTile> tiles =
+        smoke ? std::vector<LstmTile>{{4, 16, 16}}
+              : std::vector<LstmTile>{{8, 64, 64}, {32, 128, 128}};
+    double last_lstm_speedup = 0.0;
+    for (const LstmTile tile : tiles) {
+      const int64_t b = tile.b, in = tile.in, h = tile.h;
+      Tensor x(b, in), wi(in, 4 * h), hp(b, h), wh(h, 4 * h), cp(b, h);
+      Tensor ghc(b, 2 * h);
+      for (Tensor* t : {&x, &wi, &hp, &wh, &cp, &ghc}) {
+        UniformInit(t, -0.5, 0.5, &rng);
+      }
+      Tensor z(b, 4 * h), ifgo(b, 4 * h), tanh_c(b, h), hc(b, 2 * h);
+      Tensor gz(b, 4 * h), gcp(b, h), gx(b, in), ghp(b, h);
+      Tensor gwi(in, 4 * h), gwh(h, 4 * h);
+      const double gemm_flops =
+          2.0 * b * 4 * h * (in + h)   // forward preactivation
+          + 2.0 * b * 4 * h * (in + h)  // dx, dh_prev
+          + 2.0 * b * 4 * h * (in + h);  // dwi, dwh
+      const std::string shape = "b" + std::to_string(b) + " in" +
+                                std::to_string(in) + " h" + std::to_string(h);
+      const auto step = [&](const KernelTable& t) {
+        t.gemm_nn(b, 4 * h, in, x.data(), wi.data(), z.data(), false);
+        t.gemm_nn(b, 4 * h, h, hp.data(), wh.data(), z.data(), true);
+        t.lstm_gate_forward(b, h, z.data(), cp.data(), ifgo.data(),
+                            tanh_c.data(), hc.data());
+        t.lstm_gate_backward(b, h, ghc.data(), ifgo.data(), tanh_c.data(),
+                             cp.data(), gz.data(), gcp.data());
+        t.gemm_nt(b, in, 4 * h, gz.data(), wi.data(), gx.data(), false);
+        t.gemm_nt(b, h, 4 * h, gz.data(), wh.data(), ghp.data(), false);
+        t.gemm_tn(in, 4 * h, b, x.data(), gz.data(), gwi.data(), false);
+        t.gemm_tn(h, 4 * h, b, hp.data(), gz.data(), gwh.data(), false);
+      };
+      const double scalar_s = TimePerCall([&] { step(scalar); }, window);
+      Tensor hc_ref = hc, gz_ref = gz, gwi_ref = gwi;
+      AddJsonRecord("lstm_tile", shape, "scalar", "gflops",
+                    gemm_flops / scalar_s / 1e9);
+      std::string avx_cell = "-";
+      std::string speedup_cell = "-";
+      if (avx2 != nullptr) {
+        const double avx2_s = TimePerCall([&] { step(*avx2); }, window);
+        ExpectBitwiseEqual("lstm_tile hc", hc_ref.data(), hc.data(),
+                           hc.numel());
+        ExpectBitwiseEqual("lstm_tile gz", gz_ref.data(), gz.data(),
+                           gz.numel());
+        ExpectBitwiseEqual("lstm_tile gwi", gwi_ref.data(), gwi.data(),
+                           gwi.numel());
+        AddJsonRecord("lstm_tile", shape, "avx2", "gflops",
+                      gemm_flops / avx2_s / 1e9);
+        avx_cell = TableWriter::FormatDouble(gemm_flops / avx2_s / 1e9, 2);
+        last_lstm_speedup = scalar_s / avx2_s;
+        speedup_cell = TableWriter::FormatDouble(last_lstm_speedup, 2);
+      }
+      table.AddRow({"lstm_tile", shape,
+                    TableWriter::FormatDouble(gemm_flops / scalar_s / 1e9, 2),
+                    avx_cell, speedup_cell});
+    }
+
+    table.Print(std::cout);
+    std::cout << "active dispatch ISA: "
+              << ehna::kernels::KernelIsaName(ehna::kernels::ActiveIsa())
+              << "\n";
+    state.counters["gemm_avx2_speedup"] = last_gemm_speedup;
+    state.counters["lstm_avx2_speedup"] = last_lstm_speedup;
+  }
+}
+BENCHMARK(BM_IsaKernelTables)->Iterations(1)->Unit(benchmark::kSecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: peel off --json=PATH (not a google-benchmark flag) before
+// Initialize(), run everything, then dump the collected records.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    WriteJson(json_path);
+    std::cout << "wrote " << JsonRecords().size() << " bench records to "
+              << json_path << "\n";
+  }
+  return 0;
+}

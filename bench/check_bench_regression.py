@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Compare a bench_nn_kernels --json run against a checked-in baseline.
+
+Usage: check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.30]
+
+Records are matched on (bench, shape, isa) and only "gflops" metrics are
+compared: a current value more than `tolerance` below the baseline fails.
+Records present on one side only are reported but never fail the check —
+shapes and ISAs legitimately differ across hosts (e.g. a runner without
+AVX2 produces scalar-only records). Throughput above baseline is fine; a
+run that is consistently faster should refresh the baseline via
+bench/update_ci_baseline.sh.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        records = json.load(f)
+    return {
+        (r["bench"], r["shape"], r["isa"]): r["value"]
+        for r in records
+        if r.get("metric") == "gflops"
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    failures = []
+    for key in sorted(baseline):
+        bench, shape, isa = key
+        base = baseline[key]
+        cur = current.get(key)
+        if cur is None:
+            print(f"NOTE  {bench} {shape} [{isa}]: in baseline only (skipped)")
+            continue
+        floor = base * (1.0 - args.tolerance)
+        status = "ok" if cur >= floor else "REGRESSION"
+        print(
+            f"{status:>10}  {bench} {shape} [{isa}]: "
+            f"{cur:.2f} GFLOP/s vs baseline {base:.2f} (floor {floor:.2f})"
+        )
+        if cur < floor:
+            failures.append(key)
+    for key in sorted(set(current) - set(baseline)):
+        bench, shape, isa = key
+        print(f"NOTE  {bench} {shape} [{isa}]: new record, no baseline")
+
+    if failures:
+        print(
+            f"\n{len(failures)} record(s) regressed more than "
+            f"{args.tolerance:.0%} below baseline."
+        )
+        return 1
+    print("\nAll matched records within tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

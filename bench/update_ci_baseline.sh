@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Refresh bench/baselines/nn_kernels_ci.json from a smoke-mode bench run.
+#
+# The CI perf job compares its smoke run against this file with a wide
+# (30%) tolerance, so the baseline only needs to be representative, not
+# host-exact. Rerun this after intentional kernel perf changes (commit the
+# updated JSON) from the repo root:
+#
+#   ./bench/update_ci_baseline.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BENCH="$REPO_ROOT/$BUILD_DIR/bench/bench_nn_kernels"
+OUT="$REPO_ROOT/bench/baselines/nn_kernels_ci.json"
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "error: $BENCH not built (cmake --build $BUILD_DIR --target bench_nn_kernels)" >&2
+  exit 1
+fi
+
+mkdir -p "$(dirname "$OUT")"
+EHNA_BENCH_SMOKE=1 "$BENCH" --benchmark_filter=BM_IsaKernelTables \
+  --json="$OUT"
+echo "baseline refreshed: $OUT"

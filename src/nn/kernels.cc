@@ -4,22 +4,20 @@
 #include <cmath>
 #include <cstring>
 
+#include "nn/cpu_dispatch.h"
 #include "util/metrics.h"
+
+// The dense hot set (GEMM/GEMV/Dot, LSTM gates, attention softmax) lives in
+// per-ISA translation units — kernels_scalar.cc and kernels_avx2.cc — and
+// the entry points here are thin wrappers that count metrics and jump
+// through the runtime-dispatched table (nn/cpu_dispatch.h). Both tables
+// honor the same fixed accumulation orders, so which one runs is invisible
+// in the output bits. Everything below the wrappers is ISA-independent
+// elementwise code that the compiler vectorizes fine on its own.
 
 namespace ehna::kernels {
 
 namespace {
-
-// Cache-blocking panel sizes (floats). kNc column panels of B and C stay
-// resident in L1 across the k sweep; kKc bounds the k panel so a row of A
-// plus the B panel fit in L2. The model's typical operands (dims 16-256)
-// fit in a single panel, where the blocked loops degenerate to the plain
-// ikj order with zero overhead.
-constexpr int64_t kNc = 256;
-constexpr int64_t kKc = 256;
-// Register tile: rows of A processed together so each loaded B row feeds
-// kMr output rows.
-constexpr int64_t kMr = 4;
 
 Counter* GemmCalls() {
   static Counter* const c =
@@ -57,120 +55,35 @@ inline void CountGemm(int64_t m, int64_t n, int64_t k) {
 void GemmNN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
             float* c, bool accumulate) {
   CountGemm(m, n, k);
-  if (!accumulate) Fill(c, m * n, 0.0f);
-  for (int64_t jc = 0; jc < n; jc += kNc) {
-    const int64_t jend = std::min(jc + kNc, n);
-    for (int64_t kc = 0; kc < k; kc += kKc) {
-      const int64_t kend = std::min(kc + kKc, k);
-      int64_t i = 0;
-      // kMr-row register tile: every B row loaded once updates kMr output
-      // rows. Per output element the k index still ascends monotonically.
-      for (; i + kMr <= m; i += kMr) {
-        const float* __restrict a0 = a + (i + 0) * k;
-        const float* __restrict a1 = a + (i + 1) * k;
-        const float* __restrict a2 = a + (i + 2) * k;
-        const float* __restrict a3 = a + (i + 3) * k;
-        float* __restrict c0 = c + (i + 0) * n;
-        float* __restrict c1 = c + (i + 1) * n;
-        float* __restrict c2 = c + (i + 2) * n;
-        float* __restrict c3 = c + (i + 3) * n;
-        for (int64_t kk = kc; kk < kend; ++kk) {
-          const float* __restrict brow = b + kk * n;
-          const float v0 = a0[kk], v1 = a1[kk], v2 = a2[kk], v3 = a3[kk];
-          for (int64_t j = jc; j < jend; ++j) {
-            const float bj = brow[j];
-            c0[j] += v0 * bj;
-            c1[j] += v1 * bj;
-            c2[j] += v2 * bj;
-            c3[j] += v3 * bj;
-          }
-        }
-      }
-      for (; i < m; ++i) {
-        const float* __restrict arow = a + i * k;
-        float* __restrict crow = c + i * n;
-        for (int64_t kk = kc; kk < kend; ++kk) {
-          const float* __restrict brow = b + kk * n;
-          const float v = arow[kk];
-          for (int64_t j = jc; j < jend; ++j) crow[j] += v * brow[j];
-        }
-      }
-    }
-  }
+  ActiveKernels().gemm_nn(m, n, k, a, b, c, accumulate);
 }
 
 void GemmNT(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
             float* c, bool accumulate) {
   CountGemm(m, n, k);
-  for (int64_t i = 0; i < m; ++i) {
-    const float* __restrict arow = a + i * k;
-    float* __restrict crow = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float dot = Dot(arow, b + j * k, k);
-      crow[j] = accumulate ? crow[j] + dot : dot;
-    }
-  }
+  ActiveKernels().gemm_nt(m, n, k, a, b, c, accumulate);
 }
 
 void GemmTN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
             float* c, bool accumulate) {
   CountGemm(m, n, k);
-  if (!accumulate) Fill(c, m * n, 0.0f);
-  // Rank-1 updates in ascending k; i/j panels keep the updated C tile hot.
-  for (int64_t ic = 0; ic < m; ic += kNc) {
-    const int64_t iend = std::min(ic + kNc, m);
-    for (int64_t jc = 0; jc < n; jc += kNc) {
-      const int64_t jend = std::min(jc + kNc, n);
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float* __restrict arow = a + kk * m;
-        const float* __restrict brow = b + kk * n;
-        for (int64_t i = ic; i < iend; ++i) {
-          const float v = arow[i];
-          float* __restrict crow = c + i * n;
-          for (int64_t j = jc; j < jend; ++j) crow[j] += v * brow[j];
-        }
-      }
-    }
-  }
+  ActiveKernels().gemm_tn(m, n, k, a, b, c, accumulate);
 }
 
 void Gemv(int64_t m, int64_t n, const float* a, const float* x, float* y,
           bool accumulate) {
   GemvCalls()->Add(1);
-  for (int64_t i = 0; i < m; ++i) {
-    const float dot = Dot(a + i * n, x, n);
-    y[i] = accumulate ? y[i] + dot : dot;
-  }
+  ActiveKernels().gemv(m, n, a, x, y, accumulate);
 }
 
 void GemvT(int64_t m, int64_t n, const float* a, const float* x, float* y,
            bool accumulate) {
   GemvCalls()->Add(1);
-  if (!accumulate) Fill(y, n, 0.0f);
-  for (int64_t i = 0; i < m; ++i) {
-    Axpy(n, x[i], a + i * n, y);
-  }
+  ActiveKernels().gemv_t(m, n, a, x, y, accumulate);
 }
 
 float Dot(const float* x, const float* y, int64_t n) {
-  // Fixed 16-lane vertical accumulation: lane l sums x[i+l]*y[i+l] over the
-  // 16-element strips, then the lanes combine in a fixed pairwise tree
-  // (8, 4, 2, 1). The vertical form maps 1:1 onto SIMD FMAs — the compiler
-  // widens the independent lanes without reassociating any of them — and
-  // the tree plus the ascending-order tail makes the result bit-identical
-  // run-to-run regardless of vector width.
-  constexpr int64_t kLanes = 16;
-  float acc[kLanes] = {0.0f};
-  int64_t i = 0;
-  for (; i + kLanes <= n; i += kLanes) {
-    for (int64_t l = 0; l < kLanes; ++l) acc[l] += x[i + l] * y[i + l];
-  }
-  for (int64_t width = kLanes / 2; width > 0; width /= 2) {
-    for (int64_t l = 0; l < width; ++l) acc[l] += acc[l + width];
-  }
-  float s = acc[0];
-  for (; i < n; ++i) s += x[i] * y[i];
-  return s;
+  return ActiveKernels().dot(x, y, n);
 }
 
 void Fill(float* x, int64_t n, float value) {
@@ -370,108 +283,30 @@ void LstmGateForward(int64_t b, int64_t h, const float* z,
                      const float* c_prev, float* ifgo, float* tanh_c,
                      float* hc) {
   LstmGateCalls()->Add(1);
-  for (int64_t r = 0; r < b; ++r) {
-    const float* __restrict zr = z + r * 4 * h;
-    const float* __restrict cp = c_prev + r * h;
-    float* __restrict ar = ifgo + r * 4 * h;
-    float* __restrict tc = tanh_c + r * h;
-    float* __restrict hr = hc + r * 2 * h;
-    float* __restrict cr = hr + h;
-    for (int64_t j = 0; j < h; ++j) {
-      const float iv = 1.0f / (1.0f + std::exp(-zr[j]));
-      const float fv = 1.0f / (1.0f + std::exp(-zr[h + j]));
-      const float gv = std::tanh(zr[2 * h + j]);
-      const float ov = 1.0f / (1.0f + std::exp(-zr[3 * h + j]));
-      const float cv = fv * cp[j] + iv * gv;
-      const float tv = std::tanh(cv);
-      ar[j] = iv;
-      ar[h + j] = fv;
-      ar[2 * h + j] = gv;
-      ar[3 * h + j] = ov;
-      tc[j] = tv;
-      cr[j] = cv;
-      hr[j] = ov * tv;
-    }
-  }
+  ActiveKernels().lstm_gate_forward(b, h, z, c_prev, ifgo, tanh_c, hc);
 }
 
 void LstmGateBackward(int64_t b, int64_t h, const float* ghc,
                       const float* ifgo, const float* tanh_c,
                       const float* c_prev, float* gz, float* gc_prev) {
-  for (int64_t r = 0; r < b; ++r) {
-    const float* __restrict gh = ghc + r * 2 * h;
-    const float* __restrict gc = gh + h;
-    const float* __restrict ar = ifgo + r * 4 * h;
-    const float* __restrict tc = tanh_c + r * h;
-    const float* __restrict cp = c_prev + r * h;
-    float* __restrict gzr = gz + r * 4 * h;
-    float* __restrict gcp = gc_prev + r * h;
-    for (int64_t j = 0; j < h; ++j) {
-      const float iv = ar[j];
-      const float fv = ar[h + j];
-      const float gv = ar[2 * h + j];
-      const float ov = ar[3 * h + j];
-      const float tv = tc[j];
-      // Total cell gradient: direct dc' plus dh' through o * tanh(c').
-      const float dc = gc[j] + gh[j] * ov * (1.0f - tv * tv);
-      const float do_ = gh[j] * tv;
-      gzr[j] = dc * gv * iv * (1.0f - iv);
-      gzr[h + j] = dc * cp[j] * fv * (1.0f - fv);
-      gzr[2 * h + j] = dc * iv * (1.0f - gv * gv);
-      gzr[3 * h + j] = do_ * ov * (1.0f - ov);
-      gcp[j] = dc * fv;
-    }
-  }
+  ActiveKernels().lstm_gate_backward(b, h, ghc, ifgo, tanh_c, c_prev, gz,
+                                     gc_prev);
 }
 
 void AttentionSoftmaxForward(int64_t l, int64_t d, const float* emb,
                              const float* target, const float* neg_coeffs,
                              float* alpha) {
   AttentionCalls()->Add(1);
-  // Pass 1: logits_i = neg_coeffs[i] * ||emb_i - target||^2 into alpha.
-  for (int64_t i = 0; i < l; ++i) {
-    const float* __restrict er = emb + i * d;
-    float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-    int64_t j = 0;
-    for (; j + 4 <= d; j += 4) {
-      const float d0 = er[j + 0] - target[j + 0];
-      const float d1 = er[j + 1] - target[j + 1];
-      const float d2 = er[j + 2] - target[j + 2];
-      const float d3 = er[j + 3] - target[j + 3];
-      s0 += d0 * d0;
-      s1 += d1 * d1;
-      s2 += d2 * d2;
-      s3 += d3 * d3;
-    }
-    float s = (s0 + s1) + (s2 + s3);
-    for (; j < d; ++j) {
-      const float dj = er[j] - target[j];
-      s += dj * dj;
-    }
-    alpha[i] = neg_coeffs[i] * s;
-  }
-  // Pass 2: stable softmax in place.
-  SoftmaxForward(l, alpha, alpha);
+  ActiveKernels().attention_softmax_forward(l, d, emb, target, neg_coeffs,
+                                            alpha);
 }
 
 void AttentionSoftmaxBackward(int64_t l, int64_t d, const float* g,
                               const float* alpha, const float* emb,
                               const float* target, const float* neg_coeffs,
                               float* gemb, float* gtarget) {
-  const float dot = Dot(g, alpha, l);
-  for (int64_t i = 0; i < l; ++i) {
-    // Through the softmax, then the coefficient scale, then the squared
-    // distance: ddist_i = alpha_i * (g_i - <g, alpha>) * neg_coeffs[i].
-    const float ddist = alpha[i] * (g[i] - dot) * neg_coeffs[i];
-    const float two_ddist = 2.0f * ddist;
-    const float* __restrict er = emb + i * d;
-    float* __restrict ger = gemb + i * d;
-    for (int64_t j = 0; j < d; ++j) {
-      const float diff = er[j] - target[j];
-      ger[j] += two_ddist * diff;
-      gtarget[j] -= two_ddist * diff;
-    }
-  }
+  ActiveKernels().attention_softmax_backward(l, d, g, alpha, emb, target,
+                                             neg_coeffs, gemb, gtarget);
 }
 
 }  // namespace ehna::kernels

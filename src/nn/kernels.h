@@ -27,6 +27,19 @@ namespace ehna::kernels {
 //    element.
 // Given identical inputs the outputs are bitwise identical run-to-run,
 // across thread counts, and across batch shards.
+//
+// ISA dispatch: the hot set below (the GEMM/GEMV/Dot group, the fused LSTM
+// gates, and the fused attention softmax) is implemented once per ISA —
+// a pinned-scalar reference and hand-written AVX2/FMA microkernels — and
+// routed through a per-process function-pointer table selected at first
+// use (nn/cpu_dispatch.h; override with EHNA_KERNEL_ISA=scalar|avx2). Both
+// implementations realize the accumulation orders above with identical
+// fused-multiply-add placement, so the determinism contract extends across
+// ISAs: scalar and AVX2 runs produce bitwise-identical outputs, enforced
+// by tests/kernels_isa_test.cc and the kernel-isa-equivalence CI job. The
+// fused LSTM/attention kernels evaluate exp/sigmoid/tanh with a pinned
+// polynomial (kernels_common.h), not libm, as libm's scalar curves cannot
+// be reproduced lanewise in vector code.
 
 // ------------------------------------------------------------------ GEMM
 

@@ -1,0 +1,207 @@
+#ifndef EHNA_NN_KERNELS_COMMON_H_
+#define EHNA_NN_KERNELS_COMMON_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+// Shared per-element math for the dispatched kernel implementations
+// (DESIGN.md §9). Both ISA translation units — kernels_scalar.cc and
+// kernels_avx2.cc — include this header: the scalar TU uses the helpers for
+// whole loops, the AVX2 TU for remainder tails and for the transcendental
+// lane recipe its vector code mirrors instruction-for-instruction.
+//
+// Everything here pins one exact operation sequence. Each multiply-add that
+// the AVX2 path fuses is written as std::fmaf (single rounding, identical
+// to vfmadd on every lane); everything else is written as the plain
+// mul/add/sub/div the vector code performs. Both ISA TUs compile with
+// -ffp-contract=off so the compiler can neither fuse nor unfuse anything
+// behind our backs, which is what makes scalar and AVX2 outputs bitwise
+// identical rather than merely close.
+
+namespace ehna::kernels::detail {
+
+// ------------------------------------------------- pinned exp / sigmoid / tanh
+//
+// Cephes-style expf: n = round(x·log2 e), r = x - n·ln2 (Cody-Waite split),
+// e^r by a degree-5 polynomial, scale by 2^n through the exponent bits.
+// Every step maps 1:1 onto an AVX2 instruction (mul, round-to-nearest-even,
+// two fmas for the reduction, fma Horner chain, integer exponent splice),
+// so the vector version in kernels_avx2.cc produces identical bits lane by
+// lane. Accuracy ~2 ulp over the clamped range. Assumes the default
+// round-to-nearest FP environment and finite inputs.
+
+inline constexpr float kExpLo = -87.33654f;   // exp() underflows to ~FLT_MIN
+inline constexpr float kExpHi = 87.33654f;    // exp() stays finite
+inline constexpr float kLog2e = 1.44269504088896341f;
+inline constexpr float kNegLn2Hi = -0.693359375f;
+inline constexpr float kNegLn2Lo = 2.12194440e-4f;
+inline constexpr float kExpP0 = 1.9875691500e-4f;
+inline constexpr float kExpP1 = 1.3981999507e-3f;
+inline constexpr float kExpP2 = 8.3334519073e-3f;
+inline constexpr float kExpP3 = 4.1665795894e-2f;
+inline constexpr float kExpP4 = 1.6666665459e-1f;
+inline constexpr float kExpP5 = 5.0000001201e-1f;
+
+inline float ExpPinned(float x) {
+  x = std::min(std::max(x, kExpLo), kExpHi);
+  const float t = x * kLog2e;
+  const float nf = std::nearbyintf(t);  // round half to even, like vroundps
+  float r = std::fmaf(nf, kNegLn2Hi, x);
+  r = std::fmaf(nf, kNegLn2Lo, r);
+  float p = kExpP0;
+  p = std::fmaf(p, r, kExpP1);
+  p = std::fmaf(p, r, kExpP2);
+  p = std::fmaf(p, r, kExpP3);
+  p = std::fmaf(p, r, kExpP4);
+  p = std::fmaf(p, r, kExpP5);
+  const float r2 = r * r;
+  float e = std::fmaf(r2, p, r);
+  e = e + 1.0f;
+  const int32_t n = static_cast<int32_t>(nf);  // nf is integral: exact
+  const float scale = std::bit_cast<float>((n + 127) << 23);
+  return e * scale;
+}
+
+inline float SigmoidPinned(float x) {
+  const float e = ExpPinned(-x);
+  return 1.0f / (1.0f + e);
+}
+
+/// Odd-symmetric by construction (computed on |x|, sign restored by bit
+/// copy), so TanhPinned(-x) is exactly -TanhPinned(x).
+inline float TanhPinned(float x) {
+  const float ax = std::fabs(x);
+  const float e = ExpPinned(ax * 2.0f);  // ExpPinned clamps internally
+  const float t = (e - 1.0f) / (e + 1.0f);
+  return std::copysign(t, x);
+}
+
+// ------------------------------------------------------ 16-lane reductions
+//
+// The documented inner-product order (kernels.h): lane l sums elements with
+// i mod 16 == l in ascending i, lanes combine in the fixed pairwise tree
+// (8, 4, 2, 1), then a strictly-ascending fma tail. The 16 lanes are
+// exactly two 256-bit registers; the tree's width-8 step is the ymm+ymm
+// add, width-4 the 128-bit half add, widths 2 and 1 in-register shuffles.
+
+inline float DotLanes16(const float* x, const float* y, int64_t n) {
+  float acc[16] = {};
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    for (int l = 0; l < 16; ++l) acc[l] = std::fmaf(x[i + l], y[i + l], acc[l]);
+  }
+  for (int w = 8; w > 0; w /= 2) {
+    for (int l = 0; l < w; ++l) acc[l] += acc[l + w];
+  }
+  float s = acc[0];
+  for (; i < n; ++i) s = std::fmaf(x[i], y[i], s);
+  return s;
+}
+
+/// Ascending-index fma tail used by the AVX2 dot after its vector tree.
+inline float DotTail(float s, const float* x, const float* y, int64_t i0,
+                     int64_t n) {
+  for (int64_t i = i0; i < n; ++i) s = std::fmaf(x[i], y[i], s);
+  return s;
+}
+
+/// Squared distance ||e - t||^2 in the same 16-lane order (attention logits).
+inline float SqDistLanes16(const float* e, const float* t, int64_t d) {
+  float acc[16] = {};
+  int64_t j = 0;
+  for (; j + 16 <= d; j += 16) {
+    for (int l = 0; l < 16; ++l) {
+      const float diff = e[j + l] - t[j + l];
+      acc[l] = std::fmaf(diff, diff, acc[l]);
+    }
+  }
+  for (int w = 8; w > 0; w /= 2) {
+    for (int l = 0; l < w; ++l) acc[l] += acc[l + w];
+  }
+  float s = acc[0];
+  for (; j < d; ++j) {
+    const float diff = e[j] - t[j];
+    s = std::fmaf(diff, diff, s);
+  }
+  return s;
+}
+
+inline float SqDistTail(float s, const float* e, const float* t, int64_t j0,
+                        int64_t d) {
+  for (int64_t j = j0; j < d; ++j) {
+    const float diff = e[j] - t[j];
+    s = std::fmaf(diff, diff, s);
+  }
+  return s;
+}
+
+// ------------------------------------------------------- LSTM gate elements
+//
+// One fused gate element (kernels.h LstmGateForward layout): shared between
+// the scalar kernel (all j) and the AVX2 kernel (j tail). The vector code
+// performs the same sequence lanewise: three sigmoids, tanh, i*g product,
+// fma cell update, cell tanh, o*tanh product.
+
+inline void LstmGateForwardSpan(int64_t j0, int64_t j1, int64_t h,
+                                const float* zr, const float* cp, float* ar,
+                                float* tc, float* hr, float* cr) {
+  for (int64_t j = j0; j < j1; ++j) {
+    const float iv = SigmoidPinned(zr[j]);
+    const float fv = SigmoidPinned(zr[h + j]);
+    const float gv = TanhPinned(zr[2 * h + j]);
+    const float ov = SigmoidPinned(zr[3 * h + j]);
+    const float ig = iv * gv;
+    const float cv = std::fmaf(fv, cp[j], ig);
+    const float tv = TanhPinned(cv);
+    ar[j] = iv;
+    ar[h + j] = fv;
+    ar[2 * h + j] = gv;
+    ar[3 * h + j] = ov;
+    tc[j] = tv;
+    cr[j] = cv;
+    hr[j] = ov * tv;
+  }
+}
+
+inline void LstmGateBackwardSpan(int64_t j0, int64_t j1, int64_t h,
+                                 const float* gh, const float* gc,
+                                 const float* ar, const float* tc,
+                                 const float* cp, float* gzr, float* gcp) {
+  for (int64_t j = j0; j < j1; ++j) {
+    const float iv = ar[j];
+    const float fv = ar[h + j];
+    const float gv = ar[2 * h + j];
+    const float ov = ar[3 * h + j];
+    const float tv = tc[j];
+    // dc = gc + gh*ov*(1 - tv^2), with (1 - tv^2) as a single fnmadd.
+    const float one_m_tv2 = std::fmaf(-tv, tv, 1.0f);
+    const float gho = gh[j] * ov;
+    const float dc = std::fmaf(gho, one_m_tv2, gc[j]);
+    const float do_ = gh[j] * tv;
+    const float dcg = dc * gv;
+    const float dcc = dc * cp[j];
+    const float dci = dc * iv;
+    gzr[j] = dcg * (iv * (1.0f - iv));
+    gzr[h + j] = dcc * (fv * (1.0f - fv));
+    gzr[2 * h + j] = dci * std::fmaf(-gv, gv, 1.0f);
+    gzr[3 * h + j] = do_ * (ov * (1.0f - ov));
+    gcp[j] = dc * fv;
+  }
+}
+
+/// Attention backward over columns [j0, j1): gemb += 2*ddist*diff,
+/// gtarget -= 2*ddist*diff, each as one fused op (fma / fnmadd).
+inline void AttnBackwardSpan(int64_t j0, int64_t j1, float two_ddist,
+                             const float* er, const float* target, float* ger,
+                             float* gtarget) {
+  for (int64_t j = j0; j < j1; ++j) {
+    const float diff = er[j] - target[j];
+    ger[j] = std::fmaf(two_ddist, diff, ger[j]);
+    gtarget[j] = std::fmaf(-two_ddist, diff, gtarget[j]);
+  }
+}
+
+}  // namespace ehna::kernels::detail
+
+#endif  // EHNA_NN_KERNELS_COMMON_H_

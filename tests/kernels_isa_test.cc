@@ -1,0 +1,277 @@
+// Cross-ISA bitwise-equivalence suite for the dispatched kernel hot set
+// (nn/cpu_dispatch.h). The scalar table is the pinned reference; when this
+// build carries the AVX2 table and the host CPU can run it, every kernel is
+// exercised over shapes chosen to hit the vector bodies, the 8-wide panels,
+// and the scalar remainder tails, and the outputs must match the reference
+// bit for bit — EXPECT_EQ on floats, not a tolerance.
+//
+// The dispatch-pinning test must run first in this binary: it sets
+// EHNA_KERNEL_ISA before any kernel call so that the process-wide one-shot
+// resolution observes the override. gtest runs tests in declaration order
+// within a file, and this file's binary links no other test file.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nn/cpu_dispatch.h"
+#include "nn/kernels.h"
+#include "nn/kernels_common.h"
+#include "util/rng.h"
+
+namespace ehna::kernels {
+namespace {
+
+// ---------------------------------------------------------------- dispatch
+
+TEST(KernelDispatchPinning, EnvScalarPinsScalarTable) {
+  // First kernel-touching test in the binary: the resolver has not yet run.
+  ASSERT_EQ(setenv("EHNA_KERNEL_ISA", "scalar", /*overwrite=*/1), 0);
+  EXPECT_EQ(ActiveIsa(), KernelIsa::kScalar);
+  EXPECT_EQ(&ActiveKernels(), &ScalarKernels());
+  // The public entry points now go through the pinned table.
+  const float x[3] = {1.0f, 2.0f, 3.0f};
+  const float y[3] = {4.0f, 5.0f, 6.0f};
+  EXPECT_EQ(Dot(x, y, 3), ScalarKernels().dot(x, y, 3));
+}
+
+TEST(KernelDispatchPolicy, ForcedScalar) {
+  const IsaDecision d = ResolveKernelIsa("scalar", true, true);
+  EXPECT_TRUE(d.ok);
+  EXPECT_TRUE(d.forced);
+  EXPECT_EQ(d.isa, KernelIsa::kScalar);
+}
+
+TEST(KernelDispatchPolicy, ForcedAvx2RequiresCpuAndBuild) {
+  EXPECT_TRUE(ResolveKernelIsa("avx2", true, true).ok);
+  EXPECT_EQ(ResolveKernelIsa("avx2", true, true).isa, KernelIsa::kAvx2);
+  EXPECT_FALSE(ResolveKernelIsa("avx2", false, true).ok);
+  EXPECT_FALSE(ResolveKernelIsa("avx2", true, false).ok);
+  EXPECT_FALSE(ResolveKernelIsa("AVX2", false, false).ok);  // case-folded
+}
+
+TEST(KernelDispatchPolicy, AutoPrefersAvx2WhenAvailable) {
+  EXPECT_EQ(ResolveKernelIsa(nullptr, true, true).isa, KernelIsa::kAvx2);
+  EXPECT_EQ(ResolveKernelIsa("auto", true, true).isa, KernelIsa::kAvx2);
+  EXPECT_EQ(ResolveKernelIsa(nullptr, false, true).isa, KernelIsa::kScalar);
+  EXPECT_EQ(ResolveKernelIsa(nullptr, true, false).isa, KernelIsa::kScalar);
+  EXPECT_FALSE(ResolveKernelIsa(nullptr, false, false).forced);
+}
+
+TEST(KernelDispatchPolicy, UnrecognizedValueFallsBackToAuto) {
+  const IsaDecision d = ResolveKernelIsa("sse9", true, true);
+  EXPECT_TRUE(d.ok);
+  EXPECT_FALSE(d.forced);
+  EXPECT_EQ(d.isa, KernelIsa::kAvx2);
+  EXPECT_EQ(d.note.rfind("unrecognized", 0), 0u);
+}
+
+// ------------------------------------------------------- pinned math sanity
+
+TEST(PinnedTranscendentals, CloseToLibmAndSymmetric) {
+  Rng rng(11);
+  for (int t = 0; t < 2000; ++t) {
+    const float x = static_cast<float>(rng.Uniform(-12.0, 12.0));
+    EXPECT_NEAR(detail::SigmoidPinned(x), 1.0 / (1.0 + std::exp(-(double)x)),
+                3e-7);
+    EXPECT_NEAR(detail::TanhPinned(x), std::tanh((double)x), 5e-6);
+    EXPECT_EQ(detail::TanhPinned(-x), -detail::TanhPinned(x));
+  }
+  EXPECT_EQ(detail::TanhPinned(0.0f), 0.0f);
+  EXPECT_EQ(detail::SigmoidPinned(0.0f), 0.5f);
+  // Saturation stays bounded and finite far outside the exp clamp: the
+  // positive side reaches exactly 1, the negative side bottoms out at
+  // 1/(1+e^87.3) ~ 1.2e-38 rather than a true zero.
+  EXPECT_EQ(detail::SigmoidPinned(200.0f), 1.0f);
+  EXPECT_LT(detail::SigmoidPinned(-200.0f), 1e-37f);
+  EXPECT_GT(detail::SigmoidPinned(-200.0f), 0.0f);
+  EXPECT_EQ(detail::TanhPinned(90.0f), 1.0f);
+  EXPECT_EQ(detail::TanhPinned(-90.0f), -1.0f);
+}
+
+// ------------------------------------------------------ bitwise equivalence
+
+class IsaEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!Avx2KernelsCompiled()) {
+      GTEST_SKIP() << "AVX2 kernels not compiled into this build "
+                      "(EHNA_DISABLE_AVX2 or non-x86 target)";
+    }
+    if (!CpuSupportsAvx2Fma()) {
+      GTEST_SKIP() << "host CPU lacks AVX2/FMA";
+    }
+    avx2_ = Avx2KernelsOrNull();
+    ASSERT_NE(avx2_, nullptr);
+  }
+
+  std::vector<float> Random(int64_t n, Rng* rng, double lo = -2.0,
+                            double hi = 2.0) {
+    std::vector<float> v(static_cast<size_t>(n));
+    for (auto& x : v) x = static_cast<float>(rng->Uniform(lo, hi));
+    return v;
+  }
+
+  // EXPECT_EQ element-by-element: reports the first offending index
+  // instead of a blob, and treats NaN mismatch as failure via bit pattern.
+  static void ExpectBitwiseEq(const std::vector<float>& ref,
+                              const std::vector<float>& got,
+                              const char* what) {
+    ASSERT_EQ(ref.size(), got.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      if (std::memcmp(&ref[i], &got[i], sizeof(float)) != 0) {
+        ADD_FAILURE() << what << ": first mismatch at [" << i
+                      << "]: scalar=" << ref[i] << " avx2=" << got[i];
+        return;
+      }
+    }
+  }
+
+  const KernelTable* avx2_ = nullptr;
+};
+
+// Shapes chosen to cover full 16-wide strips, the 8-wide panel, and scalar
+// tails: n mod 16 ∈ {0, 1, 7, 8, 9, 15}, tiny k < 16, single rows/columns.
+constexpr int64_t kDims[] = {1, 2, 5, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100};
+
+TEST_F(IsaEquivalenceTest, GemmAllVariants) {
+  Rng rng(42);
+  for (const int64_t m : {1, 3, 5, 6, 7, 13, 24}) {
+    for (const int64_t n : kDims) {
+      for (const int64_t k : {1, 4, 15, 16, 17, 48}) {
+        const auto a = Random(m * k, &rng);
+        const auto b_nn = Random(k * n, &rng);
+        const auto b_nt = Random(n * k, &rng);
+        const auto a_tn = Random(k * m, &rng);
+        for (const bool acc : {false, true}) {
+          const auto c0 = Random(m * n, &rng);
+          for (int variant = 0; variant < 3; ++variant) {
+            auto ref = c0;
+            auto got = c0;
+            switch (variant) {
+              case 0:
+                ScalarKernels().gemm_nn(m, n, k, a.data(), b_nn.data(),
+                                        ref.data(), acc);
+                avx2_->gemm_nn(m, n, k, a.data(), b_nn.data(), got.data(),
+                               acc);
+                break;
+              case 1:
+                ScalarKernels().gemm_nt(m, n, k, a.data(), b_nt.data(),
+                                        ref.data(), acc);
+                avx2_->gemm_nt(m, n, k, a.data(), b_nt.data(), got.data(),
+                               acc);
+                break;
+              default:
+                ScalarKernels().gemm_tn(m, n, k, a_tn.data(), b_nn.data(),
+                                        ref.data(), acc);
+                avx2_->gemm_tn(m, n, k, a_tn.data(), b_nn.data(), got.data(),
+                               acc);
+                break;
+            }
+            ExpectBitwiseEq(ref, got, "gemm");
+            if (HasFailure()) return;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(IsaEquivalenceTest, GemvBothOrientationsAndDot) {
+  Rng rng(43);
+  for (const int64_t m : {1, 2, 3, 4, 5, 9, 33}) {
+    for (const int64_t n : kDims) {
+      const auto a = Random(m * n, &rng);
+      const auto x = Random(n, &rng);
+      const auto xt = Random(m, &rng);
+      for (const bool acc : {false, true}) {
+        const auto y0 = Random(m, &rng);
+        auto ref = y0;
+        auto got = y0;
+        ScalarKernels().gemv(m, n, a.data(), x.data(), ref.data(), acc);
+        avx2_->gemv(m, n, a.data(), x.data(), got.data(), acc);
+        ExpectBitwiseEq(ref, got, "gemv");
+
+        const auto z0 = Random(n, &rng);
+        auto reft = z0;
+        auto gott = z0;
+        ScalarKernels().gemv_t(m, n, a.data(), xt.data(), reft.data(), acc);
+        avx2_->gemv_t(m, n, a.data(), xt.data(), gott.data(), acc);
+        ExpectBitwiseEq(reft, gott, "gemv_t");
+      }
+      const float ds = ScalarKernels().dot(a.data(), a.data() + (m - 1) * n, n);
+      const float dv = avx2_->dot(a.data(), a.data() + (m - 1) * n, n);
+      EXPECT_EQ(std::memcmp(&ds, &dv, sizeof(float)), 0)
+          << "dot n=" << n << " scalar=" << ds << " avx2=" << dv;
+    }
+  }
+}
+
+TEST_F(IsaEquivalenceTest, LstmGatesForwardBackward) {
+  Rng rng(44);
+  for (const int64_t b : {1, 3}) {
+    for (const int64_t h : {1, 5, 8, 13, 16, 33, 64}) {
+      const auto z = Random(b * 4 * h, &rng, -6.0, 6.0);
+      const auto c_prev = Random(b * h, &rng);
+      std::vector<float> ifgo_r(b * 4 * h), tanh_r(b * h), hc_r(b * 2 * h);
+      std::vector<float> ifgo_v(b * 4 * h), tanh_v(b * h), hc_v(b * 2 * h);
+      ScalarKernels().lstm_gate_forward(b, h, z.data(), c_prev.data(),
+                                        ifgo_r.data(), tanh_r.data(),
+                                        hc_r.data());
+      avx2_->lstm_gate_forward(b, h, z.data(), c_prev.data(), ifgo_v.data(),
+                               tanh_v.data(), hc_v.data());
+      ExpectBitwiseEq(ifgo_r, ifgo_v, "lstm fwd ifgo");
+      ExpectBitwiseEq(tanh_r, tanh_v, "lstm fwd tanh_c");
+      ExpectBitwiseEq(hc_r, hc_v, "lstm fwd hc");
+
+      const auto ghc = Random(b * 2 * h, &rng);
+      std::vector<float> gz_r(b * 4 * h), gcp_r(b * h);
+      std::vector<float> gz_v(b * 4 * h), gcp_v(b * h);
+      ScalarKernels().lstm_gate_backward(b, h, ghc.data(), ifgo_r.data(),
+                                         tanh_r.data(), c_prev.data(),
+                                         gz_r.data(), gcp_r.data());
+      avx2_->lstm_gate_backward(b, h, ghc.data(), ifgo_r.data(),
+                                tanh_r.data(), c_prev.data(), gz_v.data(),
+                                gcp_v.data());
+      ExpectBitwiseEq(gz_r, gz_v, "lstm bwd gz");
+      ExpectBitwiseEq(gcp_r, gcp_v, "lstm bwd gc_prev");
+    }
+  }
+}
+
+TEST_F(IsaEquivalenceTest, AttentionSoftmaxForwardBackward) {
+  Rng rng(45);
+  for (const int64_t l : {1, 3, 9}) {
+    for (const int64_t d : {1, 7, 8, 17, 64, 100}) {
+      const auto emb = Random(l * d, &rng);
+      const auto target = Random(d, &rng);
+      auto neg = Random(l, &rng, -1.0, -0.01);
+      std::vector<float> alpha_r(l), alpha_v(l);
+      ScalarKernels().attention_softmax_forward(
+          l, d, emb.data(), target.data(), neg.data(), alpha_r.data());
+      avx2_->attention_softmax_forward(l, d, emb.data(), target.data(),
+                                       neg.data(), alpha_v.data());
+      ExpectBitwiseEq(alpha_r, alpha_v, "attention fwd alpha");
+
+      const auto g = Random(l, &rng);
+      const auto gemb0 = Random(l * d, &rng);
+      const auto gtgt0 = Random(d, &rng);
+      auto gemb_r = gemb0, gemb_v = gemb0;
+      auto gtgt_r = gtgt0, gtgt_v = gtgt0;
+      ScalarKernels().attention_softmax_backward(
+          l, d, g.data(), alpha_r.data(), emb.data(), target.data(),
+          neg.data(), gemb_r.data(), gtgt_r.data());
+      avx2_->attention_softmax_backward(l, d, g.data(), alpha_v.data(),
+                                        emb.data(), target.data(), neg.data(),
+                                        gemb_v.data(), gtgt_v.data());
+      ExpectBitwiseEq(gemb_r, gemb_v, "attention bwd gemb");
+      ExpectBitwiseEq(gtgt_r, gtgt_v, "attention bwd gtarget");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ehna::kernels
