@@ -10,6 +10,12 @@ shapes and ISAs legitimately differ across hosts (e.g. a runner without
 AVX2 produces scalar-only records). Throughput above baseline is fine; a
 run that is consistently faster should refresh the baseline via
 bench/update_ci_baseline.sh.
+
+Malformed input (unreadable file, invalid JSON, a record that is not an
+object, or one missing/mistyping a required field) exits with status 2 and
+a message naming the file and the offending record — never a raw
+KeyError/TypeError traceback, which CI logs would otherwise surface as an
+inscrutable "the gate itself crashed".
 """
 
 import argparse
@@ -17,14 +23,72 @@ import json
 import sys
 
 
+class BenchFormatError(Exception):
+    """A bench JSON file that cannot be interpreted; str() names the file
+    and, when applicable, the offending record."""
+
+
+# Fields every compared record must carry, with the types the comparison
+# relies on. `value` additionally accepts int (JSON has one number type,
+# but json.load yields int for whole numbers).
+_REQUIRED = {
+    "bench": str,
+    "shape": str,
+    "isa": str,
+    "value": (int, float),
+}
+
+
+def _describe(record, index):
+    head = json.dumps(record, default=repr)
+    if len(head) > 200:
+        head = head[:200] + "..."
+    return f"record #{index}: {head}"
+
+
 def load(path):
-    with open(path) as f:
-        records = json.load(f)
-    return {
-        (r["bench"], r["shape"], r["isa"]): r["value"]
-        for r in records
-        if r.get("metric") == "gflops"
-    }
+    """Parses `path` into {(bench, shape, isa): gflops}.
+
+    Raises BenchFormatError on anything the comparison below could trip
+    over; records whose "metric" is not "gflops" are ignored (and may
+    therefore have any shape).
+    """
+    try:
+        with open(path) as f:
+            records = json.load(f)
+    except OSError as e:
+        raise BenchFormatError(f"{path}: cannot read: {e}") from e
+    except json.JSONDecodeError as e:
+        raise BenchFormatError(f"{path}: invalid JSON: {e}") from e
+
+    if not isinstance(records, list):
+        raise BenchFormatError(
+            f"{path}: top level must be a JSON array of records, "
+            f"got {type(records).__name__}"
+        )
+
+    out = {}
+    for i, r in enumerate(records):
+        if not isinstance(r, dict):
+            raise BenchFormatError(
+                f"{path}: {_describe(r, i)} is not a JSON object"
+            )
+        if r.get("metric") != "gflops":
+            continue
+        for field, want in _REQUIRED.items():
+            if field not in r:
+                raise BenchFormatError(
+                    f"{path}: {_describe(r, i)} is missing field "
+                    f"{field!r}"
+                )
+            if not isinstance(r[field], want) or isinstance(r[field], bool):
+                raise BenchFormatError(
+                    f"{path}: {_describe(r, i)} field {field!r} has type "
+                    f"{type(r[field]).__name__}, expected "
+                    f"{want[0].__name__ if isinstance(want, tuple) else want.__name__}"
+                )
+        out[(r["bench"], r["shape"], r["isa"])] = float(r["value"])
+    return out
 
 
 def main():
@@ -34,8 +98,12 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.30)
     args = parser.parse_args()
 
-    current = load(args.current)
-    baseline = load(args.baseline)
+    try:
+        current = load(args.current)
+        baseline = load(args.baseline)
+    except BenchFormatError as e:
+        print(f"ERROR  {e}", file=sys.stderr)
+        return 2
 
     failures = []
     for key in sorted(baseline):

@@ -7,7 +7,7 @@
 //                    [--input=edges.txt | --dataset=digg|yelp|tmall|dblp]
 //                    [--scale=0.1] [--dim=64] [--epochs=3]
 //                    [--output=embeddings.txt] [--binary] [--seed=1]
-//                    [--threads=1]
+//                    [--threads=1] [--pipeline-depth=0]
 //                    [--checkpoint-dir=DIR] [--checkpoint-every=1]
 //
 // With --checkpoint-dir (EHNA only) the trainer snapshots its full state
@@ -41,6 +41,7 @@ struct Args {
   int epochs = 3;
   int checkpoint_every = 1;
   int threads = 1;
+  int pipeline_depth = 0;
   bool binary = false;
   uint64_t seed = 1;
 };
@@ -68,6 +69,7 @@ Args ParseArgs(int argc, char** argv) {
     else if (ParseFlag(argv[i], "--checkpoint-dir", &v)) args.checkpoint_dir = v;
     else if (ParseFlag(argv[i], "--checkpoint-every", &v)) args.checkpoint_every = std::atoi(v.c_str());
     else if (ParseFlag(argv[i], "--threads", &v)) args.threads = std::atoi(v.c_str());
+    else if (ParseFlag(argv[i], "--pipeline-depth", &v)) args.pipeline_depth = std::atoi(v.c_str());
     else if (ParseFlag(argv[i], "--seed", &v)) args.seed = std::atoll(v.c_str());
     else if (std::strcmp(argv[i], "--binary") == 0) args.binary = true;
     else std::fprintf(stderr, "ignoring unknown argument %s\n", argv[i]);
@@ -113,6 +115,7 @@ int main(int argc, char** argv) {
     cfg.walk_length = 5;
     cfg.num_negatives = 2;
     cfg.num_threads = args.threads;
+    cfg.pipeline_depth = args.pipeline_depth;
     cfg.checkpoint_dir = args.checkpoint_dir;
     cfg.checkpoint_every = args.checkpoint_every;
     EhnaModel model(&graph, cfg);

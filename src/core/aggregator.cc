@@ -177,6 +177,19 @@ std::vector<Walk> EhnaAggregator::SampleWalks(NodeId target,
     }
     return walks;
   }
+  // Degenerate anchor: the target's entire history is at-or-after
+  // `ref_time`, so each of the k walks would be the bare anchor (length 1)
+  // and be dropped below — and, crucially, SampleWalk draws zero RNG for
+  // them. Skipping the k calls outright is therefore bitwise-neutral; the
+  // counter keeps the case visible (it is what routes the aggregation to
+  // the GraphSAGE-style fallback) instead of silently costing k adjacency
+  // probes per aggregation.
+  if (graph_->NeighborsBefore(target, ref_time).empty()) {
+    static Counter* const no_history =
+        MetricsRegistry::Global().GetCounter("agg.no_history_targets");
+    no_history->Add(1);
+    return walks;
+  }
   for (Walk& w : temporal_sampler_.SampleWalks(target, ref_time, rng)) {
     if (w.size() < 2) continue;  // no historical neighborhood reached.
     walks.push_back(std::move(w));

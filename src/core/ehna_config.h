@@ -86,6 +86,21 @@ struct EhnaConfig {
   /// aggregation call (the equivalence-test reference).
   bool batched_aggregation = true;
 
+  /// Async training pipeline depth (DESIGN.md §11). 0 (the default) runs
+  /// the synchronous path: every batch's walk sampling + plan assembly is
+  /// serialized in front of its forward/backward. N >= 1 overlaps them: a
+  /// producer task on a dedicated pipeline thread pre-builds up to N batch
+  /// packs ahead (per-batch plan captures, each pack paired with the
+  /// TensorArena its tape will run in) behind a bounded queue while the
+  /// consumer runs forward/backward/optimizer on the previous pack; N = 1
+  /// is classic double buffering. Because plans capture every RNG draw up
+  /// front (in the exact synchronous order) and compute consumes no RNG,
+  /// async training is bitwise-identical to synchronous training at any
+  /// thread count — checkpoint bytes included. The knob composes with
+  /// `num_threads`; it requires `batched_aggregation` and at least one
+  /// negative sample (otherwise the synchronous path runs regardless).
+  int pipeline_depth = 0;
+
   /// Worker threads for training and inference. 1 (the default) runs the
   /// exact legacy serial path; 0 resolves to the hardware concurrency; N >
   /// 1 trains data-parallel (per-worker tapes, gradients reduced into one

@@ -32,6 +32,15 @@ namespace ehna {
 /// nodes with per-node RNG streams, making it reproducible for a fixed
 /// seed regardless of thread count. `num_threads == 1` runs the exact
 /// legacy serial path.
+///
+/// With `config.pipeline_depth >= 1` the trainer additionally overlaps
+/// walk sampling / plan assembly with LSTM compute (DESIGN.md §11): a
+/// producer task on a dedicated pipeline thread pre-builds up to
+/// `pipeline_depth` batch packs behind a bounded queue while the consumer
+/// runs forward/backward/optimizer on the previous pack. Plans capture
+/// every RNG draw up front in the exact synchronous order and compute
+/// consumes no RNG, so async training is bitwise-identical to the
+/// synchronous path — checkpoint bytes included — at any thread count.
 class EhnaModel {
  public:
   /// `graph` must outlive the model.
@@ -106,6 +115,12 @@ class EhnaModel {
   /// leaves, embedding gradient sink, and scratch stats.
   struct Worker;
 
+  /// One async-pipeline slot: a batch's plan captures (per shard) plus the
+  /// TensorArena its tape will run in. Slots rotate producer -> ready
+  /// queue -> consumer -> free queue; with pipeline_depth = 1 two slots
+  /// alternate (double buffering).
+  struct BatchPack;
+
   /// EdgeLoss evaluated against an arbitrary aggregator/RNG (the serial
   /// path passes the master pair; parallel workers pass their replica and
   /// a per-edge stream).
@@ -124,13 +139,33 @@ class EhnaModel {
   /// laid out [zx, zy, negatives...] starting at `base`.
   Var EdgeLossFromZ(const std::vector<Var>& z, size_t base);
 
+  /// The epoch's shuffled (and possibly capped) edge-index order, drawn
+  /// from the master RNG — the first thing every epoch variant consumes.
+  std::vector<size_t> ShuffledEpochOrder();
+
   EpochStats TrainEpochSerial();
   EpochStats TrainEpochParallel();
+
+  /// Async-pipeline variants of the two epoch loops (DESIGN.md §11):
+  /// byte-identical results, with planning overlapped against compute.
+  EpochStats TrainEpochSerialAsync();
+  EpochStats TrainEpochParallelAsync();
+
+  /// True when this epoch should run the producer/consumer pipeline:
+  /// pipeline_depth >= 1, batched aggregation on, and at least one
+  /// negative sample (the degenerate negative-free objective keeps the
+  /// synchronous path's early-exit semantics).
+  bool PipelineEnabled() const;
 
   /// Lazily builds the pool (and, for EnsureWorkers, the worker replicas)
   /// sized to num_threads().
   ThreadPool* EnsurePool();
   void EnsureWorkers();
+
+  /// Lazily builds the single-thread producer pool and the pipeline's
+  /// recycled batch-pack slots (pipeline_depth + 1 of them).
+  ThreadPool* EnsurePipelinePool();
+  void EnsurePipelineSlots(size_t num_slots);
 
   /// Copies master parameter values and BatchNorm running statistics into a
   /// worker replica (called between optimizer steps, never concurrently
@@ -160,6 +195,13 @@ class EhnaModel {
 
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<Worker>> workers_;
+
+  /// Async pipeline state: a one-thread pool the per-epoch producer task
+  /// runs on (so its exceptions surface at the Wait join point), and the
+  /// recycled pack slots. Only materialized when PipelineEnabled().
+  std::unique_ptr<ThreadPool> pipeline_pool_;
+  std::vector<std::unique_ptr<BatchPack>> pipeline_slots_;
+
   uint64_t epoch_index_ = 0;  // namespaces the per-edge training streams.
 };
 

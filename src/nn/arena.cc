@@ -1,6 +1,8 @@
 #include "nn/arena.h"
 
 #include <algorithm>
+#include <functional>
+#include <thread>
 
 #include "util/logging.h"
 
@@ -13,6 +15,11 @@ constexpr size_t kAlignment = 64;
 thread_local TensorArena* tls_current = nullptr;
 
 size_t AlignUp(size_t n) { return (n + kAlignment - 1) & ~(kAlignment - 1); }
+
+uint64_t ThisThreadHash() {
+  return static_cast<uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
 
 }  // namespace
 
@@ -61,16 +68,35 @@ float* TensorArena::Allocate(int64_t n) {
 }
 
 void TensorArena::Reset() {
+  EHNA_CHECK_EQ(live_scopes_.load(std::memory_order_relaxed), 0);
   for (Block& b : blocks_) b.used = 0;
   current_ = 0;
   bytes_in_use_ = 0;
 }
 
-TensorArena::Scope::Scope(TensorArena* arena) : prev_(tls_current) {
+TensorArena::Scope::Scope(TensorArena* arena)
+    : arena_(arena), prev_(tls_current) {
   tls_current = arena;
+  if (arena_ != nullptr) {
+    const uint64_t self = ThisThreadHash();
+    if (arena_->live_scopes_.fetch_add(1, std::memory_order_relaxed) == 0) {
+      arena_->owner_thread_.store(self, std::memory_order_relaxed);
+    } else {
+      // Nested activation is fine on the owning thread; a second thread
+      // activating a live arena would interleave two tapes in one bump
+      // allocator — fail fast instead of corrupting both.
+      EHNA_CHECK_EQ(arena_->owner_thread_.load(std::memory_order_relaxed),
+                    self);
+    }
+  }
 }
 
-TensorArena::Scope::~Scope() { tls_current = prev_; }
+TensorArena::Scope::~Scope() {
+  tls_current = prev_;
+  if (arena_ != nullptr) {
+    arena_->live_scopes_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
 
 TensorArena::Bypass::Bypass() : prev_(tls_current) { tls_current = nullptr; }
 

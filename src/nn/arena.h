@@ -1,6 +1,7 @@
 #ifndef EHNA_NN_ARENA_H_
 #define EHNA_NN_ARENA_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -19,9 +20,14 @@ namespace ehna {
 /// batch boundary.
 ///
 /// Lifetime rules (violations are use-after-reset bugs):
-///  - An arena may be *active* on at most one thread at a time. The
-///    trainer gives each worker replica its own arena, so a replica's tape
-///    never shares blocks with another thread.
+///  - An arena may be *active* on at most one thread at a time, but it may
+///    be handed off between threads across batches: the data-parallel
+///    trainer activates a worker's arena on whichever pool thread runs the
+///    shard, and the async pipeline activates a slot's arena on the
+///    consumer thread while the producer fills the slot's (heap-backed)
+///    plan pack. Every handoff must be ordered by a synchronization edge
+///    (the pool's task queue, the pipeline's bounded queue); Scope itself
+///    enforces the single-thread-at-a-time rule with a cheap owner check.
 ///  - Reset() must only run when no Scope for this arena is live and every
 ///    arena-backed tensor from the previous cycle is either destroyed or
 ///    will never be read again. The trainer resets at the end of a batch,
@@ -45,7 +51,10 @@ class TensorArena {
   float* Allocate(int64_t n);
 
   /// Rewinds every block to empty, retaining the memory for the next
-  /// cycle. See the lifetime rules above.
+  /// cycle. Checks that no Scope for this arena is live — resetting under
+  /// an active tape is exactly the use-after-reset class of bug the async
+  /// pipeline's slot recycling could otherwise reintroduce. See the
+  /// lifetime rules above.
   void Reset();
 
   /// Bytes handed out since the last Reset().
@@ -72,6 +81,7 @@ class TensorArena {
     Scope& operator=(const Scope&) = delete;
 
    private:
+    TensorArena* arena_;
     TensorArena* prev_;
   };
 
@@ -106,6 +116,13 @@ class TensorArena {
   size_t bytes_in_use_ = 0;
   size_t high_water_bytes_ = 0;
   size_t bytes_reserved_ = 0;
+
+  /// Live Scope count and the (hashed) id of the owning thread while any
+  /// scope is active. Relaxed atomics: these back best-effort concurrency
+  /// checks (Scope activation from a second thread, Reset under a live
+  /// scope), not synchronization — the pipeline's queues provide that.
+  std::atomic<int> live_scopes_{0};
+  std::atomic<uint64_t> owner_thread_{0};
 };
 
 }  // namespace ehna

@@ -1,0 +1,20 @@
+#include "util/pipeline.h"
+
+#include "util/metrics.h"
+
+namespace ehna {
+
+QueueMetrics TrainPipelineQueueMetrics() {
+  // Resolved once; registry pointers are stable for the process lifetime.
+  static const QueueMetrics metrics = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    QueueMetrics m;
+    m.depth = registry.GetGauge("pipeline.queue_depth");
+    m.producer_stall_ns = registry.GetCounter("pipeline.producer_stall_ns");
+    m.consumer_stall_ns = registry.GetCounter("pipeline.consumer_stall_ns");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace ehna

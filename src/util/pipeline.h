@@ -1,0 +1,153 @@
+#ifndef EHNA_UTIL_PIPELINE_H_
+#define EHNA_UTIL_PIPELINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace ehna {
+
+/// Telemetry hooks for a BoundedQueue (DESIGN.md §11). All pointers are
+/// optional; when set, the queue keeps `depth` at its live occupancy and
+/// accumulates the nanoseconds producers spent blocked on a full queue
+/// (`producer_stall_ns`) and consumers spent blocked on an empty one
+/// (`consumer_stall_ns`). Stall clocks are only read when a Push/Pop
+/// actually blocks, so an overlapped steady state records (almost) nothing.
+struct QueueMetrics {
+  Gauge* depth = nullptr;
+  Counter* producer_stall_ns = nullptr;
+  Counter* consumer_stall_ns = nullptr;
+};
+
+/// The async training pipeline's queue metrics, registered under
+/// pipeline.queue_depth / pipeline.producer_stall_ns /
+/// pipeline.consumer_stall_ns (see DESIGN.md §8 and §11).
+QueueMetrics TrainPipelineQueueMetrics();
+
+/// A small bounded MPMC work queue for producer/consumer pipelines:
+/// Push blocks while the queue holds `capacity` items, Pop blocks while it
+/// is empty, and Close() releases both sides — pending Pops drain the
+/// remaining items and then return nullopt; Push on a closed queue drops
+/// the item and returns false.
+///
+/// The implementation is a mutex + two condition variables rather than a
+/// lock-free ring: the training pipeline pushes a handful of *batch packs*
+/// per epoch (hundreds of operations per second at most), so contention is
+/// nil and the mutex doubles as the happens-before edge that publishes a
+/// producer-filled pack to the consumer thread.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity, QueueMetrics metrics = {})
+      : capacity_(capacity), metrics_(metrics) {
+    EHNA_CHECK_GT(capacity, 0u);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room (or the queue is closed). Returns false —
+  /// and discards `value` — iff the queue was closed.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_ && !closed_) {
+      StallTimer stall(metrics_.producer_stall_ns);
+      not_full_.wait(lock, [this] {
+        return closed_ || items_.size() < capacity_;
+      });
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    SetDepth();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (or the queue is closed and
+  /// drained). Returns nullopt iff the queue is closed and empty.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty() && !closed_) {
+      StallTimer stall(metrics_.consumer_stall_ns);
+      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    }
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    SetDepth();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Marks the queue closed and wakes every blocked Push/Pop. Items already
+  /// queued remain poppable; idempotent.
+  void Close() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  /// Accumulates the lifetime of a blocking wait into a stall counter.
+  /// Inert when the counter is unset or metrics are globally disabled.
+  class StallTimer {
+   public:
+    explicit StallTimer(Counter* counter)
+        : counter_(MetricsEnabled() ? counter : nullptr) {
+      if (counter_ != nullptr) start_ = std::chrono::steady_clock::now();
+    }
+    ~StallTimer() {
+      if (counter_ != nullptr) {
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_);
+        counter_->Add(ns.count() < 0 ? 0 : static_cast<uint64_t>(ns.count()));
+      }
+    }
+    StallTimer(const StallTimer&) = delete;
+    StallTimer& operator=(const StallTimer&) = delete;
+
+   private:
+    Counter* counter_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  void SetDepth() {
+    if (metrics_.depth != nullptr) {
+      metrics_.depth->Set(static_cast<double>(items_.size()));
+    }
+  }
+
+  const size_t capacity_;
+  const QueueMetrics metrics_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_UTIL_PIPELINE_H_

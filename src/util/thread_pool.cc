@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -18,6 +19,11 @@ ThreadPool::~ThreadPool() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     shutdown_ = true;
+    if (first_error_ != nullptr) {
+      EHNA_LOG(Warning)
+          << "ThreadPool destroyed with an unretrieved task exception";
+      first_error_ = nullptr;
+    }
   }
   task_available_.notify_all();
   for (auto& w : workers_) w.join();
@@ -34,8 +40,19 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+std::exception_ptr ThreadPool::CollectError() noexcept {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  return std::exchange(first_error_, nullptr);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -57,13 +74,11 @@ void ThreadPool::ParallelForShards(
     size_t n, size_t num_shards,
     const std::function<void(size_t, size_t, size_t)>& fn) {
   if (n == 0) return;
-  const size_t shards = std::max<size_t>(1, std::min(n, num_shards));
-  const size_t per_shard = (n + shards - 1) / shards;
+  const size_t shards = ResolveShards(n, num_shards);
   for (size_t s = 0; s < shards; ++s) {
-    const size_t begin = s * per_shard;
-    const size_t end = std::min(n, begin + per_shard);
+    const auto [begin, end] = ShardBounds(n, shards, s);
     if (begin >= end) break;
-    Submit([&fn, s, begin, end] { fn(s, begin, end); });
+    Submit([&fn, s, begin = begin, end = end] { fn(s, begin, end); });
   }
   Wait();
 }
@@ -82,9 +97,20 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // A throwing task must not escape through the worker loop (that would
+    // std::terminate the process); capture the first exception for the
+    // join/wait point instead.
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (error != nullptr && first_error_ == nullptr) {
+        first_error_ = std::move(error);
+      }
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -70,6 +70,14 @@ Walk TemporalWalkSampler::SampleWalk(NodeId start, Timestamp ref_time,
       MetricsRegistry::Global().GetCounter("walk.temporal.early_terminations");
   static Counter* const rejected_total =
       MetricsRegistry::Global().GetCounter("walk.temporal.rejected_steps");
+  // The degenerate anchor case: every edge in the start node's history is
+  // at-or-after `ref_time`, so the very first NeighborsBefore query comes
+  // back empty and the walk is the bare anchor (length 1, zero RNG draws).
+  // Downstream this is what routes an aggregation to the GraphSAGE-style
+  // fallback; the dedicated counter makes the case observable instead of
+  // blending into ordinary mid-walk early terminations.
+  static Counter* const no_history_total =
+      MetricsRegistry::Global().GetCounter("walk.temporal.no_history_anchors");
   uint64_t steps_taken = 0;
   bool terminated_early = false;
   bool rejected = false;
@@ -141,6 +149,7 @@ Walk TemporalWalkSampler::SampleWalk(NodeId start, Timestamp ref_time,
   walks_total->Add(1);
   steps_total->Add(steps_taken);
   if (terminated_early) early_total->Add(1);
+  if (terminated_early && steps_taken == 0) no_history_total->Add(1);
   if (rejected) rejected_total->Add(1);
   return walk;
 }

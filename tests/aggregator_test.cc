@@ -6,6 +6,7 @@
 #include "core/model.h"
 #include "graph/generators/generators.h"
 #include "nn/ops.h"
+#include "util/metrics.h"
 
 namespace ehna {
 namespace {
@@ -65,6 +66,49 @@ TEST(AggregatorTest, IsolatedNodeUsesOwnEmbeddingOnly) {
   EhnaAggregator agg(&g, &emb, cfg, &rng);
   Var z = agg.Aggregate(4, 10.0, true, &rng);  // node 4 isolated.
   EXPECT_NEAR(z.value().Norm(), 1.0f, 1e-4f);
+  emb.ClearGradients();
+}
+
+TEST(AggregatorTest, NoHistoryTargetTakesCountedFallbackPath) {
+  // A node whose entire history sits at-or-after the anchor time must take
+  // an explicit, metric-counted fallback: the plan carries no walks but a
+  // populated fallback neighborhood, the dedicated counter fires, and the
+  // aggregated output is still a valid unit vector. Node 0's only edges
+  // are at t = 5 and t = 6; the anchor is t = 1.
+  auto made = TemporalGraph::FromEdges(
+      {{0, 1, 5.0, 1.0f}, {0, 2, 6.0, 1.0f}, {1, 2, 1.0, 1.0f}});
+  ASSERT_TRUE(made.ok());
+  TemporalGraph g = std::move(made).value();
+  Rng rng(7);
+  EhnaConfig cfg = SmallConfig();
+  Embedding emb(g.num_nodes(), cfg.dim, &rng);
+  EhnaAggregator agg(&g, &emb, cfg, &rng);
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Reset();
+  AggregationPlan plan;
+  Rng plan_rng(21);
+  agg.PlanAggregation(0, 1.0, &plan_rng, &plan);
+  EXPECT_TRUE(plan.walks.empty());
+  EXPECT_FALSE(plan.fallback_ids.empty());
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("agg.no_history_targets"), 1u);
+  EXPECT_EQ(snap.CounterValue("agg.fallbacks"), 1u);
+  // The fast path skips the k per-walk sampler calls entirely (they would
+  // each be a zero-draw length-1 walk), so the walk counter stays at zero.
+  EXPECT_EQ(snap.CounterValue("walk.temporal.walks"), 0u);
+
+  // The planned fallback and the direct Aggregate call consume the RNG
+  // identically and produce the same normalized output.
+  Rng direct_rng(21);
+  Var direct = agg.Aggregate(0, 1.0, /*training=*/true, &direct_rng);
+  EXPECT_EQ(plan_rng.Next(), direct_rng.Next());
+  EXPECT_NEAR(direct.value().Norm(), 1.0f, 1e-4f);
+  const std::vector<Var> packed =
+      agg.AggregateBatch({plan}, /*training=*/true);
+  ASSERT_EQ(packed.size(), 1u);
+  EXPECT_TRUE(packed[0].value() == direct.value());
   emb.ClearGradients();
 }
 

@@ -1,0 +1,293 @@
+// The async training pipeline (DESIGN.md §11): BoundedQueue semantics,
+// producer-exception surfacing, and — the contract everything else hangs
+// off — bitwise equivalence between pipeline_depth = 0 and pipeline_depth
+// >= 1 training at both thread counts, with metrics on and off, including
+// a crash-and-resume run under the async pipeline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/model.h"
+#include "graph/generators/generators.h"
+#include "util/metrics.h"
+#include "util/pipeline.h"
+#include "util/thread_pool.h"
+
+namespace ehna {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------ BoundedQueue
+
+TEST(BoundedQueueTest, FifoOrderAcrossThreads) {
+  BoundedQueue<int> q(4);
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) q.Push(i);
+    q.Close();
+  });
+  for (int i = 0; i < 100; ++i) {
+    std::optional<int> v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.Pop().has_value());  // closed and drained.
+  producer.join();
+}
+
+TEST(BoundedQueueTest, PushBlocksAtCapacityUntilPop) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(0));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    q.Push(1);  // must block: capacity 1, slot occupied.
+    second_pushed.store(true);
+  });
+  // Give the producer a chance to (wrongly) slip past the full queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(q.Pop().value_or(-1), 0);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(q.Pop().value_or(-1), 1);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducerAndDropsItem) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(0));
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] { push_result.store(q.Push(1)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  producer.join();
+  EXPECT_FALSE(push_result.load());  // rejected, not enqueued.
+  // The item accepted before Close drains; the dropped one never appears.
+  EXPECT_EQ(q.Pop().value_or(-1), 0);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(2);
+  std::optional<int> popped = 123;
+  std::thread consumer([&] { popped = q.Pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  consumer.join();
+  EXPECT_FALSE(popped.has_value());
+}
+
+TEST(BoundedQueueTest, ProducerExceptionSurfacesThroughPoolJoin) {
+  // The pipeline's abort protocol: a producer task that throws is captured
+  // by its pool and rethrown at the Wait() join; the consumer side closes
+  // the queues so nobody deadlocks.
+  BoundedQueue<int> q(1);
+  ThreadPool pool(1);
+  pool.Submit([&] {
+    q.Push(7);
+    throw std::runtime_error("producer boom");
+  });
+  EXPECT_EQ(q.Pop().value_or(-1), 7);
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+// ------------------------------------------------- bitwise sync/async
+
+TemporalGraph TinyGraph() {
+  auto g = MakePaperDataset(PaperDataset::kDblp, 0.02, 9);
+  EHNA_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+EhnaConfig TinyConfig(int num_threads, int pipeline_depth) {
+  EhnaConfig cfg;
+  cfg.dim = 4;
+  cfg.num_walks = 2;
+  cfg.walk_length = 3;
+  cfg.num_negatives = 1;
+  cfg.batch_edges = 8;
+  cfg.lstm_layers = 1;
+  cfg.epochs = 4;
+  cfg.max_edges_per_epoch = 24;
+  cfg.learning_rate = 5e-3f;
+  cfg.seed = 3;
+  cfg.num_threads = num_threads;
+  cfg.pipeline_depth = pipeline_depth;
+  return cfg;
+}
+
+std::string FreshDir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Trains to completion under `cfg` and returns the final checkpoint's
+/// bytes — the strongest equality we can ask for: parameters, embedding
+/// table, dense + sparse Adam moments, BatchNorm statistics, and the RNG
+/// stream state all serialize into it.
+std::string TrainedCheckpointBytes(const TemporalGraph& g, EhnaConfig cfg,
+                                   const std::string& dir) {
+  EhnaModel model(&g, cfg);
+  model.Train();
+  const std::string path = dir + "/final.ehnc";
+  EHNA_CHECK(model.SaveCheckpoint(path).ok());
+  return ReadBytes(path);
+}
+
+void ExpectAsyncMatchesSyncBitwise(int num_threads, bool metrics_enabled) {
+  TemporalGraph g = TinyGraph();
+  const bool was_enabled = MetricsEnabled();
+  MetricsRegistry::SetEnabled(metrics_enabled);
+
+  const std::string dir = FreshDir(
+      "ehna_pipe_eq_" + std::to_string(num_threads) +
+      (metrics_enabled ? "_m1" : "_m0"));
+  const std::string sync_bytes =
+      TrainedCheckpointBytes(g, TinyConfig(num_threads, 0), dir);
+  const std::string depth1_bytes =
+      TrainedCheckpointBytes(g, TinyConfig(num_threads, 1), dir);
+  const std::string depth3_bytes =
+      TrainedCheckpointBytes(g, TinyConfig(num_threads, 3), dir);
+
+  MetricsRegistry::SetEnabled(was_enabled);
+  EXPECT_EQ(sync_bytes, depth1_bytes)
+      << "pipeline_depth=1 diverged from sync at " << num_threads
+      << " thread(s), metrics " << (metrics_enabled ? "on" : "off");
+  EXPECT_EQ(sync_bytes, depth3_bytes)
+      << "pipeline_depth=3 diverged from sync at " << num_threads
+      << " thread(s), metrics " << (metrics_enabled ? "on" : "off");
+  EXPECT_FALSE(sync_bytes.empty());
+  fs::remove_all(dir);
+}
+
+TEST(PipelineDeterminismTest, AsyncMatchesSyncSerialMetricsOn) {
+  ExpectAsyncMatchesSyncBitwise(/*num_threads=*/1, /*metrics_enabled=*/true);
+}
+
+TEST(PipelineDeterminismTest, AsyncMatchesSyncSerialMetricsOff) {
+  ExpectAsyncMatchesSyncBitwise(/*num_threads=*/1, /*metrics_enabled=*/false);
+}
+
+TEST(PipelineDeterminismTest, AsyncMatchesSyncParallelMetricsOn) {
+  ExpectAsyncMatchesSyncBitwise(/*num_threads=*/4, /*metrics_enabled=*/true);
+}
+
+TEST(PipelineDeterminismTest, AsyncMatchesSyncParallelMetricsOff) {
+  ExpectAsyncMatchesSyncBitwise(/*num_threads=*/4, /*metrics_enabled=*/false);
+}
+
+TEST(PipelineDeterminismTest, AsyncEmbeddingsMatchSyncExactly) {
+  // Same contract one level up: the final inference pass built on async-
+  // trained state is bitwise identical to the sync-trained one.
+  TemporalGraph g = TinyGraph();
+  EhnaModel sync_model(&g, TinyConfig(1, 0));
+  EhnaModel async_model(&g, TinyConfig(1, 2));
+  const auto hs = sync_model.Train();
+  const auto ha = async_model.Train();
+  ASSERT_EQ(hs.size(), ha.size());
+  for (size_t e = 0; e < hs.size(); ++e) {
+    EXPECT_EQ(hs[e].avg_loss, ha[e].avg_loss) << "epoch " << e;
+  }
+  EXPECT_TRUE(sync_model.FinalizeEmbeddings() ==
+              async_model.FinalizeEmbeddings());
+}
+
+TEST(PipelineDeterminismTest, CrashAndResumeUnderAsyncPipeline) {
+  // Kill-and-resume composes with the pipeline: an async run interrupted
+  // mid-training and restored from its checkpoint lands on the same final
+  // state as an uninterrupted async run — and as an uninterrupted sync
+  // run, which the tests above already pin to the async one.
+  TemporalGraph g = TinyGraph();
+  const std::string dir = FreshDir("ehna_pipe_resume");
+
+  EhnaConfig cfg = TinyConfig(/*num_threads=*/1, /*pipeline_depth=*/2);
+  cfg.checkpoint_dir = dir + "/snaps";
+  cfg.checkpoint_every = 1;
+
+  EhnaModel uninterrupted(&g, cfg);
+  uninterrupted.Train();
+
+  {
+    EhnaModel doomed(&g, cfg);
+    doomed.Train(2);  // "crash" after 2 of 4 epochs; snapshots remain.
+  }
+  EhnaModel resumed(&g, cfg);
+  const CheckpointManager manager(cfg.checkpoint_dir);
+  ASSERT_TRUE(manager.RestoreLatest(&resumed).ok());
+  EXPECT_EQ(resumed.completed_epochs(), 2u);
+  resumed.Train();  // finishes the remaining epochs.
+
+  const std::string a = dir + "/uninterrupted.ehnc";
+  const std::string b = dir + "/resumed.ehnc";
+  ASSERT_TRUE(uninterrupted.SaveCheckpoint(a).ok());
+  ASSERT_TRUE(resumed.SaveCheckpoint(b).ok());
+  EXPECT_EQ(ReadBytes(a), ReadBytes(b));
+  EXPECT_TRUE(uninterrupted.FinalizeEmbeddings() ==
+              resumed.FinalizeEmbeddings());
+  fs::remove_all(dir);
+}
+
+TEST(PipelineDeterminismTest, PipelineStressManySmallBatches) {
+  // Concurrency stress (runs under TSan via the `concurrency` label):
+  // batch_edges = 1 maximizes queue traffic and slot recycling; depth 4
+  // keeps several packs in flight. The run must stay finite and match its
+  // own sync twin.
+  TemporalGraph g = TinyGraph();
+  EhnaConfig sync_cfg = TinyConfig(/*num_threads=*/2, /*pipeline_depth=*/0);
+  sync_cfg.batch_edges = 1;
+  sync_cfg.epochs = 2;
+  EhnaConfig async_cfg = sync_cfg;
+  async_cfg.pipeline_depth = 4;
+
+  EhnaModel sync_model(&g, sync_cfg);
+  EhnaModel async_model(&g, async_cfg);
+  const auto hs = sync_model.Train();
+  const auto ha = async_model.Train();
+  ASSERT_EQ(hs.size(), ha.size());
+  for (size_t e = 0; e < hs.size(); ++e) {
+    EXPECT_EQ(hs[e].avg_loss, ha[e].avg_loss) << "epoch " << e;
+  }
+  EXPECT_TRUE(sync_model.FinalizeEmbeddings() ==
+              async_model.FinalizeEmbeddings());
+}
+
+TEST(PipelineDeterminismTest, PipelineFeedsQueueTelemetry) {
+  // The observability half of the tentpole: an async run must populate the
+  // pipeline phases and queue gauges/counters the bench reads.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Reset();
+  TemporalGraph g = TinyGraph();
+  EhnaModel model(&g, TinyConfig(/*num_threads=*/1, /*pipeline_depth=*/2));
+  model.Train();
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_GT(snap.CounterValue("pipeline.packs"), 0u);
+  EXPECT_GT(snap.PhaseSeconds("train.phase.pipeline_plan"), 0.0);
+  EXPECT_GT(snap.PhaseSeconds("train.phase.pipeline_wait"), 0.0);
+  EXPECT_GT(snap.PhaseSeconds("train.phase.forward_backward"), 0.0);
+  // Stall time accrues on at least one side of the queue (which side
+  // depends on relative stage speed; the sum must be live).
+  EXPECT_GE(snap.CounterValue("pipeline.producer_stall_ns") +
+                snap.CounterValue("pipeline.consumer_stall_ns"),
+            0u);
+}
+
+}  // namespace
+}  // namespace ehna

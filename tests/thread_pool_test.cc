@@ -9,6 +9,7 @@
 #include <cmath>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
 #include <tuple>
 #include <vector>
 
@@ -57,6 +58,69 @@ TEST(ThreadPoolShardsTest, HandlesFewerItemsThanShards) {
     covered.fetch_add(end - begin);
   });
   EXPECT_EQ(covered.load(), 2u);
+}
+
+TEST(ThreadPoolErrorTest, TaskExceptionRethrownAtWait) {
+  // A throwing task must not kill the worker thread; the exception
+  // surfaces at the next Wait() join point.
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  try {
+    pool.Wait();
+    FAIL() << "Wait() swallowed the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task boom");
+  }
+  // The pool is still usable afterwards, and a clean wave rethrows
+  // nothing — the captured error does not linger.
+  std::atomic<int> ran{0};
+  pool.Submit([&] { ran.fetch_add(1); });
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolErrorTest, FirstOfManyExceptionsWins) {
+  // Concurrent failures must not race destructively: exactly one
+  // exception comes out of Wait(), the rest are dropped, and every task
+  // still runs to its throw point.
+  ThreadPool pool(4);
+  std::atomic<int> attempts{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&] {
+      attempts.fetch_add(1);
+      throw std::runtime_error("concurrent boom");
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(attempts.load(), 16);
+  EXPECT_NO_THROW(pool.Wait());  // error was consumed by the first Wait.
+}
+
+TEST(ThreadPoolErrorTest, ParallelForShardsPropagatesShardException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelForShards(100, 4,
+                                      [](size_t shard, size_t, size_t) {
+                                        if (shard == 2) {
+                                          throw std::logic_error("shard 2");
+                                        }
+                                      }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolErrorTest, CollectErrorReturnsInsteadOfThrowing) {
+  // The unwind-safe variant: same join semantics as Wait(), but the error
+  // comes back as an exception_ptr (nullptr when the wave was clean).
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("collected"); });
+  std::exception_ptr err = pool.CollectError();
+  ASSERT_NE(err, nullptr);
+  try {
+    std::rethrow_exception(err);
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "collected");
+  }
+  pool.Submit([] {});
+  EXPECT_EQ(pool.CollectError(), nullptr);
 }
 
 TEST(RngStreamTest, StreamsArePureFunctionsOfSeedAndIndex) {

@@ -9,6 +9,7 @@
 #include "walk/ctdne_walk.h"
 #include "walk/node2vec_walk.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "walk/temporal_walk.h"
 
 namespace ehna {
@@ -83,6 +84,38 @@ TEST(TemporalWalkTest, EarlyTerminationWithoutRelevantNeighbors) {
   // From node 0 at ref 0.5 there is no historical edge at all.
   Walk w = sampler.SampleWalk(0, 0.5, &rng);
   EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(TemporalWalkTest, NoHistoryAnchorIsCountedAndDrawsNoRng) {
+  // Degenerate anchor: every edge in the start node's history is at-or-
+  // after the reference time, so the walk is the bare anchor. This must be
+  // observable (dedicated counter, distinct from mid-walk terminations) and
+  // must consume zero RNG — the aggregator's fast path relies on that to
+  // skip the k sampler calls without perturbing the draw sequence.
+  TemporalGraph g = MakeIncreasingPath();
+  TemporalWalkConfig cfg;
+  cfg.walk_length = 10;
+  TemporalWalkSampler sampler(&g, cfg);
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Reset();
+  Rng rng(11);
+  Rng untouched(11);
+  Walk w = sampler.SampleWalk(0, 0.5, &rng);  // 0's only edge is at t=1.
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].node, 0u);
+  EXPECT_EQ(rng.Next(), untouched.Next());
+
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("walk.temporal.no_history_anchors"), 1u);
+  EXPECT_EQ(snap.CounterValue("walk.temporal.early_terminations"), 1u);
+
+  // A walk from an anchor that does have history is not a no-history
+  // anchor, whatever happens later in the walk.
+  Walk mid = sampler.SampleWalk(1, 1.5, &rng);  // (0,1)@1 is history.
+  ASSERT_GT(mid.size(), 1u);
+  snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("walk.temporal.no_history_anchors"), 1u);
 }
 
 TEST(TemporalWalkTest, NoBacktrackWhenPIsInfinite) {
