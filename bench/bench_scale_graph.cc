@@ -1,0 +1,260 @@
+// Scale benchmark for the flat-CSR graph + memory-mapped edge log (ISSUE 8
+// tentpole, DESIGN.md §12): tracks, as the synthetic scale-generator graph
+// grows from 10⁵ to 10⁷ edges,
+//   - edge-log write throughput (streamed generation, O(1) memory),
+//   - CSR build time from the mmap'd log vs the in-RAM FromEdges path,
+//   - resident memory after the build (VmRSS),
+//   - temporal walk-sampling throughput over the built graph,
+//   - capped training-epoch edge throughput.
+//
+// EHNA_BENCH_SMOKE=1 shrinks the size sweep to {10⁴, 10⁵} edges so CI can
+// run it as a regression tripwire; the default sweep ends at the paper-scale
+// 10⁷-edge / 10⁶-node point that motivates the mmap path.
+//
+// --json=PATH writes {bench, shape, isa, metric, value} records;
+// throughput metrics (medges_per_s, kwalks_per_s, keps) are gated against
+// bench/baselines/scale_graph_ci.json by bench/check_bench_regression.py,
+// while rss_mb rides along as informational context.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "graph/edge_log.h"
+#include "graph/generators/generators.h"
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+#include "util/table_writer.h"
+#include "walk/temporal_walk.h"
+
+namespace {
+
+using namespace ehna;
+
+bool SmokeMode() {
+  const char* s = std::getenv("EHNA_BENCH_SMOKE");
+  return s != nullptr && s[0] != '\0' && s[0] != '0';
+}
+
+// ------------------------------------------------------------- JSON output
+
+struct JsonRecord {
+  std::string bench;
+  std::string shape;
+  std::string isa;
+  std::string metric;
+  double value;
+};
+
+std::vector<JsonRecord>& JsonRecords() {
+  static std::vector<JsonRecord> records;
+  return records;
+}
+
+void AddJsonRecord(const std::string& bench, const std::string& shape,
+                   const std::string& metric, double value) {
+  // The graph layer has no ISA dimension; "any" keeps the record schema
+  // shared with the kernel bench.
+  JsonRecords().push_back({bench, shape, "any", metric, value});
+}
+
+void WriteJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_scale_graph: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << "[\n";
+  const auto& records = JsonRecords();
+  for (size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    out << "  {\"bench\": \"" << r.bench << "\", \"shape\": \"" << r.shape
+        << "\", \"isa\": \"" << r.isa << "\", \"metric\": \"" << r.metric
+        << "\", \"value\": " << TableWriter::FormatDouble(r.value, 3) << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Resident set size in MB, from /proc/self/status (Linux-only; 0 when the
+/// field is unavailable). Coarse but honest: it is the number an operator
+/// sees in `ps`, which is what "does a 10⁷-edge graph fit" means.
+double ResidentMb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+struct ScalePoint {
+  uint64_t edges;
+  const char* label;
+};
+
+void BM_ScaleGraph(benchmark::State& state) {
+  const bool smoke = SmokeMode();
+  const std::vector<ScalePoint> points =
+      smoke ? std::vector<ScalePoint>{{10'000, "1e4"}, {100'000, "1e5"}}
+            : std::vector<ScalePoint>{
+                  {100'000, "1e5"}, {1'000'000, "1e6"}, {10'000'000, "1e7"}};
+  const std::string log_path =
+      (std::filesystem::temp_directory_path() / "ehna_bench_scale.ehnl")
+          .string();
+
+  for (auto _ : state) {
+    TableWriter table(
+        "scale graph — build/walk/train throughput vs size",
+        {"Edges", "write MB", "gen+write Me/s", "mmap build Me/s",
+         "RAM build Me/s", "RSS MB", "walks kw/s", "epoch ke/s"});
+
+    for (const ScalePoint& pt : points) {
+      ScaleGraphOptions opt;
+      opt.num_edges = pt.edges;
+      opt.num_nodes = static_cast<NodeId>(pt.edges / 10);
+      opt.seed = 1;
+      const std::string shape = std::string(pt.label) + "_edges";
+      const double medges = static_cast<double>(pt.edges) / 1e6;
+
+      // (1) Streamed generation straight into the log: the write path an
+      // operator uses to materialize a graph too big to hold twice.
+      auto t0 = std::chrono::steady_clock::now();
+      {
+        auto writer =
+            EdgeLogWriter::Create(log_path, opt.num_nodes, /*directed=*/false);
+        EHNA_CHECK(writer.ok());
+        EHNA_CHECK(StreamScaleGraph(opt, [&](const TemporalEdge& e) {
+                     return writer.value().Append(e);
+                   }).ok());
+        EHNA_CHECK(writer.value().Finish().ok());
+      }
+      const double write_s = Seconds(t0);
+      AddJsonRecord("scale_graph_write", shape, "medges_per_s",
+                    medges / write_s);
+      const double log_mb =
+          static_cast<double>(std::filesystem::file_size(log_path)) / 1e6;
+
+      // (2) CSR build from the mapping.
+      t0 = std::chrono::steady_clock::now();
+      auto mapped = TemporalGraph::FromEdgeLog(log_path);
+      EHNA_CHECK(mapped.ok());
+      const double mmap_build_s = Seconds(t0);
+      AddJsonRecord("scale_graph_build_mmap", shape, "medges_per_s",
+                    medges / mmap_build_s);
+      const TemporalGraph& g = mapped.value();
+      EHNA_CHECK_EQ(g.num_edges(), pt.edges);
+      const double rss_mb = ResidentMb();
+      AddJsonRecord("scale_graph_build_mmap", shape, "rss_mb", rss_mb);
+
+      // (3) The in-RAM path on the same edges, for comparison (it holds
+      // the edge vector AND sorts it).
+      t0 = std::chrono::steady_clock::now();
+      double ram_build_s;
+      {
+        auto ram = MakeScaleGraph(opt);
+        EHNA_CHECK(ram.ok());
+        ram_build_s = Seconds(t0);
+        EHNA_CHECK_EQ(ram.value().num_edges(), g.num_edges());
+      }
+      AddJsonRecord("scale_graph_build_ram", shape, "medges_per_s",
+                    medges / ram_build_s);
+
+      // (4) Temporal walk throughput over the mmap-built graph.
+      TemporalWalkConfig wcfg;
+      TemporalWalkSampler sampler(&g, wcfg);
+      const int num_anchors = smoke ? 128 : 512;
+      std::vector<TemporalWalkSampler::Anchor> anchors;
+      Rng rng(7);
+      for (int i = 0; i < num_anchors; ++i) {
+        anchors.push_back({static_cast<NodeId>(rng.UniformInt(g.num_nodes())),
+                           rng.Uniform(g.min_time(), g.max_time())});
+      }
+      t0 = std::chrono::steady_clock::now();
+      const auto walks = sampler.SampleWalksBatch(anchors, 7, nullptr);
+      const double walk_s = Seconds(t0);
+      const double kwalks =
+          static_cast<double>(num_anchors) * wcfg.num_walks / 1e3;
+      AddJsonRecord("scale_graph_walks", shape, "kwalks_per_s",
+                    kwalks / walk_s);
+
+      // (5) Capped training epoch: a fixed slice of edges through the full
+      // walk → aggregate → LSTM → update path, so the metric stays O(cap)
+      // while the graph underneath grows.
+      EhnaConfig cfg;
+      cfg.dim = 8;
+      cfg.num_walks = 2;
+      cfg.walk_length = 4;
+      cfg.num_negatives = 1;
+      cfg.batch_edges = 32;
+      cfg.lstm_layers = 1;
+      cfg.epochs = 1;
+      cfg.max_edges_per_epoch = smoke ? 256 : 1024;
+      cfg.seed = 5;
+      const size_t epoch_edges =
+          std::min<size_t>(cfg.max_edges_per_epoch, g.num_edges());
+      EhnaModel model(&g, cfg);
+      t0 = std::chrono::steady_clock::now();
+      model.Train(1);
+      const double epoch_s = Seconds(t0);
+      AddJsonRecord("scale_graph_epoch", shape, "keps",
+                    static_cast<double>(epoch_edges) / 1e3 / epoch_s);
+
+      table.AddRow({pt.label, TableWriter::FormatDouble(log_mb, 1),
+                    TableWriter::FormatDouble(medges / write_s, 2),
+                    TableWriter::FormatDouble(medges / mmap_build_s, 2),
+                    TableWriter::FormatDouble(medges / ram_build_s, 2),
+                    TableWriter::FormatDouble(rss_mb, 1),
+                    TableWriter::FormatDouble(kwalks / walk_s, 2),
+                    TableWriter::FormatDouble(epoch_edges / 1e3 / epoch_s,
+                                              2)});
+    }
+    table.Print(std::cout);
+    std::filesystem::remove(log_path);
+    state.counters["points"] = static_cast<double>(points.size());
+  }
+}
+BENCHMARK(BM_ScaleGraph)->Iterations(1)->Unit(benchmark::kSecond);
+
+}  // namespace
+
+// Custom main: peel off --json=PATH (not a google-benchmark flag) before
+// Initialize(), run everything, then dump the collected records.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    WriteJson(json_path);
+    std::cout << "wrote " << JsonRecords().size() << " bench records to "
+              << json_path << "\n";
+  }
+  return 0;
+}

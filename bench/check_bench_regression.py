@@ -1,15 +1,19 @@
 #!/usr/bin/env python3
-"""Compare a bench_nn_kernels --json run against a checked-in baseline.
+"""Compare a bench --json run against a checked-in baseline.
 
 Usage: check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.30]
 
-Records are matched on (bench, shape, isa) and only "gflops" metrics are
-compared: a current value more than `tolerance` below the baseline fails.
-Records present on one side only are reported but never fail the check —
-shapes and ISAs legitimately differ across hosts (e.g. a runner without
-AVX2 produces scalar-only records). Throughput above baseline is fine; a
-run that is consistently faster should refresh the baseline via
-bench/update_ci_baseline.sh.
+Records are matched on (bench, shape, isa, metric), and only
+higher-is-better throughput metrics (the _COMPARED_METRICS allowlist:
+kernel GFLOP/s plus the scale-graph edges/walks/epoch rates) are gated: a
+current value more than `tolerance` below the baseline fails. Metrics
+outside the allowlist — e.g. rss_mb, where smaller is better and absolute
+values are host-dependent — ride along in the JSON as informational
+context but never gate. Records present on one side only are reported but
+never fail the check — shapes and ISAs legitimately differ across hosts
+(e.g. a runner without AVX2 produces scalar-only records). Throughput
+above baseline is fine; a run that is consistently faster should refresh
+the baseline via bench/update_ci_baseline.sh.
 
 Malformed input (unreadable file, invalid JSON, a record that is not an
 object, or one missing/mistyping a required field) exits with status 2 and
@@ -38,6 +42,15 @@ _REQUIRED = {
     "value": (int, float),
 }
 
+# Metrics the gate compares. All are throughput (higher is better), so one
+# floor rule covers them; anything else in the JSON is informational.
+_COMPARED_METRICS = {
+    "gflops",        # bench_nn_kernels: kernel arithmetic throughput.
+    "medges_per_s",  # bench_scale_graph: edge-log write / graph build rate.
+    "kwalks_per_s",  # bench_scale_graph: temporal walk sampling rate.
+    "keps",          # bench_scale_graph: training-epoch edge throughput.
+}
+
 
 def _describe(record, index):
     head = json.dumps(record, default=repr)
@@ -47,11 +60,11 @@ def _describe(record, index):
 
 
 def load(path):
-    """Parses `path` into {(bench, shape, isa): gflops}.
+    """Parses `path` into {(bench, shape, isa, metric): value}.
 
     Raises BenchFormatError on anything the comparison below could trip
-    over; records whose "metric" is not "gflops" are ignored (and may
-    therefore have any shape).
+    over; records whose "metric" is not in _COMPARED_METRICS are ignored
+    (and may therefore have any shape).
     """
     try:
         with open(path) as f:
@@ -73,7 +86,7 @@ def load(path):
             raise BenchFormatError(
                 f"{path}: {_describe(r, i)} is not a JSON object"
             )
-        if r.get("metric") != "gflops":
+        if r.get("metric") not in _COMPARED_METRICS:
             continue
         for field, want in _REQUIRED.items():
             if field not in r:
@@ -87,7 +100,9 @@ def load(path):
                     f"{type(r[field]).__name__}, expected "
                     f"{want[0].__name__ if isinstance(want, tuple) else want.__name__}"
                 )
-        out[(r["bench"], r["shape"], r["isa"])] = float(r["value"])
+        out[(r["bench"], r["shape"], r["isa"], r["metric"])] = float(
+            r["value"]
+        )
     return out
 
 
@@ -107,23 +122,26 @@ def main():
 
     failures = []
     for key in sorted(baseline):
-        bench, shape, isa = key
+        bench, shape, isa, metric = key
         base = baseline[key]
         cur = current.get(key)
         if cur is None:
-            print(f"NOTE  {bench} {shape} [{isa}]: in baseline only (skipped)")
+            print(
+                f"NOTE  {bench} {shape} [{isa}] {metric}: "
+                f"in baseline only (skipped)"
+            )
             continue
         floor = base * (1.0 - args.tolerance)
         status = "ok" if cur >= floor else "REGRESSION"
         print(
-            f"{status:>10}  {bench} {shape} [{isa}]: "
-            f"{cur:.2f} GFLOP/s vs baseline {base:.2f} (floor {floor:.2f})"
+            f"{status:>10}  {bench} {shape} [{isa}] {metric}: "
+            f"{cur:.2f} vs baseline {base:.2f} (floor {floor:.2f})"
         )
         if cur < floor:
             failures.append(key)
     for key in sorted(set(current) - set(baseline)):
-        bench, shape, isa = key
-        print(f"NOTE  {bench} {shape} [{isa}]: new record, no baseline")
+        bench, shape, isa, metric = key
+        print(f"NOTE  {bench} {shape} [{isa}] {metric}: new record, no baseline")
 
     if failures:
         print(

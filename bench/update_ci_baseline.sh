@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Refresh bench/baselines/nn_kernels_ci.json from a smoke-mode bench run.
+# Refresh the CI perf baselines from smoke-mode bench runs:
+#   bench/baselines/nn_kernels_ci.json   (bench_nn_kernels, per-ISA GFLOP/s)
+#   bench/baselines/scale_graph_ci.json  (bench_scale_graph, build/walk/epoch
+#                                         throughput vs graph size)
 #
-# The CI perf job compares its smoke run against this file with a wide
-# (30%) tolerance, so the baseline only needs to be representative, not
-# host-exact. Rerun this after intentional kernel perf changes (commit the
+# The CI perf job compares its smoke runs against these files with a wide
+# (30%) tolerance, so the baselines only need to be representative, not
+# host-exact. Rerun this after intentional perf changes (commit the
 # updated JSON) from the repo root:
 #
 #   ./bench/update_ci_baseline.sh [build-dir]
@@ -11,15 +14,19 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BENCH="$REPO_ROOT/$BUILD_DIR/bench/bench_nn_kernels"
-OUT="$REPO_ROOT/bench/baselines/nn_kernels_ci.json"
+BASELINES="$REPO_ROOT/bench/baselines"
+mkdir -p "$BASELINES"
 
-if [[ ! -x "$BENCH" ]]; then
-  echo "error: $BENCH not built (cmake --build $BUILD_DIR --target bench_nn_kernels)" >&2
-  exit 1
-fi
+KERNELS="$REPO_ROOT/$BUILD_DIR/bench/bench_nn_kernels"
+SCALE="$REPO_ROOT/$BUILD_DIR/bench/bench_scale_graph"
+for bench in "$KERNELS" "$SCALE"; do
+  if [[ ! -x "$bench" ]]; then
+    echo "error: $bench not built (cmake --build $BUILD_DIR --target $(basename "$bench"))" >&2
+    exit 1
+  fi
+done
 
-mkdir -p "$(dirname "$OUT")"
-EHNA_BENCH_SMOKE=1 "$BENCH" --benchmark_filter=BM_IsaKernelTables \
-  --json="$OUT"
-echo "baseline refreshed: $OUT"
+EHNA_BENCH_SMOKE=1 "$KERNELS" --benchmark_filter=BM_IsaKernelTables \
+  --json="$BASELINES/nn_kernels_ci.json"
+EHNA_BENCH_SMOKE=1 "$SCALE" --json="$BASELINES/scale_graph_ci.json"
+echo "baselines refreshed in $BASELINES"

@@ -1,0 +1,154 @@
+#ifndef EHNA_GRAPH_EDGE_LOG_H_
+#define EHNA_GRAPH_EDGE_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+
+#include "graph/temporal_graph.h"
+#include "util/mmap_file.h"
+#include "util/status.h"
+
+namespace ehna {
+
+// ---------------------------------------------------------------------------
+// The EHNL edge log: a versioned, CRC-guarded binary format for time-sorted
+// temporal edge multisets, designed to be memory-mapped (util/mmap_file.h)
+// and consumed in place — TemporalGraph::FromEdgeLog builds its CSR
+// adjacency straight off the mapping with no intermediate edge vector, which
+// is what makes 10⁷-edge graphs loadable without 2× peak RAM.
+//
+// Layout (all integers little-endian, as written by the host):
+//
+//   header  (40 bytes)  magic "EHNL" | u32 version | u64 num_nodes
+//                       | u64 num_edges | u32 flags | u32 record_bytes
+//                       | u32 reserved(=0) | u32 header_crc
+//   records (24 bytes × num_edges, 8-byte aligned since 40 % 8 == 0)
+//                       u32 src | u32 dst | f64 time | f32 weight
+//                       | u32 pad(=0)
+//   footer  (4 bytes)   u32 payload_crc over all record bytes
+//
+// header_crc is CRC-32 of the 36 header bytes before it; payload_crc covers
+// every record byte (including pads). Between the two CRCs and the exact
+// file-size equation  size == 40 + 24*num_edges + 4, every single-byte
+// truncation or bit flip of a valid log is detected (tests/edge_log_test.cc
+// proves this byte by byte, mirroring checkpoint_test.cc).
+//
+// Semantic validity (checked at open so a successfully opened reader is a
+// total guarantee): version and record size supported, num_edges within
+// TemporalGraph::kMaxEdges, endpoints < num_nodes and distinct, timestamps
+// finite and non-decreasing, weights finite and non-negative, pads zero.
+// ---------------------------------------------------------------------------
+
+/// One on-disk edge record. The struct's in-memory layout is the on-disk
+/// layout (static_asserts in edge_log.cc pin offsets), so a mapped record
+/// array can be read through `const EdgeLogRecord*` directly.
+struct EdgeLogRecord {
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  double time = 0.0;
+  float weight = 1.0f;
+  uint32_t pad = 0;
+};
+
+/// Streaming writer: appends records one at a time with a running CRC, so a
+/// generator can emit a 10⁷-edge log in O(1) memory. Writes to a temporary
+/// sibling of `path` and renames into place on Finish() — the destination
+/// is never observable half-written (same contract as AtomicWriteFile; the
+/// header is back-patched with the final edge count before the rename).
+class EdgeLogWriter {
+ public:
+  /// Starts a log claiming `num_nodes` nodes. Every appended edge must have
+  /// endpoints below that, in non-decreasing time order.
+  static Result<EdgeLogWriter> Create(const std::string& path,
+                                      NodeId num_nodes, bool directed);
+
+  EdgeLogWriter(EdgeLogWriter&& other) noexcept;
+  EdgeLogWriter& operator=(EdgeLogWriter&&) = delete;
+  EdgeLogWriter(const EdgeLogWriter&) = delete;
+  EdgeLogWriter& operator=(const EdgeLogWriter&) = delete;
+
+  /// Aborts (removes the temporary) unless Finish() succeeded.
+  ~EdgeLogWriter();
+
+  /// Validates and appends one edge. Rejects out-of-range or equal
+  /// endpoints, non-finite or time-travelling timestamps, non-finite or
+  /// negative weights, and appending past kMaxEdges.
+  Status Append(const TemporalEdge& edge);
+
+  /// Seals the log: writes the payload CRC footer, back-patches the header
+  /// with the final edge count, and renames the temporary over `path`.
+  /// No Append is allowed afterwards.
+  Status Finish();
+
+  uint64_t num_appended() const { return num_edges_; }
+
+ private:
+  EdgeLogWriter(std::string path, std::string tmp_path, std::FILE* file,
+                NodeId num_nodes, bool directed)
+      : path_(std::move(path)),
+        tmp_path_(std::move(tmp_path)),
+        file_(file),
+        num_nodes_(num_nodes),
+        directed_(directed) {}
+
+  void Abort();
+
+  std::string path_;
+  std::string tmp_path_;
+  std::FILE* file_ = nullptr;  // null once finished or aborted.
+  NodeId num_nodes_ = 0;
+  bool directed_ = false;
+  uint64_t num_edges_ = 0;
+  uint32_t payload_crc_ = 0;
+  double last_time_ = 0.0;
+};
+
+/// Convenience: streams `edges` (which must already be sorted by
+/// non-decreasing time) through an EdgeLogWriter.
+Status WriteEdgeLog(const std::string& path,
+                    std::span<const TemporalEdge> edges, NodeId num_nodes,
+                    bool directed);
+
+/// Memory-mapped reader. Open() validates the entire log (framing, both
+/// CRCs, every record) before returning, so all accessors are infallible.
+/// The record span points into the mapping and lives exactly as long as
+/// this reader.
+class EdgeLogReader {
+ public:
+  static Result<EdgeLogReader> Open(const std::string& path);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return num_edges_; }
+  bool directed() const { return directed_; }
+
+  /// All records, time-sorted, backed by the mapping.
+  std::span<const EdgeLogRecord> records() const {
+    return {records_, num_edges_};
+  }
+
+  TemporalEdge Edge(uint64_t i) const {
+    const EdgeLogRecord& r = records_[i];
+    return TemporalEdge{r.src, r.dst, r.time, r.weight};
+  }
+
+ private:
+  EdgeLogReader(MmapFile mapping, const EdgeLogRecord* records,
+                NodeId num_nodes, uint64_t num_edges, bool directed)
+      : mapping_(std::move(mapping)),
+        records_(records),
+        num_nodes_(num_nodes),
+        num_edges_(num_edges),
+        directed_(directed) {}
+
+  MmapFile mapping_;
+  const EdgeLogRecord* records_ = nullptr;
+  NodeId num_nodes_ = 0;
+  uint64_t num_edges_ = 0;
+  bool directed_ = false;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_GRAPH_EDGE_LOG_H_

@@ -2,6 +2,7 @@
 #define EHNA_GRAPH_GENERATORS_GENERATORS_H_
 
 #include <cstddef>
+#include <functional>
 
 #include "graph/temporal_graph.h"
 #include "util/rng.h"
@@ -100,6 +101,43 @@ struct RandomGraphOptions {
   uint64_t seed = 1;
 };
 Result<TemporalGraph> MakeRandomGraph(const RandomGraphOptions& options);
+
+/// Receives generated edges one at a time, in non-decreasing time order.
+/// Returning an error aborts generation and propagates the status.
+using EdgeSink = std::function<Status(const TemporalEdge&)>;
+
+/// Production-scale synthetic network for the out-of-core path (DESIGN.md
+/// §12): recency-driven initiators (a bounded ring of recent participants)
+/// and power-law-popular targets, emitted straight into `sink` in
+/// chronological order with O(recency_window) working memory — no edge
+/// vector is ever materialized, so 10⁷ edges stream into an EdgeLogWriter
+/// at a flat memory footprint.
+struct ScaleGraphOptions {
+  NodeId num_nodes = 1'000'000;
+  uint64_t num_edges = 10'000'000;
+  /// Power-law exponent of target-node popularity (low ids are popular),
+  /// giving the skewed degree distributions real interaction graphs have.
+  double popularity_alpha = 1.1;
+  /// Probability an edge's initiator is drawn (recency-weighted) from the
+  /// ring of recent participants rather than uniformly.
+  double recency_prob = 0.7;
+  /// Probability the target is popularity-skewed rather than uniform.
+  double popularity_prob = 0.5;
+  /// Capacity of the recent-participant ring; also the horizon of the
+  /// geometric recency weighting (half-life = window / 8).
+  size_t recency_window = 1 << 20;
+  uint64_t seed = 1;
+};
+
+/// Streams `options.num_edges` edges into `sink`. Timestamps are the event
+/// indices 0, 1, 2, ...; weights are 1.
+Status StreamScaleGraph(const ScaleGraphOptions& options,
+                        const EdgeSink& sink);
+
+/// Convenience for tests and in-RAM benchmarks: materializes the stream
+/// into a TemporalGraph (undirected). Prefer StreamScaleGraph +
+/// EdgeLogWriter + TemporalGraph::FromEdgeLog beyond ~10⁶ edges.
+Result<TemporalGraph> MakeScaleGraph(const ScaleGraphOptions& options);
 
 /// Identifier for the paper's four datasets; `MakePaperDataset` maps each to
 /// its substitute generator with benchmark-default scales.

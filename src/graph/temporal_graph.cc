@@ -8,9 +8,20 @@
 
 namespace ehna {
 
+Status TemporalGraph::ValidateEdgeCount(uint64_t count) {
+  if (count > kMaxEdges) {
+    return Status::InvalidArgument(
+        "edge count " + std::to_string(count) +
+        " exceeds the 32-bit EdgeId limit of " + std::to_string(kMaxEdges) +
+        " edges; shard the graph or widen EdgeId");
+  }
+  return Status::OK();
+}
+
 Result<TemporalGraph> TemporalGraph::FromEdges(std::vector<TemporalEdge> edges,
                                                NodeId num_nodes,
                                                bool directed) {
+  EHNA_RETURN_NOT_OK(ValidateEdgeCount(edges.size()));
   TemporalGraph g;
   g.directed_ = directed;
 
@@ -39,39 +50,54 @@ Result<TemporalGraph> TemporalGraph::FromEdges(std::vector<TemporalEdge> edges,
                      return a.time < b.time;
                    });
   g.edges_ = std::move(edges);
+  g.BuildAdjacency();
+  return g;
+}
 
-  if (!g.edges_.empty()) {
-    g.min_time_ = g.edges_.front().time;
-    g.max_time_ = g.edges_.back().time;
+void TemporalGraph::BuildAdjacency() {
+  const NodeId num_nodes = num_nodes_;
+  if (!edges_.empty()) {
+    min_time_ = edges_.front().time;
+    max_time_ = edges_.back().time;
   }
 
-  // Count adjacency slots per node.
-  std::vector<size_t> counts(num_nodes + 1, 0);
-  for (const auto& e : g.edges_) {
-    ++counts[e.src];
-    if (!directed) ++counts[e.dst];
+  // Count adjacency slots per node directly into the offset table (shifted
+  // by one), then prefix-sum in place — no separate counts vector, which at
+  // 10⁶ nodes is 8 MB saved off the build's peak.
+  adj_offsets_.assign(num_nodes + 1, 0);
+  for (const auto& e : edges_) {
+    ++adj_offsets_[e.src + 1];
+    if (!directed_) ++adj_offsets_[e.dst + 1];
   }
-  g.adj_offsets_.assign(num_nodes + 1, 0);
   for (NodeId v = 0; v < num_nodes; ++v) {
-    g.adj_offsets_[v + 1] = g.adj_offsets_[v] + counts[v];
+    adj_offsets_[v + 1] += adj_offsets_[v];
   }
-  g.adj_.resize(g.adj_offsets_[num_nodes]);
+  adj_.resize(adj_offsets_[num_nodes]);
 
   // Fill in chronological order: edges_ is time-sorted, so appending each
   // edge to its endpoints' cursors leaves every adjacency list ascending in
   // time without a per-node sort.
-  std::vector<size_t> cursor(g.adj_offsets_.begin(), g.adj_offsets_.end() - 1);
-  g.edge_keys_.reserve(g.edges_.size() * 2);
-  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
-    const TemporalEdge& e = g.edges_[id];
-    g.adj_[cursor[e.src]++] = AdjEntry{e.dst, e.time, e.weight, id};
-    if (!directed) {
-      g.adj_[cursor[e.dst]++] = AdjEntry{e.src, e.time, e.weight, id};
+  std::vector<size_t> cursor(adj_offsets_.begin(), adj_offsets_.end() - 1);
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    const TemporalEdge& e = edges_[id];
+    adj_[cursor[e.src]++] = AdjEntry{e.dst, e.time, e.weight, id};
+    if (!directed_) {
+      adj_[cursor[e.dst]++] = AdjEntry{e.src, e.time, e.weight, id};
     }
-    g.edge_keys_.insert(PackEdgeKey(e.src, e.dst));
-    if (!directed) g.edge_keys_.insert(PackEdgeKey(e.dst, e.src));
   }
-  return g;
+
+  // Static connectivity index: the same CSR segments with neighbor ids
+  // sorted ascending, so HasEdge is a binary search instead of a hash
+  // probe. 4 bytes per adjacency slot, vs ~50 per edge for the
+  // unordered_set this replaced — the difference between fitting a
+  // 10⁷-edge graph's index in cache-friendly flat memory and a gigabyte of
+  // hash nodes.
+  nbr_sorted_.resize(adj_.size());
+  for (size_t i = 0; i < adj_.size(); ++i) nbr_sorted_[i] = adj_[i].neighbor;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    std::sort(nbr_sorted_.begin() + adj_offsets_[v],
+              nbr_sorted_.begin() + adj_offsets_[v + 1]);
+  }
 }
 
 std::span<const AdjEntry> TemporalGraph::Neighbors(NodeId node) const {
@@ -95,7 +121,9 @@ size_t TemporalGraph::Degree(NodeId node) const {
 }
 
 bool TemporalGraph::HasEdge(NodeId u, NodeId v) const {
-  return edge_keys_.count(PackEdgeKey(u, v)) > 0;
+  if (u >= num_nodes_) return false;
+  return std::binary_search(nbr_sorted_.begin() + adj_offsets_[u],
+                            nbr_sorted_.begin() + adj_offsets_[u + 1], v);
 }
 
 Result<Timestamp> TemporalGraph::MostRecentInteraction(NodeId node) const {

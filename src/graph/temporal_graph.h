@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_set>
 #include <vector>
 
 #include "util/status.h"
 
 namespace ehna {
+
+class EdgeLogReader;  // graph/edge_log.h
 
 /// Node identifier. Nodes are dense integers in [0, num_nodes).
 using NodeId = uint32_t;
@@ -42,11 +43,26 @@ struct AdjEntry {
 /// An immutable temporal network (Definition 1): nodes 0..n-1 and a
 /// chronologically sorted multiset of timestamped edges. By default edges
 /// are undirected (each logical edge appears in both endpoints' adjacency
-/// lists); per-node adjacency is sorted by ascending timestamp so that the
-/// historical prefix "all interactions at or before time t" (the domain of
-/// the temporal random walk, Definition 2) is a binary-searchable prefix.
+/// lists). Storage is flat CSR (DESIGN.md §12): one contiguous `AdjEntry`
+/// array sorted by ascending timestamp within each node's segment plus a
+/// per-node offset table, so the historical prefix "all interactions at or
+/// before time t" (the domain of the temporal random walk, Definition 2) is
+/// a binary-searchable prefix of a contiguous range; a parallel
+/// neighbor-sorted id array over the same offsets serves static
+/// connectivity queries (HasEdge) in O(log d) with 4 bytes per slot.
 class TemporalGraph {
  public:
+  /// Hard ceiling on the logical edge count: `EdgeId` is 32-bit, and the
+  /// chronological fill loop indexes edges with it, so a count that does
+  /// not fit would silently wrap ids. FromEdges/FromEdgeLog reject larger
+  /// inputs with a clear error instead (ValidateEdgeCount).
+  static constexpr uint64_t kMaxEdges = 0xFFFFFFFFull;
+
+  /// OK iff a graph of `count` edges is representable (count <= kMaxEdges).
+  /// Factored out of the builders so the overflow boundary is testable
+  /// without materializing 4 billion edges.
+  static Status ValidateEdgeCount(uint64_t count);
+
   /// Builds a graph from `edges`. Node ids must be < `num_nodes`; if
   /// `num_nodes` is 0 it is inferred as max id + 1. Self-loops are rejected.
   /// When `directed` is false (the paper's setting for all four datasets)
@@ -54,6 +70,16 @@ class TemporalGraph {
   static Result<TemporalGraph> FromEdges(std::vector<TemporalEdge> edges,
                                          NodeId num_nodes = 0,
                                          bool directed = false);
+
+  /// Builds a graph from an already-validated memory-mapped edge log
+  /// (graph/edge_log.h). Log records are time-sorted by construction, so
+  /// this skips the sort and copies records straight into the CSR build —
+  /// the resulting graph is indistinguishable (including iteration order
+  /// and walk output) from FromEdges on the same edge multiset.
+  static Result<TemporalGraph> FromEdgeLog(const EdgeLogReader& log);
+
+  /// Convenience: EdgeLogReader::Open + FromEdgeLog.
+  static Result<TemporalGraph> FromEdgeLog(const std::string& path);
 
   TemporalGraph() = default;
 
@@ -78,7 +104,8 @@ class TemporalGraph {
 
   /// True if any edge (in either direction for undirected graphs) connects
   /// u and v, irrespective of time. Used by the second-order walk bias
-  /// (Eq. 2's shortest-path distance d_uw ∈ {0,1,2}).
+  /// (Eq. 2's shortest-path distance d_uw ∈ {0,1,2}). O(log deg(u)) over
+  /// the neighbor-sorted CSR index; out-of-range u never has edges.
   bool HasEdge(NodeId u, NodeId v) const;
 
   /// Timestamp of `node`'s most recent interaction; NotFound for isolated
@@ -99,16 +126,18 @@ class TemporalGraph {
   std::vector<size_t> Degrees() const;
 
  private:
-  static uint64_t PackEdgeKey(NodeId u, NodeId v) {
-    return (static_cast<uint64_t>(u) << 32) | v;
-  }
+  /// Builds the CSR arrays from `edges_` (which must already be sorted by
+  /// non-decreasing time) for the current num_nodes_/directed_ setting.
+  void BuildAdjacency();
 
   NodeId num_nodes_ = 0;
   bool directed_ = false;
-  std::vector<TemporalEdge> edges_;       // sorted by time.
-  std::vector<size_t> adj_offsets_;       // CSR offsets, size num_nodes_+1.
-  std::vector<AdjEntry> adj_;             // per-node, ascending time.
-  std::unordered_set<uint64_t> edge_keys_;  // static connectivity index.
+  std::vector<TemporalEdge> edges_;   // sorted by time.
+  std::vector<size_t> adj_offsets_;   // CSR offsets, size num_nodes_+1.
+  std::vector<AdjEntry> adj_;         // per-node, ascending time.
+  std::vector<NodeId> nbr_sorted_;    // per-node neighbor ids, ascending id;
+                                      // shares adj_offsets_. Connectivity
+                                      // index behind HasEdge.
   Timestamp min_time_ = 0.0;
   Timestamp max_time_ = 0.0;
 };

@@ -1,0 +1,61 @@
+#ifndef EHNA_UTIL_MMAP_FILE_H_
+#define EHNA_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace ehna {
+
+/// A read-only memory mapping of a whole file. This is the out-of-core
+/// substrate for the edge log (graph/edge_log.h): the kernel pages record
+/// data in on demand and evicts it under memory pressure, so a graph far
+/// larger than RAM can still be scanned sequentially at disk bandwidth.
+///
+/// Lifetime rules (see DESIGN.md §12): the mapping is owned by this object
+/// and unmapped in the destructor; any pointer or span derived from
+/// `data()` is invalidated by destruction or move-assignment. Consumers
+/// that keep derived pointers (EdgeLogReader) must therefore keep the
+/// MmapFile alive alongside them. The underlying file descriptor is closed
+/// immediately after mapping — the mapping itself keeps the file content
+/// reachable, so a concurrent unlink cannot invalidate it (POSIX keeps
+/// mapped pages valid until munmap).
+class MmapFile {
+ public:
+  /// Maps `path` read-only. Fails with IoError if the file cannot be
+  /// opened, stat'ed, or mapped. An empty file maps successfully with
+  /// `size() == 0` and `data() == nullptr`.
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(data_), size_};
+  }
+
+  /// Advises the kernel that the mapping will be read front to back
+  /// (madvise MADV_SEQUENTIAL), which roughly doubles readahead for the
+  /// CSR build's single forward pass. Advisory only; errors are ignored.
+  void AdviseSequential() const;
+
+ private:
+  MmapFile(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_UTIL_MMAP_FILE_H_

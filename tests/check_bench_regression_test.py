@@ -79,6 +79,57 @@ class CheckBenchRegressionTest(unittest.TestCase):
         proc = self.run_check(cur, base)
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
 
+    # ------------------------------------------- metric allowlist logic
+
+    def test_scale_graph_throughput_metrics_are_gated(self):
+        cur = self.write(
+            "cur.json",
+            [record(bench="scale_graph_build", shape="1e6 edges", isa="any",
+                    metric="medges_per_s", value=2.0)],
+        )
+        base = self.write(
+            "base.json",
+            [record(bench="scale_graph_build", shape="1e6 edges", isa="any",
+                    metric="medges_per_s", value=10.0)],
+        )
+        proc = self.run_check(cur, base, "--tolerance", "0.30")
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("REGRESSION", proc.stdout)
+        self.assertIn("medges_per_s", proc.stdout)
+
+    def test_rss_records_are_informational_only(self):
+        # Memory records are lower-is-better and host-dependent; the gate
+        # must ignore them no matter how wildly they differ.
+        cur = self.write(
+            "cur.json",
+            [record(value=10.0),
+             record(metric="rss_mb", value=9999.0)],
+        )
+        base = self.write(
+            "base.json",
+            [record(value=10.0),
+             record(metric="rss_mb", value=1.0)],
+        )
+        proc = self.run_check(cur, base)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_metrics_keyed_independently_per_record(self):
+        # The same (bench, shape, isa) can carry several metrics; each is
+        # matched to its own baseline, not the last one parsed.
+        cur = self.write(
+            "cur.json",
+            [record(metric="medges_per_s", value=10.0),
+             record(metric="kwalks_per_s", value=2.0)],
+        )
+        base = self.write(
+            "base.json",
+            [record(metric="medges_per_s", value=10.0),
+             record(metric="kwalks_per_s", value=10.0)],
+        )
+        proc = self.run_check(cur, base, "--tolerance", "0.30")
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("kwalks_per_s", proc.stdout)
+
     # ------------------------------------------- malformed-input paths
 
     def assert_clean_failure(self, proc, *needles):

@@ -2,6 +2,7 @@
 // parameter grids rather than at single points.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <tuple>
@@ -136,6 +137,75 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0, 1, 2, 3),
                        ::testing::Values(0.05, 0.2),
                        ::testing::Values(uint64_t{1}, uint64_t{99})));
+
+// ------------------------------------- Historical-prefix (CSR) invariants
+
+/// NeighborsBefore is the load-bearing query of the temporal walk
+/// (Definition 2's historical neighborhood); these properties pin its
+/// algebra to the spec independent of the CSR binary search that
+/// implements it: it equals the time-filter of the full adjacency, it is a
+/// *prefix* of it (same objects, same order), and it is monotone in the
+/// cutoff.
+class NeighborsBeforeProperty
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(NeighborsBeforeProperty, EqualsTimeFilterIsPrefixAndMonotone) {
+  const auto [dataset_idx, seed] = GetParam();
+  auto made = MakePaperDataset(static_cast<PaperDataset>(dataset_idx), 0.05,
+                               seed);
+  ASSERT_TRUE(made.ok());
+  const TemporalGraph& g = made.value();
+
+  Rng rng(seed * 31 + 7);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto all = g.Neighbors(v);
+    ASSERT_EQ(all.size(), g.Degree(v));
+
+    // Cutoffs: below, above, exactly on edge timestamps, and random.
+    std::vector<Timestamp> cutoffs = {g.min_time() - 1.0, g.min_time(),
+                                      g.max_time(), g.max_time() + 1.0};
+    for (int i = 0; i < 6; ++i) {
+      cutoffs.push_back(rng.Uniform(g.min_time(), g.max_time()));
+    }
+    if (!all.empty()) {
+      cutoffs.push_back(all[all.size() / 2].time);  // duplicate-heavy point.
+    }
+    std::sort(cutoffs.begin(), cutoffs.end());
+
+    size_t prev_size = 0;
+    for (size_t c = 0; c < cutoffs.size(); ++c) {
+      const Timestamp t = cutoffs[c];
+      const auto before = g.NeighborsBefore(v, t);
+
+      // (1) Extensional equality with the filter of Neighbors.
+      size_t want = 0;
+      for (const AdjEntry& a : all) {
+        if (a.time <= t) ++want;
+      }
+      ASSERT_EQ(before.size(), want) << "node " << v << " cutoff " << t;
+
+      // (2) Prefix: the span aliases the head of the full adjacency, so
+      // every element matches positionally (and no a.time > t slips in).
+      ASSERT_TRUE(before.empty() || before.data() == all.data())
+          << "node " << v << ": NeighborsBefore is not a prefix view";
+      for (size_t i = 0; i < before.size(); ++i) {
+        ASSERT_EQ(before[i].neighbor, all[i].neighbor);
+        ASSERT_EQ(before[i].edge_id, all[i].edge_id);
+        ASSERT_LE(before[i].time, t);
+      }
+
+      // (3) Monotone in the cutoff (cutoffs are sorted ascending).
+      ASSERT_GE(before.size(), prev_size)
+          << "node " << v << ": NeighborsBefore shrank as the cutoff grew";
+      prev_size = before.size();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetsSeeds, NeighborsBeforeProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(uint64_t{1}, uint64_t{42})));
 
 // ------------------------------------------------------ Split invariants
 
