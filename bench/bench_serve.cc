@@ -1,0 +1,391 @@
+// Serving-subsystem benchmark (ISSUE 9 tentpole, DESIGN.md §13): measures
+// the three rates the EmbeddingServer's viability rests on —
+//   - overlay ingest throughput (edges/s into the dynamic delta, including
+//     reservoir-cache maintenance) and compaction rate,
+//   - ANN query throughput vs the exact-scan oracle over a serving-shaped
+//     embedding matrix (clustered unit vectors), plus recall@10 of the ANN
+//     results against the exact top-10 — the accuracy the speedup costs,
+//   - end-to-end serve rate: a live EmbeddingServer absorbing an edge
+//     stream through ingest + auto-refresh while staying queryable.
+//
+// EHNA_BENCH_SMOKE=1 shrinks the matrix to 2·10⁴ rows and the streams to
+// CI size; the default run ends at the 10⁶-node point backing the claim
+// that ANN answers ≥5× faster than the exact scan at recall@10 ≥ 0.95.
+//
+// --json=PATH writes {bench, shape, isa, metric, value} records; the
+// throughput metrics (ingest_meps, exact_kqps, ann_kqps, serve_keps) are
+// gated against bench/baselines/serve_ci.json by
+// bench/check_bench_regression.py, while recall_at10, ann_speedup, and
+// build_s ride along as informational context.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "eval/ann.h"
+#include "eval/knn.h"
+#include "graph/dynamic_graph.h"
+#include "graph/generators/generators.h"
+#include "graph/temporal_graph.h"
+#include "serve/embedding_server.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/table_writer.h"
+
+namespace {
+
+using namespace ehna;
+
+bool SmokeMode() {
+  const char* s = std::getenv("EHNA_BENCH_SMOKE");
+  return s != nullptr && s[0] != '\0' && s[0] != '0';
+}
+
+// ------------------------------------------------------------- JSON output
+
+struct JsonRecord {
+  std::string bench;
+  std::string shape;
+  std::string isa;
+  std::string metric;
+  double value;
+};
+
+std::vector<JsonRecord>& JsonRecords() {
+  static std::vector<JsonRecord> records;
+  return records;
+}
+
+void AddJsonRecord(const std::string& bench, const std::string& shape,
+                   const std::string& metric, double value) {
+  // The serving layer has no ISA dimension of its own; "any" keeps the
+  // record schema shared with the kernel bench.
+  JsonRecords().push_back({bench, shape, "any", metric, value});
+}
+
+void WriteJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_serve: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << "[\n";
+  const auto& records = JsonRecords();
+  for (size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    out << "  {\"bench\": \"" << r.bench << "\", \"shape\": \"" << r.shape
+        << "\", \"isa\": \"" << r.isa << "\", \"metric\": \"" << r.metric
+        << "\", \"value\": " << TableWriter::FormatDouble(r.value, 3) << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Serving-shaped embeddings: unit-norm vectors around random cluster
+// centers on the sphere (what the §IV.D normalized final pass produces).
+Tensor ClusteredUnitVectors(int64_t n, int64_t d, int64_t clusters,
+                            uint64_t seed) {
+  Rng rng(seed);
+  Tensor centers(clusters, d);
+  for (int64_t i = 0; i < centers.numel(); ++i) {
+    centers.data()[i] = static_cast<float>(rng.Normal());
+  }
+  Tensor out(n, d);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t c = static_cast<int64_t>(
+        rng.UniformInt(static_cast<uint64_t>(clusters)));
+    float* row = out.Row(i);
+    double norm = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      row[j] = centers.Row(c)[j] + 0.25f * static_cast<float>(rng.Normal());
+      norm += static_cast<double>(row[j]) * row[j];
+    }
+    const float inv = 1.0f / static_cast<float>(std::sqrt(norm));
+    for (int64_t j = 0; j < d; ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+// --------------------------------------------------- ANN vs exact queries
+
+void BM_ServeAnnQueries(benchmark::State& state) {
+  const bool smoke = SmokeMode();
+  struct Point {
+    int64_t n;
+    const char* label;
+  };
+  const std::vector<Point> points =
+      smoke ? std::vector<Point>{{20'000, "2e4"}}
+            : std::vector<Point>{{200'000, "2e5"}, {1'000'000, "1e6"}};
+  constexpr int64_t kDim = 32;
+  const size_t exact_queries = smoke ? 100 : 200;
+  const size_t ann_queries = smoke ? 2'000 : 10'000;
+
+  for (auto _ : state) {
+    TableWriter table("serve — ANN vs exact query throughput",
+                      {"Nodes", "build s", "exact kq/s", "ANN kq/s",
+                       "speedup", "recall@10"});
+    for (const Point& pt : points) {
+      const std::string shape = std::string(pt.label) + "_nodes";
+      const Tensor emb =
+          ClusteredUnitVectors(pt.n, kDim, /*clusters=*/256, /*seed=*/9);
+
+      auto t0 = std::chrono::steady_clock::now();
+      IvfFlatOptions iopt;
+      // nlist/16 probes: deep enough for >=0.95 recall on clustered data,
+      // shallow enough that the scan shrinkage (vs the default nlist/4)
+      // shows what IVF buys at serving scale.
+      iopt.num_lists = static_cast<size_t>(
+          std::lround(std::sqrt(static_cast<double>(pt.n))));
+      iopt.nprobe = std::max<size_t>(1, iopt.num_lists / 16);
+      auto index_or = IvfFlatIndex::Build(emb, iopt);
+      EHNA_CHECK(index_or.ok()) << index_or.status().ToString();
+      const IvfFlatIndex& index = index_or.value();
+      const double build_s = Seconds(t0);
+
+      Rng rng(13);
+      std::vector<NodeId> queries;
+      for (size_t i = 0; i < ann_queries; ++i) {
+        queries.push_back(static_cast<NodeId>(
+            rng.UniformInt(static_cast<uint64_t>(pt.n))));
+      }
+
+      // Exact scan, per query (the QueryExact serving path).
+      t0 = std::chrono::steady_clock::now();
+      std::vector<std::vector<Neighbor>> exact;
+      for (size_t i = 0; i < exact_queries; ++i) {
+        auto res = TopKNeighbors(emb, queries[i], 10,
+                                 Similarity::kNegativeEuclidean);
+        EHNA_CHECK(res.ok());
+        exact.push_back(std::move(res).value());
+      }
+      const double exact_kqps =
+          static_cast<double>(exact_queries) / Seconds(t0) / 1e3;
+
+      // ANN over the same distribution.
+      t0 = std::chrono::steady_clock::now();
+      uint64_t sink = 0;
+      for (const NodeId q : queries) {
+        auto res = index.QueryNode(q, 10);
+        EHNA_CHECK(res.ok());
+        sink += res.value().empty() ? 0 : res.value()[0].node;
+      }
+      benchmark::DoNotOptimize(sink);
+      const double ann_kqps =
+          static_cast<double>(ann_queries) / Seconds(t0) / 1e3;
+
+      // Recall@10 of ANN against the exact top-10, on the exact subset.
+      size_t hits = 0, total = 0;
+      for (size_t i = 0; i < exact_queries; ++i) {
+        auto approx = index.QueryNode(queries[i], 10);
+        EHNA_CHECK(approx.ok());
+        std::set<NodeId> truth;
+        for (const Neighbor& nb : exact[i]) truth.insert(nb.node);
+        total += truth.size();
+        for (const Neighbor& nb : approx.value()) hits += truth.count(nb.node);
+      }
+      const double recall =
+          total == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(total);
+
+      table.AddRow({std::to_string(pt.n), TableWriter::FormatDouble(build_s),
+                    TableWriter::FormatDouble(exact_kqps),
+                    TableWriter::FormatDouble(ann_kqps),
+                    TableWriter::FormatDouble(ann_kqps / exact_kqps, 1),
+                    TableWriter::FormatDouble(recall)});
+      AddJsonRecord("serve_ann", shape, "exact_kqps", exact_kqps);
+      AddJsonRecord("serve_ann", shape, "ann_kqps", ann_kqps);
+      AddJsonRecord("serve_ann", shape, "ann_speedup", ann_kqps / exact_kqps);
+      AddJsonRecord("serve_ann", shape, "recall_at10", recall);
+      AddJsonRecord("serve_ann", shape, "build_s", build_s);
+      state.counters["recall_" + shape] = recall;
+      state.counters["speedup_" + shape] = ann_kqps / exact_kqps;
+    }
+    table.Print(std::cout);
+  }
+}
+BENCHMARK(BM_ServeAnnQueries)->Unit(benchmark::kSecond)->Iterations(1);
+
+// ------------------------------------------------------- overlay ingest
+
+void BM_ServeIngest(benchmark::State& state) {
+  const bool smoke = SmokeMode();
+  const uint64_t base_edges = smoke ? 50'000 : 1'000'000;
+  const uint64_t stream_edges = smoke ? 50'000 : 1'000'000;
+  const NodeId nodes = static_cast<NodeId>(base_edges / 10);
+  const std::string shape = (smoke ? std::string("1e5") : "2e6") + "_edges";
+
+  Rng rng(3);
+  auto random_edge = [&](Timestamp t) {
+    NodeId u = 0, v = 0;
+    while (u == v) {
+      u = static_cast<NodeId>(rng.UniformInt(uint64_t{nodes}));
+      v = static_cast<NodeId>(rng.UniformInt(uint64_t{nodes}));
+    }
+    return TemporalEdge{u, v, t};
+  };
+  std::vector<TemporalEdge> base;
+  base.reserve(base_edges);
+  for (uint64_t i = 0; i < base_edges; ++i) {
+    base.push_back(random_edge(static_cast<Timestamp>(i)));
+  }
+  auto graph_or = TemporalGraph::FromEdges(std::move(base), nodes, false);
+  EHNA_CHECK(graph_or.ok());
+  const TemporalGraph base_graph = std::move(graph_or).value();
+
+  for (auto _ : state) {
+    DynamicTemporalGraph overlay(&base_graph);
+    auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < stream_edges; ++i) {
+      const Status st = overlay.Ingest(
+          random_edge(static_cast<Timestamp>(base_edges + i)));
+      EHNA_CHECK(st.ok());
+    }
+    const double ingest_s = Seconds(t0);
+    t0 = std::chrono::steady_clock::now();
+    EHNA_CHECK(overlay.Compact().ok());
+    const double compact_s = Seconds(t0);
+
+    const double ingest_meps =
+        static_cast<double>(stream_edges) / ingest_s / 1e6;
+    const double compact_meps =
+        static_cast<double>(base_edges + stream_edges) / compact_s / 1e6;
+    std::cout << "serve ingest: " << TableWriter::FormatDouble(ingest_meps)
+              << " Me/s into the delta, compaction "
+              << TableWriter::FormatDouble(compact_meps) << " Me/s over "
+              << overlay.current().num_edges() << " edges\n";
+    AddJsonRecord("serve_ingest", shape, "ingest_meps", ingest_meps);
+    AddJsonRecord("serve_ingest", shape, "compact_meps", compact_meps);
+    state.counters["ingest_meps"] = ingest_meps;
+  }
+}
+BENCHMARK(BM_ServeIngest)->Unit(benchmark::kSecond)->Iterations(1);
+
+// ------------------------------------------------- end-to-end serve rate
+
+void BM_ServeEndToEnd(benchmark::State& state) {
+  const bool smoke = SmokeMode();
+  CoauthorGraphOptions gen;
+  gen.num_papers = smoke ? 400 : 900;
+  gen.seed = 5;
+  auto graph_or = MakeCoauthorGraph(gen);
+  EHNA_CHECK(graph_or.ok());
+  TemporalGraph graph = std::move(graph_or).value();
+  const NodeId n = graph.num_nodes();
+
+  EhnaConfig cfg;
+  cfg.dim = 16;
+  cfg.num_walks = 4;
+  cfg.walk_length = 5;
+  cfg.num_negatives = 2;
+  cfg.epochs = 2;
+  cfg.max_edges_per_epoch = 600;
+  cfg.seed = 12;
+  EhnaModel model(&graph, cfg);
+  model.Train();
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() / "ehna_bench_serve.ehnc")
+          .string();
+  EHNA_CHECK(model.SaveCheckpoint(ckpt).ok());
+
+  const size_t stream_edges = smoke ? 1'000 : 4'000;
+  const std::string shape = std::to_string(n) + "_nodes";
+
+  for (auto _ : state) {
+    ServeOptions opt;
+    opt.config = cfg;
+    opt.refresh_batch = 256;
+    auto server_or = EmbeddingServer::Load(ckpt, graph, opt);
+    EHNA_CHECK(server_or.ok()) << server_or.status().ToString();
+    EmbeddingServer& server = *server_or.value();
+    // Isolate this run's refresh-latency samples (Load's initial finalize
+    // records under a different phase name and would not pollute them, but
+    // earlier bench iterations would).
+    MetricsRegistry::Global().Reset();
+
+    Rng rng(29);
+    const Timestamp t0_ts = graph.max_time();
+    auto t0 = std::chrono::steady_clock::now();
+    size_t sent = 0;
+    while (sent < stream_edges) {
+      const NodeId u = static_cast<NodeId>(rng.UniformInt(uint64_t{n}));
+      const NodeId v = static_cast<NodeId>(rng.UniformInt(uint64_t{n}));
+      if (u == v) continue;
+      EHNA_CHECK(
+          server.Ingest({u, v, t0_ts + 1.0 + static_cast<double>(sent)})
+              .ok());
+      ++sent;
+    }
+    EHNA_CHECK(server.Refresh().ok());
+    const double serve_s = Seconds(t0);
+    const double serve_keps = static_cast<double>(sent) / serve_s / 1e3;
+
+    // Refresh-latency distribution, from the serve.phase.refresh histogram
+    // the server's phase tracing fills (nanosecond samples).
+    const HistogramData refresh_hist =
+        MetricsRegistry::Global().GetHistogram("serve.phase.refresh")
+            ->Merged();
+    const double p50_ms = refresh_hist.Quantile(0.5) / 1e6;
+    const double p95_ms = refresh_hist.Quantile(0.95) / 1e6;
+
+    const auto stats = server.stats();
+    std::cout << "serve end-to-end: " << sent << " edges through ingest + "
+              << stats.refreshes << " refreshes ("
+              << stats.refreshed_nodes << " node re-finalizations) in "
+              << TableWriter::FormatDouble(serve_s) << " s = "
+              << TableWriter::FormatDouble(serve_keps)
+              << " ke/s; refresh latency ms p50 "
+              << TableWriter::FormatDouble(p50_ms) << " / p95 "
+              << TableWriter::FormatDouble(p95_ms) << " / max "
+              << TableWriter::FormatDouble(
+                     static_cast<double>(refresh_hist.max()) / 1e6)
+              << "\n";
+    AddJsonRecord("serve_e2e", shape, "serve_keps", serve_keps);
+    AddJsonRecord("serve_e2e", shape, "refresh_p50_ms", p50_ms);
+    AddJsonRecord("serve_e2e", shape, "refresh_p95_ms", p95_ms);
+    state.counters["serve_keps"] = serve_keps;
+    state.counters["refresh_p95_ms"] = p95_ms;
+  }
+  std::filesystem::remove(ckpt);
+}
+BENCHMARK(BM_ServeEndToEnd)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    WriteJson(json_path);
+    std::cout << "wrote " << JsonRecords().size() << " bench records to "
+              << json_path << "\n";
+  }
+  return 0;
+}

@@ -49,6 +49,10 @@ _COMPARED_METRICS = {
     "medges_per_s",  # bench_scale_graph: edge-log write / graph build rate.
     "kwalks_per_s",  # bench_scale_graph: temporal walk sampling rate.
     "keps",          # bench_scale_graph: training-epoch edge throughput.
+    "ingest_meps",   # bench_serve: overlay ingest rate into the delta.
+    "exact_kqps",    # bench_serve: exact-scan query throughput.
+    "ann_kqps",      # bench_serve: IVF-flat ANN query throughput.
+    "serve_keps",    # bench_serve: end-to-end ingest+refresh edge rate.
 }
 
 

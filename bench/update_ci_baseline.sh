@@ -3,6 +3,8 @@
 #   bench/baselines/nn_kernels_ci.json   (bench_nn_kernels, per-ISA GFLOP/s)
 #   bench/baselines/scale_graph_ci.json  (bench_scale_graph, build/walk/epoch
 #                                         throughput vs graph size)
+#   bench/baselines/serve_ci.json        (bench_serve, overlay ingest + ANN
+#                                         query + end-to-end serve rates)
 #
 # The CI perf job compares its smoke runs against these files with a wide
 # (30%) tolerance, so the baselines only need to be representative, not
@@ -19,7 +21,8 @@ mkdir -p "$BASELINES"
 
 KERNELS="$REPO_ROOT/$BUILD_DIR/bench/bench_nn_kernels"
 SCALE="$REPO_ROOT/$BUILD_DIR/bench/bench_scale_graph"
-for bench in "$KERNELS" "$SCALE"; do
+SERVE="$REPO_ROOT/$BUILD_DIR/bench/bench_serve"
+for bench in "$KERNELS" "$SCALE" "$SERVE"; do
   if [[ ! -x "$bench" ]]; then
     echo "error: $bench not built (cmake --build $BUILD_DIR --target $(basename "$bench"))" >&2
     exit 1
@@ -29,4 +32,5 @@ done
 EHNA_BENCH_SMOKE=1 "$KERNELS" --benchmark_filter=BM_IsaKernelTables \
   --json="$BASELINES/nn_kernels_ci.json"
 EHNA_BENCH_SMOKE=1 "$SCALE" --json="$BASELINES/scale_graph_ci.json"
+EHNA_BENCH_SMOKE=1 "$SERVE" --json="$BASELINES/serve_ci.json"
 echo "baselines refreshed in $BASELINES"

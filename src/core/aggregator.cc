@@ -162,6 +162,13 @@ EhnaAggregator::EhnaAggregator(const TemporalGraph* graph,
   EHNA_CHECK_EQ(embedding->dim(), config.dim);
 }
 
+void EhnaAggregator::ResetGraph(const TemporalGraph* graph) {
+  EHNA_CHECK(graph != nullptr);
+  graph_ = graph;
+  temporal_sampler_ = TemporalWalkSampler(graph, MakeTemporalWalkConfig(config_));
+  static_sampler_ = Node2VecWalkSampler(graph, MakeStaticWalkConfig(config_));
+}
+
 std::vector<Walk> EhnaAggregator::SampleWalks(NodeId target,
                                               Timestamp ref_time, Rng* rng) {
   std::vector<Walk> walks;

@@ -1,0 +1,134 @@
+#include "core/inference.h"
+
+#include <cmath>
+#include <thread>
+
+namespace ehna {
+
+InferenceEngine::InferenceEngine(const TemporalGraph* graph,
+                                 Embedding* embedding,
+                                 EhnaAggregator* aggregator,
+                                 const EhnaConfig& config)
+    : graph_(graph),
+      embedding_(embedding),
+      aggregator_(aggregator),
+      config_(config) {
+  EHNA_CHECK(graph != nullptr);
+  EHNA_CHECK(embedding != nullptr);
+  EHNA_CHECK(aggregator != nullptr);
+  EHNA_CHECK_EQ(embedding->dim(), config.dim);
+}
+
+int InferenceEngine::num_threads() const {
+  if (config_.num_threads > 0) return config_.num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void InferenceEngine::RebindGraph(const TemporalGraph* graph) {
+  EHNA_CHECK(graph != nullptr);
+  graph_ = graph;
+  aggregator_->ResetGraph(graph);
+}
+
+ThreadPool* InferenceEngine::EnsurePool() {
+  if (owned_pool_ == nullptr) {
+    owned_pool_ =
+        std::make_unique<ThreadPool>(static_cast<size_t>(num_threads()));
+  }
+  return owned_pool_.get();
+}
+
+Tensor InferenceEngine::AggregateAt(NodeId node, Timestamp ref_time,
+                                    Rng* rng) {
+  Var z = aggregator_->Aggregate(node, ref_time, /*training=*/false, rng);
+  embedding_->ClearGradients();
+  return z.value();
+}
+
+void InferenceEngine::FinalizeIsolated(NodeId v, float* dst) const {
+  const int64_t d = config_.dim;
+  const float* src = embedding_->RowData(v);
+  double norm = 0.0;
+  for (int64_t j = 0; j < d; ++j) {
+    norm += static_cast<double>(src[j]) * src[j];
+  }
+  const float inv =
+      norm > 1e-24 ? 1.0f / static_cast<float>(std::sqrt(norm)) : 0.0f;
+  for (int64_t j = 0; j < d; ++j) dst[j] = src[j] * inv;
+}
+
+void InferenceEngine::FinalizeNodeStreamed(NodeId v, float* dst) {
+  const int64_t d = config_.dim;
+  auto recent = graph_->MostRecentInteraction(v);
+  if (recent.ok()) {
+    Rng node_rng = Rng::Stream(config_.seed ^ kFinalizeStreamSalt, v);
+    Var z = aggregator_->Aggregate(v, recent.value(), /*training=*/false,
+                                   &node_rng);
+    const Tensor& zv = z.value();
+    for (int64_t j = 0; j < d; ++j) dst[j] = zv[j];
+  } else {
+    FinalizeIsolated(v, dst);
+  }
+}
+
+Tensor InferenceEngine::ComputeFinalEmbeddings(Rng* serial_rng,
+                                               ThreadPool* pool) {
+  const NodeId n = graph_->num_nodes();
+  const int64_t d = config_.dim;
+  Tensor final(n, d);
+
+  if (num_threads() > 1) {
+    // Nodes fan out freely (pure read of the trained state); the per-node
+    // stream makes the result a function of the seed alone, independent of
+    // thread count and scheduling.
+    if (pool == nullptr) pool = EnsurePool();
+    pool->ParallelFor(n, [&](size_t v) {
+      FinalizeNodeStreamed(static_cast<NodeId>(v), final.Row(v));
+    });
+    embedding_->ClearGradients();
+  } else {
+    EHNA_CHECK(serial_rng != nullptr);
+    for (NodeId v = 0; v < n; ++v) {
+      auto recent = graph_->MostRecentInteraction(v);
+      if (recent.ok()) {
+        const Tensor z = AggregateAt(v, recent.value(), serial_rng);
+        float* dst = final.Row(v);
+        for (int64_t j = 0; j < d; ++j) dst[j] = z[j];
+      } else {
+        FinalizeIsolated(v, final.Row(v));
+      }
+    }
+  }
+  return final;
+}
+
+Tensor InferenceEngine::FinalizeEmbeddings(Rng* serial_rng, ThreadPool* pool) {
+  Tensor final = ComputeFinalEmbeddings(serial_rng, pool);
+  // Write back only after every node has been aggregated against the
+  // *trained* table (§IV.D's e_x := z_x), so later aggregations do not read
+  // already-replaced rows.
+  const NodeId n = graph_->num_nodes();
+  for (NodeId v = 0; v < n; ++v) embedding_->SetRow(v, final.Row(v));
+  return final;
+}
+
+void InferenceEngine::RefreshInto(std::span<const NodeId> nodes, Tensor* out,
+                                  ThreadPool* pool) {
+  EHNA_CHECK(out != nullptr);
+  EHNA_CHECK_GE(out->rows(), static_cast<int64_t>(graph_->num_nodes()));
+  EHNA_CHECK_EQ(out->cols(), config_.dim);
+  if (nodes.empty()) return;
+  if (pool == nullptr && num_threads() > 1) pool = EnsurePool();
+  if (pool != nullptr && pool->num_threads() > 1 && nodes.size() > 1) {
+    pool->ParallelFor(nodes.size(), [&](size_t i) {
+      const NodeId v = nodes[i];
+      FinalizeNodeStreamed(v, out->Row(v));
+    });
+  } else {
+    for (const NodeId v : nodes) FinalizeNodeStreamed(v, out->Row(v));
+  }
+  embedding_->ClearGradients();
+}
+
+}  // namespace ehna

@@ -1,0 +1,108 @@
+#ifndef EHNA_CORE_INFERENCE_H_
+#define EHNA_CORE_INFERENCE_H_
+
+#include <memory>
+#include <span>
+
+#include "core/aggregator.h"
+#include "core/ehna_config.h"
+#include "graph/temporal_graph.h"
+#include "nn/embedding.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ehna {
+
+/// Seed salt separating the per-node inference streams from the per-edge
+/// training streams (model.cc's kTrainStreamSalt) and from everything the
+/// master Rng draws. Node v's parallel-inference stream is
+/// Rng::Stream(config.seed ^ kFinalizeStreamSalt, v).
+inline constexpr uint64_t kFinalizeStreamSalt =
+    0x45484E4146494E00ULL;  // "EHNAFIN"
+
+/// The trainer-free inference core: the §IV.D final pass (one aggregation
+/// per node anchored at its most recent interaction, the aggregated
+/// embedding becoming the node's embedding) plus the incremental per-node
+/// refresh the serving layer builds on.
+///
+/// The engine borrows — never owns — the graph, embedding table, and
+/// aggregator, so `EhnaModel` can delegate to it against its own members
+/// while `EmbeddingServer` drives the identical code against a restored
+/// checkpoint. Inference is a pure read of the trained parameters and table
+/// (eval mode never touches BatchNorm running statistics, and no backward
+/// runs), which is what makes both the node-parallel fan-out and the
+/// serving layer's concurrent refresh sound.
+class InferenceEngine {
+ public:
+  /// `graph`, `embedding`, and `aggregator` must outlive the engine.
+  /// `aggregator` must have been built over `embedding` and `config`.
+  InferenceEngine(const TemporalGraph* graph, Embedding* embedding,
+                  EhnaAggregator* aggregator, const EhnaConfig& config);
+
+  /// The resolved worker count: `config.num_threads`, 0 mapping to the
+  /// hardware concurrency (at least 1). Chooses between the serial
+  /// (master-RNG) and parallel (per-node-stream) finalize paths, exactly as
+  /// EhnaModel::num_threads always has.
+  int num_threads() const;
+
+  /// Repoints the engine (and its aggregator's walk samplers) at a new
+  /// graph — the serving layer calls this after compacting its dynamic
+  /// overlay. The embedding table must already cover the new graph's nodes.
+  void RebindGraph(const TemporalGraph* graph);
+
+  const TemporalGraph* graph() const { return graph_; }
+  const EhnaConfig& config() const { return config_; }
+
+  /// Aggregated embedding of one node at a reference time (inference mode),
+  /// drawing walk randomness from `rng`. Clears the gradient rows the
+  /// forward pass's gathers registered.
+  Tensor AggregateAt(NodeId node, Timestamp ref_time, Rng* rng);
+
+  /// The §IV.D final pass *without* the write-back: returns the [N, dim]
+  /// matrix of per-node aggregated embeddings (isolated nodes contribute
+  /// their L2-normalized raw rows), leaving the trained table untouched.
+  /// With num_threads() == 1 every node draws from `serial_rng` in node
+  /// order (the exact legacy sequence); otherwise nodes fan out across
+  /// `pool` (lazily self-built when null) with per-node streams, making the
+  /// result a function of the seed alone.
+  Tensor ComputeFinalEmbeddings(Rng* serial_rng, ThreadPool* pool = nullptr);
+
+  /// ComputeFinalEmbeddings + §IV.D's e_x := z_x write-back into the table.
+  /// The write-back happens only after every node has been aggregated
+  /// against the *trained* table, so later aggregations never read
+  /// already-replaced rows. Byte-identical to the pre-split
+  /// EhnaModel::FinalizeEmbeddings (pinned by tests/serve_test.cc).
+  Tensor FinalizeEmbeddings(Rng* serial_rng, ThreadPool* pool = nullptr);
+
+  /// Incremental refresh for the serving layer: recomputes the final
+  /// embedding of every node in `nodes` against the current graph and the
+  /// (trained, untouched) table, writing row v of `out` for each node v.
+  /// Every node uses its per-node stream Rng::Stream(seed ^
+  /// kFinalizeStreamSalt, v) regardless of thread count, so a refreshed row
+  /// is bitwise-identical to what the parallel finalize path would produce
+  /// for that node on the same graph — and independent of which batch of
+  /// affected nodes it rode in on. `out` must have at least
+  /// graph()->num_nodes() rows.
+  void RefreshInto(std::span<const NodeId> nodes, Tensor* out,
+                   ThreadPool* pool = nullptr);
+
+ private:
+  /// Isolated node: L2-normalized raw embedding row (zero row if the norm
+  /// underflows), so its scale matches the normalized aggregated ones.
+  void FinalizeIsolated(NodeId v, float* dst) const;
+
+  /// Computes node v's final embedding from its per-node stream into `dst`.
+  void FinalizeNodeStreamed(NodeId v, float* dst);
+
+  ThreadPool* EnsurePool();
+
+  const TemporalGraph* graph_;
+  Embedding* embedding_;
+  EhnaAggregator* aggregator_;
+  EhnaConfig config_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_CORE_INFERENCE_H_

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "core/checkpoint.h"
+#include "core/inference.h"
 #include "nn/ops.h"
 #include "util/metrics.h"
 #include "util/pipeline.h"
@@ -14,10 +15,10 @@ namespace ehna {
 
 namespace {
 
-// Seed salts separating the per-edge training streams from the per-node
-// inference streams (and both from everything the master rng_ draws).
-constexpr uint64_t kTrainStreamSalt = 0x45484E4154524E00ULL;     // "EHNATRN"
-constexpr uint64_t kFinalizeStreamSalt = 0x45484E4146494E00ULL;  // "EHNAFIN"
+// Seed salt separating the per-edge training streams from the per-node
+// inference streams (inference.h's kFinalizeStreamSalt) and from everything
+// the master rng_ draws.
+constexpr uint64_t kTrainStreamSalt = 0x45484E4154524E00ULL;  // "EHNATRN"
 
 // Training stream index for edge `position` of epoch `epoch`: the epoch id
 // occupies the high bits so streams never collide across epochs (supports
@@ -814,67 +815,14 @@ std::vector<EhnaModel::EpochStats> EhnaModel::Train(
 }
 
 Tensor EhnaModel::AggregateAt(NodeId node, Timestamp ref_time) {
-  Var z = aggregator_.Aggregate(node, ref_time, /*training=*/false, &rng_);
-  embedding_.ClearGradients();
-  return z.value();
+  InferenceEngine engine(graph_, &embedding_, &aggregator_, config_);
+  return engine.AggregateAt(node, ref_time, &rng_);
 }
 
 Tensor EhnaModel::FinalizeEmbeddings() {
-  const NodeId n = graph_->num_nodes();
-  const int64_t d = config_.dim;
-  Tensor final(n, d);
-
-  // Isolated node: L2-normalized raw embedding, so its scale matches the
-  // (normalized) aggregated embeddings.
-  const auto finalize_isolated = [&](NodeId v) {
-    const float* src = embedding_.RowData(v);
-    double norm = 0.0;
-    for (int64_t j = 0; j < d; ++j) {
-      norm += static_cast<double>(src[j]) * src[j];
-    }
-    const float inv =
-        norm > 1e-24 ? 1.0f / static_cast<float>(std::sqrt(norm)) : 0.0f;
-    float* dst = final.Row(v);
-    for (int64_t j = 0; j < d; ++j) dst[j] = src[j] * inv;
-  };
-
-  if (num_threads() > 1) {
-    // Inference is a pure read of the trained parameters and table (eval
-    // mode never touches BatchNorm running stats, and no backward runs), so
-    // nodes fan out freely; the per-node stream makes the result a function
-    // of the seed alone, independent of thread count and scheduling.
-    EnsurePool();
-    pool_->ParallelFor(n, [&](size_t v) {
-      auto recent = graph_->MostRecentInteraction(v);
-      if (recent.ok()) {
-        Rng node_rng = Rng::Stream(config_.seed ^ kFinalizeStreamSalt, v);
-        Var z = aggregator_.Aggregate(v, recent.value(), /*training=*/false,
-                                      &node_rng);
-        const Tensor& zv = z.value();
-        float* dst = final.Row(v);
-        for (int64_t j = 0; j < d; ++j) dst[j] = zv[j];
-      } else {
-        finalize_isolated(v);
-      }
-    });
-    embedding_.ClearGradients();
-  } else {
-    for (NodeId v = 0; v < n; ++v) {
-      auto recent = graph_->MostRecentInteraction(v);
-      if (recent.ok()) {
-        const Tensor z = AggregateAt(v, recent.value());
-        float* dst = final.Row(v);
-        for (int64_t j = 0; j < d; ++j) dst[j] = z[j];
-      } else {
-        finalize_isolated(v);
-      }
-    }
-  }
-  // Write back only after every node has been aggregated against the
-  // *trained* table (§IV.D's e_x := z_x), so later aggregations do not read
-  // already-replaced rows.
-  for (NodeId v = 0; v < n; ++v) embedding_.SetRow(v, final.Row(v));
-  return final;
+  InferenceEngine engine(graph_, &embedding_, &aggregator_, config_);
+  return engine.FinalizeEmbeddings(&rng_,
+                                   num_threads() > 1 ? EnsurePool() : nullptr);
 }
 
 }  // namespace ehna

@@ -76,7 +76,10 @@ class EhnaModel {
   /// §IV.D final pass: one aggregation per node anchored at its most recent
   /// edge; the aggregated embeddings become the final embeddings (written
   /// back into the table) and are returned as an [N, dim] matrix. Isolated
-  /// nodes keep their (L2-normalized) raw embeddings.
+  /// nodes keep their (L2-normalized) raw embeddings. Delegates to the
+  /// trainer-free InferenceEngine (core/inference.h) against this model's
+  /// graph/table/aggregator — byte-identical to the pre-split
+  /// implementation (pinned by tests/serve_test.cc).
   Tensor FinalizeEmbeddings();
 
   /// Aggregated embedding of one node at a reference time (inference mode).
@@ -109,6 +112,12 @@ class EhnaModel {
   Embedding* embedding() { return &embedding_; }
   EhnaAggregator* aggregator() { return &aggregator_; }
   const EhnaConfig& config() const { return config_; }
+
+  /// The master RNG stream (serialized into checkpoints). Exposed so a
+  /// standalone InferenceEngine driven over this model's state can consume
+  /// the exact draw sequence the model's own serial finalize would — the
+  /// basis of the inference-core equivalence tests.
+  Rng* mutable_rng() { return &rng_; }
 
  private:
   /// One data-parallel worker: a replica aggregator with its own parameter

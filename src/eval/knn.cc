@@ -9,10 +9,8 @@
 
 namespace ehna {
 
-namespace {
-
-double Score(const float* a, const float* b, int64_t d,
-             Similarity similarity) {
+double SimilarityScore(const float* a, const float* b, int64_t d,
+                       Similarity similarity) {
   switch (similarity) {
     case Similarity::kDotProduct: {
       double dot = 0.0;
@@ -41,6 +39,28 @@ double Score(const float* a, const float* b, int64_t d,
   return 0.0;
 }
 
+namespace {
+
+// Min-heap comparator shared by the single and batched scans: the heap top
+// is the worst of the best-k seen so far.
+struct WorseNeighbor {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    return a.score > b.score;
+  }
+};
+
+std::vector<Neighbor> DrainHeapDescending(
+    std::priority_queue<Neighbor, std::vector<Neighbor>, WorseNeighbor>* heap) {
+  std::vector<Neighbor> out;
+  out.reserve(heap->size());
+  while (!heap->empty()) {
+    out.push_back(heap->top());
+    heap->pop();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
 }  // namespace
 
 Result<std::vector<Neighbor>> TopKNeighbors(const Tensor& embeddings,
@@ -60,14 +80,10 @@ Result<std::vector<Neighbor>> TopKNeighbors(const Tensor& embeddings,
   const float* q = embeddings.Row(query);
 
   // Min-heap of the best k scores seen so far.
-  auto worse = [](const Neighbor& a, const Neighbor& b) {
-    return a.score > b.score;
-  };
-  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(worse)> heap(
-      worse);
+  std::priority_queue<Neighbor, std::vector<Neighbor>, WorseNeighbor> heap;
   for (int64_t v = 0; v < embeddings.rows(); ++v) {
     if (static_cast<NodeId>(v) == query) continue;
-    const double s = Score(q, embeddings.Row(v), d, similarity);
+    const double s = SimilarityScore(q, embeddings.Row(v), d, similarity);
     if (heap.size() < k) {
       heap.push(Neighbor{static_cast<NodeId>(v), s});
     } else if (s > heap.top().score) {
@@ -75,14 +91,52 @@ Result<std::vector<Neighbor>> TopKNeighbors(const Tensor& embeddings,
       heap.push(Neighbor{static_cast<NodeId>(v), s});
     }
   }
-  std::vector<Neighbor> out;
-  out.reserve(heap.size());
-  while (!heap.empty()) {
-    out.push_back(heap.top());
-    heap.pop();
+  return DrainHeapDescending(&heap);
+}
+
+Result<std::vector<std::vector<Neighbor>>> TopKNeighborsBatch(
+    const Tensor& embeddings, std::span<const NodeId> queries, size_t k,
+    Similarity similarity) {
+  if (embeddings.rank() != 2) {
+    return Status::InvalidArgument("embeddings must be a matrix");
   }
-  std::reverse(out.begin(), out.end());
-  return out;
+  for (const NodeId q : queries) {
+    if (q >= embeddings.rows()) {
+      return Status::OutOfRange("query node " + std::to_string(q) +
+                                " outside embedding matrix");
+    }
+  }
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  if (k == 0 || queries.empty()) return results;
+  EHNA_TRACE_PHASE("eval.phase.knn_query_batch");
+
+  const int64_t d = embeddings.cols();
+  // One pass over the matrix: row v is scored against every query while its
+  // data is hot, with per-query heaps updated by the exact per-query rule —
+  // so results (including tie behavior, which keeps the lowest-id node when
+  // scores tie at the heap boundary) match TopKNeighbors call-for-call.
+  std::vector<
+      std::priority_queue<Neighbor, std::vector<Neighbor>, WorseNeighbor>>
+      heaps(queries.size());
+  for (int64_t v = 0; v < embeddings.rows(); ++v) {
+    const float* row = embeddings.Row(v);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      if (static_cast<NodeId>(v) == queries[qi]) continue;
+      const double s =
+          SimilarityScore(embeddings.Row(queries[qi]), row, d, similarity);
+      auto& heap = heaps[qi];
+      if (heap.size() < k) {
+        heap.push(Neighbor{static_cast<NodeId>(v), s});
+      } else if (s > heap.top().score) {
+        heap.pop();
+        heap.push(Neighbor{static_cast<NodeId>(v), s});
+      }
+    }
+  }
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    results[qi] = DrainHeapDescending(&heaps[qi]);
+  }
+  return results;
 }
 
 Result<double> PairSimilarity(const Tensor& embeddings, NodeId a, NodeId b,
@@ -93,8 +147,8 @@ Result<double> PairSimilarity(const Tensor& embeddings, NodeId a, NodeId b,
   if (a >= embeddings.rows() || b >= embeddings.rows()) {
     return Status::OutOfRange("node outside embedding matrix");
   }
-  return Score(embeddings.Row(a), embeddings.Row(b), embeddings.cols(),
-               similarity);
+  return SimilarityScore(embeddings.Row(a), embeddings.Row(b),
+                         embeddings.cols(), similarity);
 }
 
 }  // namespace ehna

@@ -1,6 +1,7 @@
 #ifndef EHNA_EVAL_KNN_H_
 #define EHNA_EVAL_KNN_H_
 
+#include <span>
 #include <vector>
 
 #include "graph/temporal_graph.h"
@@ -22,14 +23,31 @@ struct Neighbor {
   double score = 0.0;
 };
 
+/// The scalar score behind every nearest-neighbor query in this library
+/// (double accumulation over `d` floats). Shared by the exact scan and the
+/// IVF index (eval/ann.h) so ANN candidate scores are bit-identical to the
+/// oracle's and recall comparisons never hinge on summation order.
+double SimilarityScore(const float* a, const float* b, int64_t d,
+                       Similarity similarity);
+
 /// Exact top-k search: returns the `k` highest-scoring nodes for `query`
 /// (excluding the query itself), sorted by descending score. O(N·d) per
 /// query with an O(N log k) heap — appropriate for the graph sizes this
-/// library targets; callers needing sublinear search should index the
-/// matrix externally.
+/// library targets; callers needing sublinear search should use the IVF
+/// index in eval/ann.h.
 Result<std::vector<Neighbor>> TopKNeighbors(const Tensor& embeddings,
                                             NodeId query, size_t k,
                                             Similarity similarity);
+
+/// Batched exact top-k: one pass over the embedding matrix answers every
+/// query in `queries`, returning per-query results identical (including tie
+/// behavior) to calling TopKNeighbors per query — but touching each of the
+/// N rows once instead of Q times, so the row data stays cache-resident
+/// across the Q heap updates. This is the harness-side API for Table 3–6
+/// style evaluations and the recall oracle for ANN benchmarks.
+Result<std::vector<std::vector<Neighbor>>> TopKNeighborsBatch(
+    const Tensor& embeddings, std::span<const NodeId> queries, size_t k,
+    Similarity similarity);
 
 /// Pairwise similarity of two rows of `embeddings`.
 Result<double> PairSimilarity(const Tensor& embeddings, NodeId a, NodeId b,

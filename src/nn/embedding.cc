@@ -113,6 +113,22 @@ void Embedding::SetRow(int64_t id, const float* values) {
   kernels::Copy(values, table_.Row(id), dim());
 }
 
+void Embedding::EnsureRows(int64_t num_rows, Rng* rng) {
+  EHNA_CHECK(rng != nullptr);
+  const int64_t old_rows = table_.rows();
+  if (num_rows <= old_rows) return;
+  TensorArena::Bypass no_arena;  // the table outlives any batch tape.
+  const int64_t d = dim();
+  Tensor grown = Tensor::Uninit(num_rows, d);
+  kernels::Copy(table_.data(), grown.data(), old_rows * d);
+  const float scale = 0.5f / static_cast<float>(d);
+  for (int64_t i = old_rows * d; i < num_rows * d; ++i) {
+    grown.data()[i] = static_cast<float>(
+        rng->Uniform(-static_cast<double>(scale), static_cast<double>(scale)));
+  }
+  table_ = std::move(grown);
+}
+
 void Embedding::ApplyAdam(float lr, float beta1, float beta2, float eps) {
   if (grad_map_.empty()) return;
   TensorArena::Bypass no_arena;  // Adam moments persist across batches.

@@ -76,6 +76,13 @@ class Embedding {
   /// "embedding := aggregated embedding" pass, §IV.D).
   void SetRow(int64_t id, const float* values);
 
+  /// Grows the table to at least `num_rows` rows, drawing the new rows from
+  /// `rng` with the constructor's U(-0.5/dim, 0.5/dim) init and preserving
+  /// every existing row's bytes (and all sparse-Adam state). No-op when the
+  /// table already has enough rows. Used by the serving layer when ingested
+  /// edges introduce node ids beyond the trained table.
+  void EnsureRows(int64_t num_rows, Rng* rng);
+
   /// Applies one lazy sparse-Adam update to every touched row and clears
   /// the accumulated gradients. Bias correction uses a global step count
   /// incremented per call.

@@ -1,0 +1,140 @@
+#ifndef EHNA_SERVE_EMBEDDING_SERVER_H_
+#define EHNA_SERVE_EMBEDDING_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/inference.h"
+#include "core/model.h"
+#include "eval/ann.h"
+#include "eval/knn.h"
+#include "graph/dynamic_graph.h"
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+
+namespace ehna {
+
+/// Serving configuration (DESIGN.md §13).
+struct ServeOptions {
+  /// Model hyperparameters; must carry the checkpoint's fingerprint fields
+  /// (seed, dim, variant, lstm_layers) or Load rejects the snapshot.
+  /// `config.num_threads` sizes the refresh fan-out.
+  EhnaConfig config;
+  /// Dynamic-overlay knobs (per-node refresh-candidate cache size).
+  DynamicGraphOptions overlay;
+  /// ANN index knobs. The similarity here is the serving metric for
+  /// Query/QueryExact/LinkScore alike.
+  IvfFlatOptions ann;
+  /// Pending ingested edges that trigger an automatic Refresh. 0 disables
+  /// auto-refresh (callers drive Refresh() themselves).
+  size_t refresh_batch = 256;
+};
+
+/// The production half of the system (ROADMAP item 1): a long-lived façade
+/// that loads a trained checkpoint, ingests a live stream of timestamped
+/// edges through a dynamic overlay on the immutable flat-CSR graph,
+/// incrementally re-finalizes embeddings for the nodes each batch of edges
+/// affects (via the trainer-free InferenceEngine, per-node RNG streams),
+/// and answers top-k nearest-neighbor and link-score queries from many
+/// concurrent threads through an IVF-flat ANN index over the served
+/// embeddings — with the exact O(N) scan kept alongside as the recall
+/// oracle.
+///
+/// Concurrency: queries take a shared lock; Ingest/Refresh take the
+/// exclusive lock. Any number of query threads run concurrently against an
+/// immutable snapshot of (serving matrix, ANN index); writers serialize.
+///
+/// Consistency contract (DESIGN.md §13): queries between refreshes see the
+/// pre-refresh embeddings ("read-your-refreshes", not read-your-writes); a
+/// refresh recomputes exactly the affected candidate set — the new edges'
+/// endpoints plus a bounded down-sampled set of their neighbors — against
+/// the full compacted graph, so those rows match an offline finalize over
+/// the same graph bitwise, while untouched nodes serve (boundedly) stale
+/// rows until an edge lands near them.
+class EmbeddingServer {
+ public:
+  struct Stats {
+    uint64_t ingested_edges = 0;
+    uint64_t pending_edges = 0;
+    uint64_t refreshes = 0;
+    uint64_t refreshed_nodes = 0;
+    uint64_t queries = 0;
+    uint64_t num_nodes = 0;
+    uint64_t num_edges = 0;  // compacted snapshot edges.
+  };
+
+  /// Builds a server over `base` (the graph the checkpoint was trained on,
+  /// moved in and owned), restores the snapshot at `checkpoint_path`,
+  /// computes the initial serving matrix with the §IV.D final pass
+  /// (per-node streams; the trained table itself is never overwritten), and
+  /// builds the ANN index. Returns the failure Status on any mismatch.
+  static Result<std::unique_ptr<EmbeddingServer>> Load(
+      const std::string& checkpoint_path, TemporalGraph base,
+      ServeOptions options);
+
+  /// Appends one timestamped edge to the overlay: O(1) plus bounded cache
+  /// maintenance. New node ids are accepted (they become servable after the
+  /// next refresh). Triggers an automatic Refresh once `refresh_batch`
+  /// edges are pending.
+  Status Ingest(const TemporalEdge& edge);
+
+  /// Compacts the overlay into a fresh snapshot and re-finalizes every
+  /// affected node's embedding against it, updating the serving matrix and
+  /// ANN index. No-op when nothing is pending.
+  Status Refresh();
+
+  /// ANN top-k nearest neighbors of `node` under the serving similarity.
+  /// OutOfRange for nodes not yet servable (never refreshed into the
+  /// serving matrix).
+  Result<std::vector<Neighbor>> Query(NodeId node, size_t k) const;
+
+  /// The exact-scan oracle for Query (same metric, full O(N·d) pass).
+  Result<std::vector<Neighbor>> QueryExact(NodeId node, size_t k) const;
+
+  /// Serving-metric score between two servable nodes.
+  Result<double> LinkScore(NodeId u, NodeId v) const;
+
+  /// Snapshot copy of the serving matrix (for offline comparison).
+  Tensor ServingEmbeddings() const;
+
+  /// Nodes currently servable (rows of the serving matrix).
+  size_t num_nodes() const;
+
+  Stats stats() const;
+
+  const EhnaConfig& config() const { return options_.config; }
+
+ private:
+  EmbeddingServer(TemporalGraph base, ServeOptions options);
+
+  /// Dedup-appends `node` to the pending refresh set. Caller holds mu_.
+  void MarkAffected(NodeId node);
+  /// Compact + re-finalize + index update. Caller holds mu_.
+  Status RefreshLocked();
+
+  ServeOptions options_;
+  TemporalGraph base_;  // keeps the model's construction graph alive.
+  std::unique_ptr<EhnaModel> model_;
+  std::unique_ptr<DynamicTemporalGraph> overlay_;
+  std::unique_ptr<InferenceEngine> engine_;
+  Rng grow_rng_;  // init stream for table rows past the trained range.
+
+  mutable std::shared_mutex mu_;
+  Tensor serving_;  // [servable nodes, dim]; reads under shared lock.
+  std::unique_ptr<IvfFlatIndex> index_;
+  std::vector<NodeId> affected_;       // pending refresh set, deduped...
+  std::vector<uint8_t> affected_mark_; // ...via this bitmap.
+  std::vector<NodeId> candidate_scratch_;
+  uint64_t ingested_edges_ = 0;
+  uint64_t refreshes_ = 0;
+  uint64_t refreshed_nodes_ = 0;
+  mutable std::atomic<uint64_t> queries_{0};
+};
+
+}  // namespace ehna
+
+#endif  // EHNA_SERVE_EMBEDDING_SERVER_H_
