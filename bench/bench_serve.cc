@@ -215,6 +215,84 @@ void BM_ServeAnnQueries(benchmark::State& state) {
       AddJsonRecord("serve_ann", shape, "build_s", build_s);
       state.counters["recall_" + shape] = recall;
       state.counters["speedup_" + shape] = ann_kqps / exact_kqps;
+
+      // Quantized serving tiers (DESIGN.md §14): the same exact-scan and
+      // ANN query loads through the int8/bf16 mirror with fp32 re-rank.
+      // recall@10 is against the fp32 exact truth computed above; the
+      // bench itself gates recall >= 0.99 (both tiers, every config) and
+      // the >= 3x int8 footprint claim, so a regression in either fails
+      // the CI smoke run outright rather than drifting past a tolerance.
+      const double fp32_mb =
+          static_cast<double>(emb.numel()) * 4.0 / (1024.0 * 1024.0);
+      AddJsonRecord("serve_quant", shape, "fp32_matrix_mb", fp32_mb);
+      for (const ServePrecision prec :
+           {ServePrecision::kInt8, ServePrecision::kBf16}) {
+        const std::string pname = ServePrecisionName(prec);
+        const QuantizedMatrix qm = QuantizedMatrix::FromTensor(emb, prec);
+        const double quant_mb =
+            static_cast<double>(qm.bytes()) / (1024.0 * 1024.0);
+
+        t0 = std::chrono::steady_clock::now();
+        std::vector<std::vector<Neighbor>> qexact;
+        for (size_t i = 0; i < exact_queries; ++i) {
+          auto res = TopKNeighborsQuantized(emb, qm, queries[i], 10,
+                                            Similarity::kNegativeEuclidean);
+          EHNA_CHECK(res.ok());
+          qexact.push_back(std::move(res).value());
+        }
+        const double q_exact_kqps =
+            static_cast<double>(exact_queries) / Seconds(t0) / 1e3;
+
+        t0 = std::chrono::steady_clock::now();
+        uint64_t qsink = 0;
+        for (const NodeId q : queries) {
+          auto res = index.QueryNodeQuantized(qm, q, 10);
+          EHNA_CHECK(res.ok());
+          qsink += res.value().empty() ? 0 : res.value()[0].node;
+        }
+        benchmark::DoNotOptimize(qsink);
+        const double q_ann_kqps =
+            static_cast<double>(ann_queries) / Seconds(t0) / 1e3;
+
+        size_t qhits = 0, qtotal = 0;
+        for (size_t i = 0; i < exact_queries; ++i) {
+          std::set<NodeId> truth;
+          for (const Neighbor& nb : exact[i]) truth.insert(nb.node);
+          qtotal += truth.size();
+          for (const Neighbor& nb : qexact[i]) qhits += truth.count(nb.node);
+        }
+        const double q_recall =
+            qtotal == 0
+                ? 0.0
+                : static_cast<double>(qhits) / static_cast<double>(qtotal);
+
+        std::cout << "serve quant [" << pname << ", " << shape
+                  << "]: exact "
+                  << TableWriter::FormatDouble(q_exact_kqps) << " kq/s ("
+                  << TableWriter::FormatDouble(q_exact_kqps / exact_kqps, 1)
+                  << "x fp32), ANN "
+                  << TableWriter::FormatDouble(q_ann_kqps) << " kq/s, matrix "
+                  << TableWriter::FormatDouble(quant_mb) << " MB ("
+                  << TableWriter::FormatDouble(fp32_mb / quant_mb, 1)
+                  << "x smaller), recall@10 "
+                  << TableWriter::FormatDouble(q_recall) << "\n";
+        AddJsonRecord("serve_quant", shape, pname + "_exact_kqps",
+                      q_exact_kqps);
+        AddJsonRecord("serve_quant", shape, pname + "_ann_kqps", q_ann_kqps);
+        AddJsonRecord("serve_quant", shape, pname + "_matrix_mb", quant_mb);
+        AddJsonRecord("serve_quant", shape, pname + "_recall_at10", q_recall);
+        state.counters[pname + "_exact_kqps_" + shape] = q_exact_kqps;
+        state.counters[pname + "_recall_" + shape] = q_recall;
+
+        EHNA_CHECK(q_recall >= 0.99)
+            << pname << " exact-scan recall@10 " << q_recall
+            << " below the 0.99 serving gate (" << shape << ")";
+        if (prec == ServePrecision::kInt8) {
+          EHNA_CHECK(static_cast<double>(qm.bytes()) * 3.0 <=
+                     static_cast<double>(emb.numel()) * 4.0)
+              << "int8 serving matrix not >= 3x smaller than fp32";
+        }
+      }
     }
     table.Print(std::cout);
   }

@@ -53,6 +53,10 @@ _COMPARED_METRICS = {
     "exact_kqps",    # bench_serve: exact-scan query throughput.
     "ann_kqps",      # bench_serve: IVF-flat ANN query throughput.
     "serve_keps",    # bench_serve: end-to-end ingest+refresh edge rate.
+    "int8_exact_kqps",  # bench_serve: int8 quantized exact scan + fp32 re-rank.
+    "int8_ann_kqps",    # bench_serve: int8 quantized IVF-flat candidates.
+    "bf16_exact_kqps",  # bench_serve: bf16 quantized exact scan.
+    "bf16_ann_kqps",    # bench_serve: bf16 quantized IVF-flat candidates.
 }
 
 

@@ -14,6 +14,12 @@
 // CI): ingest a stream of edges, refresh, and verify the served embeddings
 // against a from-scratch offline recompute — bitwise for refreshed nodes —
 // plus ANN-vs-exact agreement. Exits non-zero on any mismatch.
+//
+// `--precision=fp32|int8|bf16` selects the serving read-path tier
+// (DESIGN.md §14). Under a quantized tier the smoke additionally verifies
+// that the server's quantized mirror is byte-identical to quantizing the
+// served fp32 matrix offline, and that the quantized exact scan agrees
+// with the fp32 oracle at recall@10 >= 0.99.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -39,8 +45,8 @@ struct TrainedServer {
   std::unique_ptr<EmbeddingServer> server;
 };
 
-bool BuildServer(TrainedServer* out, size_t refresh_batch,
-                 size_t nprobe = 0) {
+bool BuildServer(TrainedServer* out, size_t refresh_batch, size_t nprobe = 0,
+                 ServePrecision precision = ServePrecision::kFp32) {
   CoauthorGraphOptions gen;
   gen.num_papers = 600;
   gen.seed = 5;
@@ -75,6 +81,7 @@ bool BuildServer(TrainedServer* out, size_t refresh_batch,
   opt.config = out->cfg;
   opt.refresh_batch = refresh_batch;
   opt.ann.nprobe = nprobe;
+  opt.precision = precision;
   auto server_or = EmbeddingServer::Load(out->ckpt, out->graph, opt);
   if (!server_or.ok()) {
     std::fprintf(stderr, "%s\n", server_or.status().ToString().c_str());
@@ -97,9 +104,11 @@ void PrintNeighbors(const Result<std::vector<Neighbor>>& res) {
   std::printf("\n");
 }
 
-int RunRepl() {
+int RunRepl(ServePrecision precision) {
   TrainedServer ts;
-  if (!BuildServer(&ts, /*refresh_batch=*/256)) return 1;
+  if (!BuildServer(&ts, /*refresh_batch=*/256, /*nprobe=*/0, precision)) {
+    return 1;
+  }
   EmbeddingServer& server = *ts.server;
   std::fprintf(stderr,
                "commands: INGEST u v t [w] | QUERY v [k] | EXACT v [k] | "
@@ -167,15 +176,52 @@ int RunRepl() {
   return 0;
 }
 
+// Byte-level equality of two quantized mirrors (codes + per-row metadata).
+bool SameQuantizedBytes(const QuantizedMatrix& a, const QuantizedMatrix& b) {
+  if (a.precision() != b.precision() || a.rows() != b.rows() ||
+      a.dim() != b.dim()) {
+    return false;
+  }
+  const size_t n = static_cast<size_t>(a.rows());
+  const size_t nd = n * static_cast<size_t>(a.dim());
+  switch (a.precision()) {
+    case ServePrecision::kInt8:
+      if (std::memcmp(a.DataI8(), b.DataI8(), nd) != 0) return false;
+      for (size_t r = 0; r < n; ++r) {
+        const float as = a.scale(static_cast<int64_t>(r));
+        const float bs = b.scale(static_cast<int64_t>(r));
+        if (std::memcmp(&as, &bs, sizeof(float)) != 0) return false;
+        if (a.sqnorm_i32(static_cast<int64_t>(r)) !=
+            b.sqnorm_i32(static_cast<int64_t>(r))) {
+          return false;
+        }
+      }
+      return true;
+    case ServePrecision::kBf16:
+      if (std::memcmp(a.DataBf16(), b.DataBf16(), nd * 2) != 0) return false;
+      for (size_t r = 0; r < n; ++r) {
+        const double an = a.sqnorm(static_cast<int64_t>(r));
+        const double bn = b.sqnorm(static_cast<int64_t>(r));
+        if (std::memcmp(&an, &bn, sizeof(double)) != 0) return false;
+      }
+      return true;
+    case ServePrecision::kFp32:
+      return true;
+  }
+  return false;
+}
+
 // Scripted end-to-end check for CI: every claim the serving subsystem makes
 // is verified against a from-scratch offline recompute.
-int RunSmoke() {
+int RunSmoke(ServePrecision precision) {
   TrainedServer ts;
   // Manual refresh only, so ALL affected nodes are re-finalized against the
   // final graph — the precondition for exact offline comparison. The demo
   // graph is tiny (a few hundred nodes, ~15 IVF cells), so probe half the
   // cells; the default nlist/4 is tuned for serving-scale indexes.
-  if (!BuildServer(&ts, /*refresh_batch=*/0, /*nprobe=*/8)) return 1;
+  if (!BuildServer(&ts, /*refresh_batch=*/0, /*nprobe=*/8, precision)) {
+    return 1;
+  }
   EmbeddingServer& server = *ts.server;
   const NodeId n = ts.graph.num_nodes();
   const Tensor before = server.ServingEmbeddings();
@@ -261,12 +307,51 @@ int RunSmoke() {
     return 1;
   }
 
+  // Quantized tier: the mirror the server queries through must be exactly
+  // what quantizing the served fp32 matrix offline produces (RequantizeRow
+  // is a pure per-row function, so incremental refresh and full
+  // re-quantization agree byte-for-byte), and the quantized exact scan
+  // must find (nearly) the same neighbors as the fp32 oracle.
+  size_t q_hits = 0, q_total = 0;
+  if (precision != ServePrecision::kFp32) {
+    const QuantizedMatrix mirror = server.QuantizedServingSnapshot();
+    const QuantizedMatrix offline_q =
+        QuantizedMatrix::FromTensor(after, precision);
+    if (!SameQuantizedBytes(mirror, offline_q)) {
+      std::fprintf(stderr,
+                   "smoke: served quantized mirror differs from offline "
+                   "re-quantization of the serving matrix\n");
+      return 1;
+    }
+    for (NodeId v = 0; v < n; v += 7) {
+      auto quant = server.QueryExact(v, 10);
+      auto oracle_nn = server.QueryExactFp32(v, 10);
+      if (!quant.ok() || !oracle_nn.ok()) continue;
+      std::set<NodeId> truth;
+      for (const Neighbor& nb : oracle_nn.value()) truth.insert(nb.node);
+      q_total += truth.size();
+      for (const Neighbor& nb : quant.value()) q_hits += truth.count(nb.node);
+    }
+    if (q_total == 0 || static_cast<double>(q_hits) <
+                            0.99 * static_cast<double>(q_total)) {
+      std::fprintf(stderr,
+                   "smoke: quantized exact-scan recall@10 %zu/%zu below "
+                   "0.99\n", q_hits, q_total);
+      return 1;
+    }
+  }
+
   const auto stats = server.stats();
   std::printf(
-      "smoke OK: %zu edges ingested, %llu nodes re-finalized "
-      "(%zu fresh / %zu stale of %u), ANN top-1 agreement %zu/%zu\n",
-      stream.size(), static_cast<unsigned long long>(stats.refreshed_nodes),
-      fresh, stale, n, agree, tried);
+      "smoke OK (%s): %zu edges ingested, %llu nodes re-finalized "
+      "(%zu fresh / %zu stale of %u), ANN top-1 agreement %zu/%zu",
+      ServePrecisionName(precision), stream.size(),
+      static_cast<unsigned long long>(stats.refreshed_nodes), fresh, stale, n,
+      agree, tried);
+  if (precision != ServePrecision::kFp32) {
+    std::printf(", quantized recall@10 %zu/%zu", q_hits, q_total);
+  }
+  std::printf("\n");
   std::filesystem::remove(ts.ckpt);
   return 0;
 }
@@ -274,6 +359,24 @@ int RunSmoke() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return RunSmoke();
-  return RunRepl();
+  bool smoke = false;
+  ServePrecision precision = ServePrecision::kFp32;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--precision=", 12) == 0) {
+      auto p = ParseServePrecision(argv[i] + 12);
+      if (!p.ok()) {
+        std::fprintf(stderr, "%s\n", p.status().ToString().c_str());
+        return 2;
+      }
+      precision = p.value();
+    } else {
+      std::fprintf(stderr, "usage: serve_demo [--smoke] "
+                   "[--precision=fp32|int8|bf16]\n");
+      return 2;
+    }
+  }
+  if (smoke) return RunSmoke(precision);
+  return RunRepl(precision);
 }

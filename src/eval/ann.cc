@@ -252,6 +252,87 @@ std::vector<Neighbor> IvfFlatIndex::Query(const float* query, size_t k,
   return out;
 }
 
+std::vector<Neighbor> IvfFlatIndex::QueryQuantized(const QuantizedMatrix& quant,
+                                                   const float* query, size_t k,
+                                                   int64_t exclude,
+                                                   size_t nprobe,
+                                                   size_t rerank_factor) const {
+  if (k == 0) return {};
+  EHNA_TRACE_PHASE("eval.phase.ann_query_quantized");
+  const size_t lists = num_lists();
+  const size_t probes = std::min(nprobe > 0 ? nprobe : nprobe_, lists);
+
+  // Probe selection is unchanged from Query: fp32 centroid scores.
+  std::vector<std::pair<double, size_t>> cell_scores;
+  cell_scores.reserve(lists);
+  for (size_t c = 0; c < lists; ++c) {
+    cell_scores.emplace_back(
+        SimilarityScore(query, centroids_.Row(static_cast<int64_t>(c)), dim_,
+                        options_.similarity),
+        c);
+  }
+  std::partial_sort(cell_scores.begin(), cell_scores.begin() + probes,
+                    cell_scores.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  // Quantized candidate pass: keep the best rerank_factor*k survivors under
+  // the cheap score, same heap-replacement rule as the fp32 scan.
+  const size_t survivors = std::max<size_t>(rerank_factor, 1) * k;
+  QuantizedScorer scorer(&quant, query, options_.similarity);
+  const int64_t quant_rows = quant.rows();
+  std::priority_queue<Neighbor, std::vector<Neighbor>, WorseNeighbor> heap;
+  for (size_t p = 0; p < probes; ++p) {
+    const size_t c = cell_scores[p].second;
+    const std::vector<NodeId>& ids = list_ids_[c];
+    const float* data = list_data_[c].data();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (static_cast<int64_t>(ids[i]) == exclude) continue;
+      const double s =
+          static_cast<int64_t>(ids[i]) < quant_rows
+              ? scorer.Score(static_cast<int64_t>(ids[i]))
+              : SimilarityScore(query, data + i * dim_, dim_,
+                                options_.similarity);
+      if (heap.size() < survivors) {
+        heap.push(Neighbor{ids[i], s});
+      } else if (s > heap.top().score) {
+        heap.pop();
+        heap.push(Neighbor{ids[i], s});
+      }
+    }
+  }
+
+  // fp32 re-rank over the indexed vectors (same bytes as the serving rows),
+  // ties toward the lower id for determinism.
+  std::vector<Neighbor> cand;
+  cand.reserve(heap.size());
+  while (!heap.empty()) {
+    cand.push_back(heap.top());
+    heap.pop();
+  }
+  for (Neighbor& nb : cand) {
+    nb.score =
+        SimilarityScore(query, VectorOf(nb.node), dim_, options_.similarity);
+  }
+  std::sort(cand.begin(), cand.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.node < b.node;
+  });
+  if (cand.size() > k) cand.resize(k);
+  return cand;
+}
+
+Result<std::vector<Neighbor>> IvfFlatIndex::QueryNodeQuantized(
+    const QuantizedMatrix& quant, NodeId node, size_t k, size_t nprobe,
+    size_t rerank_factor) const {
+  const float* vec = VectorOf(node);
+  if (vec == nullptr) {
+    return Status::OutOfRange("node " + std::to_string(node) +
+                              " not in ANN index");
+  }
+  return QueryQuantized(quant, vec, k, static_cast<int64_t>(node), nprobe,
+                        rerank_factor);
+}
+
 Result<std::vector<Neighbor>> IvfFlatIndex::QueryNode(NodeId node, size_t k,
                                                       size_t nprobe) const {
   const float* vec = VectorOf(node);

@@ -79,6 +79,23 @@ class IvfFlatIndex {
   Result<std::vector<Neighbor>> QueryNode(NodeId node, size_t k,
                                           size_t nprobe = 0) const;
 
+  /// Quantized candidate scoring over the probed cells (DESIGN.md §14):
+  /// centroid ranking stays fp32, candidates in the probed cells are scored
+  /// through `quant` (which must mirror the indexed matrix row-for-row by
+  /// id), the top `rerank_factor * k` survivors are re-scored with the
+  /// exact fp32 SimilarityScore over the indexed vectors, and the best k
+  /// are returned with those exact scores. Ids the mirror does not cover
+  /// yet are scored in fp32 directly (never silently dropped).
+  std::vector<Neighbor> QueryQuantized(const QuantizedMatrix& quant,
+                                       const float* query, size_t k,
+                                       int64_t exclude = -1, size_t nprobe = 0,
+                                       size_t rerank_factor = 4) const;
+
+  /// QueryNode through the quantized path.
+  Result<std::vector<Neighbor>> QueryNodeQuantized(
+      const QuantizedMatrix& quant, NodeId node, size_t k, size_t nprobe = 0,
+      size_t rerank_factor = 4) const;
+
   /// Upserts `vec` (length dim) as id `id`: re-assigns it to the nearest
   /// cell, moving it between lists if needed. New ids append (the id space
   /// may be sparse; absent ids cost one slot in the id->location table).

@@ -5,6 +5,8 @@
 #include <queue>
 #include <string>
 
+#include "nn/kernels.h"
+#include "util/logging.h"
 #include "util/metrics.h"
 
 namespace ehna {
@@ -137,6 +139,156 @@ Result<std::vector<std::vector<Neighbor>>> TopKNeighborsBatch(
     results[qi] = DrainHeapDescending(&heaps[qi]);
   }
   return results;
+}
+
+QuantizedScorer::QuantizedScorer(const QuantizedMatrix* quant,
+                                 const float* query, Similarity similarity)
+    : quant_(quant),
+      similarity_(similarity),
+      query_(PrepareQuantizedQuery(query, quant->dim(), quant->precision())) {}
+
+// The int8 score combinations. Scales and norms enter in one fixed scalar
+// expression order per similarity, computed in double:
+//   dot      s_r · s_q · idot
+//   cosine   idot / sqrt(rn · qn)          (the scales cancel exactly)
+//   -L2      2·s_r·s_q·idot − s_r²·rn − s_q²·qn
+// where idot/rn/qn are exact int32 quantities from the kernels.
+double QuantizedScorer::Combine(int64_t row, int32_t idot) const {
+  const double rs = static_cast<double>(quant_->scale(row));
+  const double qs = static_cast<double>(query_.scale);
+  switch (similarity_) {
+    case Similarity::kDotProduct:
+      return rs * qs * static_cast<double>(idot);
+    case Similarity::kCosine: {
+      const double denom = std::sqrt(static_cast<double>(quant_->sqnorm_i32(row)) *
+                                     static_cast<double>(query_.sqnorm_i32));
+      return denom > 0.0 ? static_cast<double>(idot) / denom : 0.0;
+    }
+    case Similarity::kNegativeEuclidean:
+      return 2.0 * rs * qs * static_cast<double>(idot) -
+             rs * rs * static_cast<double>(quant_->sqnorm_i32(row)) -
+             qs * qs * static_cast<double>(query_.sqnorm_i32);
+  }
+  return 0.0;
+}
+
+// The bf16 combinations: the widening dot is already fp32; norms are the
+// stored per-row double and the query's precomputed double.
+double QuantizedScorer::Combine(int64_t row, float fdot) const {
+  switch (similarity_) {
+    case Similarity::kDotProduct:
+      return static_cast<double>(fdot);
+    case Similarity::kCosine: {
+      const double denom = std::sqrt(quant_->sqnorm(row) * query_.sqnorm);
+      return denom > 1e-24 ? static_cast<double>(fdot) / denom : 0.0;
+    }
+    case Similarity::kNegativeEuclidean:
+      return 2.0 * static_cast<double>(fdot) - quant_->sqnorm(row) -
+             query_.sqnorm;
+  }
+  return 0.0;
+}
+
+double QuantizedScorer::Score(int64_t row) const {
+  const int64_t d = quant_->dim();
+  switch (quant_->precision()) {
+    case ServePrecision::kInt8:
+      return Combine(row,
+                     kernels::DotI8(quant_->RowI8(row), query_.i8.data(), d));
+    case ServePrecision::kBf16:
+      return Combine(row, kernels::DotBf16(quant_->RowBf16(row), query_.fp32, d));
+    case ServePrecision::kFp32:
+      break;
+  }
+  EHNA_CHECK(false) << "QuantizedScorer over an fp32 (empty) mirror";
+  return 0.0;
+}
+
+void QuantizedScorer::ScoreBlock(int64_t row0, int64_t count, double* out) {
+  const int64_t d = quant_->dim();
+  switch (quant_->precision()) {
+    case ServePrecision::kInt8:
+      idot_scratch_.resize(static_cast<size_t>(count));
+      kernels::GemvI8(count, d, quant_->DataI8() + row0 * d, query_.i8.data(),
+                      idot_scratch_.data());
+      for (int64_t i = 0; i < count; ++i) {
+        out[i] = Combine(row0 + i, idot_scratch_[static_cast<size_t>(i)]);
+      }
+      return;
+    case ServePrecision::kBf16:
+      fdot_scratch_.resize(static_cast<size_t>(count));
+      kernels::GemvBf16(count, d, quant_->DataBf16() + row0 * d, query_.fp32,
+                        fdot_scratch_.data());
+      for (int64_t i = 0; i < count; ++i) {
+        out[i] = Combine(row0 + i, fdot_scratch_[static_cast<size_t>(i)]);
+      }
+      return;
+    case ServePrecision::kFp32:
+      break;
+  }
+  EHNA_CHECK(false) << "QuantizedScorer over an fp32 (empty) mirror";
+}
+
+Result<std::vector<Neighbor>> TopKNeighborsQuantized(
+    const Tensor& embeddings, const QuantizedMatrix& quant, NodeId query,
+    size_t k, Similarity similarity, size_t rerank_factor) {
+  if (embeddings.rank() != 2) {
+    return Status::InvalidArgument("embeddings must be a matrix");
+  }
+  if (quant.rows() != embeddings.rows() || quant.dim() != embeddings.cols()) {
+    return Status::InvalidArgument(
+        "quantized mirror does not match the embedding matrix");
+  }
+  if (quant.precision() == ServePrecision::kFp32) {
+    return TopKNeighbors(embeddings, query, k, similarity);
+  }
+  if (query >= embeddings.rows()) {
+    return Status::OutOfRange("query node " + std::to_string(query) +
+                              " outside embedding matrix");
+  }
+  if (k == 0) return std::vector<Neighbor>{};
+  EHNA_TRACE_PHASE("eval.phase.knn_query_quantized");
+
+  const int64_t n = embeddings.rows();
+  const int64_t d = embeddings.cols();
+  const float* q = embeddings.Row(query);
+  const size_t survivors =
+      std::min<size_t>(std::max<size_t>(rerank_factor, 1) * k,
+                       static_cast<size_t>(n));
+
+  // Quantized O(N·d) selection pass, blocked through the GEMV kernels.
+  QuantizedScorer scorer(&quant, q, similarity);
+  constexpr int64_t kBlockRows = 1024;
+  std::vector<double> block(kBlockRows);
+  std::priority_queue<Neighbor, std::vector<Neighbor>, WorseNeighbor> heap;
+  for (int64_t base = 0; base < n; base += kBlockRows) {
+    const int64_t rows = std::min<int64_t>(kBlockRows, n - base);
+    scorer.ScoreBlock(base, rows, block.data());
+    for (int64_t i = 0; i < rows; ++i) {
+      const NodeId v = static_cast<NodeId>(base + i);
+      if (v == query) continue;
+      const double s = block[static_cast<size_t>(i)];
+      if (heap.size() < survivors) {
+        heap.push(Neighbor{v, s});
+      } else if (s > heap.top().score) {
+        heap.pop();
+        heap.push(Neighbor{v, s});
+      }
+    }
+  }
+
+  // fp32 re-rank: exact oracle scores for the survivors; ties break toward
+  // the lower node id so results are deterministic.
+  std::vector<Neighbor> cand = DrainHeapDescending(&heap);
+  for (Neighbor& nb : cand) {
+    nb.score = SimilarityScore(q, embeddings.Row(nb.node), d, similarity);
+  }
+  std::sort(cand.begin(), cand.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.node < b.node;
+  });
+  if (cand.size() > k) cand.resize(k);
+  return cand;
 }
 
 Result<double> PairSimilarity(const Tensor& embeddings, NodeId a, NodeId b,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/temporal_graph.h"
+#include "nn/quant.h"
 #include "nn/tensor.h"
 #include "util/status.h"
 
@@ -52,6 +53,58 @@ Result<std::vector<std::vector<Neighbor>>> TopKNeighborsBatch(
 /// Pairwise similarity of two rows of `embeddings`.
 Result<double> PairSimilarity(const Tensor& embeddings, NodeId a, NodeId b,
                               Similarity similarity);
+
+// ------------------------------------------- reduced-precision candidates
+//
+// Quantized candidate scoring for the serving tier (DESIGN.md §14): the
+// quantized mirror ranks candidates cheaply, then the survivors are
+// re-scored with the exact fp32 SimilarityScore, so returned scores stay
+// bit-identical to the oracle's for the rows that make the cut. The score
+// combination here is ISA-independent scalar double arithmetic in one
+// fixed expression order per similarity; only the exact int32 dot (int8)
+// or the fixed-order widening dot (bf16) runs through the dispatched
+// kernels — which is what makes quantized scores bitwise identical under
+// EHNA_KERNEL_ISA=scalar and =avx2.
+
+/// Scores rows of a quantized serving mirror against one query under the
+/// serving similarity. Not thread-safe (owns GEMV scratch); make one per
+/// query or per thread.
+class QuantizedScorer {
+ public:
+  /// `query` (length quant->dim()) is borrowed and must outlive the
+  /// scorer; it is prepared once (int8: quantized with the row scheme, so
+  /// a node's own fp32 row reproduces its stored codes exactly).
+  QuantizedScorer(const QuantizedMatrix* quant, const float* query,
+                  Similarity similarity);
+
+  /// Quantized-domain score of one row.
+  double Score(int64_t row) const;
+
+  /// Scores the contiguous rows [row0, row0 + count) through the blocked
+  /// GemvI8/GemvBf16 kernels; writes `count` scores (bit-identical to
+  /// per-row Score calls).
+  void ScoreBlock(int64_t row0, int64_t count, double* out);
+
+ private:
+  double Combine(int64_t row, int32_t idot) const;
+  double Combine(int64_t row, float fdot) const;
+
+  const QuantizedMatrix* quant_;
+  Similarity similarity_;
+  QuantizedQuery query_;
+  std::vector<int32_t> idot_scratch_;
+  std::vector<float> fdot_scratch_;
+};
+
+/// Exact-scan top-k over the quantized mirror with fp32 re-rank: the
+/// quantized scores select the top `rerank_factor * k` candidates (the
+/// full O(N·d) scan at reduced precision), which are re-ranked with the
+/// exact fp32 SimilarityScore over `embeddings` — so the returned scores
+/// are exactly the oracle's, and recall is the only thing quantization can
+/// cost. `quant` must mirror `embeddings` row-for-row.
+Result<std::vector<Neighbor>> TopKNeighborsQuantized(
+    const Tensor& embeddings, const QuantizedMatrix& quant, NodeId query,
+    size_t k, Similarity similarity, size_t rerank_factor = 4);
 
 }  // namespace ehna
 

@@ -60,6 +60,18 @@ struct KernelTable {
                                      const float* target,
                                      const float* neg_coeffs, float* gemb,
                                      float* gtarget);
+  // Reduced-precision serving kernels (DESIGN.md §14). The int8 kernels
+  // accumulate exactly in int32 (integer addition is associative, so any
+  // lane arrangement yields the same bits; inputs are bounded so the sum
+  // cannot overflow below n = 2^17). The bf16 kernels widen each stored
+  // uint16 to fp32 exactly (bit shift) and then run the documented 16-lane
+  // fma reduction, so scalar and AVX2 agree bitwise like the fp32 dot.
+  int32_t (*dot_i8)(const int8_t* x, const int8_t* y, int64_t n);
+  void (*gemv_i8)(int64_t rows, int64_t n, const int8_t* a, const int8_t* x,
+                  int32_t* y);
+  float (*dot_bf16)(const uint16_t* x, const float* y, int64_t n);
+  void (*gemv_bf16)(int64_t rows, int64_t n, const uint16_t* a,
+                    const float* x, float* y);
 };
 
 /// The pinned-scalar reference table (always available).

@@ -86,6 +86,24 @@ float Dot(const float* x, const float* y, int64_t n) {
   return ActiveKernels().dot(x, y, n);
 }
 
+int32_t DotI8(const int8_t* x, const int8_t* y, int64_t n) {
+  return ActiveKernels().dot_i8(x, y, n);
+}
+
+void GemvI8(int64_t rows, int64_t n, const int8_t* a, const int8_t* x,
+            int32_t* y) {
+  ActiveKernels().gemv_i8(rows, n, a, x, y);
+}
+
+float DotBf16(const uint16_t* x, const float* y, int64_t n) {
+  return ActiveKernels().dot_bf16(x, y, n);
+}
+
+void GemvBf16(int64_t rows, int64_t n, const uint16_t* a, const float* x,
+              float* y) {
+  ActiveKernels().gemv_bf16(rows, n, a, x, y);
+}
+
 void Fill(float* x, int64_t n, float value) {
   if (value == 0.0f) {
     std::memset(x, 0, static_cast<size_t>(n) * sizeof(float));

@@ -67,6 +67,29 @@ void GemvT(int64_t m, int64_t n, const float* a, const float* x, float* y,
 /// <x, y> with the documented 16-lane vertical accumulation order.
 float Dot(const float* x, const float* y, int64_t n);
 
+// ------------------------------------------- reduced-precision (serving)
+//
+// Scoring kernels for the quantized serving tier (nn/quant.h, DESIGN.md
+// §14). ISA-dispatched like the hot set above, with the same bitwise
+// cross-ISA guarantee: the int8 kernels accumulate exactly in int32 (any
+// lane arrangement gives identical bits; callers keep n <= 2^17 so the
+// sum cannot wrap), and the bf16 kernels widen each stored uint16 to fp32
+// by an exact bit shift and then run the documented 16-lane fma order.
+
+/// Σ x_i · y_i in int32 over int8 operands.
+int32_t DotI8(const int8_t* x, const int8_t* y, int64_t n);
+
+/// y[r] = <a_row_r, x> for `rows` contiguous int8 rows of width n.
+void GemvI8(int64_t rows, int64_t n, const int8_t* a, const int8_t* x,
+            int32_t* y);
+
+/// Σ widen(x_i) · y_i over a bf16 row and an fp32 query.
+float DotBf16(const uint16_t* x, const float* y, int64_t n);
+
+/// y[r] = <widen(a_row_r), x> for `rows` contiguous bf16 rows of width n.
+void GemvBf16(int64_t rows, int64_t n, const uint16_t* a, const float* x,
+              float* y);
+
 // ---------------------------------------------------- elementwise / BLAS1
 
 void Fill(float* x, int64_t n, float value);

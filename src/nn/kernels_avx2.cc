@@ -256,6 +256,69 @@ inline __m256 TanhV(__m256 x) {
   return _mm256_or_ps(t, _mm256_andnot_ps(absmask, x));
 }
 
+// ------------------------------------------- reduced-precision primitives
+//
+// int8: sign-extend 16 bytes to epi16 and multiply-accumulate pairs with
+// vpmaddwd (exact: |x|,|y| <= 127, so each pairwise int32 sum is bounded by
+// 2*127^2 with no int16 saturation — this is why the widened madd is used
+// instead of vpmaddubsw). All arithmetic is exact int32, so the horizontal
+// sum order is free and matches the scalar reference bit-for-bit as long
+// as the documented n <= 2^17 overflow bound holds.
+//
+// bf16: each stored uint16 widens to fp32 by an exact left shift of 16;
+// the fma tree then runs the identical 16-lane order as DotAvx2.
+
+/// Horizontal sum of 8 exact int32 lanes.
+inline int32_t ReduceI32(__m256i acc) {
+  const __m128i s4 = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                                   _mm256_extracti128_si256(acc, 1));
+  const __m128i s2 = _mm_add_epi32(s4, _mm_unpackhi_epi64(s4, s4));
+  const __m128i s1 = _mm_add_epi32(s2, _mm_shuffle_epi32(s2, 0x55));
+  return _mm_cvtsi128_si32(s1);
+}
+
+/// 16 int8 values sign-extended to one ymm of epi16.
+inline __m256i LoadI8x16(const int8_t* p) {
+  return _mm256_cvtepi8_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+inline int32_t DotI8Avx2(const int8_t* x, const int8_t* y, int64_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc = _mm256_add_epi32(
+        acc, _mm256_madd_epi16(LoadI8x16(x + i), LoadI8x16(y + i)));
+    acc = _mm256_add_epi32(
+        acc, _mm256_madd_epi16(LoadI8x16(x + i + 16), LoadI8x16(y + i + 16)));
+  }
+  if (i + 16 <= n) {
+    acc = _mm256_add_epi32(
+        acc, _mm256_madd_epi16(LoadI8x16(x + i), LoadI8x16(y + i)));
+    i += 16;
+  }
+  return detail::DotI8Tail(ReduceI32(acc), x, y, i, n);
+}
+
+/// 8 bf16 values widened to fp32 lanes by the exact bit shift.
+inline __m256 LoadBf16x8(const uint16_t* p) {
+  const __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  return _mm256_castsi256_ps(
+      _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16));
+}
+
+inline float DotBf16Avx2(const uint16_t* x, const float* y, int64_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(LoadBf16x8(x + i), _mm256_loadu_ps(y + i), acc0);
+    acc1 = _mm256_fmadd_ps(LoadBf16x8(x + i + 8), _mm256_loadu_ps(y + i + 8),
+                           acc1);
+  }
+  return detail::DotBf16Tail(ReduceLanes16(acc0, acc1), x, y, i, n);
+}
+
 }  // namespace
 
 // ------------------------------------------------------------- entry points
@@ -402,6 +465,72 @@ float Dot(const float* x, const float* y, int64_t n) {
   return DotAvx2(x, y, n);
 }
 
+int32_t DotI8(const int8_t* x, const int8_t* y, int64_t n) {
+  return DotI8Avx2(x, y, n);
+}
+
+void GemvI8(int64_t rows, int64_t n, const int8_t* a, const int8_t* x,
+            int32_t* y) {
+  // 4-row panel: every sign-extended query block is reused across four
+  // matrix rows, quartering the dominant widen+load traffic of the scan.
+  int64_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const int8_t* a0 = a + r * n;
+    const int8_t* a1 = a0 + n;
+    const int8_t* a2 = a1 + n;
+    const int8_t* a3 = a2 + n;
+    __m256i c0 = _mm256_setzero_si256();
+    __m256i c1 = _mm256_setzero_si256();
+    __m256i c2 = _mm256_setzero_si256();
+    __m256i c3 = _mm256_setzero_si256();
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      const __m256i xv = LoadI8x16(x + i);
+      c0 = _mm256_add_epi32(c0, _mm256_madd_epi16(LoadI8x16(a0 + i), xv));
+      c1 = _mm256_add_epi32(c1, _mm256_madd_epi16(LoadI8x16(a1 + i), xv));
+      c2 = _mm256_add_epi32(c2, _mm256_madd_epi16(LoadI8x16(a2 + i), xv));
+      c3 = _mm256_add_epi32(c3, _mm256_madd_epi16(LoadI8x16(a3 + i), xv));
+    }
+    y[r + 0] = detail::DotI8Tail(ReduceI32(c0), a0, x, i, n);
+    y[r + 1] = detail::DotI8Tail(ReduceI32(c1), a1, x, i, n);
+    y[r + 2] = detail::DotI8Tail(ReduceI32(c2), a2, x, i, n);
+    y[r + 3] = detail::DotI8Tail(ReduceI32(c3), a3, x, i, n);
+  }
+  for (; r < rows; ++r) y[r] = DotI8Avx2(a + r * n, x, n);
+}
+
+float DotBf16(const uint16_t* x, const float* y, int64_t n) {
+  return DotBf16Avx2(x, y, n);
+}
+
+void GemvBf16(int64_t rows, int64_t n, const uint16_t* a, const float* x,
+              float* y) {
+  // 2-row panel (4 accumulators): fp32 query loads shared across rows while
+  // each row keeps its own two-accumulator 16-lane tree, so per-row bits
+  // match DotBf16 exactly.
+  int64_t r = 0;
+  for (; r + 2 <= rows; r += 2) {
+    const uint16_t* a0 = a + r * n;
+    const uint16_t* a1 = a0 + n;
+    __m256 c00 = _mm256_setzero_ps();
+    __m256 c01 = _mm256_setzero_ps();
+    __m256 c10 = _mm256_setzero_ps();
+    __m256 c11 = _mm256_setzero_ps();
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      const __m256 x0 = _mm256_loadu_ps(x + i);
+      const __m256 x1 = _mm256_loadu_ps(x + i + 8);
+      c00 = _mm256_fmadd_ps(LoadBf16x8(a0 + i), x0, c00);
+      c01 = _mm256_fmadd_ps(LoadBf16x8(a0 + i + 8), x1, c01);
+      c10 = _mm256_fmadd_ps(LoadBf16x8(a1 + i), x0, c10);
+      c11 = _mm256_fmadd_ps(LoadBf16x8(a1 + i + 8), x1, c11);
+    }
+    y[r + 0] = detail::DotBf16Tail(ReduceLanes16(c00, c01), a0, x, i, n);
+    y[r + 1] = detail::DotBf16Tail(ReduceLanes16(c10, c11), a1, x, i, n);
+  }
+  for (; r < rows; ++r) y[r] = DotBf16Avx2(a + r * n, x, n);
+}
+
 void LstmGateForward(int64_t b, int64_t h, const float* z, const float* c_prev,
                      float* ifgo, float* tanh_c, float* hc) {
   for (int64_t r = 0; r < b; ++r) {
@@ -542,6 +671,10 @@ const KernelTable* Avx2KernelsOrNull() {
       avx2::LstmGateBackward,
       avx2::AttentionSoftmaxForward,
       avx2::AttentionSoftmaxBackward,
+      avx2::DotI8,
+      avx2::GemvI8,
+      avx2::DotBf16,
+      avx2::GemvBf16,
   };
   return &table;
 }

@@ -136,6 +136,54 @@ inline float SqDistTail(float s, const float* e, const float* t, int64_t j0,
   return s;
 }
 
+// --------------------------------------------- reduced-precision primitives
+//
+// bf16 storage is the upper 16 bits of an fp32; widening back is an exact
+// bit shift, so the only rounding in the bf16 serving path happens once, at
+// quantization time (Bf16FromF32 in nn/quant.h, round-to-nearest-even).
+// The widening dot below runs the same 16-lane order as DotLanes16 over the
+// widened values; its AVX2 twin widens with a vector shift and runs the
+// identical fma tree, so the two agree bitwise.
+
+inline float Bf16ToF32(uint16_t b) {
+  return std::bit_cast<float>(static_cast<uint32_t>(b) << 16);
+}
+
+inline float DotBf16Lanes16(const uint16_t* x, const float* y, int64_t n) {
+  float acc[16] = {};
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    for (int l = 0; l < 16; ++l) {
+      acc[l] = std::fmaf(Bf16ToF32(x[i + l]), y[i + l], acc[l]);
+    }
+  }
+  for (int w = 8; w > 0; w /= 2) {
+    for (int l = 0; l < w; ++l) acc[l] += acc[l + w];
+  }
+  float s = acc[0];
+  for (; i < n; ++i) s = std::fmaf(Bf16ToF32(x[i]), y[i], s);
+  return s;
+}
+
+/// Ascending-index fma tail used by the AVX2 bf16 dot after its vector tree.
+inline float DotBf16Tail(float s, const uint16_t* x, const float* y,
+                         int64_t i0, int64_t n) {
+  for (int64_t i = i0; i < n; ++i) s = std::fmaf(Bf16ToF32(x[i]), y[i], s);
+  return s;
+}
+
+/// Ascending-index int32 tail shared by the int8 dot implementations.
+/// Integer addition is exact and associative, so unlike the fp32 kernels
+/// the int8 lane arrangement is free — any order gives the same bits as
+/// this plain loop (the scalar reference runs it over the whole vector).
+inline int32_t DotI8Tail(int32_t s, const int8_t* x, const int8_t* y,
+                         int64_t i0, int64_t n) {
+  for (int64_t i = i0; i < n; ++i) {
+    s += static_cast<int32_t>(x[i]) * static_cast<int32_t>(y[i]);
+  }
+  return s;
+}
+
 // ------------------------------------------------------- LSTM gate elements
 //
 // One fused gate element (kernels.h LstmGateForward layout): shared between

@@ -151,6 +151,28 @@ void LstmGateBackward(int64_t b, int64_t h, const float* ghc,
   }
 }
 
+int32_t DotI8(const int8_t* x, const int8_t* y, int64_t n) {
+  return detail::DotI8Tail(0, x, y, 0, n);
+}
+
+void GemvI8(int64_t rows, int64_t n, const int8_t* a, const int8_t* x,
+            int32_t* y) {
+  for (int64_t r = 0; r < rows; ++r) {
+    y[r] = detail::DotI8Tail(0, a + r * n, x, 0, n);
+  }
+}
+
+float DotBf16(const uint16_t* x, const float* y, int64_t n) {
+  return detail::DotBf16Lanes16(x, y, n);
+}
+
+void GemvBf16(int64_t rows, int64_t n, const uint16_t* a, const float* x,
+              float* y) {
+  for (int64_t r = 0; r < rows; ++r) {
+    y[r] = detail::DotBf16Lanes16(a + r * n, x, n);
+  }
+}
+
 void AttentionSoftmaxForward(int64_t l, int64_t d, const float* emb,
                              const float* target, const float* neg_coeffs,
                              float* alpha) {
@@ -192,6 +214,10 @@ const KernelTable& ScalarKernels() {
       scalar::LstmGateBackward,
       scalar::AttentionSoftmaxForward,
       scalar::AttentionSoftmaxBackward,
+      scalar::DotI8,
+      scalar::GemvI8,
+      scalar::DotBf16,
+      scalar::GemvBf16,
   };
   return table;
 }

@@ -1,0 +1,236 @@
+#include "nn/quant.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace ehna {
+
+namespace {
+
+/// One int8 row: symmetric scale from the row max-abs, codes by
+/// round-to-nearest-even (std::nearbyintf under the default FP
+/// environment), clamped to [-127, 127] so negation is closed. An all-zero
+/// row gets scale 0 and zero codes; the score arithmetic multiplies by the
+/// scale, so the degenerate row scores 0 everywhere, like its fp32 self.
+void QuantizeRowI8(const float* src, int64_t d, int8_t* q, float* scale,
+                   int32_t* sqnorm) {
+  float maxabs = 0.0f;
+  for (int64_t j = 0; j < d; ++j) {
+    maxabs = std::max(maxabs, std::fabs(src[j]));
+  }
+  if (maxabs == 0.0f) {
+    std::memset(q, 0, static_cast<size_t>(d));
+    *scale = 0.0f;
+    *sqnorm = 0;
+    return;
+  }
+  const float s = maxabs / 127.0f;
+  const float inv = 1.0f / s;
+  int32_t sq = 0;
+  for (int64_t j = 0; j < d; ++j) {
+    float r = std::nearbyintf(src[j] * inv);
+    r = std::min(127.0f, std::max(-127.0f, r));
+    const int32_t c = static_cast<int32_t>(r);
+    q[j] = static_cast<int8_t>(c);
+    sq += c * c;
+  }
+  *scale = s;
+  *sqnorm = sq;
+}
+
+void QuantizeRowBf16(const float* src, int64_t d, uint16_t* q,
+                     double* sqnorm) {
+  double sq = 0.0;
+  for (int64_t j = 0; j < d; ++j) {
+    q[j] = Bf16FromF32(src[j]);
+    const double w = static_cast<double>(F32FromBf16(q[j]));
+    sq += w * w;
+  }
+  *sqnorm = sq;
+}
+
+}  // namespace
+
+const char* ServePrecisionName(ServePrecision p) {
+  switch (p) {
+    case ServePrecision::kFp32:
+      return "fp32";
+    case ServePrecision::kInt8:
+      return "int8";
+    case ServePrecision::kBf16:
+      return "bf16";
+  }
+  return "unknown";
+}
+
+Result<ServePrecision> ParseServePrecision(std::string_view name) {
+  if (name == "fp32") return ServePrecision::kFp32;
+  if (name == "int8") return ServePrecision::kInt8;
+  if (name == "bf16") return ServePrecision::kBf16;
+  return Status::InvalidArgument("unknown serving precision '" +
+                                 std::string(name) +
+                                 "' (expected fp32|int8|bf16)");
+}
+
+uint16_t Bf16FromF32(float x) {
+  const uint32_t bits = std::bit_cast<uint32_t>(x);
+  if ((bits & 0x7FFFFFFFu) > 0x7F800000u) {
+    // NaN: keep sign + exponent, force a quiet payload; rounding carry
+    // could otherwise overflow the payload into an infinity encoding.
+    return static_cast<uint16_t>((bits >> 16) | 0x0040u);
+  }
+  const uint32_t lsb = (bits >> 16) & 1u;
+  return static_cast<uint16_t>((bits + 0x7FFFu + lsb) >> 16);
+}
+
+float F32FromBf16(uint16_t b) {
+  return std::bit_cast<float>(static_cast<uint32_t>(b) << 16);
+}
+
+QuantizedMatrix::QuantizedMatrix(ServePrecision precision, int64_t dim)
+    : precision_(precision), dim_(dim) {
+  EHNA_CHECK(dim > 0) << "quantized matrix needs a positive dim";
+  // The int8 dot accumulates exactly in int32 only while the sum of
+  // dim products (each <= 127^2) cannot wrap (kernels.h contract).
+  EHNA_CHECK(dim <= (int64_t{1} << 17))
+      << "dim " << dim << " exceeds the int8 kernels' exact-int32 bound";
+}
+
+QuantizedMatrix QuantizedMatrix::FromTensor(const Tensor& m,
+                                            ServePrecision precision) {
+  QuantizedMatrix q(precision, m.cols());
+  q.EnsureRows(m.rows());
+  for (int64_t r = 0; r < m.rows(); ++r) q.RequantizeRow(r, m.Row(r));
+  return q;
+}
+
+void QuantizedMatrix::EnsureRows(int64_t rows) {
+  if (rows <= rows_) return;
+  const size_t n = static_cast<size_t>(rows);
+  switch (precision_) {
+    case ServePrecision::kInt8:
+      i8_.resize(n * static_cast<size_t>(dim_), 0);
+      scale_.resize(n, 0.0f);
+      sqnorm_i32_.resize(n, 0);
+      break;
+    case ServePrecision::kBf16:
+      bf16_.resize(n * static_cast<size_t>(dim_), 0);
+      sqnorm_.resize(n, 0.0);
+      break;
+    case ServePrecision::kFp32:
+      break;
+  }
+  rows_ = rows;
+}
+
+void QuantizedMatrix::RequantizeRow(int64_t row, const float* src) {
+  EHNA_CHECK(row >= 0 && row < rows_);
+  switch (precision_) {
+    case ServePrecision::kInt8:
+      QuantizeRowI8(src, dim_, i8_.data() + row * dim_,
+                    &scale_[static_cast<size_t>(row)],
+                    &sqnorm_i32_[static_cast<size_t>(row)]);
+      break;
+    case ServePrecision::kBf16:
+      QuantizeRowBf16(src, dim_, bf16_.data() + row * dim_,
+                      &sqnorm_[static_cast<size_t>(row)]);
+      break;
+    case ServePrecision::kFp32:
+      break;
+  }
+}
+
+void QuantizedMatrix::Dequantize(int64_t row, float* dst) const {
+  switch (precision_) {
+    case ServePrecision::kInt8: {
+      const int8_t* q = RowI8(row);
+      const float s = scale(row);
+      for (int64_t j = 0; j < dim_; ++j) {
+        dst[j] = s * static_cast<float>(q[j]);
+      }
+      break;
+    }
+    case ServePrecision::kBf16: {
+      const uint16_t* q = RowBf16(row);
+      for (int64_t j = 0; j < dim_; ++j) dst[j] = F32FromBf16(q[j]);
+      break;
+    }
+    case ServePrecision::kFp32:
+      break;
+  }
+}
+
+size_t QuantizedMatrix::bytes() const {
+  const size_t n = static_cast<size_t>(rows_);
+  const size_t d = static_cast<size_t>(dim_);
+  switch (precision_) {
+    case ServePrecision::kInt8:
+      return n * (d * sizeof(int8_t) + sizeof(float) + sizeof(int32_t));
+    case ServePrecision::kBf16:
+      return n * (d * sizeof(uint16_t) + sizeof(double));
+    case ServePrecision::kFp32:
+      return 0;
+  }
+  return 0;
+}
+
+QuantErrorStats QuantizedMatrix::ErrorStats(const Tensor& reference) const {
+  std::vector<uint32_t> all(static_cast<size_t>(rows_));
+  for (size_t r = 0; r < all.size(); ++r) all[r] = static_cast<uint32_t>(r);
+  return ErrorStatsForRows(reference, all.data(), all.size());
+}
+
+QuantErrorStats QuantizedMatrix::ErrorStatsForRows(const Tensor& reference,
+                                                   const uint32_t* rows_subset,
+                                                   size_t count) const {
+  QuantErrorStats stats;
+  if (precision_ == ServePrecision::kFp32 || count == 0) return stats;
+  EHNA_CHECK(reference.cols() == dim_);
+  std::vector<float> deq(static_cast<size_t>(dim_));
+  double sum = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    const int64_t r = static_cast<int64_t>(rows_subset[i]);
+    EHNA_CHECK(r < rows_ && r < reference.rows());
+    Dequantize(r, deq.data());
+    const float* ref = reference.Row(r);
+    for (int64_t j = 0; j < dim_; ++j) {
+      const double e = std::fabs(static_cast<double>(deq[j]) - ref[j]);
+      stats.max_abs = std::max(stats.max_abs, e);
+      sum += e;
+    }
+  }
+  stats.mean_abs = sum / (static_cast<double>(count) * dim_);
+  return stats;
+}
+
+QuantizedQuery PrepareQuantizedQuery(const float* x, int64_t dim,
+                                     ServePrecision precision) {
+  QuantizedQuery q;
+  q.precision = precision;
+  q.fp32 = x;
+  switch (precision) {
+    case ServePrecision::kInt8:
+      q.i8.resize(static_cast<size_t>(dim));
+      QuantizeRowI8(x, dim, q.i8.data(), &q.scale, &q.sqnorm_i32);
+      break;
+    case ServePrecision::kBf16: {
+      // bf16 rows score against the fp32 query directly; only the query's
+      // squared norm is needed (for the Euclidean score), in double like
+      // the row-side norm.
+      double sq = 0.0;
+      for (int64_t j = 0; j < dim; ++j) {
+        sq += static_cast<double>(x[j]) * x[j];
+      }
+      q.sqnorm = sq;
+      break;
+    }
+    case ServePrecision::kFp32:
+      break;
+  }
+  return q;
+}
+
+}  // namespace ehna

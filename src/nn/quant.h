@@ -1,0 +1,147 @@
+#ifndef EHNA_NN_QUANT_H_
+#define EHNA_NN_QUANT_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/status.h"
+
+namespace ehna {
+
+// Reduced-precision serving tier (DESIGN.md §14). The trained model, its
+// checkpoints, and FinalizeEmbeddings stay fp32 byte-for-byte; what this
+// header quantizes is a *read-only mirror* of the serving matrix, used to
+// score nearest-neighbor candidates cheaply before an fp32 re-rank. Both
+// tiers are deterministic pure functions of the fp32 row: re-quantizing an
+// unchanged row reproduces the stored bytes exactly, which is what lets the
+// serving layer refresh only the rows the inference engine actually
+// rewrote.
+
+/// Precision of the serving-matrix read path.
+enum class ServePrecision {
+  kFp32 = 0,  // no quantized mirror; the fp32 scan is the only path.
+  kInt8 = 1,  // per-row symmetric int8, fp32 re-rank.
+  kBf16 = 2,  // round-to-nearest-even bf16 truncation, fp32 re-rank.
+};
+
+const char* ServePrecisionName(ServePrecision p);
+/// Parses "fp32" / "int8" / "bf16" (exact, lowercase).
+Result<ServePrecision> ParseServePrecision(std::string_view name);
+
+/// bf16 truncation of an fp32: keep the upper 16 bits, rounding to
+/// nearest-even on the dropped half. NaN payloads are forced to a quiet
+/// NaN rather than rounded (carry propagation could otherwise turn a NaN
+/// into an infinity).
+uint16_t Bf16FromF32(float x);
+
+/// Exact widening (bit shift); the inverse of Bf16FromF32 up to rounding.
+float F32FromBf16(uint16_t b);
+
+/// Aggregate |dequantized - reference| error over a row set.
+struct QuantErrorStats {
+  double max_abs = 0.0;
+  double mean_abs = 0.0;
+};
+
+/// A quantized mirror of a row-major fp32 matrix, holding either int8 rows
+/// (per-row symmetric scale = max-abs/127, round-to-nearest-even, clamped
+/// to [-127, 127]) or bf16 rows, plus the per-row metadata the similarity
+/// arithmetic needs:
+///   int8: fp32 scale and the exact int32 squared norm of the codes;
+///   bf16: the double squared norm of the widened row.
+/// Rows are contiguous, so block scans ride the dispatched GemvI8/GemvBf16
+/// kernels. The class is precision-level only — similarity semantics live
+/// in eval/knn.cc, which combines these primitives into scores.
+///
+/// Determinism: RequantizeRow is a pure function of the source row (no
+/// history), and all kernels used on the stored codes are ISA-dispatched
+/// with the bitwise cross-ISA contract, so quantized scores are identical
+/// under EHNA_KERNEL_ISA=scalar and =avx2.
+class QuantizedMatrix {
+ public:
+  QuantizedMatrix() = default;
+  QuantizedMatrix(ServePrecision precision, int64_t dim);
+
+  /// Quantizes every row of `m` ([rows, dim]).
+  static QuantizedMatrix FromTensor(const Tensor& m, ServePrecision precision);
+
+  ServePrecision precision() const { return precision_; }
+  int64_t rows() const { return rows_; }
+  int64_t dim() const { return dim_; }
+
+  /// Grows to `rows` (no-op when already that large). New rows are
+  /// zero-coded until RequantizeRow touches them.
+  void EnsureRows(int64_t rows);
+
+  /// Re-quantizes row `row` from the fp32 source row (length dim).
+  void RequantizeRow(int64_t row, const float* src);
+
+  // ------------------------------------------------------- int8 accessors
+  const int8_t* RowI8(int64_t row) const { return i8_.data() + row * dim_; }
+  const int8_t* DataI8() const { return i8_.data(); }
+  float scale(int64_t row) const { return scale_[static_cast<size_t>(row)]; }
+  int32_t sqnorm_i32(int64_t row) const {
+    return sqnorm_i32_[static_cast<size_t>(row)];
+  }
+
+  // ------------------------------------------------------- bf16 accessors
+  const uint16_t* RowBf16(int64_t row) const {
+    return bf16_.data() + row * dim_;
+  }
+  const uint16_t* DataBf16() const { return bf16_.data(); }
+  double sqnorm(int64_t row) const { return sqnorm_[static_cast<size_t>(row)]; }
+
+  /// Dequantizes row `row` into dst (length dim).
+  void Dequantize(int64_t row, float* dst) const;
+
+  /// Exact resident bytes of the quantized tier: codes plus per-row
+  /// metadata (int8: dim + 4B scale + 4B sqnorm per row; bf16: 2·dim + 8B
+  /// sqnorm per row). This is the number the ≥3× footprint claim is
+  /// measured on, against 4·dim fp32 bytes per row.
+  size_t bytes() const;
+
+  /// |Dequantize(row) - reference row| aggregated over rows [0, rows()).
+  /// `reference` must be [rows() x dim()].
+  QuantErrorStats ErrorStats(const Tensor& reference) const;
+
+  /// Same, restricted to a subset of rows (used by the serving layer to
+  /// account the rows a refresh just re-quantized).
+  QuantErrorStats ErrorStatsForRows(const Tensor& reference,
+                                    const uint32_t* rows_subset,
+                                    size_t count) const;
+
+ private:
+  ServePrecision precision_ = ServePrecision::kFp32;
+  int64_t rows_ = 0;
+  int64_t dim_ = 0;
+  // int8 tier (empty unless precision_ == kInt8).
+  std::vector<int8_t> i8_;
+  std::vector<float> scale_;
+  std::vector<int32_t> sqnorm_i32_;
+  // bf16 tier (empty unless precision_ == kBf16).
+  std::vector<uint16_t> bf16_;
+  std::vector<double> sqnorm_;
+};
+
+/// A query vector prepared for scoring against a QuantizedMatrix: for int8
+/// the query is itself quantized with the identical per-row scheme (so a
+/// node-row query reproduces its stored codes exactly); for bf16 the query
+/// stays fp32 and only its squared norm is precomputed.
+struct QuantizedQuery {
+  ServePrecision precision = ServePrecision::kFp32;
+  const float* fp32 = nullptr;  // borrowed; must outlive the query.
+  std::vector<int8_t> i8;
+  float scale = 0.0f;
+  int32_t sqnorm_i32 = 0;
+  double sqnorm = 0.0;
+};
+
+/// Prepares `x` (length dim) for scoring at `precision`.
+QuantizedQuery PrepareQuantizedQuery(const float* x, int64_t dim,
+                                     ServePrecision precision);
+
+}  // namespace ehna
+
+#endif  // EHNA_NN_QUANT_H_

@@ -62,7 +62,38 @@ Result<std::unique_ptr<EmbeddingServer>> EmbeddingServer::Load(
   server->index_ =
       std::make_unique<IvfFlatIndex>(std::move(index).value());
   server->affected_mark_.assign(server->base_.num_nodes(), 0);
+
+  // Quantized read-path mirror (DESIGN.md §14): derived from the serving
+  // matrix, never the other way around — the fp32 matrix, the checkpoint,
+  // and the trained table are byte-for-byte identical across tiers.
+  if (server->options_.precision != ServePrecision::kFp32) {
+    server->quant_ = QuantizedMatrix::FromTensor(server->serving_,
+                                                 server->options_.precision);
+    const QuantErrorStats err = server->quant_.ErrorStats(server->serving_);
+    auto& metrics = MetricsRegistry::Global();
+    metrics.GetGauge("serve.quant.bytes")
+        ->Set(static_cast<double>(server->quant_.bytes()));
+    metrics.GetGauge("serve.quant.max_abs_error")->Set(err.max_abs);
+    metrics.GetGauge("serve.quant.mean_abs_error")->Set(err.mean_abs);
+  }
   return server;
+}
+
+void EmbeddingServer::RequantizeRows(const std::vector<NodeId>& rows) {
+  if (options_.precision == ServePrecision::kFp32) return;
+  quant_.EnsureRows(serving_.rows());
+  for (const NodeId v : rows) {
+    quant_.RequantizeRow(static_cast<int64_t>(v), serving_.Row(v));
+  }
+  // Gauges: exact resident bytes, plus the quantization error of the rows
+  // this pass just rewrote (Load sets the whole-matrix figures).
+  const QuantErrorStats err =
+      quant_.ErrorStatsForRows(serving_, rows.data(), rows.size());
+  auto& metrics = MetricsRegistry::Global();
+  metrics.GetGauge("serve.quant.bytes")
+      ->Set(static_cast<double>(quant_.bytes()));
+  metrics.GetGauge("serve.quant.max_abs_error")->Set(err.max_abs);
+  metrics.GetGauge("serve.quant.mean_abs_error")->Set(err.mean_abs);
 }
 
 void EmbeddingServer::MarkAffected(NodeId node) {
@@ -116,6 +147,9 @@ Status EmbeddingServer::RefreshLocked() {
   }
 
   engine_->RefreshInto(affected_, &serving_);
+  // Re-quantize exactly the refreshed rows: RequantizeRow is a pure
+  // function of the fp32 row, so untouched mirror rows keep their bytes.
+  RequantizeRows(affected_);
   for (const NodeId v : affected_) {
     index_->Update(v, serving_.Row(v));
   }
@@ -132,11 +166,27 @@ Result<std::vector<Neighbor>> EmbeddingServer::Query(NodeId node,
                                                      size_t k) const {
   std::shared_lock lock(mu_);
   queries_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.precision != ServePrecision::kFp32) {
+    return index_->QueryNodeQuantized(quant_, node, k, /*nprobe=*/0,
+                                      options_.rerank_factor);
+  }
   return index_->QueryNode(node, k);
 }
 
 Result<std::vector<Neighbor>> EmbeddingServer::QueryExact(NodeId node,
                                                           size_t k) const {
+  std::shared_lock lock(mu_);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.precision != ServePrecision::kFp32) {
+    return TopKNeighborsQuantized(serving_, quant_, node, k,
+                                  options_.ann.similarity,
+                                  options_.rerank_factor);
+  }
+  return TopKNeighbors(serving_, node, k, options_.ann.similarity);
+}
+
+Result<std::vector<Neighbor>> EmbeddingServer::QueryExactFp32(NodeId node,
+                                                              size_t k) const {
   std::shared_lock lock(mu_);
   queries_.fetch_add(1, std::memory_order_relaxed);
   return TopKNeighbors(serving_, node, k, options_.ann.similarity);
@@ -151,6 +201,11 @@ Result<double> EmbeddingServer::LinkScore(NodeId u, NodeId v) const {
 Tensor EmbeddingServer::ServingEmbeddings() const {
   std::shared_lock lock(mu_);
   return serving_;
+}
+
+QuantizedMatrix EmbeddingServer::QuantizedServingSnapshot() const {
+  std::shared_lock lock(mu_);
+  return quant_;
 }
 
 size_t EmbeddingServer::num_nodes() const {

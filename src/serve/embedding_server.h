@@ -14,6 +14,7 @@
 #include "eval/knn.h"
 #include "graph/dynamic_graph.h"
 #include "graph/temporal_graph.h"
+#include "nn/quant.h"
 #include "util/status.h"
 
 namespace ehna {
@@ -32,6 +33,14 @@ struct ServeOptions {
   /// Pending ingested edges that trigger an automatic Refresh. 0 disables
   /// auto-refresh (callers drive Refresh() themselves).
   size_t refresh_batch = 256;
+  /// Read-path precision tier (DESIGN.md §14). kFp32 serves exactly as
+  /// before; kInt8/kBf16 keep a quantized mirror of the serving matrix that
+  /// scores candidates cheaply, with the top `rerank_factor * k` survivors
+  /// re-ranked in fp32. Training, checkpoints, and the fp32 serving matrix
+  /// itself are byte-for-byte unaffected by this choice.
+  ServePrecision precision = ServePrecision::kFp32;
+  /// Quantized-path re-rank depth multiplier (survivors = rerank_factor*k).
+  size_t rerank_factor = 4;
 };
 
 /// The production half of the system (ROADMAP item 1): a long-lived façade
@@ -92,8 +101,15 @@ class EmbeddingServer {
   /// serving matrix).
   Result<std::vector<Neighbor>> Query(NodeId node, size_t k) const;
 
-  /// The exact-scan oracle for Query (same metric, full O(N·d) pass).
+  /// The exact-scan counterpart of Query (same metric, full O(N·d) pass).
+  /// Under a quantized precision tier this is the quantized scan + fp32
+  /// re-rank; under kFp32 it is the plain fp32 scan.
   Result<std::vector<Neighbor>> QueryExact(NodeId node, size_t k) const;
+
+  /// The full-precision exact-scan oracle, regardless of the configured
+  /// precision tier — the retained fp32 fallback quantized recall is
+  /// measured against.
+  Result<std::vector<Neighbor>> QueryExactFp32(NodeId node, size_t k) const;
 
   /// Serving-metric score between two servable nodes.
   Result<double> LinkScore(NodeId u, NodeId v) const;
@@ -101,12 +117,18 @@ class EmbeddingServer {
   /// Snapshot copy of the serving matrix (for offline comparison).
   Tensor ServingEmbeddings() const;
 
+  /// Snapshot copy of the quantized mirror (empty under kFp32) — for
+  /// offline recomputation checks: quantizing ServingEmbeddings() must
+  /// reproduce these bytes exactly.
+  QuantizedMatrix QuantizedServingSnapshot() const;
+
   /// Nodes currently servable (rows of the serving matrix).
   size_t num_nodes() const;
 
   Stats stats() const;
 
   const EhnaConfig& config() const { return options_.config; }
+  ServePrecision precision() const { return options_.precision; }
 
  private:
   EmbeddingServer(TemporalGraph base, ServeOptions options);
@@ -115,6 +137,9 @@ class EmbeddingServer {
   void MarkAffected(NodeId node);
   /// Compact + re-finalize + index update. Caller holds mu_.
   Status RefreshLocked();
+  /// Re-quantizes `rows` of the mirror from serving_ and refreshes the
+  /// serve.quant.* gauges. Caller holds mu_; no-op under kFp32.
+  void RequantizeRows(const std::vector<NodeId>& rows);
 
   ServeOptions options_;
   TemporalGraph base_;  // keeps the model's construction graph alive.
@@ -125,6 +150,7 @@ class EmbeddingServer {
 
   mutable std::shared_mutex mu_;
   Tensor serving_;  // [servable nodes, dim]; reads under shared lock.
+  QuantizedMatrix quant_;  // read-path mirror of serving_ (empty on kFp32).
   std::unique_ptr<IvfFlatIndex> index_;
   std::vector<NodeId> affected_;       // pending refresh set, deduped...
   std::vector<uint8_t> affected_mark_; // ...via this bitmap.

@@ -10,6 +10,7 @@
 // resolution observes the override. gtest runs tests in declaration order
 // within a file, and this file's binary links no other test file.
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -206,6 +207,77 @@ TEST_F(IsaEquivalenceTest, GemvBothOrientationsAndDot) {
       const float dv = avx2_->dot(a.data(), a.data() + (m - 1) * n, n);
       EXPECT_EQ(std::memcmp(&ds, &dv, sizeof(float)), 0)
           << "dot n=" << n << " scalar=" << ds << " avx2=" << dv;
+    }
+  }
+}
+
+// Reduced-precision serving kernels (DESIGN.md §14): same bitwise bar as
+// the fp32 hot set, over the same dim sweep — int8 covers the 32- and
+// 16-wide vector bodies plus the scalar tail, bf16 the 16-wide fma strips
+// plus the widening tail. Row counts off the 4-row (int8) / 2-row (bf16)
+// panel width exercise the per-row fallback.
+TEST_F(IsaEquivalenceTest, Int8DotAndGemvAllTails) {
+  Rng rng(46);
+  auto random_i8 = [&](int64_t n) {
+    std::vector<int8_t> v(static_cast<size_t>(n));
+    for (auto& x : v) {
+      x = static_cast<int8_t>(
+          static_cast<int64_t>(rng.UniformInt(uint64_t{255})) - 127);
+    }
+    return v;
+  };
+  for (const int64_t rows : {1, 2, 3, 4, 5, 7, 8, 9, 33}) {
+    for (const int64_t n : kDims) {
+      const auto a = random_i8(rows * n);
+      const auto x = random_i8(n);
+      EXPECT_EQ(ScalarKernels().dot_i8(a.data(), x.data(), n),
+                avx2_->dot_i8(a.data(), x.data(), n))
+          << "dot_i8 n=" << n;
+      std::vector<int32_t> ref(static_cast<size_t>(rows));
+      std::vector<int32_t> got(static_cast<size_t>(rows));
+      ScalarKernels().gemv_i8(rows, n, a.data(), x.data(), ref.data());
+      avx2_->gemv_i8(rows, n, a.data(), x.data(), got.data());
+      for (int64_t r = 0; r < rows; ++r) {
+        EXPECT_EQ(ref[static_cast<size_t>(r)], got[static_cast<size_t>(r)])
+            << "gemv_i8 rows=" << rows << " n=" << n << " row=" << r;
+      }
+    }
+  }
+  // Extremes: saturated codes at the documented exact-accumulation bound's
+  // working sizes must still agree (and not wrap in any lane pattern).
+  for (const int64_t n : {33, 64, 257}) {
+    std::vector<int8_t> hi(static_cast<size_t>(n), int8_t{127});
+    std::vector<int8_t> lo(static_cast<size_t>(n), int8_t{-127});
+    EXPECT_EQ(ScalarKernels().dot_i8(hi.data(), lo.data(), n),
+              avx2_->dot_i8(hi.data(), lo.data(), n));
+    EXPECT_EQ(ScalarKernels().dot_i8(hi.data(), hi.data(), n),
+              static_cast<int32_t>(n) * 127 * 127);
+  }
+}
+
+TEST_F(IsaEquivalenceTest, Bf16DotAndGemvAllTails) {
+  Rng rng(47);
+  auto random_bf16 = [&](int64_t n) {
+    std::vector<uint16_t> v(static_cast<size_t>(n));
+    for (auto& x : v) {
+      const float f = static_cast<float>(rng.Uniform(-2.0, 2.0));
+      x = static_cast<uint16_t>(std::bit_cast<uint32_t>(f) >> 16);
+    }
+    return v;
+  };
+  for (const int64_t rows : {1, 2, 3, 4, 5, 9, 33}) {
+    for (const int64_t n : kDims) {
+      const auto a = random_bf16(rows * n);
+      const auto x = Random(n, &rng);
+      const float ds = ScalarKernels().dot_bf16(a.data(), x.data(), n);
+      const float dv = avx2_->dot_bf16(a.data(), x.data(), n);
+      EXPECT_EQ(std::memcmp(&ds, &dv, sizeof(float)), 0)
+          << "dot_bf16 n=" << n << " scalar=" << ds << " avx2=" << dv;
+      std::vector<float> ref(static_cast<size_t>(rows));
+      std::vector<float> got(static_cast<size_t>(rows));
+      ScalarKernels().gemv_bf16(rows, n, a.data(), x.data(), ref.data());
+      avx2_->gemv_bf16(rows, n, a.data(), x.data(), got.data());
+      ExpectBitwiseEq(ref, got, "gemv_bf16");
     }
   }
 }

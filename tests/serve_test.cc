@@ -27,6 +27,7 @@
 #include "eval/knn.h"
 #include "graph/dynamic_graph.h"
 #include "graph/generators/generators.h"
+#include "nn/quant.h"
 #include "serve/embedding_server.h"
 #include "util/rng.h"
 #include "walk/temporal_walk.h"
@@ -557,6 +558,101 @@ TEST(EmbeddingServerTest, AutoRefreshTriggersOnBatchBoundary) {
   EXPECT_EQ(stats.refreshes, 2u);          // at edges 8 and 16
   EXPECT_EQ(stats.pending_edges, 4u);      // 20 - 2*8
   EXPECT_GT(stats.refreshed_nodes, 0u);
+}
+
+// Reduced-precision serving (DESIGN.md §14): with precision=int8 the
+// server keeps an int8 mirror of the serving matrix and re-quantizes
+// exactly the rows each Refresh rewrote. Quantization must be a pure
+// read-side view: fp32 serving bytes, refresh behaviour, and the on-disk
+// checkpoint are identical to an fp32-precision server over the same
+// stream.
+TEST(EmbeddingServerTest, Int8RefreshRequantizesExactlyAffectedRows) {
+  ServerFixture fx("quant_refresh");
+  const std::string ckpt_before = ReadBytes(fx.ckpt);
+  ASSERT_FALSE(ckpt_before.empty());
+
+  ServeOptions opt_q = fx.Options();
+  opt_q.precision = ServePrecision::kInt8;
+  auto loaded_q = EmbeddingServer::Load(fx.ckpt, fx.graph, opt_q);
+  ASSERT_TRUE(loaded_q.ok());
+  EmbeddingServer& quant_server = *loaded_q.value();
+  auto loaded_f = EmbeddingServer::Load(fx.ckpt, fx.graph, fx.Options());
+  ASSERT_TRUE(loaded_f.ok());
+  EmbeddingServer& fp32_server = *loaded_f.value();
+
+  const Tensor before = quant_server.ServingEmbeddings();
+  const QuantizedMatrix mirror_before = quant_server.QuantizedServingSnapshot();
+  ASSERT_EQ(mirror_before.rows(), before.rows());
+
+  // Same stream into both servers; include a brand-new node so the mirror
+  // has to grow alongside the serving matrix.
+  const NodeId n = fx.graph.num_nodes();
+  const Timestamp t0 = fx.graph.max_time();
+  std::vector<TemporalEdge> stream;
+  Rng rng(57);
+  while (stream.size() < 24) {
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(uint64_t{n}));
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(uint64_t{n}));
+    if (u == v) continue;
+    stream.push_back({u, v, t0 + 1.0 + static_cast<double>(stream.size())});
+  }
+  stream.push_back({0, n + 1, t0 + 100.0});
+  for (const TemporalEdge& e : stream) {
+    ASSERT_TRUE(quant_server.Ingest(e).ok());
+    ASSERT_TRUE(fp32_server.Ingest(e).ok());
+  }
+  ASSERT_TRUE(quant_server.Refresh().ok());
+  ASSERT_TRUE(fp32_server.Refresh().ok());
+
+  // Quantization never perturbs the fp32 serving state.
+  const Tensor after = quant_server.ServingEmbeddings();
+  EXPECT_TRUE(SameBytes(after, fp32_server.ServingEmbeddings()));
+
+  // Offline-recompute check: RequantizeRow is a pure function of the fp32
+  // row, so the incrementally-maintained mirror must equal quantizing the
+  // whole post-refresh matrix from scratch — codes, scales, and norms.
+  const QuantizedMatrix mirror = quant_server.QuantizedServingSnapshot();
+  const QuantizedMatrix oracle =
+      QuantizedMatrix::FromTensor(after, ServePrecision::kInt8);
+  ASSERT_EQ(mirror.rows(), oracle.rows());
+  ASSERT_EQ(mirror.dim(), oracle.dim());
+  const int64_t d = mirror.dim();
+  EXPECT_EQ(std::memcmp(mirror.DataI8(), oracle.DataI8(),
+                        static_cast<size_t>(mirror.rows() * d)),
+            0);
+  for (int64_t r = 0; r < mirror.rows(); ++r) {
+    const float ms = mirror.scale(r);
+    const float os = oracle.scale(r);
+    EXPECT_EQ(std::memcmp(&ms, &os, sizeof(float)), 0) << "row " << r;
+    EXPECT_EQ(mirror.sqnorm_i32(r), oracle.sqnorm_i32(r)) << "row " << r;
+  }
+
+  // Rows the refresh did not rewrite kept their pre-ingest quantized bytes
+  // (i.e. refresh re-quantized only affected rows, not the world).
+  const size_t row_bytes = static_cast<size_t>(d) * sizeof(float);
+  size_t untouched = 0;
+  for (int64_t r = 0; r < before.rows(); ++r) {
+    if (std::memcmp(after.Row(r), before.Row(r), row_bytes) != 0) continue;
+    ++untouched;
+    EXPECT_EQ(std::memcmp(mirror.RowI8(r), mirror_before.RowI8(r),
+                          static_cast<size_t>(d)),
+              0)
+        << "row " << r;
+    EXPECT_EQ(mirror.sqnorm_i32(r), mirror_before.sqnorm_i32(r));
+  }
+  EXPECT_GT(untouched, 0u);
+
+  // Quantized queries serve exact fp32 scores after the re-rank, and the
+  // full-precision oracle stays reachable for comparison.
+  auto q_res = quant_server.QueryExact(3, 5);
+  auto f_res = quant_server.QueryExactFp32(3, 5);
+  ASSERT_TRUE(q_res.ok());
+  ASSERT_TRUE(f_res.ok());
+  ASSERT_EQ(q_res.value().size(), 5u);
+  EXPECT_EQ(q_res.value()[0].node, f_res.value()[0].node);
+
+  // Serving in reduced precision leaves the checkpoint file untouched.
+  EXPECT_EQ(ckpt_before, ReadBytes(fx.ckpt));
 }
 
 // (d) Concurrent ingest + query: exercised under TSan via the
